@@ -1,0 +1,398 @@
+package dvecap
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per artefact, reduced replication counts so the
+// suite completes in minutes — use cmd/capsim -reps 50 for paper-scale
+// statistics) plus micro-benchmarks of the individual components.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable1 -benchtime=3x
+
+import (
+	"testing"
+	"time"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/experiments"
+	"dvecap/internal/lp"
+	"dvecap/internal/milp"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func benchSetup(reps int) experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.Reps = reps
+	return s
+}
+
+// BenchmarkTable1 regenerates Table 1 (pQoS/R across four configurations,
+// heuristics only; see BenchmarkTable1Exact for the lp_solve column).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchSetup(2), experiments.Table1Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable1Exact regenerates Table 1's lp_solve column on the
+// smallest configuration.
+func BenchmarkTable1Exact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchSetup(1), experiments.Table1Options{
+			IncludeLP:  true,
+			LPReps:     1,
+			LPDeadline: 30 * time.Second,
+			Scenarios:  []string{"5s-15z-200c-100cp"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows[0].LP == nil {
+			b.Fatal("missing LP cell")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (CDF of client→target delays on the
+// largest configuration).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(benchSetup(2), experiments.Fig4Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) != 4 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (pQoS and R vs correlation δ,
+// D = 200 ms).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchSetup(2), experiments.Fig5Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 6 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (pQoS and R vs the four distribution
+// types of Table 2).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchSetup(2), experiments.Fig6Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 4 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (pQoS before churn, after 200 joins +
+// 200 leaves + 200 moves, and after re-execution).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchSetup(2), experiments.Table3Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (pQoS/R with King and IDMaps
+// estimation error).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchSetup(2), experiments.Table4Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Columns) != 2 {
+			b.Fatal("wrong column count")
+		}
+	}
+}
+
+// BenchmarkAblation runs the extension study (static vs dynamic regret,
+// ± local search).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(benchSetup(1), experiments.AblationOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkRuntimeTable reproduces the §4.2 runtime comparison (heuristics
+// only; the exact solver's own cost is BenchmarkExactIAP/RAP).
+func BenchmarkRuntimeTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Runtime(benchSetup(1), experiments.RuntimeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks -----------------------------------------------------
+
+// benchProblem builds the paper-default problem once per benchmark.
+func benchProblem(b *testing.B, notation string) *core.Problem {
+	b.Helper()
+	rng := xrand.New(77)
+	g, err := topology.Hier(rng.Split(), topology.DefaultHier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := dve.ParseScenario(dve.DefaultConfig(), notation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	world, err := dve.BuildWorld(rng.Split(), cfg, g, dm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return world.Problem()
+}
+
+// BenchmarkGreZ measures the greedy zone assignment on the default
+// configuration (80 zones × 20 servers, 1000 clients).
+func BenchmarkGreZ(b *testing.B) {
+	p := benchProblem(b, "20s-80z-1000c-500cp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreZ(nil, p, core.Options{Overflow: core.SpillLargestResidual}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreZDynamic measures the recomputing ablation variant.
+func BenchmarkGreZDynamic(b *testing.B) {
+	p := benchProblem(b, "20s-80z-1000c-500cp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreZDynamic(nil, p, core.Options{Overflow: core.SpillLargestResidual}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRanZ measures the random zone assignment.
+func BenchmarkRanZ(b *testing.B) {
+	p := benchProblem(b, "20s-80z-1000c-500cp")
+	rng := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RanZ(rng, p, core.Options{Overflow: core.SpillLargestResidual}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreC measures the greedy refined assignment given a GreZ initial
+// assignment.
+func BenchmarkGreC(b *testing.B) {
+	p := benchProblem(b, "20s-80z-1000c-500cp")
+	target, err := core.GreZ(nil, p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreC(nil, p, target, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoPhaseLargest measures the full GreZ-GreC pipeline on the
+// paper's largest configuration (160 zones × 30 servers, 2000 clients) —
+// the "< 1 second" claim of §4.2.
+func BenchmarkTwoPhaseLargest(b *testing.B) {
+	p := benchProblem(b, "30s-160z-2000c-1000cp")
+	rng := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreZGreC.Solve(rng, p, core.Options{Overflow: core.SpillLargestResidual}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate measures metric computation on the default problem.
+func BenchmarkEvaluate(b *testing.B) {
+	p := benchProblem(b, "20s-80z-1000c-500cp")
+	a, err := core.GreZGreC.Solve(xrand.New(1), p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Evaluate(p, a)
+	}
+}
+
+// BenchmarkExactIAP measures the branch-and-bound on the smallest
+// configuration's initial assignment (Table 1's lp_solve, first row).
+func BenchmarkExactIAP(b *testing.B) {
+	p := benchProblem(b, "5s-15z-200c-100cp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := milp.SolveIAP(p, milp.SolverOptions{Deadline: 30 * time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierTopology measures generating the paper's 500-node topology.
+func BenchmarkHierTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.Hier(xrand.New(uint64(i)), topology.DefaultHier()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllPairsShortest measures the parallel APSP over 500 nodes.
+func BenchmarkAllPairsShortest(b *testing.B) {
+	g, err := topology.Hier(xrand.New(9), topology.DefaultHier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairsShortest()
+	}
+}
+
+// BenchmarkWorldBuild measures placing the default 1000-client world.
+func BenchmarkWorldBuild(b *testing.B) {
+	rng := xrand.New(11)
+	g, err := topology.Hier(rng.Split(), topology.DefaultHier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dve.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dve.BuildWorld(rng.Split(), cfg, g, dm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplex measures the LP solver on a representative IAP
+// relaxation (5 servers × 15 zones).
+func BenchmarkSimplex(b *testing.B) {
+	p := benchProblem(b, "5s-15z-200c-100cp")
+	prob := milp.BuildIAP(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lp.Solve(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != lp.Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkFacadeAssign measures the end-to-end public API path (scenario
+// construction amortised outside the loop).
+func BenchmarkFacadeAssign(b *testing.B) {
+	scn, err := NewScenario(ScenarioParams{Seed: 13, Correlation: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scn.Assign("GreZ-GreC"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselines runs the related-work comparison (extension).
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Baselines(benchSetup(1), experiments.BaselinesOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Names) != 5 {
+			b.Fatal("wrong baseline count")
+		}
+	}
+}
+
+// BenchmarkStaleness runs the reassignment-period sweep (extension).
+func BenchmarkStaleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Staleness(benchSetup(1), experiments.StalenessOptions{
+			Periods:    []float64{60, 300},
+			HorizonSec: 600,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 2 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkRobustness runs the cross-topology check (extension).
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Robustness(benchSetup(1), experiments.RobustnessOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFlowCheck runs the flow-level validation (extension).
+func BenchmarkFlowCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FlowCheck(benchSetup(1), experiments.FlowCheckOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}

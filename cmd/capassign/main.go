@@ -1,0 +1,171 @@
+// Command capassign solves one client assignment instance. The instance
+// comes either from a generated scenario (the simulation substrate) or
+// from a problem JSON file (e.g. real measurements exported by other
+// tooling); the solution is written as assignment JSON with its metrics.
+//
+// Usage:
+//
+//	capassign -scenario 20s-80z-1000c-500cp -algorithm GreZ-GreC -seed 7
+//	capassign -in problem.json -algorithm GreZ-VirC -out assignment.json
+//	capassign -in problem.json -exact -deadline 60s
+//	capassign -scenario 5s-15z-200c-100cp -dump-problem problem.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/milp"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "20s-80z-1000c-500cp", "scenario notation to generate (ignored with -in/-world)")
+		seed      = flag.Uint64("seed", 1, "random seed for generation and algorithms")
+		inFile    = flag.String("in", "", "read a problem JSON instead of generating")
+		worldFile = flag.String("world", "", "read a world JSON (see -dump-world) instead of generating")
+		outFile   = flag.String("out", "", "write the assignment JSON here (default stdout)")
+		dumpProb  = flag.String("dump-problem", "", "write the generated problem JSON here and exit")
+		dumpWorld = flag.String("dump-world", "", "write the generated world JSON here and exit")
+		algorithm = flag.String("algorithm", "GreZ-GreC", "two-phase algorithm (see -list)")
+		exact     = flag.Bool("exact", false, "use the exact branch-and-bound solver instead")
+		deadline  = flag.Duration("deadline", 60*time.Second, "exact-solver deadline")
+		delays    = flag.Bool("delays", false, "include per-client delays in the output")
+		list      = flag.Bool("list", false, "list available algorithms and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range core.AlgorithmNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	p, world, err := loadOrGenerate(*inFile, *worldFile, *scenario, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *dumpWorld != "" {
+		if world == nil {
+			fail(fmt.Errorf("-dump-world requires a generated or -world-loaded world (not -in)"))
+		}
+		f, err := os.Create(*dumpWorld)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := world.WriteJSON(f, 500, 0.5); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "capassign: wrote world (%s) to %s\n", world.Cfg.Scenario(), *dumpWorld)
+		return
+	}
+	if *dumpProb != "" {
+		f, err := os.Create(*dumpProb)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := p.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "capassign: wrote problem (%d servers, %d zones, %d clients) to %s\n",
+			p.NumServers(), p.NumZones, p.NumClients(), *dumpProb)
+		return
+	}
+
+	var a *core.Assignment
+	label := *algorithm
+	start := time.Now()
+	if *exact {
+		label = "exact-bb"
+		var iap *milp.IAPResult
+		var rap *milp.RAPResult
+		a, iap, rap, err = milp.SolveCAP(p, milp.SolverOptions{Deadline: *deadline})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "capassign: exact IAP cost %d (optimal=%v, %d nodes), RAP cost %.2f (optimal=%v)\n",
+			iap.Cost, iap.Optimal, iap.Nodes, rap.Cost, rap.Optimal)
+	} else {
+		tp, ok := core.ByName(*algorithm)
+		if !ok {
+			fail(fmt.Errorf("unknown algorithm %q; try -list", *algorithm))
+		}
+		a, err = tp.Solve(xrand.New(*seed), p, core.Options{Overflow: core.SpillLargestResidual})
+		if err != nil {
+			fail(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	w := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := core.WriteAssignmentJSON(w, p, a, label, *delays); err != nil {
+		fail(err)
+	}
+	m := core.Evaluate(p, a)
+	fmt.Fprintf(os.Stderr, "capassign: %s solved %d clients in %s: pQoS %.3f, R %.3f\n",
+		label, p.NumClients(), elapsed.Round(time.Microsecond), m.PQoS, m.Utilization)
+}
+
+func loadOrGenerate(inFile, worldFile, scenario string, seed uint64) (*core.Problem, *dve.World, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		p, err := core.ReadProblemJSON(f)
+		return p, nil, err
+	}
+	if worldFile != "" {
+		f, err := os.Open(worldFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		world, err := dve.ReadWorldJSON(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return world.Problem(), world, nil
+	}
+	cfg, err := dve.ParseScenario(dve.DefaultConfig(), scenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := xrand.New(seed)
+	g, err := topology.Hier(rng.Split(), topology.DefaultHier())
+	if err != nil {
+		return nil, nil, err
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	world, err := dve.BuildWorld(rng.Split(), cfg, g, dm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return world.Problem(), world, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "capassign:", err)
+	os.Exit(1)
+}

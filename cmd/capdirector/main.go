@@ -1,0 +1,98 @@
+// Command capdirector runs the online client-assignment service over HTTP.
+// It generates (or loads) a topology, places servers with capacities, and
+// then serves join/leave/move/reassign requests — the operational form of
+// the paper's geographically distributed server architecture.
+//
+// Usage:
+//
+//	capdirector -addr :8080 -servers 20 -zones 80 -capacity 500
+//	capdirector -addr :8080 -topology topo.json -algorithm GreZ-VirC
+//
+// Try it:
+//
+//	curl -s -X POST localhost:8080/v1/clients -d '{"node":17,"zone":4}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/reassign
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"dvecap/internal/director"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		servers   = flag.Int("servers", 20, "number of servers")
+		zones     = flag.Int("zones", 80, "number of zones")
+		capacity  = flag.Float64("capacity", 500, "total server bandwidth, Mbps")
+		minCap    = flag.Float64("mincap", 10, "per-server bandwidth floor, Mbps")
+		bound     = flag.Float64("bound", 250, "delay bound D, ms")
+		algorithm = flag.String("algorithm", "GreZ-GreC", "assignment algorithm")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		topoFile  = flag.String("topology", "", "topology JSON (default: generate the paper's 500-node hierarchy)")
+		reassign  = flag.Duration("reassign-every", 0, "re-execute the algorithm periodically (0 = only on POST /v1/reassign)")
+	)
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	var g *topology.Graph
+	var err error
+	if *topoFile != "" {
+		f, ferr := os.Open(*topoFile)
+		if ferr != nil {
+			log.Fatalf("capdirector: %v", ferr)
+		}
+		g, err = topology.ReadJSON(f)
+		f.Close()
+	} else {
+		g, err = topology.Hier(rng.Split(), topology.DefaultHier())
+	}
+	if err != nil {
+		log.Fatalf("capdirector: %v", err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		log.Fatalf("capdirector: %v", err)
+	}
+	if *servers > g.N() {
+		log.Fatalf("capdirector: %d servers exceed %d topology nodes", *servers, g.N())
+	}
+	nodes := rng.SampleWithout(g.N(), *servers)
+	caps := rng.Simplex(*servers, *capacity, *minCap)
+
+	d, err := director.New(director.Config{
+		ServerNodes:  nodes,
+		ServerCaps:   caps,
+		Zones:        *zones,
+		Delays:       dm,
+		DelayBoundMs: *bound,
+		FrameRate:    25,
+		MessageBytes: 100,
+		Algorithm:    *algorithm,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatalf("capdirector: %v", err)
+	}
+
+	fmt.Printf("capdirector: %d servers, %d zones, %.0f Mbps, D=%.0fms, algorithm %s\n",
+		*servers, *zones, *capacity, *bound, *algorithm)
+	fmt.Printf("capdirector: topology %d nodes / %d edges; listening on %s\n", g.N(), g.M(), *addr)
+	if *reassign > 0 {
+		go d.RunReassignLoop(context.Background(), *reassign, func(res director.ReassignResult) {
+			log.Printf("reassign: %d clients, pQoS %.3f, R %.3f, %d contacts moved",
+				res.Clients, res.PQoS, res.Utilization, res.Moved)
+		})
+		fmt.Printf("capdirector: periodic reassignment every %s\n", *reassign)
+	}
+	log.Fatal(http.ListenAndServe(*addr, director.Handler(d)))
+}

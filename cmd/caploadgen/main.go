@@ -1,0 +1,111 @@
+// Command caploadgen drives a running capdirector with synthetic churn:
+// clients join at a Poisson rate, stay for exponential sessions, migrate
+// between zones, and the tool periodically triggers reassignment while
+// reporting the service's quality metrics — a smoke/load harness for the
+// online service.
+//
+// Usage:
+//
+//	caploadgen -url http://localhost:8080 -nodes 500 -zones 80 \
+//	           -joins 20 -duration 30s -reassign 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dvecap/internal/director"
+	"dvecap/internal/xrand"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "director base URL")
+		nodes    = flag.Int("nodes", 500, "topology node count to draw client locations from")
+		zones    = flag.Int("zones", 80, "zone count to draw virtual locations from")
+		joins    = flag.Float64("joins", 10, "client arrivals per second")
+		session  = flag.Duration("session", 60*time.Second, "mean session length")
+		moveEvy  = flag.Duration("move", 10*time.Second, "mean time between zone moves per client")
+		reassign = flag.Duration("reassign", 10*time.Second, "reassignment trigger period")
+		duration = flag.Duration("duration", 30*time.Second, "total run time")
+		seed     = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	c := director.NewClient(*url)
+	rng := xrand.New(*seed)
+	if _, err := c.Stats(); err != nil {
+		log.Fatalf("caploadgen: director unreachable at %s: %v", *url, err)
+	}
+
+	type session_ struct {
+		id     string
+		expiry time.Time
+	}
+	var live []session_
+	start := time.Now()
+	nextJoin := start
+	nextReassign := start.Add(*reassign)
+	nextReport := start.Add(5 * time.Second)
+
+	for time.Since(start) < *duration {
+		now := time.Now()
+		if now.After(nextJoin) {
+			info, err := c.Join("", rng.IntN(*nodes), rng.IntN(*zones))
+			if err != nil {
+				log.Printf("join: %v", err)
+			} else {
+				live = append(live, session_{
+					id:     info.ID,
+					expiry: now.Add(time.Duration(rng.Exp(1/(*session).Seconds()) * float64(time.Second))),
+				})
+			}
+			nextJoin = now.Add(time.Duration(rng.Exp(*joins) * float64(time.Second)))
+		}
+		// Expire sessions.
+		kept := live[:0]
+		for _, s := range live {
+			if now.After(s.expiry) {
+				if err := c.Leave(s.id); err != nil {
+					log.Printf("leave %s: %v", s.id, err)
+				}
+				continue
+			}
+			kept = append(kept, s)
+		}
+		live = kept
+		// Occasional moves.
+		if len(live) > 0 && rng.Bool(float64(len(live))*float64(time.Millisecond)/moveEvy.Seconds()/1000) {
+			victim := live[rng.IntN(len(live))]
+			if _, err := c.Move(victim.id, rng.IntN(*zones)); err != nil {
+				log.Printf("move %s: %v", victim.id, err)
+			}
+		}
+		if now.After(nextReassign) {
+			res, err := c.Reassign()
+			if err != nil {
+				log.Printf("reassign: %v", err)
+			} else {
+				fmt.Printf("[%6.1fs] reassigned: %d clients, pQoS %.3f, R %.3f, %d contacts moved\n",
+					time.Since(start).Seconds(), res.Clients, res.PQoS, res.Utilization, res.Moved)
+			}
+			nextReassign = now.Add(*reassign)
+		}
+		if now.After(nextReport) {
+			st, err := c.Stats()
+			if err == nil {
+				fmt.Printf("[%6.1fs] stats: %d clients, pQoS %.3f, R %.3f\n",
+					time.Since(start).Seconds(), st.Clients, st.PQoS, st.Utilization)
+			}
+			nextReport = now.Add(5 * time.Second)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatalf("caploadgen: final stats: %v", err)
+	}
+	fmt.Printf("final: %d clients, pQoS %.3f, R %.3f\n", st.Clients, st.PQoS, st.Utilization)
+}

@@ -1,0 +1,99 @@
+// Command capsim regenerates the tables and figures of "Efficient
+// Client-to-Server Assignments for Distributed Virtual Environments"
+// (Ta & Zhou, IPDPS 2006).
+//
+// Usage:
+//
+//	capsim -exp table1 -reps 50 -lp
+//	capsim -exp fig4
+//	capsim -exp fig5
+//	capsim -exp fig6
+//	capsim -exp table3
+//	capsim -exp table4
+//	capsim -exp ablation
+//	capsim -exp runtime -lp
+//	capsim -exp all -reps 20
+//
+// Every run is deterministic in -seed. -topology usbackbone swaps the
+// BRITE-style hierarchical topology for the embedded US backbone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dvecap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|runtime|all")
+		seed     = flag.Uint64("seed", 2006, "base random seed")
+		reps     = flag.Int("reps", 50, "replications per data point (paper: 50)")
+		topo     = flag.String("topology", "hier", "topology substrate: hier|usbackbone")
+		lp       = flag.Bool("lp", false, "include the exact branch-and-bound baseline (small configs only)")
+		lpReps   = flag.Int("lpreps", 0, "replications for the exact baseline (0 = min(reps,10))")
+		deadline = flag.Duration("lpdeadline", 60*time.Second, "per-solve deadline for the exact baseline")
+	)
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	setup.Seed = *seed
+	setup.Reps = *reps
+	setup.Topology = experiments.TopologyKind(*topo)
+
+	run := func(name string) error {
+		start := time.Now()
+		var out fmt.Stringer
+		var err error
+		switch name {
+		case "table1":
+			out, err = experiments.Table1(setup, experiments.Table1Options{
+				IncludeLP: *lp, LPReps: *lpReps, LPDeadline: *deadline,
+			})
+		case "fig4":
+			out, err = experiments.Fig4(setup, experiments.Fig4Options{})
+		case "fig5":
+			out, err = experiments.Fig5(setup, experiments.Fig5Options{})
+		case "fig6":
+			out, err = experiments.Fig6(setup, experiments.Fig6Options{})
+		case "table3":
+			out, err = experiments.Table3(setup, experiments.Table3Options{})
+		case "table4":
+			out, err = experiments.Table4(setup, experiments.Table4Options{})
+		case "ablation":
+			out, err = experiments.Ablation(setup, experiments.AblationOptions{})
+		case "baselines":
+			out, err = experiments.Baselines(setup, experiments.BaselinesOptions{})
+		case "staleness":
+			out, err = experiments.Staleness(setup, experiments.StalenessOptions{})
+		case "robustness":
+			out, err = experiments.Robustness(setup, experiments.RobustnessOptions{})
+		case "flowcheck":
+			out, err = experiments.FlowCheck(setup, experiments.FlowCheckOptions{})
+		case "runtime":
+			out, err = experiments.Runtime(setup, experiments.RuntimeOptions{IncludeLP: *lp, LPDeadline: *deadline})
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out.String())
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig4", "fig5", "fig6", "table3", "table4", "ablation", "baselines", "staleness", "robustness", "flowcheck", "runtime"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim:", err)
+			os.Exit(1)
+		}
+	}
+}

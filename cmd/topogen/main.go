@@ -1,0 +1,93 @@
+// Command topogen generates, inspects and serialises the network
+// topologies used by the client assignment simulation.
+//
+// Usage:
+//
+//	topogen -kind hier -seed 7 -out topo.json     # paper's 500-node topology
+//	topogen -kind waxman -n 100                   # flat Waxman graph
+//	topogen -kind barabasi -n 200                 # flat Barabási–Albert graph
+//	topogen -kind usbackbone                      # embedded US backbone
+//	topogen -in topo.json -stats                  # inspect a saved topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "hier", "topology kind: hier|waxman|barabasi|transitstub|usbackbone")
+		n     = flag.Int("n", 100, "node count for waxman/barabasi")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "write topology JSON to this file (default stdout)")
+		in    = flag.String("in", "", "read a topology JSON instead of generating")
+		stats = flag.Bool("stats", false, "print summary statistics instead of JSON")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*in, *kind, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		s := g.Stats()
+		fmt.Printf("nodes:       %d\n", s.Nodes)
+		fmt.Printf("edges:       %d\n", s.Edges)
+		fmt.Printf("degree:      min %d / mean %.2f / max %d\n", s.MinDegree, s.MeanDegree, s.MaxDegree)
+		fmt.Printf("connected:   %v\n", s.Connected)
+		fmt.Printf("AS domains:  %d\n", s.ASes)
+		ps := g.PathStats()
+		fmt.Printf("paths:       avg %.2f / diameter %.2f (delay units)\n", ps.AvgDelay, ps.Diameter)
+		fmt.Printf("hops:        avg %.2f / diameter %d\n", ps.AvgHops, ps.HopDiameter)
+		fmt.Printf("clustering:  %.3f\n", g.ClusteringCoefficient())
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(in, kind string, n int, seed uint64) (*topology.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.ReadJSON(f)
+	}
+	rng := xrand.New(seed)
+	switch kind {
+	case "hier":
+		return topology.Hier(rng, topology.DefaultHier())
+	case "waxman":
+		return topology.Waxman(rng, topology.DefaultWaxman(n))
+	case "barabasi":
+		return topology.Barabasi(rng, topology.DefaultBarabasi(n))
+	case "transitstub":
+		return topology.TransitStub(rng, topology.DefaultTransitStub())
+	case "usbackbone":
+		return topology.USBackbone(), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,32 @@
+// Package dvecap is a from-scratch Go reproduction of "Efficient
+// Client-to-Server Assignments for Distributed Virtual Environments"
+// (Duong Nguyen Binh Ta and Suiping Zhou, IEEE IPDPS 2006).
+//
+// A distributed virtual environment (DVE) — an online game, a military
+// simulation, a shared design space — runs on geographically distributed
+// servers, with the virtual world partitioned into zones, each hosted by
+// exactly one server. The client assignment problem (CAP) asks: which
+// server should host each zone, and which server should each client
+// connect to, so that as many clients as possible experience round-trip
+// delay to their zone's server within the interactivity bound, without
+// overloading any server's bandwidth capacity?
+//
+// The package exposes the paper's two-phase decomposition and all four of
+// its heuristics (RanZ/GreZ zone assignment × VirC/GreC contact
+// assignment), an exact branch-and-bound baseline, the full simulation
+// substrate used for its evaluation (BRITE-style topologies, delay
+// matrices, bandwidth model, client distribution and churn models), and a
+// harness that regenerates every table and figure of the paper.
+//
+// # Quick start
+//
+//	scn, err := dvecap.NewScenario(dvecap.ScenarioParams{Seed: 1})
+//	if err != nil { ... }
+//	result, err := scn.Assign("GreZ-GreC")
+//	if err != nil { ... }
+//	fmt.Printf("pQoS %.2f at utilisation %.2f\n", result.PQoS, result.Utilization)
+//
+// The facade in this package covers common workflows; the full machinery
+// (generators, exact solver, churn simulation, experiment harness) lives in
+// the internal packages and is exercised through the cmd/ tools.
+package dvecap

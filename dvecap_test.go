@@ -1,0 +1,194 @@
+package dvecap
+
+import (
+	"testing"
+)
+
+func TestNewScenarioDefaults(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 1, Correlation: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scn.Config()
+	if cfg.Scenario() != "20s-80z-1000c-500cp" {
+		t.Fatalf("default scenario = %s", cfg.Scenario())
+	}
+	if scn.NumClients() != 1000 {
+		t.Fatalf("clients = %d", scn.NumClients())
+	}
+}
+
+func TestNewScenarioNotation(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 1, Notation: "5s-15z-200c-100cp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scn.Config()
+	if cfg.Servers != 5 || cfg.Zones != 15 || cfg.Clients != 200 {
+		t.Fatalf("notation not applied: %+v", cfg)
+	}
+}
+
+func TestNewScenarioOverrides(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{
+		Seed: 2, Servers: 8, Zones: 16, Clients: 300, TotalCapacityMbps: 200,
+		DelayBoundMs: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scn.Config()
+	if cfg.Servers != 8 || cfg.Zones != 16 || cfg.Clients != 300 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.DelayBoundMs != 200 {
+		t.Fatalf("bound = %v", cfg.DelayBoundMs)
+	}
+	if cfg.Correlation != 0 {
+		t.Fatalf("zero correlation not applied: %v", cfg.Correlation)
+	}
+}
+
+func TestNewScenarioNegativeCorrelationKeepsDefault(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 1, Correlation: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scn.Config().Correlation; got != 0.5 {
+		t.Fatalf("correlation = %v, want default 0.5", got)
+	}
+}
+
+func TestNewScenarioRejectsBadInput(t *testing.T) {
+	if _, err := NewScenario(ScenarioParams{Notation: "garbage"}); err == nil {
+		t.Fatal("bad notation accepted")
+	}
+	if _, err := NewScenario(ScenarioParams{Correlation: 2}); err == nil {
+		t.Fatal("correlation > 1 accepted")
+	}
+}
+
+func TestAssignAllAlgorithms(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 3, Notation: "10s-30z-400c-200cp", Correlation: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Algorithms() {
+		res, err := scn.Assign(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.PQoS < 0 || res.PQoS > 1 {
+			t.Fatalf("%s pQoS %v", name, res.PQoS)
+		}
+		if res.Clients != 400 || len(res.Delays) != 400 {
+			t.Fatalf("%s delays/clients wrong", name)
+		}
+		if len(res.ZoneServer) != 30 || len(res.ClientContact) != 400 {
+			t.Fatalf("%s raw assignment shape wrong", name)
+		}
+	}
+}
+
+func TestAssignUnknownAlgorithm(t *testing.T) {
+	scn, _ := NewScenario(ScenarioParams{Seed: 1, Notation: "5s-15z-200c-100cp"})
+	if _, err := scn.Assign("Magic"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := scn.AssignWithEstimationError("Magic", 1.2); err == nil {
+		t.Fatal("unknown algorithm accepted (noisy)")
+	}
+}
+
+func TestAssignWithEstimationError(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 4, Notation: "10s-30z-400c-200cp", Correlation: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scn.AssignWithEstimationError("GreZ-GreC", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PQoS <= 0 || res.PQoS > 1 {
+		t.Fatalf("noisy pQoS %v", res.PQoS)
+	}
+	if _, err := scn.AssignWithEstimationError("GreZ-GreC", 0.5); err == nil {
+		t.Fatal("error factor < 1 accepted")
+	}
+}
+
+func TestChurnThenAssign(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 5, Notation: "10s-30z-400c-200cp", Correlation: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scn.Churn(50, 30, 40); err != nil {
+		t.Fatal(err)
+	}
+	if scn.NumClients() != 420 {
+		t.Fatalf("clients after churn = %d", scn.NumClients())
+	}
+	res, err := scn.Assign("GreZ-GreC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 420 {
+		t.Fatalf("result clients = %d", res.Clients)
+	}
+}
+
+func TestUSBackboneScenario(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{
+		Seed: 6, Notation: "5s-15z-200c-100cp", UseUSBackbone: true, Correlation: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scn.Assign("GreZ-GreC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PQoS <= 0 {
+		t.Fatalf("backbone pQoS %v", res.PQoS)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	build := func() *Result {
+		scn, err := NewScenario(ScenarioParams{Seed: 9, Notation: "10s-30z-400c-200cp", Correlation: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := scn.Assign("GreZ-GreC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	if a.PQoS != b.PQoS || a.Utilization != b.Utilization {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a.PQoS, a.Utilization, b.PQoS, b.Utilization)
+	}
+	for i := range a.ZoneServer {
+		if a.ZoneServer[i] != b.ZoneServer[i] {
+			t.Fatalf("zone %d differs", i)
+		}
+	}
+}
+
+func TestPaperOrderingHoldsThroughFacade(t *testing.T) {
+	scn, err := NewScenario(ScenarioParams{Seed: 12, Correlation: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		res, err := scn.Assign(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PQoS
+	}
+	if get("GreZ-GreC") < get("RanZ-VirC") {
+		t.Fatal("GreZ-GreC lost to RanZ-VirC; paper's ordering violated")
+	}
+}

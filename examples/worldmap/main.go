@@ -1,0 +1,106 @@
+// Worldmap: the full stack with a concrete virtual world. Instead of
+// abstract zone IDs, avatars walk a 1000×800 map partitioned into a 10×8
+// zone grid under a random-waypoint mobility model (with two "hot" zones
+// pulling 40% of waypoints — the boss arena and the market). Boundary
+// crossings produce the zone-change events; every minute the assignment
+// re-executes, and we report interactivity, utilisation and the
+// reassignment's disruption (contact switches, migrated state).
+//
+//	go run ./examples/worldmap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/topology"
+	"dvecap/internal/vworld"
+	"dvecap/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(77)
+
+	// Network substrate: the paper's 500-node topology.
+	g, err := topology.Hier(rng.Split(), topology.DefaultHier())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Virtual world: 10×8 zone grid, 1000 avatars, hot zones 27 and 52.
+	vmap, err := vworld.NewMap(1000, 800, 10, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avatars, err := vworld.NewWorld(rng.Split(), vmap, vworld.Config{
+		Avatars:      1000,
+		MinSpeed:     2,
+		MaxSpeed:     8,
+		PauseMeanSec: 45,
+		HotZones:     []int{27, 52},
+		HotBias:      0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deployment: 20 servers; 1 Gbps total because the hot zones' quadratic
+	// bandwidth demand (~85 clients each) roughly doubles the uniform
+	// world's requirement.
+	cfg := dve.DefaultConfig()
+	cfg.Zones = vmap.Zones()
+	cfg.TotalCapacityMbps = 1000
+	serverNodes := rng.SampleWithout(g.N(), cfg.Servers)
+	serverCaps := rng.Simplex(cfg.Servers, cfg.TotalCapacityMbps, cfg.MinCapacityMbps)
+	clientNodes := make([]int, 1000)
+	for i := range clientNodes {
+		clientNodes[i] = rng.IntN(g.N())
+	}
+	world, err := dve.NewWorldFromParts(cfg, g, dm, serverNodes, serverCaps,
+		clientNodes, avatars.ZoneVector())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.Options{Overflow: core.SpillLargestResidual}
+	var prev *core.Assignment
+	fmt.Println("minute  crossings  pQoS     R      contact-moves  migrated-Mbps")
+	for minute := 0; minute <= 10; minute++ {
+		crossings := 0
+		if minute > 0 {
+			// One minute of avatar movement in 1 s ticks.
+			for tick := 0; tick < 60; tick++ {
+				crossings += len(avatars.Step(1))
+			}
+			if err := world.SetClientZones(avatars.ZoneVector()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		p := world.Problem()
+		a, err := core.GreZGreC.Solve(rng.Split(), p, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := core.Evaluate(p, a)
+		moves, migrated := 0, 0.0
+		if prev != nil {
+			d := core.Diff(p, prev, a)
+			moves = d.ContactMoves
+			migrated = d.MigratedRT
+		}
+		fmt.Printf("%6d  %9d  %.3f  %.3f  %13d  %13.1f\n",
+			minute, crossings, m.PQoS, m.Utilization, moves, migrated)
+		prev = a
+	}
+	fmt.Println()
+	fmt.Println("Zone crossings come from actual avatar movement (random waypoint with")
+	fmt.Println("hot-zone bias); each re-execution trades contact switches and state")
+	fmt.Println("migration for restored interactivity — the operational reality behind")
+	fmt.Println("the paper's §3.4 and our staleness experiment.")
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"dvecap/internal/xrand"
+)
+
+// This file implements comparison baselines drawn from the related work the
+// paper positions itself against (§2.4), so the evaluation can quantify the
+// gap to those approaches and not just to random assignment:
+//
+//   - LoadZ models the locally-distributed-server partitioning line of work
+//     (Lui & Chan 2002; Ta & Zhou 2003): zones are balanced across servers
+//     purely by load, with no delay awareness — sensible when all servers
+//     share a machine room, the paper argues it damages interactivity on a
+//     geographically distributed deployment.
+//
+//   - NearC models client-side adaptive server selection (Lee, Ko & Calo
+//     2005): each client connects to its nearest feasible server and lets
+//     the mesh forward, without the global view GreC exploits.
+
+// LoadZ assigns zones to servers balancing load only: zones in descending
+// bandwidth order, each to the server with the largest residual capacity.
+// Delay-oblivious by design.
+func LoadZ(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
+	n := p.NumZones
+	zoneRT := p.ZoneRT()
+	// Order zones by bandwidth (descending), ties by index: the classic
+	// longest-processing-time-first balancing rule.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for a := 1; a < n; a++ {
+		z := order[a]
+		b := a - 1
+		for b >= 0 && (zoneRT[order[b]] < zoneRT[z] ||
+			(zoneRT[order[b]] == zoneRT[z] && order[b] > z)) {
+			order[b+1] = order[b]
+			b--
+		}
+		order[b+1] = z
+	}
+	loads := make([]float64, p.NumServers())
+	target := make([]int, n)
+	for _, z := range order {
+		// The max-residual server is by definition the only candidate that
+		// can possibly fit the zone under pure balancing.
+		best := 0
+		for i := 1; i < len(p.ServerCaps); i++ {
+			if p.ServerCaps[i]-loads[i] > p.ServerCaps[best]-loads[best] {
+				best = i
+			}
+		}
+		if !almostLE(loads[best]+zoneRT[z], p.ServerCaps[best]) && opt.Overflow == ErrorOnOverflow {
+			return nil, ErrInfeasible
+		}
+		target[z] = best // spill lands on the max-residual server anyway
+		loads[best] += zoneRT[z]
+	}
+	return target, nil
+}
+
+// NearC selects each client's contact server by proximity alone: the
+// delay-nearest server with residual capacity for the forwarding load (the
+// target server always qualifies at zero extra load). Unlike GreC it does
+// not look at the delay of the onward inter-server hop, modelling a client
+// that picks its best ping without global knowledge.
+func NearC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error) {
+	m := p.NumServers()
+	contact := make([]int, p.NumClients())
+	loads := make([]float64, m)
+	zoneRT := p.ZoneRT()
+	for z, s := range zoneServer {
+		loads[s] += zoneRT[z]
+	}
+	for j, z := range p.ClientZones {
+		t := zoneServer[z]
+		best, bestDelay := t, p.CS[j][t]
+		for i := 0; i < m; i++ {
+			if i == t {
+				continue
+			}
+			if p.CS[j][i] >= bestDelay {
+				continue
+			}
+			if !almostLE(loads[i]+2*p.ClientRT[j], p.ServerCaps[i]) {
+				continue
+			}
+			best, bestDelay = i, p.CS[j][i]
+		}
+		contact[j] = best
+		if best != t {
+			loads[best] += 2 * p.ClientRT[j]
+		}
+	}
+	return contact, nil
+}
+
+// Baseline two-phase combinations registered alongside the paper's four.
+var (
+	// LoadZVirC is pure load balancing: the locally-distributed-server
+	// strategy transplanted onto a geographic deployment.
+	LoadZVirC = TwoPhase{Name: "LoadZ-VirC", Init: LoadZ, Refine: VirC}
+	// LoadZGreC balances zones blindly but refines contacts greedily.
+	LoadZGreC = TwoPhase{Name: "LoadZ-GreC", Init: LoadZ, Refine: GreC}
+	// GreZNearC pairs the paper's initial phase with client-side
+	// nearest-server selection.
+	GreZNearC = TwoPhase{Name: "GreZ-NearC", Init: GreZ, Refine: NearC}
+)
+
+func init() {
+	registry[LoadZVirC.Name] = LoadZVirC
+	registry[LoadZGreC.Name] = LoadZGreC
+	registry[GreZNearC.Name] = GreZNearC
+}
+
+// BaselineAlgorithms returns the related-work baselines plus the paper's
+// best algorithm for reference, in display order.
+func BaselineAlgorithms() []TwoPhase {
+	return []TwoPhase{LoadZVirC, LoadZGreC, GreZNearC, GreZVirC, GreZGreC}
+}

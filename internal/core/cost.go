@@ -1,0 +1,101 @@
+package core
+
+// InitialCosts computes the IAP cost matrix of Equation (3):
+// CI[i][j] = |{c in zone j : d(c, s_i) > D}| — the number of clients of
+// zone j left without QoS if zone j is hosted on server i.
+// The result is indexed [server][zone].
+func InitialCosts(p *Problem) [][]int {
+	m, n := p.NumServers(), p.NumZones
+	ci := make([][]int, m)
+	flat := make([]int, m*n)
+	for i := range ci {
+		ci[i], flat = flat[:n], flat[n:]
+	}
+	for j, z := range p.ClientZones {
+		row := p.CS[j]
+		for i := 0; i < m; i++ {
+			if row[i] > p.D {
+				ci[i][z]++
+			}
+		}
+	}
+	return ci
+}
+
+// RefinedCost computes the RAP cost metric of Equation (8) for selecting
+// server i as the contact of client j whose target server is t:
+// how far the resulting effective delay overshoots the bound (0 if within).
+func RefinedCost(p *Problem, j, i, t int) float64 {
+	d := p.CS[j][i]
+	if i != t {
+		d += p.SS[i][t]
+	}
+	if d > p.D {
+		return d - p.D
+	}
+	return 0
+}
+
+// desirabilityList is a server preference list for one item (zone or
+// client): servers sorted by descending desirability µ = -cost, ties broken
+// by ascending server index so every algorithm is deterministic.
+type desirabilityList struct {
+	item    int       // zone or client index
+	servers []int     // candidate servers, best first
+	mu      []float64 // µ value per entry of servers
+	regret  float64   // µ[0] - µ[1]; 0 when only one server exists
+}
+
+// buildDesirability constructs the sorted preference list for one item
+// given its per-server desirability values.
+func buildDesirability(item int, mu []float64) desirabilityList {
+	m := len(mu)
+	servers := make([]int, m)
+	for i := range servers {
+		servers[i] = i
+	}
+	// Insertion sort by (µ desc, index asc): m is small (tens of servers)
+	// and insertion sort keeps the ordering stable and allocation-free.
+	for a := 1; a < m; a++ {
+		s := servers[a]
+		b := a - 1
+		for b >= 0 && mu[servers[b]] < mu[s] {
+			servers[b+1] = servers[b]
+			b--
+		}
+		servers[b+1] = s
+	}
+	muSorted := make([]float64, m)
+	for idx, s := range servers {
+		muSorted[idx] = mu[s]
+	}
+	dl := desirabilityList{item: item, servers: servers, mu: muSorted}
+	if m >= 2 {
+		// The paper's ρ: the gap between the best and second-best
+		// desirability — the "regret" of not taking the best server.
+		dl.regret = muSorted[0] - muSorted[1]
+	}
+	return dl
+}
+
+// sortByRegret orders lists by (regret desc, item asc), the processing
+// order of the paper's greedy loops (Figs. 2 and 3).
+func sortByRegret(lists []desirabilityList) {
+	for a := 1; a < len(lists); a++ {
+		l := lists[a]
+		b := a - 1
+		for b >= 0 && less(lists[b], l) {
+			lists[b+1] = lists[b]
+			b--
+		}
+		lists[b+1] = l
+	}
+}
+
+// less reports whether x should come after y in processing order.
+func less(x, y desirabilityList) bool {
+	if x.regret != y.regret {
+		return x.regret < y.regret
+	}
+	return x.item > y.item
+}

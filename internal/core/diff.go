@@ -1,0 +1,42 @@
+package core
+
+// Diff quantifies the operational cost of moving from one assignment to
+// another: every difference is a disruption someone pays for — a zone
+// handoff migrates that zone's authoritative state between servers, a
+// target change re-routes a client's session, a contact change forces a
+// reconnect. The paper's §3.4 re-execution prescription implicitly assumes
+// these costs are acceptable; Diff (and the staleness experiment built on
+// it) makes them measurable.
+type DiffResult struct {
+	// ZoneMoves counts zones whose hosting server changed.
+	ZoneMoves int
+	// TargetMoves counts clients whose target server changed (a superset
+	// effect of zone moves, weighted by zone population).
+	TargetMoves int
+	// ContactMoves counts clients whose contact server changed.
+	ContactMoves int
+	// MigratedRT is the summed R^T bandwidth of clients whose target
+	// changed — a proxy for the state-transfer volume of the handoff.
+	MigratedRT float64
+}
+
+// Diff compares two assignments over the same problem. Both must be valid
+// for p (same zone and client counts).
+func Diff(p *Problem, from, to *Assignment) DiffResult {
+	var d DiffResult
+	for z := range from.ZoneServer {
+		if from.ZoneServer[z] != to.ZoneServer[z] {
+			d.ZoneMoves++
+		}
+	}
+	for j, z := range p.ClientZones {
+		if from.ZoneServer[z] != to.ZoneServer[z] {
+			d.TargetMoves++
+			d.MigratedRT += p.ClientRT[j]
+		}
+		if from.ClientContact[j] != to.ClientContact[j] {
+			d.ContactMoves++
+		}
+	}
+	return d
+}

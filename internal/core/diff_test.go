@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+func TestDiffIdenticalAssignments(t *testing.T) {
+	p := tinyProblem()
+	a := &Assignment{ZoneServer: []int{0, 1}, ClientContact: []int{0, 0, 1}}
+	d := Diff(p, a, a)
+	if d.ZoneMoves != 0 || d.TargetMoves != 0 || d.ContactMoves != 0 || d.MigratedRT != 0 {
+		t.Fatalf("identical diff not zero: %+v", d)
+	}
+}
+
+func TestDiffCountsZoneAndTargetMoves(t *testing.T) {
+	p := tinyProblem() // zone 0 holds clients {0,1}, zone 1 holds {2}
+	from := &Assignment{ZoneServer: []int{0, 1}, ClientContact: []int{0, 0, 1}}
+	to := &Assignment{ZoneServer: []int{1, 1}, ClientContact: []int{1, 1, 1}}
+	d := Diff(p, from, to)
+	if d.ZoneMoves != 1 {
+		t.Fatalf("ZoneMoves = %d, want 1", d.ZoneMoves)
+	}
+	if d.TargetMoves != 2 { // both zone-0 clients
+		t.Fatalf("TargetMoves = %d, want 2", d.TargetMoves)
+	}
+	if d.ContactMoves != 2 {
+		t.Fatalf("ContactMoves = %d, want 2", d.ContactMoves)
+	}
+	if d.MigratedRT != 2 { // two clients at RT 1 each
+		t.Fatalf("MigratedRT = %v, want 2", d.MigratedRT)
+	}
+}
+
+func TestDiffContactOnlyChange(t *testing.T) {
+	p := forwardingProblem()
+	from := &Assignment{ZoneServer: []int{0}, ClientContact: []int{0, 0}}
+	to := &Assignment{ZoneServer: []int{0}, ClientContact: []int{0, 1}}
+	d := Diff(p, from, to)
+	if d.ZoneMoves != 0 || d.TargetMoves != 0 {
+		t.Fatalf("zone/target moves on contact-only diff: %+v", d)
+	}
+	if d.ContactMoves != 1 {
+		t.Fatalf("ContactMoves = %d, want 1", d.ContactMoves)
+	}
+}
+
+func TestDiffSymmetryOfCounts(t *testing.T) {
+	rng := xrand.New(5)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng.Split(), false)
+		a, err := GreZGreC.Solve(rng.Split(), p, Options{Overflow: SpillLargestResidual})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RanZVirC.Solve(rng.Split(), p, Options{Overflow: SpillLargestResidual})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, ba := Diff(p, a, b), Diff(p, b, a)
+		if ab != ba {
+			t.Fatalf("diff not symmetric in counts: %+v vs %+v", ab, ba)
+		}
+	}
+}

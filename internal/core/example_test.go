@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/xrand"
+)
+
+// ExampleTwoPhase_Solve shows the paper's best algorithm on a minimal
+// hand-built instance: two servers, two zones, three clients.
+func ExampleTwoPhase_Solve() {
+	p := &core.Problem{
+		ServerCaps:  []float64{10, 10},
+		ClientZones: []int{0, 0, 1},
+		NumZones:    2,
+		ClientRT:    []float64{1, 1, 1},
+		CS: [][]float64{
+			{50, 300},
+			{80, 300},
+			{300, 50},
+		},
+		SS: [][]float64{{0, 40}, {40, 0}},
+		D:  100,
+	}
+	a, err := core.GreZGreC.Solve(xrand.New(1), p, core.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := core.Evaluate(p, a)
+	fmt.Printf("zones on servers %v, pQoS %.2f\n", a.ZoneServer, m.PQoS)
+	// Output: zones on servers [0 1], pQoS 1.00
+}
+
+// ExampleEvaluate demonstrates scoring an assignment against ground truth.
+func ExampleEvaluate() {
+	p := &core.Problem{
+		ServerCaps:  []float64{10},
+		ClientZones: []int{0, 0},
+		NumZones:    1,
+		ClientRT:    []float64{1, 1},
+		CS:          [][]float64{{100}, {400}},
+		SS:          [][]float64{{0}},
+		D:           250,
+	}
+	a := &core.Assignment{ZoneServer: []int{0}, ClientContact: []int{0, 0}}
+	m := core.Evaluate(p, a)
+	fmt.Printf("%d of %d clients with QoS\n", m.WithQoS, len(m.Delays))
+	// Output: 1 of 2 clients with QoS
+}
+
+// ExampleDiff shows migration-cost accounting between two assignments.
+func ExampleDiff() {
+	p := &core.Problem{
+		ServerCaps:  []float64{10, 10},
+		ClientZones: []int{0, 0},
+		NumZones:    1,
+		ClientRT:    []float64{1, 1},
+		CS:          [][]float64{{100, 150}, {100, 150}},
+		SS:          [][]float64{{0, 40}, {40, 0}},
+		D:           250,
+	}
+	before := &core.Assignment{ZoneServer: []int{0}, ClientContact: []int{0, 0}}
+	after := &core.Assignment{ZoneServer: []int{1}, ClientContact: []int{1, 1}}
+	d := core.Diff(p, before, after)
+	fmt.Printf("zone moves %d, contact moves %d, migrated %.0f Mbps\n",
+		d.ZoneMoves, d.ContactMoves, d.MigratedRT)
+	// Output: zone moves 1, contact moves 2, migrated 2 Mbps
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+)
+
+// These tests pin the processing-order semantics of the paper's pseudocode
+// (Figs. 2 and 3): items are placed in descending order of regret — the
+// gap between their best and second-best server — so that under capacity
+// contention the item that would suffer most from missing its best server
+// wins it. A naive index-order greedy produces measurably worse
+// assignments on these instances, so the tests fail if the order regresses.
+
+// TestGreZProcessesHighRegretZonesFirst: two zones both prefer server 0,
+// which can host only one of them. Zone 1 loses 5 clients if displaced,
+// zone 0 loses only 1 — GreZ must give server 0 to zone 1.
+func TestGreZProcessesHighRegretZonesFirst(t *testing.T) {
+	p := &Problem{
+		ServerCaps: []float64{5.5, 10},
+		// zone 0: one client; zone 1: five clients.
+		ClientZones: []int{0, 1, 1, 1, 1, 1},
+		NumZones:    2,
+		ClientRT:    []float64{1, 1, 1, 1, 1, 1},
+		CS: [][]float64{
+			// zone-0 client: fine on s0, misses the bound on s1.
+			{100, 300},
+			// zone-1 clients: fine on s0, all miss the bound on s1.
+			{100, 300},
+			{100, 300},
+			{100, 300},
+			{100, 300},
+			{100, 300},
+		},
+		SS: [][]float64{{0, 50}, {50, 0}},
+		D:  250,
+	}
+	// Regrets: zone 0 → 1 (one stranded client), zone 1 → 5. Server 0 fits
+	// only one zone's load (5.5 < 5+1).
+	target, err := GreZ(nil, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target[1] != 0 {
+		t.Fatalf("high-regret zone placed on %d, want 0 (regret order violated)", target[1])
+	}
+	if target[0] != 1 {
+		t.Fatalf("low-regret zone placed on %d, want 1", target[0])
+	}
+	if cost := IAPCost(p, target); cost != 1 {
+		t.Fatalf("IAP cost %d, want 1 (index-order greedy would give 5)", cost)
+	}
+}
+
+// TestGreCProcessesHighRegretClientsFirst: two late clients compete for
+// the single 2×RT forwarding slot on the helper server. The client whose
+// fallback is worse (higher regret) must win the slot.
+func TestGreCProcessesHighRegretClientsFirst(t *testing.T) {
+	p := &Problem{
+		ServerCaps: []float64{10, 2}, // helper s1 fits exactly one 2×RT load
+		// Client 0 (low regret) listed first to catch index-order greedies.
+		ClientZones: []int{0, 0},
+		NumZones:    1,
+		ClientRT:    []float64{1, 1},
+		CS: [][]float64{
+			// client 0: direct 300 (excess 50), via s1: 150+50=200 (ok).
+			{300, 150},
+			// client 1: direct 400 (excess 150), via s1: 200+50=250 (ok).
+			{400, 200},
+		},
+		SS: [][]float64{{0, 50}, {50, 0}},
+		D:  250,
+	}
+	// Capacity: zone load 2 on s0; helper slot on s1 = 2 (one client).
+	zoneServer := []int{0}
+	contact, err := GreC(nil, p, zoneServer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contact[1] != 1 {
+		t.Fatalf("high-regret client contact = %d, want the helper server 1", contact[1])
+	}
+	if contact[0] != 0 {
+		t.Fatalf("low-regret client contact = %d, want target fallback 0", contact[0])
+	}
+	a := &Assignment{ZoneServer: zoneServer, ClientContact: contact}
+	// Regret order strands the cheap client: total excess 50. Index order
+	// would strand the expensive one: excess 150.
+	if cost := RAPCost(p, a); cost != 50 {
+		t.Fatalf("RAP cost %v, want 50 (index-order greedy would give 150)", cost)
+	}
+}
+
+// TestRanZIgnoresDelaysEntirely: RanZ must distribute zones without
+// consulting CS at all — two statistically distinguishable servers (one
+// with awful delays) should both receive zones across seeds.
+func TestRanZIgnoresDelaysEntirely(t *testing.T) {
+	p := tinyProblem()
+	for j := range p.CS {
+		p.CS[j][1] = 500 // server 1 is useless delay-wise
+	}
+	sawServer1 := false
+	for seed := uint64(0); seed < 20 && !sawServer1; seed++ {
+		target, err := RanZ(newRNG(seed), p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range target {
+			if s == 1 {
+				sawServer1 = true
+			}
+		}
+	}
+	if !sawServer1 {
+		t.Fatal("RanZ never used the high-delay server across 20 seeds; it is not delay-oblivious")
+	}
+}
+
+// TestGreZFillsByDesirabilityNotCapacity: when the most desirable server
+// is full, GreZ walks the preference list (not the residual-capacity
+// list).
+func TestGreZFillsByDesirabilityNotCapacity(t *testing.T) {
+	p := &Problem{
+		ServerCaps:  []float64{1, 3, 10}, // s2 has the most room but worst delay
+		ClientZones: []int{0, 1},
+		NumZones:    2,
+		ClientRT:    []float64{1, 1},
+		CS: [][]float64{
+			{100, 200, 400}, // zone 0 client: s0 ok, s1 ok, s2 misses
+			{100, 200, 400}, // zone 1 client: same
+		},
+		SS: [][]float64{{0, 10, 10}, {10, 0, 10}, {10, 10, 0}},
+		D:  250,
+	}
+	target, err := GreZ(nil, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One zone takes s0; the displaced zone must take s1 (second choice,
+	// cost 0), never s2 (cost 1) despite s2's larger residual.
+	for z, s := range target {
+		if s == 2 {
+			t.Fatalf("zone %d sent to the worst server despite a free better one", z)
+		}
+	}
+	if IAPCost(p, target) != 0 {
+		t.Fatalf("IAP cost %d, want 0", IAPCost(p, target))
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+// FuzzReadProblemJSON: arbitrary bytes must never panic the reader; any
+// accepted problem must be valid and solvable by every registered
+// algorithm without panics.
+func FuzzReadProblemJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := tinyProblem().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	var buf2 bytes.Buffer
+	if err := randomProblem(xrand.New(1), false).WriteJSON(&buf2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf2.String())
+	f.Add(`{}`)
+	f.Add(`{"server_caps_mbps":[1],"num_zones":1,"delay_bound_ms":1}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ReadProblemJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted invalid problem: %v", verr)
+		}
+		// Accepted problems must be solvable end to end.
+		a, err := GreZGreC.Solve(xrand.New(1), p, Options{Overflow: SpillLargestResidual})
+		if err != nil {
+			t.Fatalf("accepted problem unsolvable: %v", err)
+		}
+		m := Evaluate(p, a)
+		if m.PQoS < 0 || m.PQoS > 1 {
+			t.Fatalf("pQoS out of range: %v", m.PQoS)
+		}
+	})
+}

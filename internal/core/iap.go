@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dvecap/internal/xrand"
+)
+
+// OverflowPolicy controls what an assignment algorithm does when no server
+// has enough residual capacity for the item being placed. The paper assumes
+// feasible instances; real deployments need a defined behaviour.
+type OverflowPolicy int
+
+const (
+	// ErrorOnOverflow aborts the assignment with ErrInfeasible.
+	ErrorOnOverflow OverflowPolicy = iota
+	// SpillLargestResidual places the item on the server with the largest
+	// residual capacity, accepting a capacity violation. Evaluate reports
+	// such violations through Metrics.MaxLoadRatio > 1.
+	SpillLargestResidual
+)
+
+// ErrInfeasible is returned when no server can host an item under
+// ErrorOnOverflow.
+var ErrInfeasible = errors.New("core: no server with sufficient residual capacity")
+
+// Options tunes assignment algorithms.
+type Options struct {
+	Overflow OverflowPolicy
+}
+
+// IAPFunc assigns zones to servers (the initial assignment phase),
+// returning the target server of each zone.
+type IAPFunc func(rng *xrand.RNG, p *Problem, opt Options) ([]int, error)
+
+// RanZ is the paper's random initial assignment: repeatedly take the
+// unassigned zone with the most clients and place it on a random server
+// with sufficient capacity. Delay-oblivious by design — it is the paper's
+// baseline showing the value of delay-aware initial assignment.
+func RanZ(rng *xrand.RNG, p *Problem, opt Options) ([]int, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: RanZ requires an RNG")
+	}
+	n := p.NumZones
+	zoneRT := p.ZoneRT()
+	zoneSize := make([]int, n)
+	for _, z := range p.ClientZones {
+		zoneSize[z]++
+	}
+	order := zonesBySizeDesc(zoneSize)
+	loads := make([]float64, p.NumServers())
+	target := make([]int, n)
+	candidates := make([]int, 0, p.NumServers())
+	for _, z := range order {
+		candidates = candidates[:0]
+		for i, c := range p.ServerCaps {
+			if almostLE(loads[i]+zoneRT[z], c) {
+				candidates = append(candidates, i)
+			}
+		}
+		var s int
+		if len(candidates) > 0 {
+			s = candidates[rng.IntN(len(candidates))]
+		} else {
+			var err error
+			if s, err = spill(loads, p.ServerCaps, opt); err != nil {
+				return nil, fmt.Errorf("%w (zone %d, RT %.3f Mbps)", err, z, zoneRT[z])
+			}
+		}
+		target[z] = s
+		loads[s] += zoneRT[z]
+	}
+	return target, nil
+}
+
+// GreZ is the paper's greedy initial assignment (Fig. 2): a regret-based
+// heuristic in the style of Romeijn–Morales GAP greedies. For every zone it
+// scores each server by desirability µ = -CI (minus the count of that
+// zone's clients that would miss the delay bound), processes zones in
+// descending order of the gap between their best and second-best server,
+// and places each zone on the most desirable server that still has
+// capacity.
+//
+// Per the paper's pseudocode the desirability lists and regrets are
+// computed once, up front (static regret). See GreZDynamic for the
+// recomputing variant used in ablations.
+func GreZ(rng *xrand.RNG, p *Problem, opt Options) ([]int, error) {
+	return greZBiased(rng, p, opt, nil)
+}
+
+// StickyGreZ returns a GreZ variant biased toward an incumbent zone
+// assignment: each zone's incumbent server gets a desirability bonus, so
+// zones only migrate when another server is strictly better by more than
+// the bonus. CI costs are integral, so any bonus in (0,1) breaks ties
+// toward stability without ever overriding a real one-client improvement;
+// larger bonuses trade QoS for fewer handoffs. An extension for systems
+// where zone migration is expensive (see the sim package's handoff model).
+func StickyGreZ(incumbent []int, bonus float64) IAPFunc {
+	return func(rng *xrand.RNG, p *Problem, opt Options) ([]int, error) {
+		if len(incumbent) != p.NumZones {
+			return nil, fmt.Errorf("core: sticky incumbent covers %d zones, problem has %d",
+				len(incumbent), p.NumZones)
+		}
+		return greZBiased(rng, p, opt, func(server, zone int) float64 {
+			if incumbent[zone] == server {
+				return bonus
+			}
+			return 0
+		})
+	}
+}
+
+// greZBiased is GreZ with an optional desirability bias term.
+func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone int) float64) ([]int, error) {
+	ci := InitialCosts(p)
+	m, n := p.NumServers(), p.NumZones
+	zoneRT := p.ZoneRT()
+
+	lists := make([]desirabilityList, n)
+	mu := make([]float64, m)
+	for z := 0; z < n; z++ {
+		for i := 0; i < m; i++ {
+			mu[i] = -float64(ci[i][z])
+			if bias != nil {
+				mu[i] += bias(i, z)
+			}
+		}
+		lists[z] = buildDesirability(z, mu)
+	}
+	sortByRegret(lists)
+
+	loads := make([]float64, m)
+	target := make([]int, n)
+	for i := range target {
+		target[i] = -1
+	}
+	for _, dl := range lists {
+		z := dl.item
+		placed := false
+		for _, s := range dl.servers {
+			if almostLE(loads[s]+zoneRT[z], p.ServerCaps[s]) {
+				target[z] = s
+				loads[s] += zoneRT[z]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			s, err := spill(loads, p.ServerCaps, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%w (zone %d, RT %.3f Mbps)", err, z, zoneRT[z])
+			}
+			target[z] = s
+			loads[s] += zoneRT[z]
+		}
+	}
+	return target, nil
+}
+
+// GreZDynamic is the recomputing variant of GreZ: after every placement it
+// rebuilds each unassigned zone's desirability over the servers that can
+// still take it, as the classic GAP greedy does. Quadratically more work,
+// occasionally better packings; quantified by the ablation benchmark.
+func GreZDynamic(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
+	ci := InitialCosts(p)
+	m, n := p.NumServers(), p.NumZones
+	zoneRT := p.ZoneRT()
+	loads := make([]float64, m)
+	target := make([]int, n)
+	unassigned := make([]bool, n)
+	for i := range target {
+		target[i] = -1
+		unassigned[i] = true
+	}
+	for remaining := n; remaining > 0; remaining-- {
+		// Pick the unassigned zone with maximum regret over *feasible*
+		// servers; fall back to spill policy when a zone has none.
+		bestZone, bestServer := -1, -1
+		bestRegret := 0.0
+		for z := 0; z < n; z++ {
+			if !unassigned[z] {
+				continue
+			}
+			// Find best and second-best feasible µ for this zone.
+			best, second, bestSrv := negInf, negInf, -1
+			for i := 0; i < m; i++ {
+				if !almostLE(loads[i]+zoneRT[z], p.ServerCaps[i]) {
+					continue
+				}
+				v := -float64(ci[i][z])
+				if v > best || (v == best && bestSrv == -1) {
+					second = best
+					best, bestSrv = v, i
+				} else if v > second {
+					second = v
+				}
+			}
+			if bestSrv == -1 {
+				continue // no feasible server; handled after the scan
+			}
+			regret := 0.0
+			if second != negInf {
+				regret = best - second
+			}
+			if bestZone == -1 || regret > bestRegret || (regret == bestRegret && z < bestZone) {
+				bestZone, bestServer, bestRegret = z, bestSrv, regret
+			}
+		}
+		if bestZone == -1 {
+			// Every remaining zone is infeasible: spill them in index order.
+			for z := 0; z < n; z++ {
+				if !unassigned[z] {
+					continue
+				}
+				s, err := spill(loads, p.ServerCaps, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%w (zone %d, RT %.3f Mbps)", err, z, zoneRT[z])
+				}
+				target[z] = s
+				loads[s] += zoneRT[z]
+				unassigned[z] = false
+			}
+			return target, nil
+		}
+		target[bestZone] = bestServer
+		loads[bestServer] += zoneRT[bestZone]
+		unassigned[bestZone] = false
+	}
+	return target, nil
+}
+
+const negInf = -1e308
+
+// zonesBySizeDesc returns zone indexes sorted by client count descending,
+// ties by zone index ascending (deterministic).
+func zonesBySizeDesc(size []int) []int {
+	order := make([]int, len(size))
+	for i := range order {
+		order[i] = i
+	}
+	for a := 1; a < len(order); a++ {
+		z := order[a]
+		b := a - 1
+		for b >= 0 && (size[order[b]] < size[z] || (size[order[b]] == size[z] && order[b] > z)) {
+			order[b+1] = order[b]
+			b--
+		}
+		order[b+1] = z
+	}
+	return order
+}
+
+// spill resolves a placement with no feasible server according to policy.
+func spill(loads, caps []float64, opt Options) (int, error) {
+	if opt.Overflow == ErrorOnOverflow {
+		return 0, ErrInfeasible
+	}
+	best, bestResidual := 0, caps[0]-loads[0]
+	for i := 1; i < len(caps); i++ {
+		if r := caps[i] - loads[i]; r > bestResidual {
+			best, bestResidual = i, r
+		}
+	}
+	return best, nil
+}

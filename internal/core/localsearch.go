@@ -1,0 +1,153 @@
+package core
+
+// LocalSearch is a best-improvement hill climber layered on top of any
+// two-phase result — an extension beyond the paper used to measure how much
+// headroom the greedy heuristics leave (DESIGN.md §5). Two neighbourhoods:
+//
+//  1. zone moves: rehost one zone on a different server with capacity for
+//     it; clients of the zone whose contact was the old target follow to
+//     the new target, other contacts are kept;
+//  2. contact switches: change one client's contact server (respecting the
+//     2×RT forwarding load on a non-target contact).
+//
+// Moves are accepted when they improve (WithQoS, -RAPCost, -totalLoad)
+// lexicographically. The search stops after maxRounds full passes or when
+// no move improves.
+func LocalSearch(p *Problem, a *Assignment, maxRounds int) *Assignment {
+	cur := a.Clone()
+	for round := 0; round < maxRounds; round++ {
+		improvedZone := tryBestZoneMove(p, cur)
+		improvedContact := tryBestContactSwitch(p, cur)
+		if !improvedZone && !improvedContact {
+			break
+		}
+	}
+	return cur
+}
+
+type score struct {
+	withQoS int
+	rapCost float64
+	load    float64
+}
+
+func (s score) betterThan(o score) bool {
+	if s.withQoS != o.withQoS {
+		return s.withQoS > o.withQoS
+	}
+	if s.rapCost != o.rapCost {
+		return s.rapCost < o.rapCost
+	}
+	return s.load < o.load-1e-12
+}
+
+func evaluateScore(p *Problem, a *Assignment) score {
+	var s score
+	for j := range p.ClientZones {
+		d := a.ClientDelay(p, j)
+		if d <= p.D {
+			s.withQoS++
+		} else {
+			s.rapCost += d - p.D
+		}
+	}
+	for _, l := range a.ServerLoads(p) {
+		s.load += l
+	}
+	return s
+}
+
+// tryBestZoneMove applies the single best improving zone move, if any.
+func tryBestZoneMove(p *Problem, a *Assignment) bool {
+	m := p.NumServers()
+	zoneRT := p.ZoneRT()
+	loads := a.ServerLoads(p)
+	base := evaluateScore(p, a)
+
+	bestScore := base
+	bestZone, bestServer := -1, -1
+	for z := 0; z < p.NumZones; z++ {
+		old := a.ZoneServer[z]
+		for s := 0; s < m; s++ {
+			if s == old {
+				continue
+			}
+			// Feasibility on the destination: it gains the zone's target
+			// load (forwarding loads of followed clients stay zero because
+			// they land on the new target itself).
+			if !almostLE(loads[s]+zoneRT[z], p.ServerCaps[s]) {
+				continue
+			}
+			cand := applyZoneMove(p, a, z, s)
+			cs := evaluateScore(p, cand)
+			if cs.betterThan(bestScore) {
+				bestScore, bestZone, bestServer = cs, z, s
+			}
+		}
+	}
+	if bestZone < 0 {
+		return false
+	}
+	*a = *applyZoneMove(p, a, bestZone, bestServer)
+	return true
+}
+
+// applyZoneMove returns a copy of a with zone z rehosted on server s;
+// clients of z whose contact was the old target follow to s.
+func applyZoneMove(p *Problem, a *Assignment, z, s int) *Assignment {
+	out := a.Clone()
+	old := out.ZoneServer[z]
+	out.ZoneServer[z] = s
+	for j, cz := range p.ClientZones {
+		if cz == z && out.ClientContact[j] == old {
+			out.ClientContact[j] = s
+		}
+	}
+	return out
+}
+
+// tryBestContactSwitch applies the single best improving contact switch.
+// Deltas are local to one client, so this pass is cheap.
+func tryBestContactSwitch(p *Problem, a *Assignment) bool {
+	m := p.NumServers()
+	loads := a.ServerLoads(p)
+	improved := false
+	for j := range p.ClientZones {
+		t := a.Target(p, j)
+		cur := a.ClientContact[j]
+		curDelay := a.ClientDelay(p, j)
+		bestServer := -1
+		bestDelay := curDelay
+		for s := 0; s < m; s++ {
+			if s == cur {
+				continue
+			}
+			var d float64
+			if s == t {
+				d = p.CS[j][t]
+			} else {
+				if !almostLE(loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
+					continue
+				}
+				d = p.CS[j][s] + p.SS[s][t]
+			}
+			if d < bestDelay-1e-12 {
+				bestDelay, bestServer = d, s
+			}
+		}
+		// Only accept switches that matter for the objective: gaining QoS,
+		// or shrinking the excess of an out-of-bound client. Shaving delay
+		// that is already within the bound changes nothing the CAP counts.
+		if bestServer >= 0 && (curDelay > p.D) {
+			if cur != t {
+				loads[cur] -= 2 * p.ClientRT[j]
+			}
+			if bestServer != t {
+				loads[bestServer] += 2 * p.ClientRT[j]
+			}
+			a.ClientContact[j] = bestServer
+			improved = true
+		}
+	}
+	return improved
+}

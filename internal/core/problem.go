@@ -1,0 +1,166 @@
+// Package core implements the paper's contribution: the client assignment
+// problem (CAP) for distributed virtual environments, its two-phase
+// decomposition into the initial assignment problem (IAP: zones → servers)
+// and the refined assignment problem (RAP: clients → contact servers), the
+// four heuristics of Section 3 (RanZ, GreZ, VirC, GreC) and their two-phase
+// combinations, plus extensions used for ablations (dynamic-regret greedy,
+// local search).
+//
+// All algorithms operate on a Problem snapshot — delay matrices, per-client
+// bandwidth requirements, zone membership and server capacities — and emit
+// an Assignment (a target server per zone, a contact server per client).
+// Problems may be built from possibly-inaccurate delay estimates; evaluation
+// against ground truth is the caller's concern (see Evaluate).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is a snapshot of a client assignment instance.
+//
+// Delay entries are round-trip times in milliseconds. CS may come from a
+// measurement estimator rather than ground truth; algorithms treat it as
+// the truth they optimise against.
+type Problem struct {
+	// ServerCaps[i] is the bandwidth capacity of server i, in Mbps.
+	ServerCaps []float64
+	// ClientZones[j] is the zone of client j.
+	ClientZones []int
+	// NumZones is the zone count; zones are 0..NumZones-1. Zones may be
+	// empty (no clients), but every zone still needs a target server.
+	NumZones int
+	// ClientRT[j] is client j's bandwidth requirement on its target server
+	// (the paper's R^T_{c_j}), in Mbps. Strictly positive.
+	ClientRT []float64
+	// CS[j][i] is the round-trip delay between client j and server i.
+	CS [][]float64
+	// SS[i][k] is the round-trip delay between servers i and k, already
+	// discounted for the well-provisioned inter-server mesh.
+	SS [][]float64
+	// D is the DVE delay bound in milliseconds.
+	D float64
+}
+
+// NumServers returns the number of servers.
+func (p *Problem) NumServers() int { return len(p.ServerCaps) }
+
+// NumClients returns the number of clients.
+func (p *Problem) NumClients() int { return len(p.ClientZones) }
+
+// ZoneClients returns, for each zone, the IDs of its clients.
+func (p *Problem) ZoneClients() [][]int {
+	out := make([][]int, p.NumZones)
+	for j, z := range p.ClientZones {
+		out[z] = append(out[z], j)
+	}
+	return out
+}
+
+// ZoneRT returns each zone's total target-server bandwidth requirement
+// (the paper's R_{z}).
+func (p *Problem) ZoneRT() []float64 {
+	out := make([]float64, p.NumZones)
+	for j, z := range p.ClientZones {
+		out[z] += p.ClientRT[j]
+	}
+	return out
+}
+
+// TotalCapacity returns the summed server capacity.
+func (p *Problem) TotalCapacity() float64 {
+	var t float64
+	for _, c := range p.ServerCaps {
+		t += c
+	}
+	return t
+}
+
+// Validate checks structural consistency and returns the first violation.
+func (p *Problem) Validate() error {
+	m, k := p.NumServers(), p.NumClients()
+	if m == 0 {
+		return fmt.Errorf("core: problem has no servers")
+	}
+	if p.NumZones <= 0 {
+		return fmt.Errorf("core: problem has %d zones, want > 0", p.NumZones)
+	}
+	if p.D <= 0 {
+		return fmt.Errorf("core: delay bound %v, want > 0", p.D)
+	}
+	for i, c := range p.ServerCaps {
+		if c <= 0 || math.IsNaN(c) {
+			return fmt.Errorf("core: server %d capacity %v, want > 0", i, c)
+		}
+	}
+	if len(p.ClientRT) != k {
+		return fmt.Errorf("core: %d clients but %d RT entries", k, len(p.ClientRT))
+	}
+	if len(p.CS) != k {
+		return fmt.Errorf("core: %d clients but %d CS rows", k, len(p.CS))
+	}
+	for j := 0; j < k; j++ {
+		if z := p.ClientZones[j]; z < 0 || z >= p.NumZones {
+			return fmt.Errorf("core: client %d in zone %d, want [0,%d)", j, z, p.NumZones)
+		}
+		if p.ClientRT[j] <= 0 || math.IsNaN(p.ClientRT[j]) {
+			return fmt.Errorf("core: client %d RT %v, want > 0", j, p.ClientRT[j])
+		}
+		if len(p.CS[j]) != m {
+			return fmt.Errorf("core: CS row %d has %d entries, want %d", j, len(p.CS[j]), m)
+		}
+		for i, d := range p.CS[j] {
+			if d < 0 || math.IsNaN(d) {
+				return fmt.Errorf("core: CS[%d][%d] = %v invalid", j, i, d)
+			}
+		}
+	}
+	if len(p.SS) != m {
+		return fmt.Errorf("core: %d servers but %d SS rows", m, len(p.SS))
+	}
+	for i := 0; i < m; i++ {
+		if len(p.SS[i]) != m {
+			return fmt.Errorf("core: SS row %d has %d entries, want %d", i, len(p.SS[i]), m)
+		}
+		if p.SS[i][i] != 0 {
+			return fmt.Errorf("core: SS diagonal [%d] = %v, want 0", i, p.SS[i][i])
+		}
+		for kk, d := range p.SS[i] {
+			if d < 0 || math.IsNaN(d) {
+				return fmt.Errorf("core: SS[%d][%d] = %v invalid", i, kk, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		ServerCaps:  append([]float64(nil), p.ServerCaps...),
+		ClientZones: append([]int(nil), p.ClientZones...),
+		NumZones:    p.NumZones,
+		ClientRT:    append([]float64(nil), p.ClientRT...),
+		CS:          make([][]float64, len(p.CS)),
+		SS:          make([][]float64, len(p.SS)),
+		D:           p.D,
+	}
+	for j := range p.CS {
+		q.CS[j] = append([]float64(nil), p.CS[j]...)
+	}
+	for i := range p.SS {
+		q.SS[i] = append([]float64(nil), p.SS[i]...)
+	}
+	return q
+}
+
+// WithDelays returns a shallow copy of the problem whose CS and SS matrices
+// are replaced — used to evaluate an assignment computed from estimated
+// delays against the ground truth.
+func (p *Problem) WithDelays(cs, ss [][]float64) *Problem {
+	q := *p
+	q.CS = cs
+	q.SS = ss
+	return &q
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"dvecap/internal/xrand"
+)
+
+// RAPFunc assigns each client a contact server (the refined assignment
+// phase), given the zone → server map produced by the initial phase.
+type RAPFunc func(rng *xrand.RNG, p *Problem, zoneServer []int, opt Options) ([]int, error)
+
+// VirC is the paper's virtual-location-based refined assignment: every
+// client simply connects to the server hosting its zone (contact = target).
+// It adds no inter-server forwarding load and never changes the QoS outcome
+// of the initial phase.
+func VirC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error) {
+	contact := make([]int, p.NumClients())
+	for j, z := range p.ClientZones {
+		contact[j] = zoneServer[z]
+	}
+	return contact, nil
+}
+
+// GreC is the paper's greedy refined assignment (Fig. 3). Clients already
+// within the delay bound to their target keep the target as contact.
+// The rest are scored against every candidate contact server with the cost
+// of Equation (8) — how far d(client, contact) + d(contact, target)
+// overshoots the bound — and are placed in descending-regret order on the
+// most desirable server whose residual capacity fits the 2×RT forwarding
+// load. The target server itself is always a fallback candidate (zero
+// extra load), so GreC cannot fail.
+//
+// Loads start at the initial phase's zone loads, matching the RAP
+// constraint (10): contact load fits within C_{s_i} − R_{s_i}.
+func GreC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error) {
+	m := p.NumServers()
+	contact := make([]int, p.NumClients())
+	loads := make([]float64, m)
+	zoneRT := p.ZoneRT()
+	for z, s := range zoneServer {
+		loads[s] += zoneRT[z]
+	}
+
+	// First pass: clients whose direct delay to the target meets the bound
+	// connect straight to it (no forwarding, no extra load).
+	var late []int // the paper's list L_E
+	for j, z := range p.ClientZones {
+		t := zoneServer[z]
+		if p.CS[j][t] <= p.D {
+			contact[j] = t
+		} else {
+			contact[j] = -1
+			late = append(late, j)
+		}
+	}
+
+	// Second pass: regret-ordered greedy over the late clients.
+	lists := make([]desirabilityList, 0, len(late))
+	mu := make([]float64, m)
+	for _, j := range late {
+		t := zoneServer[p.ClientZones[j]]
+		for i := 0; i < m; i++ {
+			mu[i] = -RefinedCost(p, j, i, t)
+		}
+		lists = append(lists, buildDesirability(j, mu))
+	}
+	sortByRegret(lists)
+
+	for _, dl := range lists {
+		j := dl.item
+		t := zoneServer[p.ClientZones[j]]
+		for _, s := range dl.servers {
+			if s == t {
+				// Forwarding through the target is the identity: zero extra
+				// load, always feasible.
+				contact[j] = t
+				break
+			}
+			if almostLE(loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
+				contact[j] = s
+				loads[s] += 2 * p.ClientRT[j]
+				break
+			}
+		}
+		if contact[j] == -1 {
+			// Unreachable: t is always among dl.servers. Kept as a guard.
+			contact[j] = t
+		}
+	}
+	return contact, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// problemJSON is the interchange form of a Problem. Field names are stable;
+// the format is the contract between cmd/capassign runs and any external
+// tooling that wants to feed real measurements into the solver.
+type problemJSON struct {
+	ServerCaps  []float64   `json:"server_caps_mbps"`
+	ClientZones []int       `json:"client_zones"`
+	NumZones    int         `json:"num_zones"`
+	ClientRT    []float64   `json:"client_rt_mbps"`
+	CS          [][]float64 `json:"client_server_rtt_ms"`
+	SS          [][]float64 `json:"server_server_rtt_ms"`
+	D           float64     `json:"delay_bound_ms"`
+}
+
+// WriteJSON serialises the problem.
+func (p *Problem) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(problemJSON{
+		ServerCaps:  p.ServerCaps,
+		ClientZones: p.ClientZones,
+		NumZones:    p.NumZones,
+		ClientRT:    p.ClientRT,
+		CS:          p.CS,
+		SS:          p.SS,
+		D:           p.D,
+	})
+}
+
+// ReadProblemJSON deserialises and validates a problem.
+func ReadProblemJSON(r io.Reader) (*Problem, error) {
+	var pj problemJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("core: decoding problem: %w", err)
+	}
+	p := &Problem{
+		ServerCaps:  pj.ServerCaps,
+		ClientZones: pj.ClientZones,
+		NumZones:    pj.NumZones,
+		ClientRT:    pj.ClientRT,
+		CS:          pj.CS,
+		SS:          pj.SS,
+		D:           pj.D,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid problem: %w", err)
+	}
+	return p, nil
+}
+
+// assignmentJSON is the interchange form of an Assignment plus its
+// evaluation, so a reader needs no solver to interpret the outcome.
+type assignmentJSON struct {
+	Algorithm     string    `json:"algorithm,omitempty"`
+	ZoneServer    []int     `json:"zone_server"`
+	ClientContact []int     `json:"client_contact"`
+	PQoS          float64   `json:"pqos"`
+	Utilization   float64   `json:"utilization"`
+	WithQoS       int       `json:"with_qos"`
+	Delays        []float64 `json:"delays_ms,omitempty"`
+}
+
+// WriteAssignmentJSON serialises an assignment together with its metrics
+// under p.
+func WriteAssignmentJSON(w io.Writer, p *Problem, a *Assignment, algorithm string, includeDelays bool) error {
+	if err := a.Validate(p); err != nil {
+		return err
+	}
+	m := Evaluate(p, a)
+	out := assignmentJSON{
+		Algorithm:     algorithm,
+		ZoneServer:    a.ZoneServer,
+		ClientContact: a.ClientContact,
+		PQoS:          m.PQoS,
+		Utilization:   m.Utilization,
+		WithQoS:       m.WithQoS,
+	}
+	if includeDelays {
+		out.Delays = m.Delays
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadAssignmentJSON deserialises an assignment and validates it against p.
+// The stored metrics are ignored (they are advisory); callers re-evaluate.
+func ReadAssignmentJSON(r io.Reader, p *Problem) (*Assignment, error) {
+	var aj assignmentJSON
+	if err := json.NewDecoder(r).Decode(&aj); err != nil {
+		return nil, fmt.Errorf("core: decoding assignment: %w", err)
+	}
+	a := &Assignment{ZoneServer: aj.ZoneServer, ClientContact: aj.ClientContact}
+	if err := a.Validate(p); err != nil {
+		return nil, fmt.Errorf("core: invalid assignment: %w", err)
+	}
+	return a, nil
+}

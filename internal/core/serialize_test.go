@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := randomProblem(xrand.New(4), false)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProblemJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumZones != p.NumZones || got.D != p.D {
+		t.Fatal("scalar fields changed")
+	}
+	for j := range p.CS {
+		for i := range p.CS[j] {
+			if got.CS[j][i] != p.CS[j][i] {
+				t.Fatalf("CS[%d][%d] changed", j, i)
+			}
+		}
+	}
+	for i := range p.ServerCaps {
+		if got.ServerCaps[i] != p.ServerCaps[i] {
+			t.Fatal("caps changed")
+		}
+	}
+}
+
+func TestReadProblemJSONValidates(t *testing.T) {
+	// Structurally valid JSON, semantically broken problem.
+	bad := `{"server_caps_mbps":[10],"client_zones":[5],"num_zones":2,
+	         "client_rt_mbps":[1],"client_server_rtt_ms":[[10]],
+	         "server_server_rtt_ms":[[0]],"delay_bound_ms":100}`
+	if _, err := ReadProblemJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range zone accepted")
+	}
+	if _, err := ReadProblemJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	p := tinyProblem()
+	a := &Assignment{ZoneServer: []int{0, 1}, ClientContact: []int{0, 0, 1}}
+	var buf bytes.Buffer
+	if err := WriteAssignmentJSON(&buf, p, a, "GreZ-GreC", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"pqos": 1`) {
+		t.Fatalf("metrics missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, `"algorithm": "GreZ-GreC"`) {
+		t.Fatalf("algorithm label missing:\n%s", out)
+	}
+	got, err := ReadAssignmentJSON(strings.NewReader(out), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := range a.ZoneServer {
+		if got.ZoneServer[z] != a.ZoneServer[z] {
+			t.Fatal("zone assignment changed")
+		}
+	}
+	for j := range a.ClientContact {
+		if got.ClientContact[j] != a.ClientContact[j] {
+			t.Fatal("contact assignment changed")
+		}
+	}
+}
+
+func TestWriteAssignmentJSONRejectsInvalid(t *testing.T) {
+	p := tinyProblem()
+	bad := &Assignment{ZoneServer: []int{0}, ClientContact: []int{0, 0, 1}} // wrong zone count
+	var buf bytes.Buffer
+	if err := WriteAssignmentJSON(&buf, p, bad, "", false); err == nil {
+		t.Fatal("invalid assignment serialised")
+	}
+}
+
+func TestReadAssignmentJSONValidatesAgainstProblem(t *testing.T) {
+	p := tinyProblem()
+	in := `{"zone_server":[0,9],"client_contact":[0,0,1]}`
+	if _, err := ReadAssignmentJSON(strings.NewReader(in), p); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+}
+
+func TestAssignmentJSONWithoutDelays(t *testing.T) {
+	p := tinyProblem()
+	a := &Assignment{ZoneServer: []int{0, 1}, ClientContact: []int{0, 0, 1}}
+	var buf bytes.Buffer
+	if err := WriteAssignmentJSON(&buf, p, a, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "delays_ms") {
+		t.Fatal("delays included despite includeDelays=false")
+	}
+}

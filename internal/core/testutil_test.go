@@ -1,0 +1,121 @@
+package core
+
+import (
+	"dvecap/internal/xrand"
+)
+
+// tinyProblem builds a hand-checkable instance:
+//
+//	servers: s0 (cap 10), s1 (cap 10)
+//	zones:   z0 = {c0, c1}, z1 = {c2}
+//	RT:      1 Mbps per client
+//	D:       100 ms
+//
+// Delays (RTT ms):      s0    s1
+//
+//	c0                   50    300
+//	c1                   80    300
+//	c2                   300   50
+//	SS(s0,s1) = 40
+//
+// Optimal: z0→s0, z1→s1, everyone direct, all 3 with QoS.
+func tinyProblem() *Problem {
+	return &Problem{
+		ServerCaps:  []float64{10, 10},
+		ClientZones: []int{0, 0, 1},
+		NumZones:    2,
+		ClientRT:    []float64{1, 1, 1},
+		CS: [][]float64{
+			{50, 300},
+			{80, 300},
+			{300, 50},
+		},
+		SS: [][]float64{
+			{0, 40},
+			{40, 0},
+		},
+		D: 100,
+	}
+}
+
+// forwardingProblem builds an instance where the refined phase matters:
+// one server hosts the only zone, a far client can only get QoS by
+// connecting through the other server's well-provisioned link.
+//
+//	servers: s0 (cap 10), s1 (cap 10)
+//	zone z0 = {c0 (near s0), c1 (far from s0, near s1)}
+//	CS: c0: s0=50, s1=400 ; c1: s0=260, s1=30
+//	SS(s0,s1) = 60 → c1 via s1: 30+60 = 90 ≤ 100, direct 260 > 100.
+func forwardingProblem() *Problem {
+	return &Problem{
+		ServerCaps:  []float64{10, 10},
+		ClientZones: []int{0, 0},
+		NumZones:    1,
+		ClientRT:    []float64{1, 1},
+		CS: [][]float64{
+			{50, 400},
+			{260, 30},
+		},
+		SS: [][]float64{
+			{0, 60},
+			{60, 0},
+		},
+		D: 100,
+	}
+}
+
+// randomProblem generates a structurally valid random instance for
+// property-style tests. Capacities are generous unless tight is set.
+func randomProblem(rng *xrand.RNG, tight bool) *Problem {
+	m := rng.IntRange(2, 6)
+	n := rng.IntRange(1, 10)
+	k := rng.IntRange(1, 60)
+	p := &Problem{
+		ServerCaps:  make([]float64, m),
+		ClientZones: make([]int, k),
+		NumZones:    n,
+		ClientRT:    make([]float64, k),
+		CS:          make([][]float64, k),
+		SS:          make([][]float64, m),
+		D:           rng.Uniform(100, 300),
+	}
+	var totalRT float64
+	for j := 0; j < k; j++ {
+		p.ClientZones[j] = rng.IntN(n)
+		p.ClientRT[j] = rng.Uniform(0.05, 0.5)
+		totalRT += p.ClientRT[j]
+		p.CS[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			p.CS[j][i] = rng.Uniform(0, 500)
+		}
+	}
+	for i := 0; i < m; i++ {
+		p.SS[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for l := i + 1; l < m; l++ {
+			d := rng.Uniform(0, 250)
+			p.SS[i][l], p.SS[l][i] = d, d
+		}
+	}
+	// Capacity: generous = 3× total demand incl. forwarding; tight = just
+	// above the largest zone so feasibility is strained but possible.
+	per := 3 * totalRT
+	if tight {
+		zoneRT := p.ZoneRT()
+		maxZone := 0.0
+		for _, r := range zoneRT {
+			if r > maxZone {
+				maxZone = r
+			}
+		}
+		per = maxZone * 1.2
+	}
+	for i := 0; i < m; i++ {
+		p.ServerCaps[i] = per * rng.Uniform(0.8, 1.2)
+	}
+	return p
+}
+
+// newRNG is a short alias used by fidelity tests.
+func newRNG(seed uint64) *xrand.RNG { return xrand.New(seed) }

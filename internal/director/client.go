@@ -1,0 +1,111 @@
+package director
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Client is the Go binding for the director's HTTP API.
+type Client struct {
+	// BaseURL is the director's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a binding for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Join registers a client.
+func (c *Client) Join(id string, node, zone int) (ClientInfo, error) {
+	var out ClientInfo
+	err := c.do(http.MethodPost, "/v1/clients", map[string]interface{}{
+		"id": id, "node": node, "zone": zone,
+	}, &out)
+	return out, err
+}
+
+// Leave removes a client.
+func (c *Client) Leave(id string) error {
+	return c.do(http.MethodDelete, "/v1/clients/"+id, nil, nil)
+}
+
+// Move relocates a client to another zone.
+func (c *Client) Move(id string, zone int) (ClientInfo, error) {
+	var out ClientInfo
+	err := c.do(http.MethodPost, "/v1/clients/"+id+"/move", map[string]interface{}{"zone": zone}, &out)
+	return out, err
+}
+
+// Lookup fetches a client's current assignment.
+func (c *Client) Lookup(id string) (ClientInfo, error) {
+	var out ClientInfo
+	err := c.do(http.MethodGet, "/v1/clients/"+id, nil, &out)
+	return out, err
+}
+
+// Reassign triggers a full re-execution of the assignment algorithm.
+func (c *Client) Reassign() (ReassignResult, error) {
+	var out ReassignResult
+	err := c.do(http.MethodPost, "/v1/reassign", nil, &out)
+	return out, err
+}
+
+// Stats fetches current quality metrics.
+func (c *Client) Stats() (Stats, error) {
+	var out Stats
+	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Snapshot lists all registered clients.
+func (c *Client) Snapshot() ([]ClientInfo, error) {
+	var out []ClientInfo
+	err := c.do(http.MethodGet, "/v1/clients", nil, &out)
+	return out, err
+}
+
+func (c *Client) do(method, path string, body interface{}, out interface{}) error {
+	var rdr *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(raw)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("director: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("director: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,347 @@
+package director
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"dvecap/internal/core"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func testDirector(t *testing.T) *Director {
+	t.Helper()
+	g, err := topology.Waxman(xrand.New(5), topology.DefaultWaxman(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		ServerNodes:  []int{0, 10, 20, 30},
+		ServerCaps:   []float64{50, 50, 50, 50},
+		Zones:        8,
+		Delays:       dm,
+		DelayBoundMs: 250,
+		FrameRate:    25,
+		MessageBytes: 100,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	g, _ := topology.Waxman(xrand.New(1), topology.DefaultWaxman(10))
+	dm, _ := topology.NewDelayMatrix(g, 500, 0.5)
+	base := Config{
+		ServerNodes: []int{0, 1}, ServerCaps: []float64{10, 10},
+		Zones: 2, Delays: dm, DelayBoundMs: 250, FrameRate: 25, MessageBytes: 100,
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.ServerNodes = nil },
+		func(c *Config) { c.ServerCaps = c.ServerCaps[:1] },
+		func(c *Config) { c.Zones = 0 },
+		func(c *Config) { c.Delays = nil },
+		func(c *Config) { c.DelayBoundMs = 0 },
+		func(c *Config) { c.FrameRate = 0 },
+		func(c *Config) { c.MessageBytes = 0 },
+		func(c *Config) { c.ServerNodes = []int{0, 99} },
+		func(c *Config) { c.ServerCaps = []float64{10, -1} },
+	}
+	for i, f := range bad {
+		c := base
+		c.ServerNodes = append([]int(nil), base.ServerNodes...)
+		c.ServerCaps = append([]float64(nil), base.ServerCaps...)
+		f(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsUnknownAlgorithm(t *testing.T) {
+	g, _ := topology.Waxman(xrand.New(1), topology.DefaultWaxman(10))
+	dm, _ := topology.NewDelayMatrix(g, 500, 0.5)
+	_, err := New(Config{
+		ServerNodes: []int{0}, ServerCaps: []float64{10},
+		Zones: 1, Delays: dm, DelayBoundMs: 250, FrameRate: 25, MessageBytes: 100,
+		Algorithm: "made-up",
+	})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestJoinLookupLeave(t *testing.T) {
+	d := testDirector(t)
+	info, err := d.Join("alice", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "alice" || info.Zone != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Target != d.zoneServer[3] {
+		t.Fatalf("target %d, want zone 3's server %d", info.Target, d.zoneServer[3])
+	}
+	got, err := d.Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Fatalf("lookup %+v != join %+v", got, info)
+	}
+	if err := d.Leave("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lookup("alice"); err == nil {
+		t.Fatal("lookup after leave succeeded")
+	}
+	if err := d.Leave("alice"); err == nil {
+		t.Fatal("double leave succeeded")
+	}
+}
+
+func TestJoinGeneratesIDs(t *testing.T) {
+	d := testDirector(t)
+	a, _ := d.Join("", 1, 0)
+	b, _ := d.Join("", 2, 1)
+	if a.ID == "" || a.ID == b.ID {
+		t.Fatalf("generated IDs broken: %q vs %q", a.ID, b.ID)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	d := testDirector(t)
+	if _, err := d.Join("x", -1, 0); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := d.Join("x", 0, 99); err == nil {
+		t.Fatal("out-of-range zone accepted")
+	}
+	if _, err := d.Join("dup", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Join("dup", 1, 1); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestMoveChangesTargetZone(t *testing.T) {
+	d := testDirector(t)
+	d.Join("bob", 7, 0)
+	info, err := d.Move("bob", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Zone != 5 {
+		t.Fatalf("zone = %d", info.Zone)
+	}
+	if info.Target != d.zoneServer[5] {
+		t.Fatal("target not updated on move")
+	}
+	if _, err := d.Move("ghost", 1); err == nil {
+		t.Fatal("moving unknown client succeeded")
+	}
+}
+
+func TestStatsAndReassign(t *testing.T) {
+	d := testDirector(t)
+	rng := xrand.New(33)
+	for i := 0; i < 120; i++ {
+		if _, err := d.Join("", rng.IntN(40), rng.IntN(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats()
+	if before.Clients != 120 {
+		t.Fatalf("clients = %d", before.Clients)
+	}
+	if before.PQoS < 0 || before.PQoS > 1 {
+		t.Fatalf("pQoS = %v", before.PQoS)
+	}
+	res, err := d.Reassign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PQoS < before.PQoS-1e-9 {
+		t.Fatalf("reassign degraded pQoS: %v → %v", before.PQoS, res.PQoS)
+	}
+	if res.Clients != 120 {
+		t.Fatalf("reassign clients = %d", res.Clients)
+	}
+}
+
+func TestReassignEmptyDirector(t *testing.T) {
+	d := testDirector(t)
+	res, err := d.Reassign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 0 {
+		t.Fatalf("empty reassign clients = %d", res.Clients)
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	d := testDirector(t)
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	info, err := c.Join("carol", 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "carol" {
+		t.Fatalf("info = %+v", info)
+	}
+	got, err := c.Lookup("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Fatalf("lookup mismatch: %+v vs %+v", got, info)
+	}
+	moved, err := c.Move("carol", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Zone != 6 {
+		t.Fatalf("moved zone = %d", moved.Zone)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Clients != 1 {
+		t.Fatalf("stats clients = %d", stats.Clients)
+	}
+	re, err := c.Reassign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Clients != 1 {
+		t.Fatalf("reassign clients = %d", re.Clients)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0].ID != "carol" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if err := c.Leave("carol"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("carol"); err == nil {
+		t.Fatal("lookup after leave succeeded over HTTP")
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	d := testDirector(t)
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if _, err := c.Lookup("nobody"); err == nil {
+		t.Fatal("lookup of unknown client succeeded")
+	}
+	if err := c.Leave("nobody"); err == nil {
+		t.Fatal("leave of unknown client succeeded")
+	}
+	if _, err := c.Move("nobody", 1); err == nil {
+		t.Fatal("move of unknown client succeeded")
+	}
+	if _, err := c.Join("bad", 0, 999); err == nil {
+		t.Fatal("join with bad zone succeeded")
+	}
+}
+
+func TestAttachPrefersForwardingWhenDirectMissesBound(t *testing.T) {
+	// Hand-built delay matrix: node 0 and 1 are servers, client at node 2
+	// is 400ms from server 0 (its target) but 100ms from server 1, and the
+	// servers are 100ms apart (discounted to 50): forwarded delay 150.
+	rtt := [][]float64{
+		{0, 100, 400},
+		{100, 0, 100},
+		{400, 100, 0},
+	}
+	dm, err := topology.NewDelayMatrixFromRTT(rtt, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		ServerNodes:  []int{0, 1},
+		ServerCaps:   []float64{100, 100},
+		Zones:        1,
+		Delays:       dm,
+		DelayBoundMs: 250,
+		FrameRate:    25,
+		MessageBytes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zone 0's round-robin target is server 0.
+	info, err := d.Join("far", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Target != 0 {
+		t.Fatalf("target = %d", info.Target)
+	}
+	if info.Contact != 1 {
+		t.Fatalf("contact = %d, want forwarding via server 1", info.Contact)
+	}
+	if !info.QoS {
+		t.Fatalf("forwarded client should have QoS: %+v", info)
+	}
+	if info.DelayMs != 150 {
+		t.Fatalf("delay = %v, want 150", info.DelayMs)
+	}
+}
+
+func TestProblemSnapshotEndpoint(t *testing.T) {
+	d := testDirector(t)
+	rng := xrand.New(70)
+	for i := 0; i < 30; i++ {
+		if _, err := d.Join("", rng.IntN(40), rng.IntN(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/problem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	p, err := core.ReadProblemJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumClients() != 30 || p.NumZones != 8 || p.NumServers() != 4 {
+		t.Fatalf("snapshot shape: %d/%d/%d", p.NumClients(), p.NumZones, p.NumServers())
+	}
+	// The snapshot must be solvable offline end to end.
+	a, err := core.GreZGreC.Solve(xrand.New(1), p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := core.Evaluate(p, a); m.PQoS < 0 || m.PQoS > 1 {
+		t.Fatalf("pQoS %v", m.PQoS)
+	}
+}

@@ -1,0 +1,35 @@
+package director
+
+import (
+	"context"
+	"log"
+	"time"
+)
+
+// RunReassignLoop re-executes the assignment algorithm every interval until
+// ctx is cancelled — the deployed form of the paper's §3.4 prescription
+// that the two-phase algorithm "needs to be executed again" as the DVE
+// evolves. onResult, when non-nil, receives every outcome (for logging or
+// metrics export); errors are logged and do not stop the loop.
+func (d *Director) RunReassignLoop(ctx context.Context, interval time.Duration, onResult func(ReassignResult)) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			res, err := d.Reassign()
+			if err != nil {
+				log.Printf("director: periodic reassign: %v", err)
+				continue
+			}
+			if onResult != nil {
+				onResult(res)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package director
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dvecap/internal/xrand"
+)
+
+func TestRunReassignLoopFiresAndStops(t *testing.T) {
+	d := testDirector(t)
+	rng := xrand.New(60)
+	for i := 0; i < 50; i++ {
+		if _, err := d.Join("", rng.IntN(40), rng.IntN(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var results []ReassignResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.RunReassignLoop(ctx, 5*time.Millisecond, func(r ReassignResult) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		})
+	}()
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(results)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("loop did not fire 3 times within 2s")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("loop did not stop after cancel")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range results {
+		if r.Clients != 50 {
+			t.Fatalf("reassign saw %d clients", r.Clients)
+		}
+		if r.PQoS < 0 || r.PQoS > 1 {
+			t.Fatalf("bad pQoS %v", r.PQoS)
+		}
+	}
+}
+
+func TestRunReassignLoopConcurrentWithJoins(t *testing.T) {
+	// The loop and API mutations share the director; this test exists to
+	// fail under -race if locking regresses.
+	d := testDirector(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.RunReassignLoop(ctx, time.Millisecond, nil)
+	rng := xrand.New(61)
+	ids := make([]string, 0, 200)
+	for i := 0; i < 200; i++ {
+		info, err := d.Join("", rng.IntN(40), rng.IntN(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+		if i%3 == 0 {
+			if _, err := d.Move(info.ID, rng.IntN(8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%5 == 0 {
+			if err := d.Leave(ids[rng.IntN(len(ids))]); err == nil {
+				// The departed ID may be chosen again later; forget it.
+			}
+		}
+		_ = d.Stats()
+	}
+}

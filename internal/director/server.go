@@ -1,0 +1,144 @@
+package director
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// API error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the director's HTTP API:
+//
+//	POST   /v1/clients              {"id"?, "node", "zone"} → ClientInfo
+//	GET    /v1/clients              → []ClientInfo
+//	GET    /v1/clients/{id}         → ClientInfo
+//	DELETE /v1/clients/{id}         → 204
+//	POST   /v1/clients/{id}/move    {"zone"} → ClientInfo
+//	POST   /v1/reassign             → ReassignResult
+//	GET    /v1/stats                → Stats
+//	GET    /v1/healthz              → 200 "ok"
+func Handler(d *Director) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, d.Stats())
+	})
+	mux.HandleFunc("/v1/problem", func(w http.ResponseWriter, r *http.Request) {
+		// Snapshot the live state as a problem JSON, so operators can run
+		// the exact solver (or any offline analysis) against production
+		// reality: curl …/v1/problem | capassign -in /dev/stdin -exact
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		p := d.ProblemSnapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if err := p.WriteJSON(w); err != nil {
+			// Headers already sent; nothing more to do than log-by-status.
+			return
+		}
+	})
+	mux.HandleFunc("/v1/reassign", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		res, err := d.Reassign()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("/v1/clients", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req struct {
+				ID   string `json:"id"`
+				Node int    `json:"node"`
+				Zone int    `json:"zone"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			info, err := d.Join(req.ID, req.Node, req.Zone)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusCreated, info)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, d.Snapshot())
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+		}
+	})
+	mux.HandleFunc("/v1/clients/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/clients/")
+		parts := strings.Split(rest, "/")
+		id := parts[0]
+		if id == "" {
+			writeErr(w, http.StatusBadRequest, "missing client id")
+			return
+		}
+		switch {
+		case len(parts) == 1 && r.Method == http.MethodGet:
+			info, err := d.Lookup(id)
+			if err != nil {
+				writeErr(w, http.StatusNotFound, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case len(parts) == 1 && r.Method == http.MethodDelete:
+			if err := d.Leave(id); err != nil {
+				writeErr(w, http.StatusNotFound, err.Error())
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case len(parts) == 2 && parts[1] == "move" && r.Method == http.MethodPost:
+			var req struct {
+				Zone int `json:"zone"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			info, err := d.Move(id, req.Zone)
+			if err != nil {
+				status := http.StatusBadRequest
+				if strings.Contains(err.Error(), "unknown client") {
+					status = http.StatusNotFound
+				}
+				writeErr(w, status, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		default:
+			writeErr(w, http.StatusNotFound, "unknown route")
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}

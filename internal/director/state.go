@@ -1,0 +1,440 @@
+// Package director implements an online client-assignment service: the
+// operational form of the paper's architecture (Fig. 1). It keeps the live
+// state of a geographically distributed server deployment — server nodes,
+// capacities, the measured delay matrix, the client population — serves
+// cheap incremental attach decisions as clients join, move and leave, and
+// re-executes a full two-phase assignment on demand or on a timer, which is
+// exactly the paper's §3.4 prescription for DVE dynamics.
+//
+// The HTTP API (server.go) exposes this over JSON for non-Go consumers;
+// Client (client.go) is the Go binding.
+package director
+
+import (
+	"fmt"
+	"sync"
+
+	"dvecap/internal/core"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+// Config configures a director instance.
+type Config struct {
+	// ServerNodes and ServerCaps place the deployment's servers on the
+	// topology covered by Delays.
+	ServerNodes []int
+	ServerCaps  []float64
+	// Zones is the number of virtual-world zones.
+	Zones int
+	// Delays is the measured RTT oracle for all topology nodes.
+	Delays *topology.DelayMatrix
+	// DelayBoundMs is the interactivity bound D.
+	DelayBoundMs float64
+	// FrameRate and MessageBytes parameterise the bandwidth model.
+	FrameRate    float64
+	MessageBytes float64
+	// Algorithm names the two-phase algorithm run on Reassign
+	// (default "GreZ-GreC").
+	Algorithm string
+	// Seed drives the algorithm's randomised choices.
+	Seed uint64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case len(c.ServerNodes) == 0:
+		return fmt.Errorf("director: no servers")
+	case len(c.ServerNodes) != len(c.ServerCaps):
+		return fmt.Errorf("director: %d server nodes but %d capacities", len(c.ServerNodes), len(c.ServerCaps))
+	case c.Zones <= 0:
+		return fmt.Errorf("director: Zones = %d, want > 0", c.Zones)
+	case c.Delays == nil:
+		return fmt.Errorf("director: nil delay matrix")
+	case c.DelayBoundMs <= 0:
+		return fmt.Errorf("director: DelayBoundMs = %v, want > 0", c.DelayBoundMs)
+	case c.FrameRate <= 0:
+		return fmt.Errorf("director: FrameRate = %v, want > 0", c.FrameRate)
+	case c.MessageBytes <= 0:
+		return fmt.Errorf("director: MessageBytes = %v, want > 0", c.MessageBytes)
+	}
+	for i, n := range c.ServerNodes {
+		if n < 0 || n >= c.Delays.N() {
+			return fmt.Errorf("director: server %d on node %d outside delay matrix (%d nodes)", i, n, c.Delays.N())
+		}
+		if c.ServerCaps[i] <= 0 {
+			return fmt.Errorf("director: server %d capacity %v, want > 0", i, c.ServerCaps[i])
+		}
+	}
+	return nil
+}
+
+// clientRec is one registered client.
+type clientRec struct {
+	id      string
+	node    int
+	zone    int
+	contact int
+}
+
+// Director is the thread-safe assignment service state.
+type Director struct {
+	cfg  Config
+	algo core.TwoPhase
+
+	mu         sync.RWMutex
+	clients    map[string]*clientRec
+	order      []string // registration order, the canonical indexing
+	zoneServer []int
+	rng        *xrand.RNG
+	seq        uint64
+}
+
+// New builds a director and computes an initial (empty-world) zone
+// assignment.
+func New(cfg Config) (*Director, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "GreZ-GreC"
+	}
+	algo, ok := core.ByName(cfg.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("director: unknown algorithm %q", cfg.Algorithm)
+	}
+	d := &Director{
+		cfg:     cfg,
+		algo:    algo,
+		clients: map[string]*clientRec{},
+		rng:     xrand.New(cfg.Seed),
+	}
+	// With no clients every zone is cost-free everywhere; spread zones
+	// round-robin so early joins have sane targets.
+	d.zoneServer = make([]int, cfg.Zones)
+	for z := range d.zoneServer {
+		d.zoneServer[z] = z % len(cfg.ServerNodes)
+	}
+	return d, nil
+}
+
+// ClientInfo is the externally visible state of one client.
+type ClientInfo struct {
+	ID      string  `json:"id"`
+	Node    int     `json:"node"`
+	Zone    int     `json:"zone"`
+	Contact int     `json:"contact"`
+	Target  int     `json:"target"`
+	DelayMs float64 `json:"delay_ms"`
+	QoS     bool    `json:"qos"`
+}
+
+// Join registers a client at a topology node entering a zone. id may be
+// empty, in which case one is generated. The client is attached greedily:
+// directly to its target when within the bound, otherwise through the
+// feasible contact server minimising its effective delay (one step of
+// GreC's logic).
+func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if node < 0 || node >= d.cfg.Delays.N() {
+		return ClientInfo{}, fmt.Errorf("director: node %d outside topology", node)
+	}
+	if zone < 0 || zone >= d.cfg.Zones {
+		return ClientInfo{}, fmt.Errorf("director: zone %d outside [0,%d)", zone, d.cfg.Zones)
+	}
+	if id == "" {
+		d.seq++
+		id = fmt.Sprintf("c%06d", d.seq)
+	}
+	if _, exists := d.clients[id]; exists {
+		return ClientInfo{}, fmt.Errorf("director: client %q already registered", id)
+	}
+	rec := &clientRec{id: id, node: node, zone: zone}
+	rec.contact = d.attachLocked(rec)
+	d.clients[id] = rec
+	d.order = append(d.order, id)
+	return d.infoLocked(rec), nil
+}
+
+// Leave removes a client.
+func (d *Director) Leave(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.clients[id]; !ok {
+		return fmt.Errorf("director: unknown client %q", id)
+	}
+	delete(d.clients, id)
+	for i, oid := range d.order {
+		if oid == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Move relocates a client's avatar to another zone and re-attaches it.
+func (d *Director) Move(id string, zone int) (ClientInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, ok := d.clients[id]
+	if !ok {
+		return ClientInfo{}, fmt.Errorf("director: unknown client %q", id)
+	}
+	if zone < 0 || zone >= d.cfg.Zones {
+		return ClientInfo{}, fmt.Errorf("director: zone %d outside [0,%d)", zone, d.cfg.Zones)
+	}
+	rec.zone = zone
+	rec.contact = d.attachLocked(rec)
+	return d.infoLocked(rec), nil
+}
+
+// Lookup returns a client's current assignment.
+func (d *Director) Lookup(id string) (ClientInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rec, ok := d.clients[id]
+	if !ok {
+		return ClientInfo{}, fmt.Errorf("director: unknown client %q", id)
+	}
+	return d.infoLocked(rec), nil
+}
+
+// attachLocked picks a contact server for one client against current loads:
+// the target if within bound, else the feasible contact minimising
+// effective delay (ties to the target).
+func (d *Director) attachLocked(rec *clientRec) int {
+	t := d.zoneServer[rec.zone]
+	direct := d.clientServerRTT(rec.node, t)
+	if direct <= d.cfg.DelayBoundMs {
+		return t
+	}
+	loads := d.loadsLocked(rec.id)
+	rt := d.clientRTLocked(rec.zone)
+	best, bestDelay := t, direct
+	for i := range d.cfg.ServerNodes {
+		if i == t {
+			continue
+		}
+		if loads[i]+2*rt > d.cfg.ServerCaps[i] {
+			continue
+		}
+		delay := d.clientServerRTT(rec.node, i) + d.serverServerRTT(i, t)
+		if delay < bestDelay {
+			best, bestDelay = i, delay
+		}
+	}
+	return best
+}
+
+// infoLocked renders a record.
+func (d *Director) infoLocked(rec *clientRec) ClientInfo {
+	t := d.zoneServer[rec.zone]
+	delay := d.effectiveDelayLocked(rec)
+	return ClientInfo{
+		ID:      rec.id,
+		Node:    rec.node,
+		Zone:    rec.zone,
+		Contact: rec.contact,
+		Target:  t,
+		DelayMs: delay,
+		QoS:     delay <= d.cfg.DelayBoundMs,
+	}
+}
+
+func (d *Director) effectiveDelayLocked(rec *clientRec) float64 {
+	t := d.zoneServer[rec.zone]
+	if rec.contact == t {
+		return d.clientServerRTT(rec.node, t)
+	}
+	return d.clientServerRTT(rec.node, rec.contact) + d.serverServerRTT(rec.contact, t)
+}
+
+func (d *Director) clientServerRTT(node, server int) float64 {
+	return d.cfg.Delays.RTT(node, d.cfg.ServerNodes[server])
+}
+
+func (d *Director) serverServerRTT(a, b int) float64 {
+	return d.cfg.Delays.ServerRTT(d.cfg.ServerNodes[a], d.cfg.ServerNodes[b])
+}
+
+// clientRTLocked is the bandwidth requirement of one client in the given
+// zone at its current population.
+func (d *Director) clientRTLocked(zone int) float64 {
+	pop := 0
+	for _, rec := range d.clients {
+		if rec.zone == zone {
+			pop++
+		}
+	}
+	if pop == 0 {
+		pop = 1
+	}
+	bytesPerSec := d.cfg.FrameRate * (d.cfg.MessageBytes + float64(pop)*d.cfg.MessageBytes)
+	return bytesPerSec * 8 / 1e6
+}
+
+// loadsLocked computes per-server load, optionally excluding one client.
+func (d *Director) loadsLocked(excludeID string) []float64 {
+	loads := make([]float64, len(d.cfg.ServerNodes))
+	pop := make([]int, d.cfg.Zones)
+	for _, rec := range d.clients {
+		pop[rec.zone]++
+	}
+	rtOf := func(zone int) float64 {
+		p := pop[zone]
+		if p == 0 {
+			p = 1
+		}
+		return d.cfg.FrameRate * (d.cfg.MessageBytes + float64(p)*d.cfg.MessageBytes) * 8 / 1e6
+	}
+	for _, rec := range d.clients {
+		if rec.id == excludeID {
+			continue
+		}
+		rt := rtOf(rec.zone)
+		t := d.zoneServer[rec.zone]
+		loads[t] += rt
+		if rec.contact != t {
+			loads[rec.contact] += 2 * rt
+		}
+	}
+	return loads
+}
+
+// problemLocked snapshots the current population as a core.Problem, with
+// clients in registration order.
+func (d *Director) problemLocked() *core.Problem {
+	k := len(d.order)
+	m := len(d.cfg.ServerNodes)
+	p := &core.Problem{
+		ServerCaps:  append([]float64(nil), d.cfg.ServerCaps...),
+		ClientZones: make([]int, k),
+		NumZones:    d.cfg.Zones,
+		ClientRT:    make([]float64, k),
+		CS:          make([][]float64, k),
+		SS:          make([][]float64, m),
+		D:           d.cfg.DelayBoundMs,
+	}
+	pop := make([]int, d.cfg.Zones)
+	for _, id := range d.order {
+		pop[d.clients[id].zone]++
+	}
+	for j, id := range d.order {
+		rec := d.clients[id]
+		p.ClientZones[j] = rec.zone
+		zp := pop[rec.zone]
+		p.ClientRT[j] = d.cfg.FrameRate * (d.cfg.MessageBytes + float64(zp)*d.cfg.MessageBytes) * 8 / 1e6
+		p.CS[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			p.CS[j][i] = d.clientServerRTT(rec.node, i)
+		}
+	}
+	for i := 0; i < m; i++ {
+		p.SS[i] = make([]float64, m)
+		for l := 0; l < m; l++ {
+			p.SS[i][l] = d.serverServerRTT(i, l)
+		}
+	}
+	return p
+}
+
+// Stats summarises the current system state.
+type Stats struct {
+	Clients     int     `json:"clients"`
+	WithQoS     int     `json:"with_qos"`
+	PQoS        float64 `json:"pqos"`
+	Utilization float64 `json:"utilization"`
+	Algorithm   string  `json:"algorithm"`
+}
+
+// Stats computes current quality metrics.
+func (d *Director) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s := Stats{Clients: len(d.order), Algorithm: d.algo.Name}
+	if len(d.order) == 0 {
+		return s
+	}
+	p := d.problemLocked()
+	a := d.assignmentLocked()
+	m := core.Evaluate(p, a)
+	s.WithQoS = m.WithQoS
+	s.PQoS = m.PQoS
+	s.Utilization = m.Utilization
+	return s
+}
+
+func (d *Director) assignmentLocked() *core.Assignment {
+	a := &core.Assignment{
+		ZoneServer:    append([]int(nil), d.zoneServer...),
+		ClientContact: make([]int, len(d.order)),
+	}
+	for j, id := range d.order {
+		a.ClientContact[j] = d.clients[id].contact
+	}
+	return a
+}
+
+// ReassignResult reports a full re-execution.
+type ReassignResult struct {
+	Stats
+	Moved int `json:"moved"` // clients whose contact changed
+}
+
+// Reassign re-runs the configured two-phase algorithm over the whole
+// population (the paper's answer to accumulated churn) and installs the
+// result.
+func (d *Director) Reassign() (ReassignResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.order) == 0 {
+		return ReassignResult{Stats: Stats{Algorithm: d.algo.Name}}, nil
+	}
+	p := d.problemLocked()
+	a, err := d.algo.Solve(d.rng.Split(), p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		return ReassignResult{}, err
+	}
+	moved := 0
+	d.zoneServer = a.ZoneServer
+	for j, id := range d.order {
+		rec := d.clients[id]
+		if rec.contact != a.ClientContact[j] {
+			moved++
+		}
+		rec.contact = a.ClientContact[j]
+	}
+	m := core.Evaluate(p, a)
+	return ReassignResult{
+		Stats: Stats{
+			Clients:     len(d.order),
+			WithQoS:     m.WithQoS,
+			PQoS:        m.PQoS,
+			Utilization: m.Utilization,
+			Algorithm:   d.algo.Name,
+		},
+		Moved: moved,
+	}, nil
+}
+
+// ProblemSnapshot exports the live state as a core.Problem (clients in
+// registration order), for offline analysis or exact solving.
+func (d *Director) ProblemSnapshot() *core.Problem {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.problemLocked()
+}
+
+// Snapshot lists all clients in registration order.
+func (d *Director) Snapshot() []ClientInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]ClientInfo, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.infoLocked(d.clients[id]))
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package dve
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func TestCompactBasics(t *testing.T) {
+	got := Compact([]string{"a", "b", "c", "d", "e"}, []int{1, 3})
+	want := []string{"a", "c", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompactEmptyRemovals(t *testing.T) {
+	in := []int{1, 2, 3}
+	got := Compact(in, nil)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCompactAll(t *testing.T) {
+	got := Compact([]int{1, 2}, []int{0, 1})
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestCompactMirrorsLeave verifies the core contract: compacting a
+// parallel slice with Leave's removed indexes keeps it aligned with the
+// world's client slices.
+func TestCompactMirrorsLeave(t *testing.T) {
+	hp := topology.DefaultHier()
+	hp.ASCount = 3
+	hp.NodesPerAS = 8
+	g, err := topology.Hier(xrand.New(1), hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		cfg := DefaultConfig()
+		cfg.Servers = 3
+		cfg.Zones = 6
+		cfg.Clients = 40
+		cfg.TotalCapacityMbps = 100
+		w, err := BuildWorld(xrand.New(seed), cfg, g, dm)
+		if err != nil {
+			return false
+		}
+		// Shadow slice tracking each client's original index.
+		shadow := make([]int, w.NumClients())
+		origNode := make([]int, w.NumClients())
+		for i := range shadow {
+			shadow[i] = i
+			origNode[i] = w.ClientNodes[i]
+		}
+		removed, err := w.Leave(xrand.New(seed+1), 15)
+		if err != nil {
+			return false
+		}
+		shadow = Compact(shadow, removed)
+		if len(shadow) != w.NumClients() {
+			return false
+		}
+		for i, orig := range shadow {
+			if w.ClientNodes[i] != origNode[orig] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

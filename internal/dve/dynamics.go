@@ -1,0 +1,125 @@
+package dve
+
+import (
+	"fmt"
+	"sort"
+
+	"dvecap/internal/xrand"
+)
+
+// Dynamics operations implement the paper's §4.2 churn protocol ("we let
+// 200 new clients randomly join, 200 existing clients randomly leave the
+// virtual world and 200 clients randomly move to another zone"). All three
+// preserve the world's placement models: joins draw from the same
+// clustered/correlated distributions the world was built with, and moves
+// re-draw the zone with the same correlation machinery.
+
+// Join adds n clients placed by the world's distribution models and
+// returns their indexes.
+func (w *World) Join(rng *xrand.RNG, n int) []int {
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		node, zone := w.placeClient(rng)
+		w.ClientNodes = append(w.ClientNodes, node)
+		w.ClientZones = append(w.ClientZones, zone)
+		idx = append(idx, len(w.ClientNodes)-1)
+	}
+	w.Cfg.Clients = len(w.ClientNodes)
+	return idx
+}
+
+// Leave removes n uniformly chosen clients and returns their pre-removal
+// indexes in ascending order, so callers holding per-client state indexed
+// like the world can compact it identically. Remaining clients keep their
+// relative order. It returns an error if n exceeds the population.
+func (w *World) Leave(rng *xrand.RNG, n int) ([]int, error) {
+	k := len(w.ClientNodes)
+	if n > k {
+		return nil, fmt.Errorf("dve: cannot remove %d of %d clients", n, k)
+	}
+	doomed := rng.SampleWithout(k, n)
+	sort.Ints(doomed)
+	remove := make([]bool, k)
+	for _, j := range doomed {
+		remove[j] = true
+	}
+	nodes := w.ClientNodes[:0]
+	zones := w.ClientZones[:0]
+	for j := 0; j < k; j++ {
+		if remove[j] {
+			continue
+		}
+		nodes = append(nodes, w.ClientNodes[j])
+		zones = append(zones, w.ClientZones[j])
+	}
+	w.ClientNodes = nodes
+	w.ClientZones = zones
+	w.Cfg.Clients = len(w.ClientNodes)
+	return doomed, nil
+}
+
+// Compact removes the entries of state at the given ascending indexes —
+// the companion to Leave for caller-held per-client slices.
+func Compact[T any](state []T, removed []int) []T {
+	if len(removed) == 0 {
+		return state
+	}
+	out := state[:0]
+	ri := 0
+	for j := range state {
+		if ri < len(removed) && removed[ri] == j {
+			ri++
+			continue
+		}
+		out = append(out, state[j])
+	}
+	return out
+}
+
+// Move relocates n uniformly chosen clients to a newly drawn zone
+// (guaranteed different from their current zone when more than one zone
+// exists). Physical nodes do not change — avatars move, users do not.
+// It returns the indexes of the moved clients.
+func (w *World) Move(rng *xrand.RNG, n int) ([]int, error) {
+	k := len(w.ClientNodes)
+	if n > k {
+		return nil, fmt.Errorf("dve: cannot move %d of %d clients", n, k)
+	}
+	moved := rng.SampleWithout(k, n)
+	for _, j := range moved {
+		if w.Cfg.Zones == 1 {
+			break
+		}
+		old := w.ClientZones[j]
+		placed := false
+		// The correlated draw may keep returning the old zone (e.g. δ = 1
+		// with a single-zone region block); cap the retries and fall back
+		// to a uniform draw over the other zones.
+		for attempt := 0; attempt < 16; attempt++ {
+			z := w.drawZoneFor(rng, w.ClientNodes[j])
+			if z != old {
+				w.ClientZones[j] = z
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			z := rng.IntN(w.Cfg.Zones - 1)
+			if z >= old {
+				z++
+			}
+			w.ClientZones[j] = z
+		}
+	}
+	return moved, nil
+}
+
+// Churn applies the paper's Table 3 protocol in order: join, leave, move.
+func (w *World) Churn(rng *xrand.RNG, join, leave, move int) error {
+	w.Join(rng, join)
+	if _, err := w.Leave(rng, leave); err != nil {
+		return err
+	}
+	_, err := w.Move(rng, move)
+	return err
+}

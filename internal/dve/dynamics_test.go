@@ -1,0 +1,161 @@
+package dve
+
+import (
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+func TestJoinAddsClients(t *testing.T) {
+	g, dm := testTopo(t)
+	w, _ := BuildWorld(xrand.New(11), testConfig(), g, dm)
+	idx := w.Join(xrand.New(12), 50)
+	if len(idx) != 50 || w.NumClients() != 250 {
+		t.Fatalf("join produced %d new, %d total", len(idx), w.NumClients())
+	}
+	if w.Cfg.Clients != 250 {
+		t.Fatalf("config count not updated: %d", w.Cfg.Clients)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinRespectsPlacementModels(t *testing.T) {
+	g, dm := testTopo(t)
+	cfg := testConfig()
+	cfg.Correlation = 1.0
+	w, _ := BuildWorld(xrand.New(13), cfg, g, dm)
+	w.Join(xrand.New(14), 500)
+	for j := range w.ClientNodes {
+		region := g.Nodes[w.ClientNodes[j]].AS
+		inBlock := false
+		for _, z := range w.regionZones[region] {
+			if z == w.ClientZones[j] {
+				inBlock = true
+				break
+			}
+		}
+		if !inBlock {
+			t.Fatalf("joined client %d violates correlation model", j)
+		}
+	}
+}
+
+func TestLeaveRemovesExactly(t *testing.T) {
+	g, dm := testTopo(t)
+	w, _ := BuildWorld(xrand.New(15), testConfig(), g, dm)
+	removed, err := w.Leave(xrand.New(16), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 80 {
+		t.Fatalf("reported %d removed, want 80", len(removed))
+	}
+	for i := 1; i < len(removed); i++ {
+		if removed[i] <= removed[i-1] {
+			t.Fatal("removed indexes not strictly ascending")
+		}
+	}
+	if w.NumClients() != 120 {
+		t.Fatalf("left with %d clients, want 120", w.NumClients())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveTooManyErrors(t *testing.T) {
+	g, dm := testTopo(t)
+	w, _ := BuildWorld(xrand.New(17), testConfig(), g, dm)
+	if _, err := w.Leave(xrand.New(18), 10000); err == nil {
+		t.Fatal("removing more clients than exist accepted")
+	}
+}
+
+func TestMoveChangesZonesOnly(t *testing.T) {
+	g, dm := testTopo(t)
+	w, _ := BuildWorld(xrand.New(19), testConfig(), g, dm)
+	beforeNodes := append([]int(nil), w.ClientNodes...)
+	beforeZones := append([]int(nil), w.ClientZones...)
+	moved, err := w.Move(xrand.New(20), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 60 {
+		t.Fatalf("moved %d clients", len(moved))
+	}
+	movedSet := map[int]bool{}
+	for _, j := range moved {
+		movedSet[j] = true
+		if w.ClientZones[j] == beforeZones[j] {
+			t.Fatalf("moved client %d kept zone %d", j, beforeZones[j])
+		}
+	}
+	for j := range w.ClientNodes {
+		if w.ClientNodes[j] != beforeNodes[j] {
+			t.Fatalf("move changed physical node of client %d", j)
+		}
+		if !movedSet[j] && w.ClientZones[j] != beforeZones[j] {
+			t.Fatalf("unmoved client %d changed zone", j)
+		}
+	}
+}
+
+func TestMoveWithSingleZoneIsNoop(t *testing.T) {
+	g, dm := testTopo(t)
+	cfg := testConfig()
+	cfg.Zones = 1
+	w, _ := BuildWorld(xrand.New(21), cfg, g, dm)
+	before := append([]int(nil), w.ClientZones...)
+	if _, err := w.Move(xrand.New(22), 10); err != nil {
+		t.Fatal(err)
+	}
+	for j := range before {
+		if w.ClientZones[j] != before[j] {
+			t.Fatal("single-zone move changed a zone")
+		}
+	}
+}
+
+func TestMoveUnderFullCorrelationStaysValid(t *testing.T) {
+	g, dm := testTopo(t)
+	cfg := testConfig()
+	cfg.Correlation = 1.0
+	cfg.Zones = 4 // fewer zones than the 5 regions → single-zone blocks
+	w, _ := BuildWorld(xrand.New(23), cfg, g, dm)
+	if _, err := w.Move(xrand.New(24), 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnProtocol(t *testing.T) {
+	g, dm := testTopo(t)
+	w, _ := BuildWorld(xrand.New(25), testConfig(), g, dm)
+	if err := w.Churn(xrand.New(26), 40, 40, 40); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumClients() != 200 {
+		t.Fatalf("churn changed population: %d", w.NumClients())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicsKeepProblemConvertible(t *testing.T) {
+	g, dm := testTopo(t)
+	w, _ := BuildWorld(xrand.New(27), testConfig(), g, dm)
+	rng := xrand.New(28)
+	for round := 0; round < 5; round++ {
+		if err := w.Churn(rng.Split(), 20, 20, 20); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Problem().Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package dve
+
+import (
+	"dvecap/internal/core"
+)
+
+// Problem converts the world's current state into the snapshot the
+// assignment algorithms consume. Delay entries come from the world's
+// ground-truth delay matrix; to model measurement error, perturb the
+// returned problem with the estimator package before solving, and evaluate
+// against this (unperturbed) problem.
+func (w *World) Problem() *core.Problem {
+	m := w.Cfg.Servers
+	k := len(w.ClientNodes)
+	p := &core.Problem{
+		ServerCaps:  append([]float64(nil), w.ServerCaps...),
+		ClientZones: append([]int(nil), w.ClientZones...),
+		NumZones:    w.Cfg.Zones,
+		ClientRT:    w.ClientRTs(),
+		CS:          make([][]float64, k),
+		SS:          make([][]float64, m),
+		D:           w.Cfg.DelayBoundMs,
+	}
+	csFlat := make([]float64, k*m)
+	for j := 0; j < k; j++ {
+		p.CS[j], csFlat = csFlat[:m], csFlat[m:]
+		cn := w.ClientNodes[j]
+		for i := 0; i < m; i++ {
+			p.CS[j][i] = w.Delays.RTT(cn, w.ServerNodes[i])
+		}
+	}
+	ssFlat := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		p.SS[i], ssFlat = ssFlat[:m], ssFlat[m:]
+		for l := 0; l < m; l++ {
+			p.SS[i][l] = w.Delays.ServerRTT(w.ServerNodes[i], w.ServerNodes[l])
+		}
+	}
+	return p
+}

@@ -1,0 +1,111 @@
+package dve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dvecap/internal/topology"
+)
+
+// worldJSON is the on-disk form of a World. The topology is embedded so a
+// world file is self-contained and reproducible; the delay matrix is
+// recomputed on load (it is derived state).
+type worldJSON struct {
+	Cfg         Config          `json:"config"`
+	Topology    json.RawMessage `json:"topology"`
+	MaxRTTMs    float64         `json:"max_rtt_ms"`
+	SrvFactor   float64         `json:"inter_server_factor"`
+	ServerNodes []int           `json:"server_nodes"`
+	ServerCaps  []float64       `json:"server_caps_mbps"`
+	ClientNodes []int           `json:"client_nodes"`
+	ClientZones []int           `json:"client_zones"`
+	HotNodes    []int           `json:"hot_nodes,omitempty"`
+	HotZones    []int           `json:"hot_zones,omitempty"`
+}
+
+// WriteJSON serialises the world, including its topology, so the file can
+// be re-loaded anywhere. maxRTT/serverFactor record how the delay matrix
+// was built.
+func (w *World) WriteJSON(out io.Writer, maxRTTMs, serverFactor float64) error {
+	var topoBuf bytes.Buffer
+	if err := w.Topo.WriteJSON(&topoBuf); err != nil {
+		return err
+	}
+	wj := worldJSON{
+		Cfg:         w.Cfg,
+		Topology:    json.RawMessage(topoBuf.Bytes()),
+		MaxRTTMs:    maxRTTMs,
+		SrvFactor:   serverFactor,
+		ServerNodes: w.ServerNodes,
+		ServerCaps:  w.ServerCaps,
+		ClientNodes: w.ClientNodes,
+		ClientZones: w.ClientZones,
+		HotNodes:    setToSlice(w.HotNodes),
+		HotZones:    setToSlice(w.HotZones),
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	return enc.Encode(wj)
+}
+
+// ReadWorldJSON loads a world file, rebuilding the delay matrix from the
+// embedded topology with the recorded parameters.
+func ReadWorldJSON(r io.Reader) (*World, error) {
+	var wj worldJSON
+	if err := json.NewDecoder(r).Decode(&wj); err != nil {
+		return nil, fmt.Errorf("dve: decoding world: %w", err)
+	}
+	topo, err := topology.ReadJSON(bytes.NewReader(wj.Topology))
+	if err != nil {
+		return nil, fmt.Errorf("dve: embedded topology: %w", err)
+	}
+	if wj.MaxRTTMs <= 0 {
+		return nil, fmt.Errorf("dve: max_rtt_ms = %v, want > 0", wj.MaxRTTMs)
+	}
+	delays, err := topology.NewDelayMatrix(topo, wj.MaxRTTMs, wj.SrvFactor)
+	if err != nil {
+		return nil, fmt.Errorf("dve: rebuilding delays: %w", err)
+	}
+	w, err := NewWorldFromParts(wj.Cfg, topo, delays, wj.ServerNodes, wj.ServerCaps,
+		wj.ClientNodes, wj.ClientZones)
+	if err != nil {
+		return nil, err
+	}
+	w.HotNodes = sliceToSet(wj.HotNodes)
+	w.HotZones = sliceToSet(wj.HotZones)
+	return w, nil
+}
+
+func setToSlice(set map[int]bool) []int {
+	if set == nil {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	// Deterministic file contents regardless of map iteration order.
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && out[j] > v {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	return out
+}
+
+func sliceToSet(s []int) map[int]bool {
+	if len(s) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(s))
+	for _, v := range s {
+		set[v] = true
+	}
+	return set
+}

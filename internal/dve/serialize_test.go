@@ -1,0 +1,151 @@
+package dve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+func TestWorldJSONRoundTrip(t *testing.T) {
+	g, dm := testTopo(t)
+	cfg := testConfig()
+	cfg.PhysicalDist = Clustered
+	cfg.VirtualDist = Clustered
+	w, err := BuildWorld(xrand.New(41), cfg, g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf, 500, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorldJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClients() != w.NumClients() {
+		t.Fatalf("clients: %d vs %d", got.NumClients(), w.NumClients())
+	}
+	for j := range w.ClientNodes {
+		if got.ClientNodes[j] != w.ClientNodes[j] || got.ClientZones[j] != w.ClientZones[j] {
+			t.Fatalf("client %d changed", j)
+		}
+	}
+	for i := range w.ServerNodes {
+		if got.ServerNodes[i] != w.ServerNodes[i] || got.ServerCaps[i] != w.ServerCaps[i] {
+			t.Fatalf("server %d changed", i)
+		}
+	}
+	if len(got.HotNodes) != len(w.HotNodes) || len(got.HotZones) != len(w.HotZones) {
+		t.Fatal("hot sets changed")
+	}
+	for k := range w.HotNodes {
+		if !got.HotNodes[k] {
+			t.Fatalf("hot node %d lost", k)
+		}
+	}
+	// The rebuilt problem must match the original's delays exactly (the
+	// delay matrix is derived from the same topology and parameters).
+	p1, p2 := w.Problem(), got.Problem()
+	for j := range p1.CS {
+		for i := range p1.CS[j] {
+			if p1.CS[j][i] != p2.CS[j][i] {
+				t.Fatalf("CS[%d][%d] drifted after reload", j, i)
+			}
+		}
+	}
+}
+
+func TestWorldJSONRoundTripPreservesDynamics(t *testing.T) {
+	g, dm := testTopo(t)
+	w, err := BuildWorld(xrand.New(42), testConfig(), g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf, 500, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorldJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reloaded world supports the same operations.
+	if err := got.Churn(xrand.New(43), 10, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Problem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWorldJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "nope",
+		"no topology": `{"config":{},"max_rtt_ms":500}`,
+		"bad rtt":     `{"config":{},"topology":{"nodes":[{"id":0,"x":0,"y":0,"as":0}],"edges":[]},"max_rtt_ms":0}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadWorldJSON(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestNewWorldFromPartsValidates(t *testing.T) {
+	g, dm := testTopo(t)
+	cfg := testConfig()
+	nodes := []int{0, 1, 2, 3, 4}
+	caps := []float64{40, 40, 40, 40, 40}
+	clientNodes := []int{0, 1, 2}
+	clientZones := []int{0, 1, 2}
+	w, err := NewWorldFromParts(cfg, g, dm, nodes, caps, clientNodes, clientZones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumClients() != 3 || w.Cfg.Servers != 5 {
+		t.Fatalf("shape: %d clients, %d servers", w.NumClients(), w.Cfg.Servers)
+	}
+	// Out-of-range zone rejected.
+	if _, err := NewWorldFromParts(cfg, g, dm, nodes, caps, []int{0}, []int{999}); err == nil {
+		t.Fatal("bad zone accepted")
+	}
+	// Duplicate server node rejected.
+	if _, err := NewWorldFromParts(cfg, g, dm, []int{0, 0, 1, 2, 3}, caps, clientNodes, clientZones); err == nil {
+		t.Fatal("duplicate server node accepted")
+	}
+}
+
+func TestSetClientZones(t *testing.T) {
+	g, dm := testTopo(t)
+	w, err := BuildWorld(xrand.New(44), testConfig(), g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := make([]int, w.NumClients())
+	for i := range zones {
+		zones[i] = i % w.Cfg.Zones
+	}
+	if err := w.SetClientZones(zones); err != nil {
+		t.Fatal(err)
+	}
+	for i := range zones {
+		if w.ClientZones[i] != i%w.Cfg.Zones {
+			t.Fatalf("zone %d not applied", i)
+		}
+	}
+	if err := w.SetClientZones(zones[:1]); err == nil {
+		t.Fatal("short zone vector accepted")
+	}
+	zones[0] = -1
+	if err := w.SetClientZones(zones); err == nil {
+		t.Fatal("negative zone accepted")
+	}
+}

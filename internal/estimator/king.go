@@ -1,0 +1,87 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/xrand"
+)
+
+// StructuredKing models the *mechanism* of King (Gummadi et al.) rather
+// than just its error magnitude: King estimates the latency between two
+// end hosts as the measured latency between DNS name servers close to
+// each of them. We pick, for every topology node, a "resolver" node in the
+// same AS (falling back to the node itself when the AS has no other
+// nodes), and report RTT(resolverOf(a), resolverOf(b)) plus a small
+// measurement jitter as the estimate of RTT(a, b).
+//
+// Unlike the uniform-factor Model, the resulting error is structured: it
+// is small when resolvers sit near their hosts (intra-AS distances are
+// short) and correlated across clients that share a resolver — exactly the
+// error profile delay-estimation services exhibit in practice.
+type StructuredKing struct {
+	// JitterFactor adds multiplicative measurement noise to the proxy
+	// path's RTT, uniform in [1/f, f]; 1 disables it. King's published
+	// accuracy corresponds to small factors (~1.1).
+	JitterFactor float64
+}
+
+// NewStructuredKing returns the model with King-like jitter.
+func NewStructuredKing() StructuredKing {
+	return StructuredKing{JitterFactor: 1.1}
+}
+
+// EstimateProblem builds the problem an operator using King would see for
+// the world's current population: client-server delays are resolver-pair
+// measurements; inter-server delays are assumed measured directly (the
+// operator owns both endpoints).
+func (k StructuredKing) EstimateProblem(rng *xrand.RNG, w *dve.World) (*core.Problem, error) {
+	if k.JitterFactor < 1 {
+		return nil, fmt.Errorf("estimator: JitterFactor %v, want >= 1", k.JitterFactor)
+	}
+	truth := w.Problem()
+	resolver := assignResolvers(rng, w)
+	jitter := Model{Factor: k.JitterFactor}
+
+	cs := make([][]float64, truth.NumClients())
+	for j := range cs {
+		cs[j] = make([]float64, truth.NumServers())
+		cn := w.ClientNodes[j]
+		for i := range cs[j] {
+			sn := w.ServerNodes[i]
+			proxy := w.Delays.RTT(resolver[cn], resolver[sn])
+			cs[j][i] = jitter.estimate(rng, proxy)
+		}
+	}
+	return truth.WithDelays(cs, truth.SS), nil
+}
+
+// assignResolvers picks each node's name-server proxy: a deterministic
+// random member of its AS.
+func assignResolvers(rng *xrand.RNG, w *dve.World) []int {
+	n := w.Topo.N()
+	resolver := make([]int, n)
+	byAS := map[int][]int{}
+	for _, node := range w.Topo.Nodes {
+		byAS[node.AS] = append(byAS[node.AS], node.ID)
+	}
+	// One resolver per AS keeps the error correlated within a region, as
+	// shared resolvers do in reality. Draw in sorted AS order so the
+	// result is a deterministic function of the seed.
+	ases := make([]int, 0, len(byAS))
+	for as := range byAS {
+		ases = append(ases, as)
+	}
+	sort.Ints(ases)
+	asResolver := map[int]int{}
+	for _, as := range ases {
+		members := byAS[as]
+		asResolver[as] = members[rng.IntN(len(members))]
+	}
+	for id, node := range w.Topo.Nodes {
+		resolver[id] = asResolver[node.AS]
+	}
+	return resolver
+}

@@ -1,0 +1,142 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+func kingWorld(t *testing.T) *dve.World {
+	t.Helper()
+	hp := topology.DefaultHier()
+	hp.ASCount = 5
+	hp.NodesPerAS = 10
+	g, err := topology.Hier(xrand.New(1), hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dve.DefaultConfig()
+	cfg.Servers = 5
+	cfg.Zones = 15
+	cfg.Clients = 150
+	cfg.TotalCapacityMbps = 200
+	w, err := dve.BuildWorld(xrand.New(2), cfg, g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestStructuredKingProducesValidProblem(t *testing.T) {
+	w := kingWorld(t)
+	est, err := NewStructuredKing().EstimateProblem(xrand.New(3), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// SS untouched (operator-measured).
+	truth := w.Problem()
+	for i := range truth.SS {
+		for l := range truth.SS[i] {
+			if est.SS[i][l] != truth.SS[i][l] {
+				t.Fatal("StructuredKing perturbed inter-server delays")
+			}
+		}
+	}
+}
+
+func TestStructuredKingErrorIsBounded(t *testing.T) {
+	w := kingWorld(t)
+	truth := w.Problem()
+	est, err := NewStructuredKing().EstimateProblem(xrand.New(4), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proxy path differs from the direct path by at most the detour to
+	// the two resolvers; relative error should mostly be modest, and the
+	// estimate can never be negative.
+	var sumRel float64
+	n := 0
+	for j := range truth.CS {
+		for i := range truth.CS[j] {
+			e, d := est.CS[j][i], truth.CS[j][i]
+			if e < 0 {
+				t.Fatalf("negative estimate %v", e)
+			}
+			if d > 0 {
+				sumRel += math.Abs(e-d) / d
+				n++
+			}
+		}
+	}
+	meanRel := sumRel / float64(n)
+	if meanRel > 0.5 {
+		t.Fatalf("mean relative error %v implausibly large for intra-AS resolvers", meanRel)
+	}
+	if meanRel == 0 {
+		t.Fatal("estimates identical to truth; proxy mechanism inactive")
+	}
+}
+
+func TestStructuredKingDeterministic(t *testing.T) {
+	w := kingWorld(t)
+	a, err := NewStructuredKing().EstimateProblem(xrand.New(7), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStructuredKing().EstimateProblem(xrand.New(7), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.CS {
+		for i := range a.CS[j] {
+			if a.CS[j][i] != b.CS[j][i] {
+				t.Fatalf("estimate [%d][%d] differs across identical runs", j, i)
+			}
+		}
+	}
+}
+
+func TestStructuredKingAssignmentsRemainGood(t *testing.T) {
+	// Assignments computed on King-structured estimates should lose only a
+	// little quality against truth — the mechanism keeps errors small and
+	// correlated, which is why the paper trusts such tools as input.
+	w := kingWorld(t)
+	truth := w.Problem()
+	est, err := NewStructuredKing().EstimateProblem(xrand.New(9), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Overflow: core.SpillLargestResidual}
+	onTruth, err := core.GreZGreC.Solve(xrand.New(10), truth, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onEst, err := core.GreZGreC.Solve(xrand.New(10), est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTruth := core.Evaluate(truth, onTruth).PQoS
+	pEst := core.Evaluate(truth, onEst).PQoS
+	if pEst < pTruth-0.15 {
+		t.Fatalf("structured-King assignment lost too much: %v vs %v", pEst, pTruth)
+	}
+}
+
+func TestStructuredKingRejectsBadJitter(t *testing.T) {
+	w := kingWorld(t)
+	k := StructuredKing{JitterFactor: 0.9}
+	if _, err := k.EstimateProblem(xrand.New(1), w); err == nil {
+		t.Fatal("jitter < 1 accepted")
+	}
+}

@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeSetup keeps replication counts small so the full suite stays fast;
+// the real paper-scale runs happen in the benchmark harness and capsim.
+func smokeSetup() Setup {
+	s := DefaultSetup()
+	s.Reps = 3
+	return s
+}
+
+func TestTable1Smoke(t *testing.T) {
+	res, err := Table1(smokeSetup(), Table1Options{
+		Scenarios: []string{"5s-15z-200c-100cp", "10s-30z-400c-200cp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, n := range res.Names {
+			c := row.Cells[n]
+			if c.PQoS.N() != 3 {
+				t.Fatalf("%s/%s aggregated %d reps", row.Scenario, n, c.PQoS.N())
+			}
+			if m := c.PQoS.Mean(); m < 0 || m > 1 {
+				t.Fatalf("%s/%s pQoS %v", row.Scenario, n, m)
+			}
+			if r := c.R.Mean(); r <= 0 || r > 1.5 {
+				t.Fatalf("%s/%s R %v", row.Scenario, n, r)
+			}
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "5s-15z-200c-100cp") || !strings.Contains(out, "GreZ-GreC") {
+		t.Fatalf("rendering missing content:\n%s", out)
+	}
+}
+
+func TestTable1OrderingHolds(t *testing.T) {
+	// The paper's central claim: GreZ-* beats RanZ-* on pQoS; GreZ-GreC is
+	// the best of the four. With a few reps the gap is wide enough to
+	// assert on the default scenario.
+	s := smokeSetup()
+	s.Reps = 5
+	res, err := Table1(s, Table1Options{Scenarios: []string{"20s-80z-1000c-500cp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := res.Rows[0].Cells
+	gzgc := cells["GreZ-GreC"].PQoS.Mean()
+	gzvc := cells["GreZ-VirC"].PQoS.Mean()
+	rzgc := cells["RanZ-GreC"].PQoS.Mean()
+	rzvc := cells["RanZ-VirC"].PQoS.Mean()
+	if gzgc < gzvc {
+		t.Fatalf("GreZ-GreC (%v) below GreZ-VirC (%v)", gzgc, gzvc)
+	}
+	if gzvc <= rzvc {
+		t.Fatalf("GreZ-VirC (%v) not above RanZ-VirC (%v)", gzvc, rzvc)
+	}
+	if rzgc <= rzvc {
+		t.Fatalf("RanZ-GreC (%v) not above RanZ-VirC (%v)", rzgc, rzvc)
+	}
+	if gzgc <= rzgc {
+		t.Fatalf("GreZ-GreC (%v) not above RanZ-GreC (%v)", gzgc, rzgc)
+	}
+	// VirC refinements add no forwarding load: R(GreZ-VirC) < R(GreZ-GreC).
+	if cells["GreZ-VirC"].R.Mean() > cells["GreZ-GreC"].R.Mean() {
+		t.Fatalf("VirC consumed more bandwidth than GreC")
+	}
+}
+
+func TestTable1WithLP(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Table1(s, Table1Options{
+		IncludeLP:  true,
+		LPReps:     2,
+		LPDeadline: 30 * time.Second,
+		Scenarios:  []string{"5s-15z-200c-100cp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.LP == nil {
+		t.Fatal("LP column missing")
+	}
+	// The exact solution can never lose to the heuristics on the IAP+RAP
+	// objective; on pQoS it should be at least competitive with GreZ-GreC
+	// minus sampling noise.
+	if row.LP.PQoS.Mean() < row.Cells["GreZ-GreC"].PQoS.Mean()-0.1 {
+		t.Fatalf("exact pQoS %v far below GreZ-GreC %v",
+			row.LP.PQoS.Mean(), row.Cells["GreZ-GreC"].PQoS.Mean())
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Fig4(s, Fig4Options{Scenario: "10s-30z-400c-200cp", Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, series := range res.Series {
+		if len(series.Points) != 11 {
+			t.Fatalf("%s has %d points", series.Algorithm, len(series.Points))
+		}
+		last := -1.0
+		for _, pt := range series.Points {
+			if pt.Y < last-1e-12 {
+				t.Fatalf("%s CDF not monotone", series.Algorithm)
+			}
+			last = pt.Y
+			if pt.Y < 0 || pt.Y > 1 {
+				t.Fatalf("%s CDF out of range", series.Algorithm)
+			}
+		}
+		if series.PAtBound <= 0 {
+			t.Fatalf("%s pQoS at bound = %v", series.Algorithm, series.PAtBound)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 4") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig4BestAlgorithmDominatesAtBound(t *testing.T) {
+	s := smokeSetup()
+	res, err := Fig4(s, Fig4Options{Scenario: "10s-30z-400c-200cp", Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := map[string]float64{}
+	for _, series := range res.Series {
+		at[series.Algorithm] = series.PAtBound
+	}
+	if at["GreZ-GreC"] < at["RanZ-VirC"] {
+		t.Fatalf("GreZ-GreC CDF at bound (%v) below RanZ-VirC (%v)",
+			at["GreZ-GreC"], at["RanZ-VirC"])
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Fig5(s, Fig5Options{
+		Correlations: []float64{0, 1},
+		Scenario:     "10s-30z-400c-200cp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Bound != 200 {
+		t.Fatalf("bound = %v, want the paper's 200", res.Bound)
+	}
+	// GreZ-* must benefit from perfect correlation.
+	lo := res.Points[0].Cells["GreZ-GreC"].PQoS.Mean()
+	hi := res.Points[1].Cells["GreZ-GreC"].PQoS.Mean()
+	if hi < lo {
+		t.Fatalf("GreZ-GreC did not improve with correlation: %v → %v", lo, hi)
+	}
+	if !strings.Contains(res.String(), "Figure 5(a)") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Fig6(s, Fig6Options{Scenario: "10s-30z-400c-200cp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Virtual-world clustering inflates bandwidth demand (quadratic per
+	// zone): utilisation for type 3 (VW clustered) must exceed type 1
+	// (uniform) for the no-forwarding algorithm.
+	uni := res.Points[0].Cells["GreZ-VirC"].R.Mean()
+	vw := res.Points[2].Cells["GreZ-VirC"].R.Mean()
+	if vw <= uni {
+		t.Fatalf("VW clustering did not raise utilisation: %v vs %v", vw, uni)
+	}
+	if !strings.Contains(res.String(), "Figure 6(b)") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	s := smokeSetup()
+	res, err := Table3(s, Table3Options{
+		Scenario: "10s-30z-400c-200cp",
+		Join:     80, Leave: 80, Move: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Before.N() != 3 {
+			t.Fatalf("%s aggregated %d reps", row.Algorithm, row.Before.N())
+		}
+		// Re-execution must not be worse than the degraded assignment for
+		// the delay-aware algorithms (the paper's core point).
+		if row.Algorithm == "GreZ-GreC" && row.Executed.Mean() < row.After.Mean()-0.02 {
+			t.Fatalf("%s: executed %v below after %v",
+				row.Algorithm, row.Executed.Mean(), row.After.Mean())
+		}
+	}
+	if !strings.Contains(res.String(), "Table 3") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	s := smokeSetup()
+	res, err := Table4(s, Table4Options{Scenario: "10s-30z-400c-200cp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %d", len(res.Columns))
+	}
+	for _, col := range res.Columns {
+		for _, n := range res.Names {
+			if m := col.Cells[n].PQoS.Mean(); m < 0 || m > 1 {
+				t.Fatalf("%s/%s pQoS %v", col.Model.Name, n, m)
+			}
+		}
+	}
+	// Larger error cannot help the delay-aware algorithms.
+	king := res.Columns[0].Cells["GreZ-GreC"].PQoS.Mean()
+	idmaps := res.Columns[1].Cells["GreZ-GreC"].PQoS.Mean()
+	if idmaps > king+0.05 {
+		t.Fatalf("more noise improved GreZ-GreC: %v → %v", king, idmaps)
+	}
+	if !strings.Contains(res.String(), "Table 4") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Ablation(s, AblationOptions{Scenario: "10s-30z-400c-200cp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base := res.Rows[0]
+	withLS := res.Rows[2]
+	if withLS.PQoS.Mean() < base.PQoS.Mean()-1e-9 {
+		t.Fatalf("local search hurt pQoS: %v vs %v", withLS.PQoS.Mean(), base.PQoS.Mean())
+	}
+	if !strings.Contains(res.String(), "Ablation") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRuntimeSmoke(t *testing.T) {
+	s := smokeSetup()
+	res, err := Runtime(s, RuntimeOptions{
+		Scenarios: []string{"5s-15z-200c-100cp", "10s-30z-400c-200cp"},
+		IncludeLP: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		for name, d := range row.Heuristic {
+			if d <= 0 {
+				t.Fatalf("%s/%s has zero duration", row.Scenario, name)
+			}
+			if d > time.Second {
+				t.Fatalf("%s/%s took %v; the paper promises < 1 s", row.Scenario, name, d)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Runtime") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestUSBackboneSetupWorks(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	s.Topology = TopoUSBackbone
+	res, err := Table1(s, Table1Options{Scenarios: []string{"5s-15z-200c-100cp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Names {
+		if m := res.Rows[0].Cells[n].PQoS.Mean(); m < 0 || m > 1 {
+			t.Fatalf("backbone %s pQoS %v", n, m)
+		}
+	}
+}
+
+func TestSetupDeterminism(t *testing.T) {
+	run := func() string {
+		s := smokeSetup()
+		s.Reps = 2
+		res, err := Table1(s, Table1Options{Scenarios: []string{"5s-15z-200c-100cp"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical setups produced different tables:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestUnknownTopologyRejected(t *testing.T) {
+	s := smokeSetup()
+	s.Topology = "nonsense"
+	if _, err := Table1(s, Table1Options{Scenarios: []string{"5s-15z-200c-100cp"}}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestBaselinesSmoke(t *testing.T) {
+	s := smokeSetup()
+	res, err := Baselines(s, BaselinesOptions{Scenario: "10s-30z-400c-200cp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 5 {
+		t.Fatalf("names = %v", res.Names)
+	}
+	// The paper's delay-aware pipeline must dominate blind load balancing.
+	if res.Cells["GreZ-GreC"].PQoS.Mean() <= res.Cells["LoadZ-VirC"].PQoS.Mean() {
+		t.Fatalf("GreZ-GreC (%v) did not beat LoadZ-VirC (%v)",
+			res.Cells["GreZ-GreC"].PQoS.Mean(), res.Cells["LoadZ-VirC"].PQoS.Mean())
+	}
+	if !strings.Contains(res.String(), "baselines") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestStalenessSmoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Staleness(s, StalenessOptions{
+		Periods:    []float64{30, 300},
+		HorizonSec: 600,
+		Scenario:   "10s-30z-400c-200cp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	fast, slow := res.Points[0], res.Points[1]
+	// More frequent reassignment must not give a worse time-averaged pQoS
+	// (allowing a little sampling noise).
+	if fast.MeanPQoS.Mean() < slow.MeanPQoS.Mean()-0.05 {
+		t.Fatalf("frequent reassignment worse: %v vs %v",
+			fast.MeanPQoS.Mean(), slow.MeanPQoS.Mean())
+	}
+	if !strings.Contains(res.String(), "Staleness") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRobustnessSmoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Robustness(s, RobustnessOptions{Scenario: "10s-30z-400c-200cp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's ordering must hold on every substrate — that is the
+	// point of the cross-check.
+	for _, row := range res.Rows {
+		gz := row.Cells["GreZ-GreC"].PQoS.Mean()
+		rz := row.Cells["RanZ-VirC"].PQoS.Mean()
+		if gz <= rz {
+			t.Fatalf("%s: GreZ-GreC (%v) did not beat RanZ-VirC (%v)", row.Topology, gz, rz)
+		}
+	}
+	if !strings.Contains(res.String(), "robustness") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFlowCheckSmoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := FlowCheck(s, FlowCheckOptions{
+		Scenario:  "10s-30z-400c-200cp",
+		Headrooms: []float64{4, 1.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 || len(res.Knee) != 2 {
+		t.Fatalf("shape: %d rows, %d knee points", len(res.Rows), len(res.Knee))
+	}
+	// At 4x headroom the models agree closely; at 1.02x queueing bites.
+	wide, tight := res.Knee[0], res.Knee[1]
+	wideGap := wide.Analytic.Mean() - wide.Simulated.Mean()
+	tightGap := tight.Analytic.Mean() - tight.Simulated.Mean()
+	if wideGap > 0.05 {
+		t.Fatalf("models disagree at 4x headroom: gap %v", wideGap)
+	}
+	if tightGap <= wideGap {
+		t.Fatalf("queueing cost did not grow toward the knee: %v vs %v", tightGap, wideGap)
+	}
+	if !strings.Contains(res.String(), "Knee profile") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/metrics"
+)
+
+// Fig6Options tunes the distribution-type experiment.
+type Fig6Options struct {
+	// Scenario defaults to the paper's 20s-80z-1000c-500cp.
+	Scenario string
+}
+
+// Fig6Point is one distribution type's measurements.
+type Fig6Point struct {
+	Type  dve.DistributionType
+	Cells map[string]*Cell
+}
+
+// Fig6Result reproduces "Figure 6. Impacts of client distributions": pQoS
+// (a) and resource utilisation (b) across the four Table 2 distribution
+// types (the paper's plot labels them 1–4).
+type Fig6Result struct {
+	Points []Fig6Point
+	Names  []string
+}
+
+// Fig6 runs all four distribution types.
+func Fig6(setup Setup, opt Fig6Options) (*Fig6Result, error) {
+	setup = setup.withDefaults()
+	if opt.Scenario == "" {
+		opt.Scenario = "20s-80z-1000c-500cp"
+	}
+	base, err := dve.ParseScenario(dve.DefaultConfig(), opt.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	algos := core.PaperAlgorithms()
+	names := algorithmNames(algos)
+	res := &Fig6Result{Names: names}
+	for _, dt := range []dve.DistributionType{
+		dve.TypeUniform, dve.TypePhysicalClusters, dve.TypeVirtualClusters, dve.TypeBothClusters,
+	} {
+		cfg := base
+		dt.Apply(&cfg)
+		reps, err := setup.runAlgorithms(cfg, algos)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 type %v: %w", dt, err)
+		}
+		res.Points = append(res.Points, Fig6Point{Type: dt, Cells: aggregate(reps, names)})
+	}
+	return res, nil
+}
+
+// String renders both panels; types are labelled 1–4 like the paper's axis.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6(a): pQoS vs distribution type\n")
+	b.WriteString(r.panel(func(c *Cell) float64 { return c.PQoS.Mean() }))
+	b.WriteString("\nFigure 6(b): resource utilisation vs distribution type\n")
+	b.WriteString(r.panel(func(c *Cell) float64 { return c.R.Mean() }))
+	return b.String()
+}
+
+func (r *Fig6Result) panel(pick func(*Cell) float64) string {
+	tb := metrics.NewTable(append([]string{"type", "distribution"}, r.Names...)...)
+	for i, pt := range r.Points {
+		cells := []string{fmt.Sprintf("%d", i+1), pt.Type.String()}
+		for _, n := range r.Names {
+			cells = append(cells, fmt.Sprintf("%.3f", pick(pt.Cells[n])))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.String()
+}

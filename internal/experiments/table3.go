@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/metrics"
+	"dvecap/internal/runner"
+	"dvecap/internal/xrand"
+)
+
+// Table3Options tunes the dynamics experiment.
+type Table3Options struct {
+	// Scenario defaults to the paper's 20s-80z-1000c-500cp.
+	Scenario string
+	// Join/Leave/Move counts; the paper uses 200 each.
+	Join, Leave, Move int
+}
+
+// Table3Row is one algorithm's before / after / re-executed pQoS.
+type Table3Row struct {
+	Algorithm string
+	Before    metrics.Summary
+	After     metrics.Summary
+	Executed  metrics.Summary
+}
+
+// Table3Result reproduces "Table 3. pQoS with DVE dynamics": the quality of
+// an assignment before churn, right after 200 joins + 200 leaves + 200
+// moves hit it, and after re-executing the algorithm (§3.4's prescription).
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs the dynamics experiment with δ = 0, as in the paper.
+func Table3(setup Setup, opt Table3Options) (*Table3Result, error) {
+	setup = setup.withDefaults()
+	if opt.Scenario == "" {
+		opt.Scenario = "20s-80z-1000c-500cp"
+	}
+	if opt.Join == 0 && opt.Leave == 0 && opt.Move == 0 {
+		opt.Join, opt.Leave, opt.Move = 200, 200, 200
+	}
+	cfg, err := dve.ParseScenario(dve.DefaultConfig(), opt.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Correlation = 0 // the paper fixes δ = 0 here
+	algos := core.PaperAlgorithms()
+
+	type row map[string][3]float64
+	reps, err := runner.Run(setup.Seed, setup.Reps, func(rep int, rng *xrand.RNG) (row, error) {
+		world, err := setup.buildWorld(rng.Split(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		truth := world.Problem()
+
+		// Solve every algorithm on the pre-churn world.
+		before := make(map[string]*core.Assignment, len(algos))
+		out := make(row, len(algos))
+		for _, tp := range algos {
+			a, err := tp.Solve(rng.Split(), truth, solveOpts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", tp.Name, err)
+			}
+			before[tp.Name] = a
+		}
+
+		// One shared churn hits all algorithms identically.
+		churned := world.Clone()
+		churnRng := rng.Split()
+		joined := churned.Join(churnRng, opt.Join)
+		removed, err := churned.Leave(churnRng, opt.Leave)
+		if err != nil {
+			return nil, err
+		}
+		moved, err := churned.Move(churnRng, opt.Move)
+		if err != nil {
+			return nil, err
+		}
+		afterTruth := churned.Problem()
+
+		for _, tp := range algos {
+			a := before[tp.Name]
+			beforeQoS := core.Evaluate(truth, a).PQoS
+
+			adapted := adaptAssignment(a, joined, removed, moved, afterTruth)
+			afterQoS := core.Evaluate(afterTruth, adapted).PQoS
+
+			re, err := tp.Solve(rng.Split(), afterTruth, solveOpts)
+			if err != nil {
+				return nil, fmt.Errorf("%s re-exec: %w", tp.Name, err)
+			}
+			execQoS := core.Evaluate(afterTruth, re).PQoS
+			out[tp.Name] = [3]float64{beforeQoS, afterQoS, execQoS}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
+
+	res := &Table3Result{}
+	for _, tp := range algos {
+		r := Table3Row{Algorithm: tp.Name}
+		for _, rm := range reps {
+			v := rm[tp.Name]
+			r.Before.Add(v[0])
+			r.After.Add(v[1])
+			r.Executed.Add(v[2])
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	return res, nil
+}
+
+// adaptAssignment carries an assignment across churn without re-running the
+// algorithm, the "After" column's semantics: zones keep their servers; a
+// surviving unmoved client keeps its contact; joined clients and moved
+// clients connect directly to their (new) zone's server, since their old
+// refined choice no longer applies.
+func adaptAssignment(a *core.Assignment, joined, removed, moved []int, after *core.Problem) *core.Assignment {
+	// The churn order was join → leave → move, with `removed` indexes
+	// relative to the post-join population and `moved` relative to the
+	// post-leave one. Rebuild the contact vector through the same steps.
+	contacts := append([]int(nil), a.ClientContact...)
+	for range joined {
+		contacts = append(contacts, -1) // joined: resolved below against the new zone
+	}
+	contacts = dve.Compact(contacts, removed)
+	for _, j := range moved {
+		contacts[j] = -1 // moved: re-resolve against the new zone
+	}
+	out := &core.Assignment{
+		ZoneServer:    append([]int(nil), a.ZoneServer...),
+		ClientContact: contacts,
+	}
+	for j, c := range out.ClientContact {
+		if c < 0 {
+			out.ClientContact[j] = out.ZoneServer[after.ClientZones[j]]
+		}
+	}
+	return out
+}
+
+// String renders the paper's Table 3 layout.
+func (r *Table3Result) String() string {
+	tb := metrics.NewTable("Time", "Before", "After", "Executed")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Algorithm,
+			fmt.Sprintf("%.2f", row.Before.Mean()),
+			fmt.Sprintf("%.2f", row.After.Mean()),
+			fmt.Sprintf("%.2f", row.Executed.Mean()))
+	}
+	var b strings.Builder
+	b.WriteString("Table 3: pQoS with DVE dynamics (join/leave/move, δ = 0)\n")
+	b.WriteString(tb.String())
+	return b.String()
+}

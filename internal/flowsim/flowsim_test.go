@@ -1,0 +1,215 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/topology"
+	"dvecap/internal/xrand"
+)
+
+// feasibleCase builds a comfortably under-loaded assignment.
+func feasibleCase(t *testing.T) (*core.Problem, *core.Assignment) {
+	t.Helper()
+	hp := topology.DefaultHier()
+	hp.ASCount = 4
+	hp.NodesPerAS = 10
+	g, err := topology.Hier(xrand.New(1), hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dve.DefaultConfig()
+	cfg.Servers = 5
+	cfg.Zones = 15
+	cfg.Clients = 200
+	cfg.TotalCapacityMbps = 400 // generous
+	w, err := dve.BuildWorld(xrand.New(2), cfg, g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Problem()
+	a, err := core.GreZGreC.Solve(xrand.New(3), p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a
+}
+
+func TestBelowKneeMatchesAnalyticModel(t *testing.T) {
+	p, a := feasibleCase(t)
+	// The paper's hard constraint permits utilisation arbitrarily close to
+	// 1, where queueing diverges; the agreement claim is for operation
+	// below the knee. Give every server 2× headroom over its actual load
+	// and check the models coincide there.
+	loads := a.ServerLoads(p)
+	for i := range p.ServerCaps {
+		if min := loads[i] * 2; p.ServerCaps[i] < min {
+			p.ServerCaps[i] = min
+		}
+	}
+	res, err := Simulate(p, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d clients below the knee", res.Dropped)
+	}
+	if res.MaxUtilization > 0.5+1e-9 {
+		t.Fatalf("max utilisation %v, wanted ≤ 0.5 by construction", res.MaxUtilization)
+	}
+	// At ρ ≤ 0.5 the multiplier is ≤ 2: a handful of ms of queueing, so
+	// simulated pQoS sits within a few points of the analytical score.
+	if math.Abs(res.PQoS-res.AnalyticPQoS) > 0.05 {
+		t.Fatalf("simulated %v vs analytic %v: model disagreement too large",
+			res.PQoS, res.AnalyticPQoS)
+	}
+	// Simulated delays exceed propagation-only delays, strictly.
+	for j, d := range res.Delays {
+		if d < a.ClientDelay(p, j) {
+			t.Fatalf("client %d simulated %v below propagation %v", j, d, a.ClientDelay(p, j))
+		}
+	}
+}
+
+func TestNearCapacityOperationDegradesEvenWhenFeasible(t *testing.T) {
+	// The counterpart claim: an assignment that satisfies constraint (2)
+	// but parks servers near ρ = 1 already loses simulated pQoS — the hard
+	// constraint alone does not price queueing.
+	p, a := feasibleCase(t)
+	loads := a.ServerLoads(p)
+	for i := range p.ServerCaps {
+		p.ServerCaps[i] = loads[i] * 1.02 // feasible, but ρ ≈ 0.98
+	}
+	res, err := Simulate(p, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUtilization > 1 {
+		t.Fatalf("assignment should remain feasible: %v", res.MaxUtilization)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("no drops expected at ρ < 1, got %d", res.Dropped)
+	}
+	if res.PQoS >= res.AnalyticPQoS {
+		t.Fatalf("near-capacity queueing did not cost anything: %v vs %v",
+			res.PQoS, res.AnalyticPQoS)
+	}
+}
+
+func TestOverloadCollapsesSimulatedQoS(t *testing.T) {
+	p, a := feasibleCase(t)
+	// Strangle the capacities: same assignment now violates constraint (2).
+	for i := range p.ServerCaps {
+		p.ServerCaps[i] *= 0.2
+	}
+	res, err := Simulate(p, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUtilization <= 1 {
+		t.Fatalf("expected overload, got max utilisation %v", res.MaxUtilization)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("overloaded servers shed no traffic")
+	}
+	// The analytical score is blind to overload; the simulation is not.
+	if res.PQoS >= res.AnalyticPQoS {
+		t.Fatalf("simulated pQoS %v not below analytic %v under overload",
+			res.PQoS, res.AnalyticPQoS)
+	}
+}
+
+func TestDropsDisabled(t *testing.T) {
+	p, a := feasibleCase(t)
+	for i := range p.ServerCaps {
+		p.ServerCaps[i] *= 0.2
+	}
+	cfg := DefaultConfig()
+	cfg.OverloadDrops = false
+	res, err := Simulate(p, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatal("drops occurred despite OverloadDrops=false")
+	}
+	// Queueing at the multiplier cap still hurts delay-sensitive clients.
+	for _, d := range res.Delays {
+		if math.IsInf(d, 1) {
+			t.Fatal("infinite delay without drops")
+		}
+	}
+}
+
+func TestQueueingDelayGrowsWithUtilisation(t *testing.T) {
+	p, a := feasibleCase(t)
+	resLow, err := Simulate(p, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighten capacity to just above load: utilisation near 1, queueing up.
+	loads := a.ServerLoads(p)
+	for i := range p.ServerCaps {
+		p.ServerCaps[i] = loads[i] * 1.05
+	}
+	resHigh, err := Simulate(p, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanLow, meanHigh float64
+	for j := range resLow.Delays {
+		meanLow += resLow.Delays[j]
+		meanHigh += resHigh.Delays[j]
+	}
+	if meanHigh <= meanLow {
+		t.Fatalf("queueing did not grow with utilisation: %v vs %v", meanHigh, meanLow)
+	}
+}
+
+func TestSimulateValidates(t *testing.T) {
+	p, a := feasibleCase(t)
+	bad := DefaultConfig()
+	bad.MaxMultiplier = 0.5
+	if _, err := Simulate(p, a, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	short := a.Clone()
+	short.ClientContact = short.ClientContact[:1]
+	if _, err := Simulate(p, short, DefaultConfig()); err == nil {
+		t.Fatal("invalid assignment accepted")
+	}
+}
+
+func TestShedHeaviestFirstDeterministic(t *testing.T) {
+	// One server, capacity 3, three clients with RT 2, 1.5, 1 → load 4.5,
+	// excess 1.5: shedding takes the RT-2 client only.
+	p := &core.Problem{
+		ServerCaps:  []float64{3},
+		ClientZones: []int{0, 0, 0},
+		NumZones:    1,
+		ClientRT:    []float64{2, 1.5, 1},
+		CS:          [][]float64{{50}, {50}, {50}},
+		SS:          [][]float64{{0}},
+		D:           250,
+	}
+	a := &core.Assignment{ZoneServer: []int{0}, ClientContact: []int{0, 0, 0}}
+	res, err := Simulate(p, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 {
+		t.Fatalf("dropped %d, want 1", res.Dropped)
+	}
+	if !math.IsInf(res.Delays[0], 1) {
+		t.Fatal("heaviest client not shed")
+	}
+	if math.IsInf(res.Delays[1], 1) || math.IsInf(res.Delays[2], 1) {
+		t.Fatal("lighter clients shed")
+	}
+}

@@ -1,0 +1,138 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBealeCyclingExample runs the classic Beale LP that makes naive
+// Dantzig-rule simplex cycle forever; the Bland's-rule fallback must
+// terminate at the optimum.
+//
+//	min -0.75x1 + 150x2 - 0.02x3 + 6x4
+//	s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 ≤ 0
+//	     0.50x1 - 90x2 - 0.02x3 + 3x4 ≤ 0
+//	     x3 ≤ 1
+//
+// Optimum: x = (0.04, 0, 1, 0) with objective -0.05.
+func TestBealeCyclingExample(t *testing.T) {
+	p := &Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		Rel: []Relation{LE, LE, LE},
+		B:   []float64{0, 0, 1},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.Objective-(-0.05)) > 1e-9 {
+		t.Fatalf("objective %v, want -0.05", res.Objective)
+	}
+	want := []float64{0.04, 0, 1, 0}
+	for j, v := range want {
+		if math.Abs(res.X[j]-v) > 1e-9 {
+			t.Fatalf("x = %v, want %v", res.X, want)
+		}
+	}
+}
+
+// TestKleeMintyCube solves the 3-D Klee–Minty cube, the worst case for
+// Dantzig pricing; correctness matters here, not pivot count.
+//
+//	max 4x1 + 2x2 + x3  (as min of the negation)
+//	s.t. x1 ≤ 5; 4x1 + x2 ≤ 25; 8x1 + 4x2 + x3 ≤ 125
+//
+// Optimum: x = (0, 0, 125), objective 125.
+func TestKleeMintyCube(t *testing.T) {
+	p := &Problem{
+		C: []float64{-4, -2, -1},
+		A: [][]float64{
+			{1, 0, 0},
+			{4, 1, 0},
+			{8, 4, 1},
+		},
+		Rel: []Relation{LE, LE, LE},
+		B:   []float64{5, 25, 125},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-(-125)) > 1e-7 {
+		t.Fatalf("status %v objective %v, want optimal -125", res.Status, res.Objective)
+	}
+}
+
+// TestLargeGAPRelaxation exercises the solver at the scale the MILP uses
+// it: the LP relaxation of a 20-server × 80-zone assignment program.
+func TestLargeGAPRelaxation(t *testing.T) {
+	m, n := 20, 80
+	nv := m * n
+	p := &Problem{C: make([]float64, nv)}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			// Deterministic pseudo-costs.
+			p.C[j*m+i] = float64((j*31+i*17)%13) / 3.0
+		}
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, nv)
+		for i := 0; i < m; i++ {
+			row[j*m+i] = 1
+		}
+		p.A = append(p.A, row)
+		p.Rel = append(p.Rel, EQ)
+		p.B = append(p.B, 1)
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, nv)
+		for j := 0; j < n; j++ {
+			row[j*m+i] = 1 + float64(j%5)
+		}
+		p.A = append(p.A, row)
+		p.Rel = append(p.Rel, LE)
+		p.B = append(p.B, 30)
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	// All assignment equalities must hold.
+	for j := 0; j < n; j++ {
+		var sum float64
+		for i := 0; i < m; i++ {
+			sum += res.X[j*m+i]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("zone %d assignment sums to %v", j, sum)
+		}
+	}
+}
+
+// TestIterationCounterAdvances sanity-checks the pivot accounting.
+func TestIterationCounterAdvances(t *testing.T) {
+	p := &Problem{
+		C:   []float64{-3, -5},
+		A:   [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		Rel: []Relation{LE, LE, LE},
+		B:   []float64{4, 12, 18},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations <= 0 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}

@@ -1,0 +1,411 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in inequality/equality form. It exists to power the milp
+// package's branch-and-bound — the reproduction's stand-in for the paper's
+// lp_solve baseline — and is deliberately simple: dense tableau, Dantzig
+// pricing with a Bland's-rule anti-cycling fallback, explicit Phase 1 with
+// artificial variables.
+//
+// Scale target: the CAP integer programs relax to LPs with a few hundred
+// columns and under a hundred rows, well within dense-tableau territory.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint sense.
+type Relation int
+
+const (
+	// LE means a·x ≤ b.
+	LE Relation = iota
+	// GE means a·x ≥ b.
+	GE
+	// EQ means a·x = b.
+	EQ
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Problem is min C·x subject to A x (Rel) B, x ≥ 0.
+type Problem struct {
+	C   []float64
+	A   [][]float64
+	Rel []Relation
+	B   []float64
+}
+
+// Status classifies a solve outcome.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is a solve outcome. X and Objective are meaningful only when
+// Status == Optimal.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const (
+	tol = 1e-9
+	// blandThreshold switches pricing to Bland's rule after this many
+	// consecutive degenerate pivots, guaranteeing termination.
+	blandThreshold = 64
+	// maxPivots is a hard safety stop; hit only by pathological inputs.
+	maxPivots = 200000
+)
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+		return fmt.Errorf("lp: %d rows in A, %d in B, %d relations", len(p.A), len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: A[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+	for j, v := range p.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: C[%d] = %v", j, v)
+		}
+	}
+	for i, v := range p.B {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: B[%d] = %v", i, v)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense simplex working state.
+type tableau struct {
+	m, n     int // constraint rows, structural columns
+	slack    int // number of slack/surplus columns
+	art      int // number of artificial columns
+	cols     int // total columns (n + slack + art)
+	a        [][]float64
+	b        []float64
+	basis    []int // basis[i] = column basic in row i
+	cost     []float64
+	obj      float64 // current objective value (of the phase cost)
+	banned   []bool  // columns barred from entering (artificials in phase 2)
+	pivots   int
+	degenRun int
+}
+
+// Solve runs two-phase primal simplex.
+func Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := newTableau(p)
+
+	// Phase 1: minimise the sum of artificials, if any are present.
+	if t.art > 0 {
+		phase1 := make([]float64, t.cols)
+		for j := t.n + t.slack; j < t.cols; j++ {
+			phase1[j] = 1
+		}
+		t.setCost(phase1)
+		if status := t.optimize(); status == Unbounded {
+			// A sum of non-negative variables can't be unbounded below;
+			// this indicates numerical trouble.
+			return nil, fmt.Errorf("lp: phase 1 unbounded (numerical failure)")
+		}
+		if t.obj > 1e-7 {
+			return &Result{Status: Infeasible, Iterations: t.pivots}, nil
+		}
+		t.evictArtificials()
+		for j := t.n + t.slack; j < t.cols; j++ {
+			t.banned[j] = true
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns.
+	phase2 := make([]float64, t.cols)
+	copy(phase2, p.C)
+	t.setCost(phase2)
+	status := t.optimize()
+	if status == Unbounded {
+		return &Result{Status: Unbounded, Iterations: t.pivots}, nil
+	}
+	x := make([]float64, t.n)
+	for i, col := range t.basis {
+		if col < t.n {
+			x[col] = t.b[i]
+		}
+	}
+	var objective float64
+	for j, v := range x {
+		objective += p.C[j] * v
+	}
+	return &Result{Status: Optimal, X: x, Objective: objective, Iterations: t.pivots}, nil
+}
+
+// newTableau builds the initial tableau with slacks and artificials and a
+// valid starting basis.
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.A), len(p.C)
+	// Count slacks (LE and GE rows each get one) and artificials (GE and EQ
+	// rows, plus LE rows whose slack would start negative).
+	type rowKind struct {
+		flip      bool // multiply row by -1 so b >= 0
+		slackSign float64
+		needsArt  bool
+	}
+	kinds := make([]rowKind, m)
+	slack, art := 0, 0
+	for i := 0; i < m; i++ {
+		rel, b := p.Rel[i], p.B[i]
+		flip := b < 0
+		if flip {
+			// Flipping negates the relation sense.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		k := rowKind{flip: flip}
+		switch rel {
+		case LE:
+			k.slackSign = 1 // slack starts basic at b ≥ 0
+			slack++
+		case GE:
+			k.slackSign = -1 // surplus; needs artificial
+			slack++
+			k.needsArt = true
+			art++
+		case EQ:
+			k.needsArt = true
+			art++
+		}
+		kinds[i] = k
+	}
+	cols := n + slack + art
+	t := &tableau{
+		m: m, n: n, slack: slack, art: art, cols: cols,
+		a:      make([][]float64, m),
+		b:      make([]float64, m),
+		basis:  make([]int, m),
+		banned: make([]bool, cols),
+	}
+	flat := make([]float64, m*cols)
+	si, ai := 0, 0
+	for i := 0; i < m; i++ {
+		t.a[i], flat = flat[:cols], flat[cols:]
+		sign := 1.0
+		if kinds[i].flip {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t.a[i][j] = sign * p.A[i][j]
+		}
+		t.b[i] = sign * p.B[i]
+		if kinds[i].slackSign != 0 {
+			col := n + si
+			t.a[i][col] = kinds[i].slackSign
+			si++
+			if kinds[i].slackSign > 0 {
+				t.basis[i] = col
+			}
+		}
+		if kinds[i].needsArt {
+			col := n + slack + ai
+			t.a[i][col] = 1
+			t.basis[i] = col
+			ai++
+		}
+	}
+	return t
+}
+
+// setCost installs a cost vector and prices the current basis out of it
+// (reduced-cost form), recomputing the objective.
+func (t *tableau) setCost(c []float64) {
+	t.cost = append(t.cost[:0], c...)
+	t.obj = 0
+	for i, col := range t.basis {
+		if t.cost[col] != 0 {
+			t.reduceRow(i, t.cost[col])
+		}
+	}
+}
+
+// reduceRow subtracts factor × row i from the cost row.
+func (t *tableau) reduceRow(i int, factor float64) {
+	row := t.a[i]
+	for j := 0; j < t.cols; j++ {
+		t.cost[j] -= factor * row[j]
+	}
+	t.obj += factor * t.b[i] // objective of min problem: obj = c_B x_B
+}
+
+// optimize pivots until optimal or unbounded.
+func (t *tableau) optimize() Status {
+	t.degenRun = 0
+	for {
+		enter := t.chooseEntering()
+		if enter < 0 {
+			return Optimal
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		if t.pivots++; t.pivots > maxPivots {
+			// Should never happen with Bland fallback; treat as optimal-at-
+			// current to avoid hanging callers. The solution remains a
+			// feasible basic point.
+			return Optimal
+		}
+	}
+}
+
+// chooseEntering picks the entering column: Dantzig normally, Bland after a
+// run of degenerate pivots.
+func (t *tableau) chooseEntering() int {
+	if t.degenRun > blandThreshold {
+		for j := 0; j < t.cols; j++ {
+			if !t.banned[j] && t.cost[j] < -tol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestV := -1, -tol
+	for j := 0; j < t.cols; j++ {
+		if !t.banned[j] && t.cost[j] < bestV {
+			best, bestV = j, t.cost[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the min-ratio test on the entering column, breaking
+// ties by smallest basis column (Bland-compatible).
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.a[i][enter]
+		if a <= tol {
+			continue
+		}
+		ratio := t.b[i] / a
+		if ratio < bestRatio-tol || (math.Abs(ratio-bestRatio) <= tol && (best < 0 || t.basis[i] < t.basis[best])) {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+// pivot performs the basis exchange at (row, col).
+func (t *tableau) pivot(row, col int) {
+	if t.b[row] < tol {
+		t.degenRun++
+	} else {
+		t.degenRun = 0
+	}
+	prow := t.a[row]
+	pv := prow[col]
+	inv := 1 / pv
+	for j := 0; j < t.cols; j++ {
+		prow[j] *= inv
+	}
+	prow[col] = 1 // exact
+	t.b[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		arow := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			arow[j] -= f * prow[j]
+		}
+		arow[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -tol {
+			t.b[i] = 0
+		}
+	}
+	f := t.cost[col]
+	if f != 0 {
+		for j := 0; j < t.cols; j++ {
+			t.cost[j] -= f * prow[j]
+		}
+		t.cost[col] = 0
+		t.obj += f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// evictArtificials pivots any artificial still basic (at value 0) out of
+// the basis, or leaves it if its row is entirely zero (redundant row).
+func (t *tableau) evictArtificials() {
+	artStart := t.n + t.slack
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < artStart {
+			continue
+		}
+		// Find any usable non-artificial column in this row.
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

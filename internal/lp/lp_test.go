@@ -1,0 +1,287 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvecap/internal/xrand"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximizationAsMin(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj 36.
+	// As min of the negated objective.
+	p := &Problem{
+		C: []float64{-3, -5},
+		A: [][]float64{
+			{1, 0},
+			{0, 2},
+			{3, 2},
+		},
+		Rel: []Relation{LE, LE, LE},
+		B:   []float64{4, 12, 18},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !approx(res.Objective, -36, 1e-7) {
+		t.Fatalf("objective %v, want -36", res.Objective)
+	}
+	if !approx(res.X[0], 2, 1e-7) || !approx(res.X[1], 6, 1e-7) {
+		t.Fatalf("x = %v, want [2 6]", res.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x ≥ 3 → x=10? No: y free to 0.
+	// cost 2 < 3 so push x up: x=10, y=0, obj 20. Check x ≥ 3 holds.
+	p := &Problem{
+		C:   []float64{2, 3},
+		A:   [][]float64{{1, 1}, {1, 0}},
+		Rel: []Relation{EQ, GE},
+		B:   []float64{10, 3},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 20, 1e-7) {
+		t.Fatalf("got %v obj %v, want optimal 20", res.Status, res.Objective)
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	// x ≥ 5 and x ≤ 2.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		Rel: []Relation{GE, LE},
+		B:   []float64{5, 2},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnboundedDetected(t *testing.T) {
+	// min -x with only x ≥ 1: x → ∞.
+	p := &Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		Rel: []Relation{GE},
+		B:   []float64{1},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", res.Status)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// -x ≤ -3 means x ≥ 3; min x → 3.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		Rel: []Relation{LE},
+		B:   []float64{-3},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.X[0], 3, 1e-7) {
+		t.Fatalf("got %v x=%v", res.Status, res.X)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Classic degeneracy: multiple constraints active at the optimum.
+	p := &Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{
+			{1, 0},
+			{0, 1},
+			{1, 1},
+		},
+		Rel: []Relation{LE, LE, LE},
+		B:   []float64{1, 1, 2},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, -2, 1e-7) {
+		t.Fatalf("got %v obj %v", res.Status, res.Objective)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 supplies (10, 20), 2 demands (15, 15); costs
+	//   c11=1 c12=4 / c21=2 c22=1. Optimal: x11=10, x21=5, x22=15 → 35.
+	p := &Problem{
+		C: []float64{1, 4, 2, 1},
+		A: [][]float64{
+			{1, 1, 0, 0}, // supply 1
+			{0, 0, 1, 1}, // supply 2
+			{1, 0, 1, 0}, // demand 1
+			{0, 1, 0, 1}, // demand 2
+		},
+		Rel: []Relation{LE, LE, EQ, EQ},
+		B:   []float64{10, 20, 15, 15},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 35, 1e-6) {
+		t.Fatalf("got %v obj %v, want 35", res.Status, res.Objective)
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	bad := []*Problem{
+		{C: nil},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, Rel: []Relation{LE}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Relation{LE}, B: []float64{1, 2}},
+		{C: []float64{math.NaN()}, A: nil, Rel: nil, B: nil},
+		{C: []float64{1}, A: [][]float64{{math.Inf(1)}}, Rel: []Relation{LE}, B: []float64{1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestRandomLPsOptimalityCertificate checks weak duality empirically: for
+// random feasible bounded min problems, the simplex solution must satisfy
+// all constraints and be no worse than a sample of random feasible points.
+func TestRandomLPsOptimalityCertificate(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := rng.IntRange(2, 6)
+		m := rng.IntRange(2, 6)
+		p := &Problem{
+			C:   make([]float64, n),
+			A:   make([][]float64, m),
+			Rel: make([]Relation, m),
+			B:   make([]float64, m),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Uniform(0.1, 5) // positive costs → bounded below by 0
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Uniform(0, 3)
+			}
+			p.Rel[i] = GE // covering constraints keep it feasible
+			p.B[i] = rng.Uniform(1, 10)
+		}
+		res, err := Solve(p)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		// Check feasibility of the reported solution.
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				lhs += p.A[i][j] * res.X[j]
+			}
+			if lhs < p.B[i]-1e-6 {
+				return false
+			}
+		}
+		for _, v := range res.X {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		// Compare against random feasible points built by scaling up a
+		// random direction until all covers hold.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Uniform(0.1, 2)
+			}
+			scale := 1.0
+			for i := 0; i < m; i++ {
+				var lhs float64
+				for j := 0; j < n; j++ {
+					lhs += p.A[i][j] * x[j]
+				}
+				if lhs <= 0 {
+					scale = math.Inf(1)
+					break
+				}
+				if need := p.B[i] / lhs; need > scale {
+					scale = need
+				}
+			}
+			if math.IsInf(scale, 1) {
+				continue
+			}
+			var obj float64
+			for j := range x {
+				obj += p.C[j] * x[j] * scale
+			}
+			if obj < res.Objective-1e-6 {
+				return false // found a better feasible point than "optimal"
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroRHSEquality(t *testing.T) {
+	// min x+y s.t. x - y = 0, x + y ≥ 2 → x=y=1, obj 2.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, -1}, {1, 1}},
+		Rel: []Relation{EQ, GE},
+		B:   []float64{0, 2},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 2, 1e-7) {
+		t.Fatalf("got %v obj %v", res.Status, res.Objective)
+	}
+	if !approx(res.X[0], res.X[1], 1e-7) {
+		t.Fatalf("equality violated: %v", res.X)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows force redundant artificials in phase 1.
+	p := &Problem{
+		C:   []float64{1, 2},
+		A:   [][]float64{{1, 1}, {1, 1}, {2, 2}},
+		Rel: []Relation{EQ, EQ, EQ},
+		B:   []float64{4, 4, 8},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 4, 1e-7) {
+		t.Fatalf("got %v obj %v, want optimal 4 (x=[4 0])", res.Status, res.Objective)
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders multiple named series as an ASCII chart, giving capsim's
+// figure experiments a terminal-native rendering next to their numeric
+// series (gnuplot not being part of the stdlib).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	points []Point
+}
+
+// plotMarkers are assigned to series in order.
+var plotMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// AddSeries appends a named series; markers are assigned in call order.
+func (p *Plot) AddSeries(name string, points []Point) {
+	marker := plotMarkers[len(p.series)%len(plotMarkers)]
+	p.series = append(p.series, plotSeries{name: name, marker: marker, points: points})
+}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for _, pt := range s.points {
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for _, pt := range s.points {
+			c := int((pt.X - minX) / (maxX - minX) * float64(width-1))
+			r := int((pt.Y - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - r // origin bottom-left
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = s.marker
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r, rowBytes := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yVal, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.3f%*.3f\n", "", width/2, minX, width-width/2, maxX)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s\n", "", center(p.XLabel, width))
+	}
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	fmt.Fprintf(&b, "%8s  legend: %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}

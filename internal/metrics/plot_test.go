@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	p := &Plot{Title: "pQoS vs correlation", XLabel: "correlation", Width: 40, Height: 10}
+	p.AddSeries("GreZ-GreC", []Point{{0, 0.7}, {0.5, 0.85}, {1, 0.95}})
+	p.AddSeries("RanZ-VirC", []Point{{0, 0.37}, {0.5, 0.38}, {1, 0.37}})
+	out := p.String()
+	if !strings.Contains(out, "pQoS vs correlation") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* GreZ-GreC") || !strings.Contains(out, "+ RanZ-VirC") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("markers missing from plot area")
+	}
+	if !strings.Contains(out, "correlation") {
+		t.Fatal("x label missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.String()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot rendering: %q", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.AddSeries("one", []Point{{1, 1}})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestPlotExtremesLandOnEdges(t *testing.T) {
+	p := &Plot{Width: 21, Height: 7}
+	p.AddSeries("diag", []Point{{0, 0}, {1, 1}})
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	// Top row must contain the max point's marker, bottom plot row the min.
+	top := lines[0]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+	bottom := lines[6]
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("min point not on bottom row:\n%s", out)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if got := center("ab", 6); got != "  ab" {
+		t.Fatalf("center = %q", got)
+	}
+	if got := center("abcdef", 3); got != "abcdef" {
+		t.Fatalf("center overflow = %q", got)
+	}
+}

@@ -1,0 +1,311 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dvecap/internal/core"
+	"dvecap/internal/lp"
+	"dvecap/internal/xrand"
+)
+
+func TestSolve01Knapsackish(t *testing.T) {
+	// min -(8x0 + 11x1 + 6x2 + 4x3) s.t. 5x0+7x1+4x2+3x3 ≤ 14, x binary.
+	// Classic: optimum picks x0,x1 (value 19)? 5+7=12 ≤ 14, add x3: 15 > 14.
+	// x0+x2+x3: 12 → 18. x1+x2+x3 = 14 → 21. Optimal = 21.
+	prob := &lp.Problem{
+		C:   []float64{-8, -11, -6, -4},
+		A:   [][]float64{{5, 7, 4, 3}, {1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}},
+		Rel: []lp.Relation{lp.LE, lp.LE, lp.LE, lp.LE, lp.LE},
+		B:   []float64{14, 1, 1, 1, 1},
+	}
+	sol, err := Solve01(prob, Options{}, nil, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Optimal {
+		t.Fatal("search not exhausted")
+	}
+	if math.Abs(sol.Objective-(-21)) > 1e-6 {
+		t.Fatalf("objective %v, want -21", sol.Objective)
+	}
+	want := []float64{0, 1, 1, 1}
+	for j, v := range want {
+		if math.Abs(sol.X[j]-v) > 1e-6 {
+			t.Fatalf("x = %v, want %v", sol.X, want)
+		}
+	}
+}
+
+func TestSolve01UsesIncumbentWhenOptimal(t *testing.T) {
+	// Incumbent already optimal: solver must not return anything worse.
+	prob := &lp.Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}},
+		Rel: []lp.Relation{lp.GE},
+		B:   []float64{1},
+	}
+	incumbent := []float64{1, 0}
+	sol, err := Solve01(prob, Options{}, incumbent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective > 1+1e-9 {
+		t.Fatalf("objective %v worse than incumbent", sol.Objective)
+	}
+}
+
+func TestSolve01InfeasibleKeepsNilX(t *testing.T) {
+	// x0 + x1 = 3 with binaries is infeasible.
+	prob := &lp.Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		Rel: []lp.Relation{lp.EQ, lp.LE, lp.LE},
+		B:   []float64{3, 1, 1},
+	}
+	sol, err := Solve01(prob, Options{}, nil, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X != nil {
+		t.Fatalf("infeasible model produced X = %v", sol.X)
+	}
+}
+
+func TestSolve01NodeLimitReturnsIncumbent(t *testing.T) {
+	prob := &lp.Problem{
+		C:   []float64{-1, -1, -1},
+		A:   [][]float64{{1, 1, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		Rel: []lp.Relation{lp.LE, lp.LE, lp.LE, lp.LE},
+		B:   []float64{2, 1, 1, 1},
+	}
+	incumbent := []float64{1, 0, 0}
+	sol, err := Solve01(prob, Options{MaxNodes: 1}, incumbent, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X == nil {
+		t.Fatal("node-limited solve lost the incumbent")
+	}
+	if sol.Optimal && sol.Nodes >= 1 && sol.Objective > -2 {
+		t.Fatalf("claimed optimal with objective %v after 1 node", sol.Objective)
+	}
+}
+
+// exactTiny solves the tiny CAP instance by brute force for cross-checks.
+func bruteForceIAP(p *core.Problem) ([]int, int) {
+	m, n := p.NumServers(), p.NumZones
+	zoneRT := p.ZoneRT()
+	best := math.MaxInt
+	var bestAssign []int
+	assign := make([]int, n)
+	var rec func(z int, loads []float64)
+	rec = func(z int, loads []float64) {
+		if z == n {
+			if c := core.IAPCost(p, assign); c < best {
+				best = c
+				bestAssign = append([]int(nil), assign...)
+			}
+			return
+		}
+		for s := 0; s < m; s++ {
+			if loads[s]+zoneRT[z] <= p.ServerCaps[s]+1e-9 {
+				assign[z] = s
+				loads[s] += zoneRT[z]
+				rec(z+1, loads)
+				loads[s] -= zoneRT[z]
+			}
+		}
+	}
+	rec(0, make([]float64, m))
+	return bestAssign, best
+}
+
+func randomCAP(rng *xrand.RNG) *core.Problem {
+	m := rng.IntRange(2, 3)
+	n := rng.IntRange(2, 5)
+	k := rng.IntRange(3, 15)
+	p := &core.Problem{
+		ServerCaps:  make([]float64, m),
+		ClientZones: make([]int, k),
+		NumZones:    n,
+		ClientRT:    make([]float64, k),
+		CS:          make([][]float64, k),
+		SS:          make([][]float64, m),
+		D:           rng.Uniform(100, 300),
+	}
+	for j := 0; j < k; j++ {
+		p.ClientZones[j] = rng.IntN(n)
+		p.ClientRT[j] = rng.Uniform(0.1, 0.4)
+		p.CS[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			p.CS[j][i] = rng.Uniform(0, 500)
+		}
+	}
+	for i := 0; i < m; i++ {
+		p.SS[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for l := i + 1; l < m; l++ {
+			d := rng.Uniform(0, 200)
+			p.SS[i][l], p.SS[l][i] = d, d
+		}
+	}
+	zoneRT := p.ZoneRT()
+	var maxZone float64
+	for _, r := range zoneRT {
+		if r > maxZone {
+			maxZone = r
+		}
+	}
+	for i := 0; i < m; i++ {
+		p.ServerCaps[i] = maxZone * rng.Uniform(1.5, 3)
+	}
+	return p
+}
+
+func TestSolveIAPMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 25; trial++ {
+		p := randomCAP(rng.Split())
+		res, err := SolveIAP(p, SolverOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: not proven optimal", trial)
+		}
+		_, bruteCost := bruteForceIAP(p)
+		if res.Cost != bruteCost {
+			t.Fatalf("trial %d: MILP cost %d, brute force %d", trial, res.Cost, bruteCost)
+		}
+	}
+}
+
+func TestSolveIAPNeverWorseThanGreZ(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 20; trial++ {
+		p := randomCAP(rng.Split())
+		res, err := SolveIAP(p, SolverOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target, err := core.GreZ(nil, p, core.Options{}); err == nil {
+			if res.Cost > core.IAPCost(p, target) {
+				t.Fatalf("trial %d: exact %d worse than GreZ %d", trial, res.Cost, core.IAPCost(p, target))
+			}
+		}
+	}
+}
+
+func TestSolveRAPNeverWorseThanGreC(t *testing.T) {
+	rng := xrand.New(13)
+	for trial := 0; trial < 20; trial++ {
+		p := randomCAP(rng.Split())
+		target, err := core.GreZ(nil, p, core.Options{})
+		if err != nil {
+			continue // infeasible random instance; skip
+		}
+		res, err := SolveRAP(p, target, SolverOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: RAP not proven optimal", trial)
+		}
+		gc, err := core.GreC(nil, p, target, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag := &core.Assignment{ZoneServer: target, ClientContact: gc}
+		if res.Cost > core.RAPCost(p, ag)+1e-6 {
+			t.Fatalf("trial %d: exact RAP %v worse than GreC %v", trial, res.Cost, core.RAPCost(p, ag))
+		}
+	}
+}
+
+func TestSolveRAPRespectsResidualCapacity(t *testing.T) {
+	rng := xrand.New(29)
+	for trial := 0; trial < 15; trial++ {
+		p := randomCAP(rng.Split())
+		target, err := core.GreZ(nil, p, core.Options{})
+		if err != nil {
+			continue
+		}
+		res, err := SolveRAP(p, target, SolverOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := &core.Assignment{ZoneServer: target, ClientContact: res.ClientContact}
+		if err := a.CheckCapacity(p, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveCAPEndToEnd(t *testing.T) {
+	p := randomCAP(xrand.New(99))
+	a, iap, rap, err := SolveCAP(p, SolverOptions{Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if iap == nil || rap == nil {
+		t.Fatal("missing phase results")
+	}
+	m := core.Evaluate(p, a)
+	if m.PQoS < 0 || m.PQoS > 1 {
+		t.Fatalf("pQoS %v", m.PQoS)
+	}
+}
+
+func TestSolveRAPAllDirectShortCircuits(t *testing.T) {
+	// Every client within bound of its target: RAP must fix all to target
+	// with zero cost and no search.
+	p := &core.Problem{
+		ServerCaps:  []float64{10, 10},
+		ClientZones: []int{0, 1},
+		NumZones:    2,
+		ClientRT:    []float64{1, 1},
+		CS:          [][]float64{{50, 400}, {400, 50}},
+		SS:          [][]float64{{0, 30}, {30, 0}},
+		D:           100,
+	}
+	res, err := SolveRAP(p, []int{0, 1}, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || res.LateClients != 0 || !res.Optimal {
+		t.Fatalf("short-circuit failed: %+v", res)
+	}
+	if res.ClientContact[0] != 0 || res.ClientContact[1] != 1 {
+		t.Fatalf("contacts %v", res.ClientContact)
+	}
+}
+
+func TestMostFractional(t *testing.T) {
+	if got := mostFractional([]float64{0, 1, 0.5, 0.9}, 1e-6); got != 2 {
+		t.Fatalf("mostFractional = %d, want 2", got)
+	}
+	if got := mostFractional([]float64{0, 1, 1, 0}, 1e-6); got != -1 {
+		t.Fatalf("integral vector reported fractional index %d", got)
+	}
+}
+
+func TestBuildIAPShape(t *testing.T) {
+	p := randomCAP(xrand.New(3))
+	prob := BuildIAP(p)
+	m, n := p.NumServers(), p.NumZones
+	if len(prob.C) != m*n {
+		t.Fatalf("vars = %d, want %d", len(prob.C), m*n)
+	}
+	if len(prob.A) != n+m {
+		t.Fatalf("rows = %d, want %d", len(prob.A), n+m)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/dve"
+	"dvecap/internal/xrand"
+)
+
+// ChurnConfig parameterises the churn driver's stochastic processes.
+type ChurnConfig struct {
+	// JoinRate is the Poisson client arrival rate, clients/second.
+	JoinRate float64
+	// MeanSessionSec is the mean client session length; each client leaves
+	// at total rate population/MeanSessionSec.
+	MeanSessionSec float64
+	// MoveRatePerClient is each client's zone-migration rate, moves/second.
+	MoveRatePerClient float64
+	// ReassignEverySec re-runs the assignment algorithm at this period.
+	ReassignEverySec float64
+	// HandoffFreezeSec models the cost of migrating a zone's authoritative
+	// state between servers: for this long after a reassignment moves a
+	// zone, that zone's clients are counted without QoS (the zone is
+	// frozen mid-handoff). 0 disables the model, making re-execution free
+	// as the paper implicitly assumes.
+	HandoffFreezeSec float64
+	// SampleEverySec adds periodic "tick" quality samples between
+	// reassignments, so sample means are genuine time averages (without
+	// it, samples cluster at reassignment instants). 0 disables ticks.
+	SampleEverySec float64
+	// StickyBonus, when > 0, replaces the algorithm's initial phase on
+	// re-executions with core.StickyGreZ(current, StickyBonus): zones stay
+	// on their server unless a move improves the IAP cost by more than the
+	// bonus. Meaningful with HandoffFreezeSec; see DESIGN.md §5.
+	StickyBonus float64
+}
+
+// Validate reports the first invalid rate.
+func (c ChurnConfig) Validate() error {
+	switch {
+	case c.JoinRate < 0:
+		return fmt.Errorf("sim: JoinRate = %v, want >= 0", c.JoinRate)
+	case c.MeanSessionSec <= 0:
+		return fmt.Errorf("sim: MeanSessionSec = %v, want > 0", c.MeanSessionSec)
+	case c.MoveRatePerClient < 0:
+		return fmt.Errorf("sim: MoveRatePerClient = %v, want >= 0", c.MoveRatePerClient)
+	case c.ReassignEverySec <= 0:
+		return fmt.Errorf("sim: ReassignEverySec = %v, want > 0", c.ReassignEverySec)
+	case c.HandoffFreezeSec < 0:
+		return fmt.Errorf("sim: HandoffFreezeSec = %v, want >= 0", c.HandoffFreezeSec)
+	case c.SampleEverySec < 0:
+		return fmt.Errorf("sim: SampleEverySec = %v, want >= 0", c.SampleEverySec)
+	case c.StickyBonus < 0:
+		return fmt.Errorf("sim: StickyBonus = %v, want >= 0", c.StickyBonus)
+	}
+	return nil
+}
+
+// Sample is one observation of system quality, taken around churn and
+// reassignment events.
+type Sample struct {
+	Time        float64
+	Event       string // "initial", "pre-reassign", "post-reassign"
+	Clients     int
+	PQoS        float64
+	Utilization float64
+}
+
+// Driver animates a world with churn and periodic reassignment.
+type Driver struct {
+	eng   *Engine
+	world *dve.World
+	algo  core.TwoPhase
+	opt   core.Options
+	cfg   ChurnConfig
+	rng   *xrand.RNG
+
+	// current assignment state, kept index-aligned with the world.
+	zoneServer []int
+	contact    []int
+
+	samples []Sample
+	// contactMoves records, per re-execution, how many surviving clients
+	// had to switch contact servers — the disruption cost of §3.4's
+	// periodic reassignment.
+	contactMoves []int
+	// zoneFrozenUntil[z] is the virtual time until which zone z is frozen
+	// by an in-flight handoff (HandoffFreezeSec > 0 only).
+	zoneFrozenUntil []float64
+	errs            []error
+}
+
+// NewDriver computes an initial assignment and prepares the churn
+// processes; call Start then eng.Run.
+func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Options, cfg ChurnConfig, rng *xrand.RNG) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Driver{eng: eng, world: world, algo: algo, opt: opt, cfg: cfg, rng: rng}
+	if err := d.reassign("initial"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Start schedules the recurring processes on the engine.
+func (d *Driver) Start() {
+	if d.cfg.JoinRate > 0 {
+		d.eng.Schedule(d.rng.Exp(d.cfg.JoinRate), d.joinEvent)
+	}
+	d.scheduleLeave()
+	d.scheduleMove()
+	d.eng.Schedule(d.cfg.ReassignEverySec, d.reassignEvent)
+	if d.cfg.SampleEverySec > 0 {
+		d.eng.Schedule(d.cfg.SampleEverySec, d.tickEvent)
+	}
+}
+
+func (d *Driver) tickEvent() {
+	d.sample("tick")
+	d.eng.Schedule(d.cfg.SampleEverySec, d.tickEvent)
+}
+
+// Samples returns the recorded observations in time order.
+func (d *Driver) Samples() []Sample { return d.samples }
+
+// Errors returns any non-fatal errors the driver absorbed (e.g. an
+// infeasible reassignment under ErrorOnOverflow).
+func (d *Driver) Errors() []error { return d.errs }
+
+// Assignment returns the current assignment (aligned with the world's
+// current client indexing).
+func (d *Driver) Assignment() *core.Assignment {
+	return &core.Assignment{
+		ZoneServer:    append([]int(nil), d.zoneServer...),
+		ClientContact: append([]int(nil), d.contact...),
+	}
+}
+
+func (d *Driver) joinEvent() {
+	idx := d.world.Join(d.rng, 1)
+	// Until the next reassignment a new client connects straight to its
+	// zone's current server (the only server that can serve it at all).
+	for _, j := range idx {
+		d.contact = append(d.contact, d.zoneServer[d.world.ClientZones[j]])
+	}
+	if d.cfg.JoinRate > 0 {
+		d.eng.Schedule(d.rng.Exp(d.cfg.JoinRate), d.joinEvent)
+	}
+}
+
+func (d *Driver) scheduleLeave() {
+	pop := d.world.NumClients()
+	if pop == 0 {
+		// No one to leave; re-arm after an average inter-join gap so the
+		// process resumes once the population recovers.
+		d.eng.Schedule(d.cfg.MeanSessionSec, d.scheduleLeave)
+		return
+	}
+	rate := float64(pop) / d.cfg.MeanSessionSec
+	d.eng.Schedule(d.rng.Exp(rate), d.leaveEvent)
+}
+
+func (d *Driver) leaveEvent() {
+	if d.world.NumClients() > 0 {
+		removed, err := d.world.Leave(d.rng, 1)
+		if err != nil {
+			d.errs = append(d.errs, err)
+		} else {
+			d.contact = dve.Compact(d.contact, removed)
+		}
+	}
+	d.scheduleLeave()
+}
+
+func (d *Driver) scheduleMove() {
+	pop := d.world.NumClients()
+	if pop == 0 || d.cfg.MoveRatePerClient == 0 {
+		d.eng.Schedule(d.cfg.MeanSessionSec, d.scheduleMove)
+		return
+	}
+	rate := float64(pop) * d.cfg.MoveRatePerClient
+	d.eng.Schedule(d.rng.Exp(rate), d.moveEvent)
+}
+
+func (d *Driver) moveEvent() {
+	if d.world.NumClients() > 0 {
+		moved, err := d.world.Move(d.rng, 1)
+		if err != nil {
+			d.errs = append(d.errs, err)
+		} else {
+			// A moved avatar lands on its new zone's server until refined.
+			for _, j := range moved {
+				d.contact[j] = d.zoneServer[d.world.ClientZones[j]]
+			}
+		}
+	}
+	d.scheduleMove()
+}
+
+func (d *Driver) reassignEvent() {
+	d.sample("pre-reassign")
+	if err := d.reassign("post-reassign"); err != nil {
+		d.errs = append(d.errs, err)
+	}
+	d.eng.Schedule(d.cfg.ReassignEverySec, d.reassignEvent)
+}
+
+// reassign recomputes the full two-phase assignment on the current world
+// and records a sample labelled `label`.
+func (d *Driver) reassign(label string) error {
+	p := d.world.Problem()
+	algo := d.algo
+	if d.cfg.StickyBonus > 0 && label != "initial" && len(d.zoneServer) == p.NumZones {
+		algo = core.TwoPhase{
+			Name:   d.algo.Name + "+sticky",
+			Init:   core.StickyGreZ(append([]int(nil), d.zoneServer...), d.cfg.StickyBonus),
+			Refine: d.algo.Refine,
+		}
+	}
+	a, err := algo.Solve(d.rng.Split(), p, d.opt)
+	if err != nil {
+		return err
+	}
+	if len(d.contact) == len(a.ClientContact) && label != "initial" {
+		moves := 0
+		for j := range d.contact {
+			if d.contact[j] != a.ClientContact[j] {
+				moves++
+			}
+		}
+		d.contactMoves = append(d.contactMoves, moves)
+	}
+	if d.cfg.HandoffFreezeSec > 0 {
+		if d.zoneFrozenUntil == nil {
+			d.zoneFrozenUntil = make([]float64, d.world.Cfg.Zones)
+		}
+		if label != "initial" && d.zoneServer != nil {
+			until := d.eng.Now() + d.cfg.HandoffFreezeSec
+			for z, s := range a.ZoneServer {
+				if z < len(d.zoneServer) && d.zoneServer[z] != s {
+					d.zoneFrozenUntil[z] = until
+				}
+			}
+		}
+	}
+	d.zoneServer = a.ZoneServer
+	d.contact = a.ClientContact
+	d.sample(label)
+	return nil
+}
+
+// frozen reports whether zone z is mid-handoff at the current time.
+func (d *Driver) frozen(z int) bool {
+	return d.zoneFrozenUntil != nil && z < len(d.zoneFrozenUntil) &&
+		d.zoneFrozenUntil[z] > d.eng.Now()
+}
+
+// ContactMovesPerReassign returns the per-re-execution contact-switch
+// counts, in event order.
+func (d *Driver) ContactMovesPerReassign() []int {
+	return append([]int(nil), d.contactMoves...)
+}
+
+// MeanContactMovesPerReassign averages the disruption per re-execution
+// (0 when no reassignment has happened yet).
+func (d *Driver) MeanContactMovesPerReassign() float64 {
+	if len(d.contactMoves) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, m := range d.contactMoves {
+		sum += m
+	}
+	return float64(sum) / float64(len(d.contactMoves))
+}
+
+// sample evaluates the current assignment against the current world.
+func (d *Driver) sample(label string) {
+	p := d.world.Problem()
+	a := &core.Assignment{ZoneServer: d.zoneServer, ClientContact: d.contact}
+	if len(d.contact) != p.NumClients() {
+		// Defensive: misaligned state would make Evaluate panic.
+		d.errs = append(d.errs, fmt.Errorf("sim: contact state has %d entries, world has %d clients",
+			len(d.contact), p.NumClients()))
+		return
+	}
+	m := core.Evaluate(p, a)
+	pqos := m.PQoS
+	if d.zoneFrozenUntil != nil && p.NumClients() > 0 {
+		// Handoff model: clients of frozen zones have no QoS regardless of
+		// their delay — their zone's state is mid-migration.
+		withQoS := 0
+		for j, z := range p.ClientZones {
+			if d.frozen(z) {
+				continue
+			}
+			if m.Delays[j] <= p.D {
+				withQoS++
+			}
+		}
+		pqos = float64(withQoS) / float64(p.NumClients())
+	}
+	d.samples = append(d.samples, Sample{
+		Time:        d.eng.Now(),
+		Event:       label,
+		Clients:     p.NumClients(),
+		PQoS:        pqos,
+		Utilization: m.Utilization,
+	})
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTraceCSV exports samples as CSV (time, event, clients, pqos,
+// utilization), the format external plotting tools consume.
+func WriteTraceCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "event", "clients", "pqos", "utilization"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.FormatFloat(s.Time, 'f', 3, 64),
+			s.Event,
+			strconv.Itoa(s.Clients),
+			strconv.FormatFloat(s.PQoS, 'f', 6, 64),
+			strconv.FormatFloat(s.Utilization, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV parses a trace previously written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading trace: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	out := make([]Sample, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("sim: trace row %d has %d fields, want 5", i+1, len(rec))
+		}
+		t, err1 := strconv.ParseFloat(rec[0], 64)
+		clients, err2 := strconv.Atoi(rec[2])
+		pqos, err3 := strconv.ParseFloat(rec[3], 64)
+		util, err4 := strconv.ParseFloat(rec[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("sim: trace row %d malformed", i+1)
+		}
+		out = append(out, Sample{
+			Time: t, Event: rec[1], Clients: clients, PQoS: pqos, Utilization: util,
+		})
+	}
+	return out, nil
+}

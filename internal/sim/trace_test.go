@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	in := []Sample{
+		{Time: 0, Event: "initial", Clients: 600, PQoS: 0.95, Utilization: 0.24},
+		{Time: 60, Event: "pre-reassign", Clients: 690, PQoS: 0.91, Utilization: 0.31},
+		{Time: 60, Event: "post-reassign", Clients: 690, PQoS: 0.98, Utilization: 0.33},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range in {
+		if got[i].Event != in[i].Event || got[i].Clients != in[i].Clients {
+			t.Fatalf("row %d changed: %+v vs %+v", i, got[i], in[i])
+		}
+		if got[i].Time != in[i].Time || got[i].PQoS != in[i].PQoS {
+			t.Fatalf("row %d numeric drift", i)
+		}
+	}
+}
+
+func TestTraceCSVHeaderPresent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time_s,event,clients,pqos,utilization") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+}
+
+func TestReadTraceCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"time_s,event,clients,pqos,utilization\nbad,row\n",
+		"time_s,event,clients,pqos,utilization\nx,init,1,0.5,0.3\n",
+		"time_s,event,clients,pqos,utilization\n1.0,init,x,0.5,0.3\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDriverTraceExport(t *testing.T) {
+	w := buildTestWorld(t, 50)
+	e := NewEngine()
+	d, err := NewDriver(e, w, coreAlgo(), coreOpts(), defaultChurn(), rngFor(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	e.Run(150)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, d.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(d.Samples()) {
+		t.Fatalf("trace lost samples: %d vs %d", len(got), len(d.Samples()))
+	}
+}

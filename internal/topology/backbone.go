@@ -1,0 +1,122 @@
+package topology
+
+import "math"
+
+// The paper cross-checks its BRITE results on a real topology — the US
+// AT&T continental IP backbone (Heckmann et al., "Generating realistic
+// ISP-level network topologies"). We embed a PoP-level US backbone of the
+// same shape: 25 points of presence at real city coordinates, linked along
+// the major long-haul fiber routes, with one-way propagation delays from
+// great-circle distance at 2/3 c times a 1.4 route-circuity factor.
+//
+// Nodes are grouped into four geographic regions (AS 0..3: West, Central,
+// South, East) so the physical/virtual correlation machinery works
+// identically on the real topology.
+
+type backbonePoP struct {
+	name     string
+	lat, lon float64
+	region   int
+}
+
+var usBackbonePoPs = []backbonePoP{
+	{"Seattle", 47.61, -122.33, 0},
+	{"Portland", 45.52, -122.68, 0},
+	{"San Francisco", 37.77, -122.42, 0},
+	{"San Jose", 37.34, -121.89, 0},
+	{"Los Angeles", 34.05, -118.24, 0},
+	{"San Diego", 32.72, -117.16, 0},
+	{"Las Vegas", 36.17, -115.14, 0},
+	{"Phoenix", 33.45, -112.07, 0},
+	{"Salt Lake City", 40.76, -111.89, 1},
+	{"Denver", 39.74, -104.99, 1},
+	{"Dallas", 32.78, -96.80, 2},
+	{"Houston", 29.76, -95.37, 2},
+	{"San Antonio", 29.42, -98.49, 2},
+	{"Kansas City", 39.10, -94.58, 1},
+	{"Minneapolis", 44.98, -93.27, 1},
+	{"Chicago", 41.88, -87.63, 1},
+	{"St. Louis", 38.63, -90.20, 1},
+	{"New Orleans", 29.95, -90.07, 2},
+	{"Atlanta", 33.75, -84.39, 2},
+	{"Miami", 25.76, -80.19, 2},
+	{"Charlotte", 35.23, -80.84, 3},
+	{"Washington DC", 38.91, -77.04, 3},
+	{"Philadelphia", 39.95, -75.17, 3},
+	{"New York", 40.71, -74.01, 3},
+	{"Boston", 42.36, -71.06, 3},
+}
+
+// usBackboneLinks lists PoP index pairs along major fiber routes.
+var usBackboneLinks = [][2]int{
+	{0, 1},   // Seattle–Portland
+	{1, 2},   // Portland–San Francisco
+	{2, 3},   // San Francisco–San Jose
+	{3, 4},   // San Jose–Los Angeles
+	{4, 5},   // Los Angeles–San Diego
+	{4, 6},   // Los Angeles–Las Vegas
+	{5, 7},   // San Diego–Phoenix
+	{6, 8},   // Las Vegas–Salt Lake City
+	{0, 8},   // Seattle–Salt Lake City
+	{2, 8},   // San Francisco–Salt Lake City
+	{8, 9},   // Salt Lake City–Denver
+	{7, 10},  // Phoenix–Dallas
+	{9, 13},  // Denver–Kansas City
+	{10, 11}, // Dallas–Houston
+	{10, 12}, // Dallas–San Antonio
+	{11, 17}, // Houston–New Orleans
+	{13, 16}, // Kansas City–St. Louis
+	{13, 15}, // Kansas City–Chicago
+	{14, 15}, // Minneapolis–Chicago
+	{9, 14},  // Denver–Minneapolis
+	{15, 16}, // Chicago–St. Louis
+	{16, 18}, // St. Louis–Atlanta
+	{10, 18}, // Dallas–Atlanta
+	{17, 18}, // New Orleans–Atlanta
+	{18, 19}, // Atlanta–Miami
+	{18, 20}, // Atlanta–Charlotte
+	{20, 21}, // Charlotte–Washington DC
+	{21, 22}, // Washington DC–Philadelphia
+	{22, 23}, // Philadelphia–New York
+	{23, 24}, // New York–Boston
+	{15, 23}, // Chicago–New York
+	{15, 21}, // Chicago–Washington DC
+	{19, 20}, // Miami–Charlotte
+}
+
+const (
+	earthRadiusKm   = 6371.0
+	fiberCircuity   = 1.4      // route length vs great circle
+	fiberSpeedKmPms = 199.86e3 // 2/3 c in km/s
+)
+
+// greatCircleKm returns the great-circle distance in kilometres.
+func greatCircleKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const rad = math.Pi / 180
+	phi1, phi2 := lat1*rad, lat2*rad
+	dPhi := (lat2 - lat1) * rad
+	dLam := (lon2 - lon1) * rad
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// USBackbone returns the embedded 25-PoP US backbone. Link delays are
+// one-way propagation delays in milliseconds; NewDelayMatrix rescales them
+// like any generated topology. Node AS fields hold the geographic region
+// (0=West, 1=Central, 2=South, 3=East); positions project lon/lat onto the
+// plane for distance heuristics.
+func USBackbone() *Graph {
+	g := NewGraph(len(usBackbonePoPs), len(usBackboneLinks))
+	for _, p := range usBackbonePoPs {
+		// Simple equirectangular projection; only relative geometry matters.
+		g.AddNamedNode(p.name, Point{X: p.lon, Y: p.lat}, p.region)
+	}
+	for _, l := range usBackboneLinks {
+		a, b := usBackbonePoPs[l[0]], usBackbonePoPs[l[1]]
+		km := greatCircleKm(a.lat, a.lon, b.lat, b.lon) * fiberCircuity
+		delayMs := km / fiberSpeedKmPms * 1000
+		g.AddEdge(l[0], l[1], delayMs)
+	}
+	return g
+}

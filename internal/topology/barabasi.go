@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"fmt"
+
+	"dvecap/internal/xrand"
+)
+
+// BarabasiParams configures the Barabási–Albert preferential-attachment
+// model BRITE uses for AS-level topologies: each new node attaches to M
+// existing nodes chosen with probability proportional to their degree,
+// yielding the heavy-tailed degree distribution observed between Internet
+// autonomous systems.
+type BarabasiParams struct {
+	N         int     // number of nodes (>= 2)
+	M         int     // links added per new node (>= 1, < N)
+	PlaneSize float64 // side of the placement square (> 0); positions drawn uniformly
+}
+
+// DefaultBarabasi returns BRITE-like defaults for an n-node AS-level graph.
+func DefaultBarabasi(n int) BarabasiParams {
+	return BarabasiParams{N: n, M: 2, PlaneSize: 1000}
+}
+
+func (p BarabasiParams) validate() error {
+	switch {
+	case p.N < 2:
+		return fmt.Errorf("topology: Barabasi N = %d, want >= 2", p.N)
+	case p.M < 1 || p.M >= p.N:
+		return fmt.Errorf("topology: Barabasi M = %d, want in [1,%d)", p.M, p.N)
+	case p.PlaneSize <= 0:
+		return fmt.Errorf("topology: Barabasi PlaneSize = %v, want > 0", p.PlaneSize)
+	}
+	return nil
+}
+
+// Barabasi generates a connected Barabási–Albert graph. The seed core is a
+// complete graph over the first M+1 nodes. Link delays equal Euclidean
+// distance between the attached nodes' positions.
+func Barabasi(rng *xrand.RNG, p BarabasiParams) (*Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph(p.N, p.N*p.M)
+	for i := 0; i < p.N; i++ {
+		g.AddNode(Point{X: rng.Uniform(0, p.PlaneSize), Y: rng.Uniform(0, p.PlaneSize)}, 0)
+	}
+	// repeated holds one entry per half-edge endpoint, so sampling uniformly
+	// from it is degree-proportional sampling (the standard BA trick).
+	core := p.M + 1
+	if core > p.N {
+		core = p.N
+	}
+	var repeated []int
+	dist := func(a, b int) float64 { return g.Nodes[a].Pos.Dist(g.Nodes[b].Pos) }
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			g.AddEdge(u, v, dist(u, v))
+			repeated = append(repeated, u, v)
+		}
+	}
+	for v := core; v < p.N; v++ {
+		// Track chosen targets in draw order so edge insertion (and thus the
+		// whole generated graph) is a deterministic function of the seed.
+		taken := map[int]bool{}
+		var chosen []int
+		for len(chosen) < p.M {
+			var u int
+			if len(repeated) == 0 {
+				u = rng.IntN(v)
+			} else {
+				u = repeated[rng.IntN(len(repeated))]
+			}
+			if u == v || taken[u] {
+				continue
+			}
+			taken[u] = true
+			chosen = append(chosen, u)
+		}
+		for _, u := range chosen {
+			g.AddEdge(v, u, dist(v, u))
+			repeated = append(repeated, v, u)
+		}
+	}
+	return g, nil
+}

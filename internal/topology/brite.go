@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file reads and writes the BRITE topology file format, the textual
+// format of the generator the paper used, so topologies can be exchanged
+// with tools from that ecosystem (BRITE itself, topology viewers, ns-2
+// converters). The format:
+//
+//	Topology: ( 500 Nodes, 1010 Edges )
+//	Model ( 5 ): ...                      (ignored on read)
+//
+//	Nodes: ( 500 )
+//	<id> <x> <y> <inDegree> <outDegree> <ASid> <type>
+//	...
+//
+//	Edges: ( 1010 )
+//	<id> <from> <to> <length> <delay> <bw> <ASfrom> <ASto> <type> [U/D]
+//	...
+//
+// On write we emit length = Euclidean distance, delay = the edge's delay,
+// bandwidth = -1 (unspecified), type RT_NODE/RT_LINK.
+
+// WriteBRITE serialises the graph in BRITE's flat router-level format.
+func (g *Graph) WriteBRITE(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Topology: ( %d Nodes, %d Edges )\n", g.N(), g.M())
+	fmt.Fprintf(bw, "Model ( 0 ): dvecap export\n\n")
+	fmt.Fprintf(bw, "Nodes: ( %d )\n", g.N())
+	deg := make([]int, g.N())
+	for _, e := range g.Edges {
+		deg[e.A]++
+		deg[e.B]++
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(bw, "%d\t%.6f\t%.6f\t%d\t%d\t%d\tRT_NODE\n",
+			n.ID, n.Pos.X, n.Pos.Y, deg[n.ID], deg[n.ID], n.AS)
+	}
+	fmt.Fprintf(bw, "\nEdges: ( %d )\n", g.M())
+	for i, e := range g.Edges {
+		length := g.Nodes[e.A].Pos.Dist(g.Nodes[e.B].Pos)
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%.6f\t%.6f\t-1.0\t%d\t%d\tRT_LINK\tU\n",
+			i, e.A, e.B, length, e.Delay, g.Nodes[e.A].AS, g.Nodes[e.B].AS)
+	}
+	return bw.Flush()
+}
+
+// ReadBRITE parses a BRITE file (flat or hierarchical router-level). Node
+// IDs are remapped to a dense 0..n-1 range preserving file order, since
+// BRITE files occasionally skip IDs.
+func ReadBRITE(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	const (
+		sectNone = iota
+		sectNodes
+		sectEdges
+	)
+	section := sectNone
+	g := NewGraph(0, 0)
+	idMap := map[int]int{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "Topology:"), strings.HasPrefix(line, "Model"):
+			continue
+		case strings.HasPrefix(line, "Nodes:"):
+			section = sectNodes
+			continue
+		case strings.HasPrefix(line, "Edges:"):
+			section = sectEdges
+			continue
+		}
+		fields := strings.Fields(line)
+		switch section {
+		case sectNodes:
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("topology: BRITE line %d: node needs >= 6 fields, got %d", lineNo, len(fields))
+			}
+			id, err1 := strconv.Atoi(fields[0])
+			x, err2 := strconv.ParseFloat(fields[1], 64)
+			y, err3 := strconv.ParseFloat(fields[2], 64)
+			as, err4 := strconv.Atoi(fields[5])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("topology: BRITE line %d: malformed node", lineNo)
+			}
+			if _, dup := idMap[id]; dup {
+				return nil, fmt.Errorf("topology: BRITE line %d: duplicate node id %d", lineNo, id)
+			}
+			idMap[id] = g.AddNode(Point{X: x, Y: y}, as)
+		case sectEdges:
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("topology: BRITE line %d: edge needs >= 5 fields, got %d", lineNo, len(fields))
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			delay, err3 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("topology: BRITE line %d: malformed edge", lineNo)
+			}
+			a, okA := idMap[from]
+			b, okB := idMap[to]
+			if !okA || !okB {
+				return nil, fmt.Errorf("topology: BRITE line %d: edge references unknown node", lineNo)
+			}
+			if a == b {
+				return nil, fmt.Errorf("topology: BRITE line %d: self-loop", lineNo)
+			}
+			if delay < 0 {
+				return nil, fmt.Errorf("topology: BRITE line %d: negative delay", lineNo)
+			}
+			g.AddEdge(a, b, delay)
+		default:
+			return nil, fmt.Errorf("topology: BRITE line %d: data outside any section", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading BRITE: %w", err)
+	}
+	if g.N() == 0 {
+		return nil, fmt.Errorf("topology: BRITE file contains no nodes")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: BRITE graph invalid: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+func TestBRITERoundTrip(t *testing.T) {
+	g, err := Hier(xrand.New(6), DefaultHier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBRITE(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBRITE(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("size changed: %d/%d vs %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for i := range g.Nodes {
+		if got.Nodes[i].AS != g.Nodes[i].AS {
+			t.Fatalf("node %d AS changed", i)
+		}
+		if math.Abs(got.Nodes[i].Pos.X-g.Nodes[i].Pos.X) > 1e-5 {
+			t.Fatalf("node %d position drifted", i)
+		}
+	}
+	for i := range g.Edges {
+		if got.Edges[i].A != g.Edges[i].A || got.Edges[i].B != g.Edges[i].B {
+			t.Fatalf("edge %d endpoints changed", i)
+		}
+		if math.Abs(got.Edges[i].Delay-g.Edges[i].Delay) > 1e-5 {
+			t.Fatalf("edge %d delay drifted", i)
+		}
+	}
+}
+
+func TestReadBRITEHandlesSparseIDs(t *testing.T) {
+	in := `Topology: ( 3 Nodes, 2 Edges )
+Model ( 1 ): whatever
+
+Nodes: ( 3 )
+10	0.0	0.0	1	1	0	RT_NODE
+20	1.0	0.0	2	2	0	RT_NODE
+30	2.0	0.0	1	1	1	RT_NODE
+
+Edges: ( 2 )
+0	10	20	1.0	5.0	-1.0	0	0	RT_LINK	U
+1	20	30	1.0	7.5	-1.0	0	1	RT_LINK	U
+`
+	g, err := ReadBRITE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %d/%d", g.N(), g.M())
+	}
+	if g.Edges[1].Delay != 7.5 {
+		t.Fatalf("delay = %v", g.Edges[1].Delay)
+	}
+	if g.Nodes[2].AS != 1 {
+		t.Fatalf("AS = %d", g.Nodes[2].AS)
+	}
+}
+
+func TestReadBRITERejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"data outside section": "0 1 2\n",
+		"short node":           "Nodes: ( 1 )\n0 1.0\n",
+		"bad node number":      "Nodes: ( 1 )\nx 0 0 1 1 0 RT_NODE\n",
+		"duplicate node":       "Nodes: ( 2 )\n0 0 0 1 1 0 T\n0 1 1 1 1 0 T\n",
+		"unknown endpoint":     "Nodes: ( 1 )\n0 0 0 1 1 0 T\nEdges: ( 1 )\n0 0 5 1 1 -1 0 0 T U\n",
+		"self loop":            "Nodes: ( 1 )\n0 0 0 1 1 0 T\nEdges: ( 1 )\n0 0 0 1 1 -1 0 0 T U\n",
+		"negative delay":       "Nodes: ( 2 )\n0 0 0 1 1 0 T\n1 1 1 1 1 0 T\nEdges: ( 1 )\n0 0 1 1 -5 -1 0 0 T U\n",
+		"empty":                "",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBRITE(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestWriteBRITEHeaderShape(t *testing.T) {
+	g := USBackbone()
+	var buf bytes.Buffer
+	if err := g.WriteBRITE(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Topology: ( 25 Nodes,") {
+		t.Fatalf("header missing:\n%s", out[:100])
+	}
+	if !strings.Contains(out, "Nodes: ( 25 )") || !strings.Contains(out, "Edges: (") {
+		t.Fatal("section markers missing")
+	}
+}

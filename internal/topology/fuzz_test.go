@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary bytes must never panic the JSON topology reader,
+// and anything accepted must validate.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := USBackbone().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":0,"x":1,"y":2,"as":0}],"edges":[]}`)
+	f.Add(`garbage`)
+	f.Add(`{"nodes":[{"id":0}],"edges":[{"a":0,"b":0,"delay":-1}]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ReadJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted invalid graph: %v", verr)
+		}
+	})
+}
+
+// FuzzReadBRITE: same contract for the BRITE text parser.
+func FuzzReadBRITE(f *testing.F) {
+	var buf bytes.Buffer
+	if err := USBackbone().WriteBRITE(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("Nodes: ( 1 )\n0 0 0 1 1 0 RT_NODE\n")
+	f.Add("Edges: ( 1 )\n0 0 1 1 1 -1 0 0 RT_LINK U\n")
+	f.Add("")
+	f.Add("Topology: ( x Nodes )\nNodes: ( 1 )\n0 a b c d e f\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ReadBRITE(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadBRITE accepted invalid graph: %v", verr)
+		}
+	})
+}

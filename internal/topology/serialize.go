@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation of a Graph.
+type graphJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type nodeJSON struct {
+	ID   int     `json:"id"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	AS   int     `json:"as"`
+	Name string  `json:"name,omitempty"`
+}
+
+type edgeJSON struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Delay float64 `json:"delay"`
+}
+
+// WriteJSON serialises the graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	gj := graphJSON{
+		Nodes: make([]nodeJSON, 0, g.N()),
+		Edges: make([]edgeJSON, 0, g.M()),
+	}
+	for _, n := range g.Nodes {
+		gj.Nodes = append(gj.Nodes, nodeJSON{ID: n.ID, X: n.Pos.X, Y: n.Pos.Y, AS: n.AS, Name: n.Name})
+	}
+	for _, e := range g.Edges {
+		gj.Edges = append(gj.Edges, edgeJSON{A: e.A, B: e.B, Delay: e.Delay})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(gj)
+}
+
+// ReadJSON deserialises a graph previously written with WriteJSON and
+// validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var gj graphJSON
+	if err := json.NewDecoder(r).Decode(&gj); err != nil {
+		return nil, fmt.Errorf("topology: decoding graph: %w", err)
+	}
+	g := NewGraph(len(gj.Nodes), len(gj.Edges))
+	for i, n := range gj.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("topology: node %d has ID %d; nodes must be listed in ID order", i, n.ID)
+		}
+		id := g.AddNode(Point{X: n.X, Y: n.Y}, n.AS)
+		g.Nodes[id].Name = n.Name
+	}
+	for _, e := range gj.Edges {
+		if e.A < 0 || e.A >= g.N() || e.B < 0 || e.B >= g.N() {
+			return nil, fmt.Errorf("topology: edge (%d,%d) out of range", e.A, e.B)
+		}
+		if e.A == e.B {
+			return nil, fmt.Errorf("topology: self-loop at %d", e.A)
+		}
+		if e.Delay < 0 {
+			return nil, fmt.Errorf("topology: negative delay on edge (%d,%d)", e.A, e.B)
+		}
+		g.AddEdge(e.A, e.B, e.Delay)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: invalid graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"fmt"
+
+	"dvecap/internal/xrand"
+)
+
+// TransitStubParams configures a GT-ITM-style transit-stub topology, the
+// other canonical Internet model of the paper's era (Zegura et al., used by
+// many DVE studies alongside BRITE). A backbone of transit domains carries
+// traffic between leaf stub domains:
+//
+//	transit domains — densely connected small Waxman meshes, linked to
+//	                  each other through random domain-to-domain edges;
+//	stub domains    — small Waxman meshes, each homed on one transit node.
+//
+// AS numbering: every domain (transit or stub) gets a distinct AS id, so
+// the dve package's region machinery (correlation δ, hot regions) works
+// unchanged on transit-stub worlds.
+type TransitStubParams struct {
+	TransitDomains    int     // number of backbone domains (>= 1)
+	TransitNodes      int     // nodes per transit domain (>= 1)
+	StubsPerTransit   int     // stub domains homed on each transit node (>= 0)
+	StubNodes         int     // nodes per stub domain (>= 1)
+	ExtraTransitLinks int     // extra random inter-transit-domain links beyond the connecting ring
+	PlaneSize         float64 // global plane side (> 0)
+	WaxmanAlpha       float64 // intra-domain Waxman alpha
+	WaxmanBeta        float64 // intra-domain Waxman beta
+}
+
+// DefaultTransitStub returns a ~500-node configuration comparable to the
+// paper's hierarchical setup: 4 transit domains × 5 nodes, each transit
+// node homing 3 stubs of 8 nodes (4×5×(1+3×8) = 500 nodes).
+func DefaultTransitStub() TransitStubParams {
+	return TransitStubParams{
+		TransitDomains:    4,
+		TransitNodes:      5,
+		StubsPerTransit:   3,
+		StubNodes:         8,
+		ExtraTransitLinks: 2,
+		PlaneSize:         1000,
+		WaxmanAlpha:       0.3,
+		WaxmanBeta:        0.3,
+	}
+}
+
+// TotalNodes returns the node count this configuration generates.
+func (p TransitStubParams) TotalNodes() int {
+	perTransitNode := 1 + p.StubsPerTransit*p.StubNodes
+	return p.TransitDomains * p.TransitNodes * perTransitNode
+}
+
+func (p TransitStubParams) validate() error {
+	switch {
+	case p.TransitDomains < 1:
+		return fmt.Errorf("topology: TransitStub TransitDomains = %d, want >= 1", p.TransitDomains)
+	case p.TransitNodes < 1:
+		return fmt.Errorf("topology: TransitStub TransitNodes = %d, want >= 1", p.TransitNodes)
+	case p.StubsPerTransit < 0:
+		return fmt.Errorf("topology: TransitStub StubsPerTransit = %d, want >= 0", p.StubsPerTransit)
+	case p.StubsPerTransit > 0 && p.StubNodes < 1:
+		return fmt.Errorf("topology: TransitStub StubNodes = %d, want >= 1", p.StubNodes)
+	case p.ExtraTransitLinks < 0:
+		return fmt.Errorf("topology: TransitStub ExtraTransitLinks = %d, want >= 0", p.ExtraTransitLinks)
+	case p.PlaneSize <= 0:
+		return fmt.Errorf("topology: TransitStub PlaneSize = %v, want > 0", p.PlaneSize)
+	case p.WaxmanAlpha <= 0 || p.WaxmanAlpha > 1:
+		return fmt.Errorf("topology: TransitStub WaxmanAlpha = %v, want (0,1]", p.WaxmanAlpha)
+	case p.WaxmanBeta <= 0 || p.WaxmanBeta > 1:
+		return fmt.Errorf("topology: TransitStub WaxmanBeta = %v, want (0,1]", p.WaxmanBeta)
+	}
+	return nil
+}
+
+// TransitStub generates the topology. Edge delays equal Euclidean link
+// lengths, consistent with the other generators.
+func TransitStub(rng *xrand.RNG, p TransitStubParams) (*Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph(p.TotalNodes(), p.TotalNodes()*3)
+	nextAS := 0
+
+	// Transit domain centres spread over the plane.
+	centres := make([]Point, p.TransitDomains)
+	for d := range centres {
+		centres[d] = Point{X: rng.Uniform(0, p.PlaneSize), Y: rng.Uniform(0, p.PlaneSize)}
+	}
+	region := p.PlaneSize * 0.18
+
+	// Generate transit domains and remember their node IDs.
+	transitNodes := make([][]int, p.TransitDomains)
+	for d := 0; d < p.TransitDomains; d++ {
+		sub, err := Waxman(rng.Split(), WaxmanParams{
+			N: p.TransitNodes, Alpha: p.WaxmanAlpha, Beta: p.WaxmanBeta,
+			PlaneSize: region, MinDegree: minInt(2, p.TransitNodes-1, 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		as := nextAS
+		nextAS++
+		base := g.N()
+		off := Point{X: centres[d].X - region/2, Y: centres[d].Y - region/2}
+		for _, n := range sub.Nodes {
+			id := g.AddNode(Point{X: off.X + n.Pos.X, Y: off.Y + n.Pos.Y}, as)
+			transitNodes[d] = append(transitNodes[d], id)
+		}
+		for _, e := range sub.Edges {
+			g.AddEdge(base+e.A, base+e.B, g.Nodes[base+e.A].Pos.Dist(g.Nodes[base+e.B].Pos))
+		}
+	}
+
+	// Backbone: ring over domains plus extra random links, realised between
+	// random nodes of the two domains.
+	link := func(d1, d2 int) {
+		a := transitNodes[d1][rng.IntN(len(transitNodes[d1]))]
+		b := transitNodes[d2][rng.IntN(len(transitNodes[d2]))]
+		if a != b && !g.HasEdge(a, b) {
+			g.AddEdge(a, b, g.Nodes[a].Pos.Dist(g.Nodes[b].Pos))
+		}
+	}
+	for d := 0; d < p.TransitDomains; d++ {
+		if p.TransitDomains > 1 {
+			link(d, (d+1)%p.TransitDomains)
+		}
+	}
+	for i := 0; i < p.ExtraTransitLinks && p.TransitDomains > 1; i++ {
+		d1 := rng.IntN(p.TransitDomains)
+		d2 := rng.IntN(p.TransitDomains)
+		if d1 != d2 {
+			link(d1, d2)
+		}
+	}
+
+	// Stub domains: each homed on its transit node.
+	stubRegion := region * 0.6
+	for d := 0; d < p.TransitDomains; d++ {
+		for _, tn := range transitNodes[d] {
+			for s := 0; s < p.StubsPerTransit; s++ {
+				sub, err := Waxman(rng.Split(), WaxmanParams{
+					N: p.StubNodes, Alpha: p.WaxmanAlpha, Beta: p.WaxmanBeta,
+					PlaneSize: stubRegion, MinDegree: minInt(2, p.StubNodes-1, 1),
+				})
+				if err != nil {
+					return nil, err
+				}
+				as := nextAS
+				nextAS++
+				base := g.N()
+				// Stub placed near its transit node.
+				off := Point{
+					X: g.Nodes[tn].Pos.X + rng.Uniform(-region, region),
+					Y: g.Nodes[tn].Pos.Y + rng.Uniform(-region, region),
+				}
+				for _, n := range sub.Nodes {
+					g.AddNode(Point{X: off.X + n.Pos.X, Y: off.Y + n.Pos.Y}, as)
+				}
+				for _, e := range sub.Edges {
+					g.AddEdge(base+e.A, base+e.B, g.Nodes[base+e.A].Pos.Dist(g.Nodes[base+e.B].Pos))
+				}
+				// Home link: gateway stub node 0 to the transit node.
+				g.AddEdge(base, tn, g.Nodes[base].Pos.Dist(g.Nodes[tn].Pos))
+			}
+		}
+	}
+	if !g.Connected() {
+		connectComponents(g) // unreachable by construction; kept as a guard
+	}
+	return g, nil
+}

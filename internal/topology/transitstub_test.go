@@ -1,0 +1,178 @@
+package topology
+
+import (
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+func TestTransitStubShape(t *testing.T) {
+	p := DefaultTransitStub()
+	g, err := TransitStub(xrand.New(1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != p.TotalNodes() {
+		t.Fatalf("N = %d, want %d", g.N(), p.TotalNodes())
+	}
+	if g.N() != 500 {
+		t.Fatalf("default transit-stub has %d nodes, want 500", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("transit-stub not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Domains: 4 transit + 4*5*3 stubs = 64 AS ids.
+	if got := g.ASCount(); got != 64 {
+		t.Fatalf("AS count = %d, want 64", got)
+	}
+}
+
+func TestTransitStubDeterministic(t *testing.T) {
+	a, _ := TransitStub(xrand.New(3), DefaultTransitStub())
+	b, _ := TransitStub(xrand.New(3), DefaultTransitStub())
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestTransitStubNoStubs(t *testing.T) {
+	p := DefaultTransitStub()
+	p.StubsPerTransit = 0
+	g, err := TransitStub(xrand.New(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != p.TransitDomains*p.TransitNodes {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("backbone-only graph not connected")
+	}
+}
+
+func TestTransitStubSingleDomain(t *testing.T) {
+	p := DefaultTransitStub()
+	p.TransitDomains = 1
+	p.ExtraTransitLinks = 0
+	g, err := TransitStub(xrand.New(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("single-domain graph not connected")
+	}
+}
+
+func TestTransitStubRejectsBadParams(t *testing.T) {
+	bad := []func(*TransitStubParams){
+		func(p *TransitStubParams) { p.TransitDomains = 0 },
+		func(p *TransitStubParams) { p.TransitNodes = 0 },
+		func(p *TransitStubParams) { p.StubsPerTransit = -1 },
+		func(p *TransitStubParams) { p.StubNodes = 0 },
+		func(p *TransitStubParams) { p.ExtraTransitLinks = -1 },
+		func(p *TransitStubParams) { p.PlaneSize = 0 },
+		func(p *TransitStubParams) { p.WaxmanAlpha = 0 },
+		func(p *TransitStubParams) { p.WaxmanBeta = 2 },
+	}
+	for i, f := range bad {
+		p := DefaultTransitStub()
+		f(&p)
+		if _, err := TransitStub(xrand.New(1), p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestTransitStubDelaysMatchDistances(t *testing.T) {
+	g, _ := TransitStub(xrand.New(5), DefaultTransitStub())
+	for _, e := range g.Edges {
+		want := g.Nodes[e.A].Pos.Dist(g.Nodes[e.B].Pos)
+		if diff := e.Delay - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("edge (%d,%d) delay %v != distance %v", e.A, e.B, e.Delay, want)
+		}
+	}
+}
+
+func TestPathStatsLineGraph(t *testing.T) {
+	g := line(1, 1, 1)
+	s := g.PathStats()
+	if !s.Connected {
+		t.Fatal("line graph reported disconnected")
+	}
+	if s.Diameter != 3 {
+		t.Fatalf("diameter = %v, want 3", s.Diameter)
+	}
+	if s.HopDiameter != 3 {
+		t.Fatalf("hop diameter = %d, want 3", s.HopDiameter)
+	}
+	// Ordered pairs: (0,1)=1 (0,2)=2 (0,3)=3 (1,2)=1 (1,3)=2 (2,3)=1 and
+	// symmetric ⇒ mean = (1+2+3+1+2+1)/6 = 10/6.
+	want := 10.0 / 6.0
+	if diff := s.AvgDelay - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("avg delay = %v, want %v", s.AvgDelay, want)
+	}
+	if s.AvgHops != want {
+		t.Fatalf("avg hops = %v, want %v", s.AvgHops, want)
+	}
+}
+
+func TestPathStatsDisconnected(t *testing.T) {
+	g := NewGraph(2, 0)
+	g.AddNode(Point{}, 0)
+	g.AddNode(Point{}, 0)
+	if s := g.PathStats(); s.Connected {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestPathStatsInternetLikeTopology(t *testing.T) {
+	g, _ := Hier(xrand.New(8), DefaultHier())
+	s := g.PathStats()
+	if !s.Connected {
+		t.Fatal("hier topology disconnected")
+	}
+	// Internet-like: hop diameter well below node count.
+	if s.HopDiameter <= 0 || s.HopDiameter > 60 {
+		t.Fatalf("hop diameter %d implausible", s.HopDiameter)
+	}
+	if s.AvgHops <= 1 {
+		t.Fatalf("avg hops %v implausible", s.AvgHops)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: every node's neighbours are linked → coefficient 1.
+	tri := NewGraph(3, 3)
+	for i := 0; i < 3; i++ {
+		tri.AddNode(Point{}, 0)
+	}
+	tri.AddEdge(0, 1, 1)
+	tri.AddEdge(1, 2, 1)
+	tri.AddEdge(0, 2, 1)
+	if c := tri.ClusteringCoefficient(); c != 1 {
+		t.Fatalf("triangle coefficient = %v, want 1", c)
+	}
+	// Star: centre's neighbours never linked → 0.
+	star := NewGraph(4, 3)
+	for i := 0; i < 4; i++ {
+		star.AddNode(Point{}, 0)
+	}
+	star.AddEdge(0, 1, 1)
+	star.AddEdge(0, 2, 1)
+	star.AddEdge(0, 3, 1)
+	if c := star.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("star coefficient = %v, want 0", c)
+	}
+	// Empty / degree-1 graphs define 0.
+	if c := line(1).ClusteringCoefficient(); c != 0 {
+		t.Fatalf("edge coefficient = %v, want 0", c)
+	}
+}

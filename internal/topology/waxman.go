@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"dvecap/internal/xrand"
+)
+
+// WaxmanParams configures the Waxman (1988) random-graph model used by
+// BRITE for router-level (intra-AS) topologies. Nodes are scattered
+// uniformly on a PlaneSize × PlaneSize square; an edge between u and v is
+// created with probability
+//
+//	P(u,v) = Alpha * exp(-d(u,v) / (Beta * L))
+//
+// where d is Euclidean distance and L is the maximum possible distance on
+// the plane. Classic BRITE defaults are Alpha=0.15, Beta=0.2.
+type WaxmanParams struct {
+	N         int     // number of nodes (> 0)
+	Alpha     float64 // edge-probability scale, in (0,1]
+	Beta      float64 // distance decay, in (0,1]
+	PlaneSize float64 // side of the placement square (> 0)
+	MinDegree int     // lower bound on node degree, enforced by augmentation (>= 1)
+}
+
+// DefaultWaxman returns BRITE-like defaults for an n-node router-level mesh.
+func DefaultWaxman(n int) WaxmanParams {
+	return WaxmanParams{N: n, Alpha: 0.15, Beta: 0.2, PlaneSize: 1000, MinDegree: 2}
+}
+
+func (p WaxmanParams) validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("topology: Waxman N = %d, want > 0", p.N)
+	case p.Alpha <= 0 || p.Alpha > 1:
+		return fmt.Errorf("topology: Waxman Alpha = %v, want (0,1]", p.Alpha)
+	case p.Beta <= 0 || p.Beta > 1:
+		return fmt.Errorf("topology: Waxman Beta = %v, want (0,1]", p.Beta)
+	case p.PlaneSize <= 0:
+		return fmt.Errorf("topology: Waxman PlaneSize = %v, want > 0", p.PlaneSize)
+	case p.MinDegree < 1:
+		return fmt.Errorf("topology: Waxman MinDegree = %d, want >= 1", p.MinDegree)
+	}
+	return nil
+}
+
+// Waxman generates a connected Waxman graph. Link delays equal Euclidean
+// link length (propagation-dominated), in plane units; callers rescale via
+// DelayMatrix. Connectivity is guaranteed by augmenting with
+// shortest-available links between components, mirroring BRITE's behaviour
+// of rejecting disconnected runs.
+func Waxman(rng *xrand.RNG, p WaxmanParams) (*Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph(p.N, p.N*3)
+	for i := 0; i < p.N; i++ {
+		g.AddNode(Point{X: rng.Uniform(0, p.PlaneSize), Y: rng.Uniform(0, p.PlaneSize)}, 0)
+	}
+	maxDist := math.Sqrt2 * p.PlaneSize
+	for u := 0; u < p.N; u++ {
+		for v := u + 1; v < p.N; v++ {
+			d := g.Nodes[u].Pos.Dist(g.Nodes[v].Pos)
+			if rng.Bool(p.Alpha * math.Exp(-d/(p.Beta*maxDist))) {
+				g.AddEdge(u, v, d)
+			}
+		}
+	}
+	ensureMinDegree(g, p.MinDegree)
+	connectComponents(g)
+	return g, nil
+}
+
+// ensureMinDegree adds, for every node below the floor, links to its
+// geometrically nearest non-neighbours until the floor is met.
+func ensureMinDegree(g *Graph, minDeg int) {
+	n := g.N()
+	if n <= minDeg {
+		minDeg = n - 1
+	}
+	for v := 0; v < n; v++ {
+		for g.Degree(v) < minDeg {
+			best, bestD := -1, math.Inf(1)
+			for u := 0; u < n; u++ {
+				if u == v || g.HasEdge(v, u) {
+					continue
+				}
+				if d := g.Nodes[v].Pos.Dist(g.Nodes[u].Pos); d < bestD {
+					best, bestD = u, d
+				}
+			}
+			if best < 0 {
+				return // complete graph; nothing left to add
+			}
+			g.AddEdge(v, best, bestD)
+		}
+	}
+}
+
+// connectComponents links disconnected components through their
+// geometrically closest node pair until the graph is connected.
+func connectComponents(g *Graph) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	for {
+		comp := components(g)
+		if len(comp) <= 1 {
+			return
+		}
+		// Join the first component to its nearest other component.
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		inFirst := make([]bool, n)
+		for _, v := range comp[0] {
+			inFirst[v] = true
+		}
+		for _, v := range comp[0] {
+			for u := 0; u < n; u++ {
+				if inFirst[u] {
+					continue
+				}
+				if d := g.Nodes[v].Pos.Dist(g.Nodes[u].Pos); d < bestD {
+					bestA, bestB, bestD = v, u, d
+				}
+			}
+		}
+		g.AddEdge(bestA, bestB, bestD)
+	}
+}
+
+// components returns the connected components as slices of node IDs.
+func components(g *Graph) [][]int {
+	g.buildAdj()
+	n := g.N()
+	seen := make([]bool, n)
+	var out [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, h := range g.adj[v] {
+				if !seen[h.to] {
+					seen[h.to] = true
+					stack = append(stack, h.to)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package vworld
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvecap/internal/xrand"
+)
+
+func testMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := NewMap(1000, 800, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMapValidates(t *testing.T) {
+	bad := [][4]float64{
+		{0, 100, 2, 2},
+		{100, -1, 2, 2},
+		{100, 100, 0, 2},
+		{100, 100, 2, -1},
+	}
+	for i, c := range bad {
+		if _, err := NewMap(c[0], c[1], int(c[2]), int(c[3])); err == nil {
+			t.Errorf("bad map %d accepted", i)
+		}
+	}
+}
+
+func TestZoneAtGrid(t *testing.T) {
+	m := testMap(t)
+	if m.Zones() != 80 {
+		t.Fatalf("zones = %d", m.Zones())
+	}
+	cases := []struct {
+		x, y float64
+		want int
+	}{
+		{0, 0, 0},
+		{99, 99, 0},
+		{100, 0, 1},          // second column
+		{0, 100, 10},         // second row
+		{999.9, 799.9, 79},   // last zone
+		{1000, 800, 79},      // clamped edge
+		{-5, -5, 0},          // clamped negative
+		{550, 350, 3*10 + 5}, // middle
+	}
+	for _, tc := range cases {
+		if got := m.ZoneAt(tc.x, tc.y); got != tc.want {
+			t.Fatalf("ZoneAt(%v,%v) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestZoneCenterRoundTrips(t *testing.T) {
+	m := testMap(t)
+	for z := 0; z < m.Zones(); z++ {
+		x, y := m.ZoneCenter(z)
+		if got := m.ZoneAt(x, y); got != z {
+			t.Fatalf("centre of zone %d maps to %d", z, got)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	m := testMap(t)
+	// Corner zone 0: right and down only.
+	n := m.Neighbors(0)
+	if len(n) != 2 {
+		t.Fatalf("corner neighbours = %v", n)
+	}
+	// Interior zone: 4 neighbours.
+	if n := m.Neighbors(15); len(n) != 4 {
+		t.Fatalf("interior neighbours = %v", n)
+	}
+	// Neighbour relation is symmetric.
+	for z := 0; z < m.Zones(); z++ {
+		for _, nb := range m.Neighbors(z) {
+			back := false
+			for _, nb2 := range m.Neighbors(nb) {
+				if nb2 == z {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("neighbour relation asymmetric: %d → %d", z, nb)
+			}
+		}
+	}
+}
+
+func defaultCfg(n int) Config {
+	return Config{Avatars: n, MinSpeed: 5, MaxSpeed: 15, PauseMeanSec: 2}
+}
+
+func TestNewWorldPlacesWithinBounds(t *testing.T) {
+	m := testMap(t)
+	w, err := NewWorld(xrand.New(1), m, defaultCfg(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range w.Avatars {
+		if a.X < 0 || a.X > m.Width || a.Y < 0 || a.Y > m.Height {
+			t.Fatalf("avatar %d out of bounds: (%v,%v)", i, a.X, a.Y)
+		}
+		if a.Speed < 5 || a.Speed > 15 {
+			t.Fatalf("avatar %d speed %v", i, a.Speed)
+		}
+	}
+	if len(w.ZoneVector()) != 500 {
+		t.Fatal("zone vector length wrong")
+	}
+}
+
+func TestNewWorldValidates(t *testing.T) {
+	m := testMap(t)
+	bad := []Config{
+		{Avatars: -1, MinSpeed: 1, MaxSpeed: 2},
+		{Avatars: 1, MinSpeed: 0, MaxSpeed: 2},
+		{Avatars: 1, MinSpeed: 3, MaxSpeed: 2},
+		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, PauseMeanSec: -1},
+		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, HotBias: 0.5},
+		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, HotBias: 1.0, HotZones: []int{0}},
+	}
+	for i, c := range bad {
+		if _, err := NewWorld(xrand.New(1), m, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestStepMovesAvatarsAndStaysInBounds(t *testing.T) {
+	m := testMap(t)
+	w, _ := NewWorld(xrand.New(2), m, defaultCfg(200))
+	before := make([][2]float64, len(w.Avatars))
+	for i, a := range w.Avatars {
+		before[i] = [2]float64{a.X, a.Y}
+	}
+	for step := 0; step < 100; step++ {
+		w.Step(1.0)
+		for i, a := range w.Avatars {
+			if a.X < -1e-9 || a.X > m.Width+1e-9 || a.Y < -1e-9 || a.Y > m.Height+1e-9 {
+				t.Fatalf("avatar %d escaped: (%v,%v)", i, a.X, a.Y)
+			}
+		}
+	}
+	movedAny := false
+	for i, a := range w.Avatars {
+		if a.X != before[i][0] || a.Y != before[i][1] {
+			movedAny = true
+			break
+		}
+	}
+	if !movedAny {
+		t.Fatal("no avatar moved in 100 seconds")
+	}
+}
+
+func TestStepReportsZoneCrossings(t *testing.T) {
+	m := testMap(t)
+	w, _ := NewWorld(xrand.New(3), m, defaultCfg(300))
+	zonesBefore := w.ZoneVector()
+	crossings := 0
+	for step := 0; step < 60; step++ {
+		moved := w.Step(1.0)
+		for _, i := range moved {
+			crossings++
+			_ = i
+		}
+	}
+	zonesAfter := w.ZoneVector()
+	changed := 0
+	for i := range zonesBefore {
+		if zonesBefore[i] != zonesAfter[i] {
+			changed++
+		}
+	}
+	if crossings == 0 {
+		t.Fatal("no zone crossings in 60 seconds of movement")
+	}
+	if changed == 0 {
+		t.Fatal("crossings reported but no zones changed")
+	}
+}
+
+func TestStepMovementRespectsSpeed(t *testing.T) {
+	m := testMap(t)
+	w, _ := NewWorld(xrand.New(4), m, Config{Avatars: 50, MinSpeed: 10, MaxSpeed: 10})
+	before := make([][2]float64, len(w.Avatars))
+	for i, a := range w.Avatars {
+		before[i] = [2]float64{a.X, a.Y}
+	}
+	dt := 0.5
+	w.Step(dt)
+	for i, a := range w.Avatars {
+		dx, dy := a.X-before[i][0], a.Y-before[i][1]
+		d := math.Sqrt(dx*dx + dy*dy)
+		// Per straight leg the displacement cannot exceed speed×dt; a
+		// waypoint turn mid-step can only shorten the net displacement.
+		if d > 10*dt+1e-9 {
+			t.Fatalf("avatar %d moved %v in %vs at speed 10", i, d, dt)
+		}
+	}
+}
+
+func TestHotBiasConcentratesAvatars(t *testing.T) {
+	m := testMap(t)
+	hot := []int{0, 1, 2, 3}
+	cfg := defaultCfg(4000)
+	cfg.HotZones = hot
+	cfg.HotBias = 0.6
+	w, err := NewWorld(xrand.New(5), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := w.Populations()
+	hotPop := 0
+	for _, z := range hot {
+		hotPop += pop[z]
+	}
+	// 4 of 80 zones hold 60% + 4/80×40% ≈ 62% of avatars in expectation.
+	frac := float64(hotPop) / 4000
+	if frac < 0.5 {
+		t.Fatalf("hot zones hold only %.0f%%", frac*100)
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	m := testMap(t)
+	run := func() []int {
+		w, _ := NewWorld(xrand.New(9), m, defaultCfg(100))
+		for i := 0; i < 30; i++ {
+			w.Step(1)
+		}
+		return w.ZoneVector()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("avatar %d zone differs across identical runs", i)
+		}
+	}
+}
+
+func TestZoneAtAlwaysInRangeProperty(t *testing.T) {
+	m := testMap(t)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		z := m.ZoneAt(x, y)
+		return z >= 0 && z < m.Zones()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
