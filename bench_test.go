@@ -257,6 +257,127 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// --- churn-scale local search ---------------------------------------------
+
+// largeProblem builds the churn-scale scenario the incremental evaluator
+// exists for: 50 servers, 500 zones, 100 000 clients, plane-embedded (the
+// paper's 500-node substrate cannot express this size). Servers and zone
+// centres are uniform in the unit square; clients scatter around their
+// zone's centre.
+func largeProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	const m, n, k = 50, 500, 100_000
+	rng := xrand.New(271)
+	sx := make([]float64, m)
+	sy := make([]float64, m)
+	for i := range sx {
+		sx[i], sy[i] = rng.Float64(), rng.Float64()
+	}
+	zx := make([]float64, n)
+	zy := make([]float64, n)
+	for z := range zx {
+		zx[z], zy[z] = rng.Float64(), rng.Float64()
+	}
+	p := &core.Problem{
+		ServerCaps:  make([]float64, m),
+		ClientZones: make([]int, k),
+		NumZones:    n,
+		ClientRT:    make([]float64, k),
+		CS:          make([][]float64, k),
+		SS:          make([][]float64, m),
+		D:           150,
+	}
+	rtt := func(dx, dy float64) float64 { return 20 + 450*(dx*dx+dy*dy) }
+	csFlat := make([]float64, k*m)
+	var totalRT float64
+	for j := 0; j < k; j++ {
+		z := rng.IntN(n)
+		p.ClientZones[j] = z
+		cx := zx[z] + rng.Norm(0, 0.08)
+		cy := zy[z] + rng.Norm(0, 0.08)
+		p.ClientRT[j] = rng.Uniform(0.1, 0.3)
+		totalRT += p.ClientRT[j]
+		p.CS[j], csFlat = csFlat[:m], csFlat[m:]
+		for i := 0; i < m; i++ {
+			p.CS[j][i] = rtt(cx-sx[i], cy-sy[i])
+		}
+	}
+	ssFlat := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		p.SS[i], ssFlat = ssFlat[:m], ssFlat[m:]
+		for l := 0; l < m; l++ {
+			if l != i {
+				p.SS[i][l] = 0.5 * rtt(sx[i]-sx[l], sy[i]-sy[l])
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		p.ServerCaps[i] = 1.5 * totalRT / float64(m) * rng.Uniform(0.9, 1.1)
+	}
+	return p
+}
+
+// largeStart gives the search a deliberately mediocre start (delay-oblivious
+// RanZ-VirC), so there are improving moves to find.
+func largeStart(b *testing.B, p *core.Problem) *core.Assignment {
+	b.Helper()
+	a, err := core.RanZVirC.Solve(xrand.New(7), p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkLocalSearch measures the incremental-delta local search on the
+// churn-scale scenario (50 servers / 500 zones / 100k clients). The
+// clone-and-rescore oracle it replaced is benchmarked on the identical
+// shape by BenchmarkOracleLargeLocalSearch in internal/core (one iteration
+// of it takes minutes); BENCH_localsearch.json records the measured
+// baseline of both.
+func BenchmarkLocalSearch(b *testing.B) {
+	p := largeProblem(b)
+	a := largeStart(b, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LocalSearch(p, a, 3)
+	}
+}
+
+// BenchmarkEvaluator measures incremental move application on the
+// churn-scale scenario: a zone move pair (there and back) plus a contact
+// switch pair per iteration, all in reused state — zero allocations.
+func BenchmarkEvaluator(b *testing.B) {
+	p := largeProblem(b)
+	a := largeStart(b, p)
+	ev := core.NewEvaluator(p, a)
+	z := 0
+	home := ev.Assignment().ZoneServer[z]
+	other := (home + 1) % p.NumServers()
+	tgt := home
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.ApplyZoneMove(z, other)
+		ev.ApplyZoneMove(z, home)
+		ev.ApplyContactSwitch(0, other)
+		ev.ApplyContactSwitch(0, tgt)
+	}
+}
+
+// BenchmarkEvaluatorReset measures rebinding a reused evaluator to the
+// churn-scale problem — the fixed cost one re-optimisation cycle pays.
+func BenchmarkEvaluatorReset(b *testing.B) {
+	p := largeProblem(b)
+	a := largeStart(b, p)
+	ev := core.NewEvaluator(p, a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset(p, a)
+	}
+}
+
 // BenchmarkExactIAP measures the branch-and-bound on the smallest
 // configuration's initial assignment (Table 1's lp_solve, first row).
 func BenchmarkExactIAP(b *testing.B) {

@@ -26,6 +26,26 @@
 //	if err != nil { ... }
 //	fmt.Printf("pQoS %.2f at utilisation %.2f\n", result.PQoS, result.Utilization)
 //
+// # Incremental evaluation and hot-path reuse
+//
+// Beyond the paper, the core package is built for churn-scale
+// re-optimisation. A core.Evaluator maintains a solution together with
+// every derived quantity the local search scores moves by — per-client
+// effective delays, per-server loads, the QoS count and the RAP cost — and
+// updates them incrementally: a zone move is scored in O(clients of the
+// zone) and a contact switch in O(1), with no cloning and no per-candidate
+// allocation. A core.Workspace (threaded through core.Options.Scratch)
+// gives the greedy phases reusable buffers for their cost matrices and
+// preference lists, so repeated Solve/Evaluate cycles — replication loops,
+// the churn driver's periodic reassignment — allocate nothing but the
+// returned assignments. The original clone-and-rescore local search is
+// retained inside internal/core as a test oracle, with equivalence tests
+// proving both accept identical move sequences.
+//
+// BenchmarkLocalSearch exercises a churn-scale scenario (50 servers, 500
+// zones, 100 000 clients — far beyond the paper's 2000-client maximum);
+// BENCH_localsearch.json records the measured baseline against the oracle.
+//
 // The facade in this package covers common workflows; the full machinery
 // (generators, exact solver, churn simulation, experiment harness) lives in
 // the internal packages and is exercised through the cmd/ tools.

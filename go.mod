@@ -1,0 +1,3 @@
+module dvecap
+
+go 1.24

@@ -206,3 +206,11 @@ func RAPCost(p *Problem, a *Assignment) float64 {
 func almostLE(a, b float64) bool {
 	return a <= b+1e-9*math.Max(1, math.Abs(b))
 }
+
+// almostEq reports a == b within the same relative-absolute tolerance as
+// almostLE. Every float equality/tie decision in the algorithms goes
+// through this helper so that values derived by different summation orders
+// (incremental deltas vs full re-summation) compare consistently.
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

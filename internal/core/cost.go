@@ -1,25 +1,15 @@
 package core
 
+import "slices"
+
 // InitialCosts computes the IAP cost matrix of Equation (3):
 // CI[i][j] = |{c in zone j : d(c, s_i) > D}| — the number of clients of
 // zone j left without QoS if zone j is hosted on server i.
-// The result is indexed [server][zone].
+// The result is indexed [server][zone] and freshly allocated; the greedy
+// algorithms go through Workspace.initialCosts to reuse buffers instead.
 func InitialCosts(p *Problem) [][]int {
-	m, n := p.NumServers(), p.NumZones
-	ci := make([][]int, m)
-	flat := make([]int, m*n)
-	for i := range ci {
-		ci[i], flat = flat[:n], flat[n:]
-	}
-	for j, z := range p.ClientZones {
-		row := p.CS[j]
-		for i := 0; i < m; i++ {
-			if row[i] > p.D {
-				ci[i][z]++
-			}
-		}
-	}
-	return ci
+	var w Workspace
+	return w.initialCosts(p)
 }
 
 // RefinedCost computes the RAP cost metric of Equation (8) for selecting
@@ -47,25 +37,32 @@ type desirabilityList struct {
 }
 
 // buildDesirability constructs the sorted preference list for one item
-// given its per-server desirability values.
+// given its per-server desirability values, allocating fresh backing.
 func buildDesirability(item int, mu []float64) desirabilityList {
 	m := len(mu)
-	servers := make([]int, m)
+	return buildDesirabilityInto(item, mu, make([]int, m), make([]float64, m))
+}
+
+// buildDesirabilityInto is buildDesirability writing into caller-provided
+// backing slices (each of length len(mu)), so preference-list construction
+// over many items reuses one flat allocation (see Workspace.desirability).
+func buildDesirabilityInto(item int, mu []float64, servers []int, muSorted []float64) desirabilityList {
+	m := len(mu)
 	for i := range servers {
 		servers[i] = i
 	}
-	// Insertion sort by (µ desc, index asc): m is small (tens of servers)
-	// and insertion sort keeps the ordering stable and allocation-free.
-	for a := 1; a < m; a++ {
-		s := servers[a]
-		b := a - 1
-		for b >= 0 && mu[servers[b]] < mu[s] {
-			servers[b+1] = servers[b]
-			b--
+	// (µ desc, index asc) is a total order, so the result is deterministic
+	// and identical to the stable insertion sort this replaces — but
+	// O(m log m) instead of O(m²).
+	slices.SortFunc(servers, func(a, b int) int {
+		if mu[a] != mu[b] {
+			if mu[a] > mu[b] {
+				return -1
+			}
+			return 1
 		}
-		servers[b+1] = s
-	}
-	muSorted := make([]float64, m)
+		return a - b
+	})
 	for idx, s := range servers {
 		muSorted[idx] = mu[s]
 	}
@@ -79,23 +76,16 @@ func buildDesirability(item int, mu []float64) desirabilityList {
 }
 
 // sortByRegret orders lists by (regret desc, item asc), the processing
-// order of the paper's greedy loops (Figs. 2 and 3).
+// order of the paper's greedy loops (Figs. 2 and 3). The item tie-break
+// makes the order total, so the unstable sort is deterministic.
 func sortByRegret(lists []desirabilityList) {
-	for a := 1; a < len(lists); a++ {
-		l := lists[a]
-		b := a - 1
-		for b >= 0 && less(lists[b], l) {
-			lists[b+1] = lists[b]
-			b--
+	slices.SortFunc(lists, func(x, y desirabilityList) int {
+		if x.regret != y.regret {
+			if x.regret > y.regret {
+				return -1
+			}
+			return 1
 		}
-		lists[b+1] = l
-	}
-}
-
-// less reports whether x should come after y in processing order.
-func less(x, y desirabilityList) bool {
-	if x.regret != y.regret {
-		return x.regret < y.regret
-	}
-	return x.item > y.item
+		return x.item - y.item
+	})
 }

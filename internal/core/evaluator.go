@@ -1,0 +1,352 @@
+package core
+
+// Evaluator maintains a CAP solution together with every derived quantity
+// the local search scores moves by — per-client effective delays, per-server
+// loads, the QoS count, the RAP cost and the total load — and updates them
+// incrementally as the solution changes. A zone move is scored and applied
+// in O(clients of the zone); a contact switch in O(1). This replaces the
+// clone-and-rescore evaluation (retained as localSearchOracle) that made
+// every candidate move O(zones × servers × clients).
+//
+// The evaluator keeps its own copy of the assignment; read it back with
+// Assignment. Reset rebinds the evaluator to a new problem/assignment pair
+// reusing all internal buffers, so replication and churn loops can score
+// millions of moves without allocating. An Evaluator is not safe for
+// concurrent use.
+type Evaluator struct {
+	p *Problem
+
+	zoneServer []int
+	contact    []int
+
+	// CSR index of zone → client IDs: clients of zone z are
+	// zoneClients[zoneOff[z]:zoneOff[z+1]].
+	zoneOff     []int
+	zoneClients []int
+	cursor      []int
+
+	zoneRT []float64
+	delay  []float64 // effective delay per client
+	loads  []float64 // bandwidth load per server
+
+	withQoS   int
+	rapCost   float64
+	totalLoad float64
+}
+
+// NewEvaluator returns an evaluator bound to p with a's solution loaded.
+func NewEvaluator(p *Problem, a *Assignment) *Evaluator {
+	ev := &Evaluator{}
+	ev.Reset(p, a)
+	return ev
+}
+
+// Reset rebinds the evaluator to (p, a), reusing internal buffers. It runs
+// in O(clients + zones + servers).
+func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
+	m, n, k := p.NumServers(), p.NumZones, p.NumClients()
+	ev.p = p
+
+	ev.zoneServer = grow(ev.zoneServer, n)
+	copy(ev.zoneServer, a.ZoneServer)
+	ev.contact = grow(ev.contact, k)
+	copy(ev.contact, a.ClientContact)
+
+	// Zone → clients CSR index.
+	ev.zoneOff = grow(ev.zoneOff, n+1)
+	ev.zoneClients = grow(ev.zoneClients, k)
+	ev.cursor = grow(ev.cursor, n)
+	for i := range ev.zoneOff {
+		ev.zoneOff[i] = 0
+	}
+	for _, z := range p.ClientZones {
+		ev.zoneOff[z+1]++
+	}
+	for z := 0; z < n; z++ {
+		ev.zoneOff[z+1] += ev.zoneOff[z]
+		ev.cursor[z] = ev.zoneOff[z]
+	}
+	for j, z := range p.ClientZones {
+		ev.zoneClients[ev.cursor[z]] = j
+		ev.cursor[z]++
+	}
+
+	ev.zoneRT = grow(ev.zoneRT, n)
+	for i := range ev.zoneRT {
+		ev.zoneRT[i] = 0
+	}
+	ev.delay = grow(ev.delay, k)
+	ev.loads = grow(ev.loads, m)
+	for i := range ev.loads {
+		ev.loads[i] = 0
+	}
+
+	ev.withQoS, ev.rapCost, ev.totalLoad = 0, 0, 0
+	for j, z := range p.ClientZones {
+		rt := p.ClientRT[j]
+		ev.zoneRT[z] += rt
+		t := ev.zoneServer[z]
+		ev.loads[t] += rt
+		c := ev.contact[j]
+		var d float64
+		if c == t {
+			d = p.CS[j][t]
+		} else {
+			d = p.CS[j][c] + p.SS[c][t]
+			ev.loads[c] += 2 * rt
+		}
+		ev.delay[j] = d
+		if d <= p.D {
+			ev.withQoS++
+		} else {
+			ev.rapCost += d - p.D
+		}
+	}
+	for _, l := range ev.loads {
+		ev.totalLoad += l
+	}
+}
+
+// clientsOf returns the client IDs of zone z.
+func (ev *Evaluator) clientsOf(z int) []int {
+	return ev.zoneClients[ev.zoneOff[z]:ev.zoneOff[z+1]]
+}
+
+// WithQoS returns the number of clients whose effective delay meets the
+// bound.
+func (ev *Evaluator) WithQoS() int { return ev.withQoS }
+
+// RAPCost returns the refined-assignment objective C^R(x): the summed
+// excess of every client's effective delay over the bound. Maintained
+// incrementally; may differ from a fresh RAPCost sum by float rounding.
+func (ev *Evaluator) RAPCost() float64 { return ev.rapCost }
+
+// TotalLoad returns the summed server bandwidth load.
+func (ev *Evaluator) TotalLoad() float64 { return ev.totalLoad }
+
+// ClientDelay returns client j's current effective delay.
+func (ev *Evaluator) ClientDelay(j int) float64 { return ev.delay[j] }
+
+// ServerLoad returns server i's current bandwidth load.
+func (ev *Evaluator) ServerLoad(i int) float64 { return ev.loads[i] }
+
+// Assignment returns a fresh copy of the evaluator's current solution.
+func (ev *Evaluator) Assignment() *Assignment {
+	return &Assignment{
+		ZoneServer:    append([]int(nil), ev.zoneServer...),
+		ClientContact: append([]int(nil), ev.contact...),
+	}
+}
+
+// score returns the current lexicographic objective.
+func (ev *Evaluator) score() score {
+	return score{withQoS: ev.withQoS, rapCost: ev.rapCost, load: ev.totalLoad}
+}
+
+// zoneMoveScore returns the objective the solution would have after
+// rehosting zone z on server s (clients whose contact was the old target
+// follow to s), in O(clients of z) and without mutating anything.
+func (ev *Evaluator) zoneMoveScore(z, s int) score {
+	p := ev.p
+	old := ev.zoneServer[z]
+	cand := ev.score()
+	if s == old {
+		return cand
+	}
+	for _, j := range ev.clientsOf(z) {
+		c := ev.contact[j]
+		var nd float64
+		if c == old || c == s {
+			// Followers land on the new target; a contact that *is* the new
+			// target stops forwarding. Either way the delay is direct.
+			nd = p.CS[j][s]
+			if c == s {
+				cand.load -= 2 * p.ClientRT[j]
+			}
+		} else {
+			nd = p.CS[j][c] + p.SS[c][s]
+		}
+		od := ev.delay[j]
+		if od <= p.D {
+			cand.withQoS--
+		} else {
+			cand.rapCost -= od - p.D
+		}
+		if nd <= p.D {
+			cand.withQoS++
+		} else {
+			cand.rapCost += nd - p.D
+		}
+	}
+	return cand
+}
+
+// ApplyZoneMove rehosts zone z on server s, updating all derived state
+// incrementally in O(clients of z). Clients whose contact was the old
+// target follow to s, matching the zone-move neighbourhood of LocalSearch.
+func (ev *Evaluator) ApplyZoneMove(z, s int) {
+	p := ev.p
+	old := ev.zoneServer[z]
+	if s == old {
+		return
+	}
+	ev.loads[old] -= ev.zoneRT[z]
+	ev.loads[s] += ev.zoneRT[z]
+	for _, j := range ev.clientsOf(z) {
+		c := ev.contact[j]
+		var nd float64
+		switch {
+		case c == old:
+			ev.contact[j] = s
+			nd = p.CS[j][s]
+		case c == s:
+			nd = p.CS[j][s]
+			ev.loads[s] -= 2 * p.ClientRT[j]
+			ev.totalLoad -= 2 * p.ClientRT[j]
+		default:
+			nd = p.CS[j][c] + p.SS[c][s]
+		}
+		od := ev.delay[j]
+		if od <= p.D {
+			ev.withQoS--
+		} else {
+			ev.rapCost -= od - p.D
+		}
+		if nd <= p.D {
+			ev.withQoS++
+		} else {
+			ev.rapCost += nd - p.D
+		}
+		ev.delay[j] = nd
+	}
+	ev.zoneServer[z] = s
+}
+
+// ApplyContactSwitch points client j's contact at server s, updating all
+// derived state in O(1).
+func (ev *Evaluator) ApplyContactSwitch(j, s int) {
+	p := ev.p
+	c := ev.contact[j]
+	if s == c {
+		return
+	}
+	t := ev.zoneServer[p.ClientZones[j]]
+	rt2 := 2 * p.ClientRT[j]
+	if c != t {
+		ev.loads[c] -= rt2
+		ev.totalLoad -= rt2
+	}
+	if s != t {
+		ev.loads[s] += rt2
+		ev.totalLoad += rt2
+	}
+	var nd float64
+	if s == t {
+		nd = p.CS[j][t]
+	} else {
+		nd = p.CS[j][s] + p.SS[s][t]
+	}
+	od := ev.delay[j]
+	if od <= p.D {
+		ev.withQoS--
+	} else {
+		ev.rapCost -= od - p.D
+	}
+	if nd <= p.D {
+		ev.withQoS++
+	} else {
+		ev.rapCost += nd - p.D
+	}
+	ev.delay[j] = nd
+	ev.contact[j] = s
+}
+
+// LocalSearch runs the hill climber on the evaluator's current solution,
+// mutating it in place; it reports whether any move was accepted. Same
+// semantics as the package-level LocalSearch.
+func (ev *Evaluator) LocalSearch(maxRounds int) bool {
+	any := false
+	for round := 0; round < maxRounds; round++ {
+		improvedZone := ev.bestZoneMove()
+		improvedContact := ev.contactSwitchPass()
+		if !improvedZone && !improvedContact {
+			break
+		}
+		any = true
+	}
+	return any
+}
+
+// bestZoneMove applies the single best improving zone move, if any.
+func (ev *Evaluator) bestZoneMove() bool {
+	p := ev.p
+	m := p.NumServers()
+	bestScore := ev.score()
+	bestZone, bestServer := -1, -1
+	for z := 0; z < p.NumZones; z++ {
+		old := ev.zoneServer[z]
+		rt := ev.zoneRT[z]
+		for s := 0; s < m; s++ {
+			if s == old {
+				continue
+			}
+			// Feasibility on the destination: it gains the zone's target
+			// load (forwarding loads of followed clients stay zero because
+			// they land on the new target itself).
+			if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
+				continue
+			}
+			cs := ev.zoneMoveScore(z, s)
+			if cs.betterThan(bestScore) {
+				bestScore, bestZone, bestServer = cs, z, s
+			}
+		}
+	}
+	if bestZone < 0 {
+		return false
+	}
+	ev.ApplyZoneMove(bestZone, bestServer)
+	return true
+}
+
+// contactSwitchPass greedily improves each out-of-bound client's contact,
+// in client order, exactly like the oracle's tryBestContactSwitch: a switch
+// is taken only when it shrinks the excess of a client beyond the bound
+// (delay already within the bound changes nothing the CAP counts).
+func (ev *Evaluator) contactSwitchPass() bool {
+	p := ev.p
+	m := p.NumServers()
+	improved := false
+	for j := range p.ClientZones {
+		curDelay := ev.delay[j]
+		if curDelay <= p.D {
+			continue
+		}
+		t := ev.zoneServer[p.ClientZones[j]]
+		cur := ev.contact[j]
+		bestServer := -1
+		bestDelay := curDelay
+		for s := 0; s < m; s++ {
+			if s == cur {
+				continue
+			}
+			var d float64
+			if s == t {
+				d = p.CS[j][t]
+			} else {
+				if !almostLE(ev.loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
+					continue
+				}
+				d = p.CS[j][s] + p.SS[s][t]
+			}
+			if d < bestDelay-1e-12 {
+				bestDelay, bestServer = d, s
+			}
+		}
+		if bestServer >= 0 {
+			ev.ApplyContactSwitch(j, bestServer)
+			improved = true
+		}
+	}
+	return improved
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"dvecap/internal/xrand"
 )
@@ -28,6 +29,20 @@ var ErrInfeasible = errors.New("core: no server with sufficient residual capacit
 // Options tunes assignment algorithms.
 type Options struct {
 	Overflow OverflowPolicy
+	// Scratch, when non-nil, provides reusable buffers for the algorithms'
+	// internal state (cost matrices, preference lists, load accumulators),
+	// making repeated Solve calls allocation-free apart from the returned
+	// assignment. Callers that solve in a loop — replications, churn
+	// re-optimisation — should pass one Workspace per goroutine.
+	Scratch *Workspace
+}
+
+// scratch returns the options' workspace, or a fresh one when unset.
+func (o Options) scratch() *Workspace {
+	if o.Scratch != nil {
+		return o.Scratch
+	}
+	return &Workspace{}
 }
 
 // IAPFunc assigns zones to servers (the initial assignment phase),
@@ -43,15 +58,22 @@ func RanZ(rng *xrand.RNG, p *Problem, opt Options) ([]int, error) {
 		return nil, fmt.Errorf("core: RanZ requires an RNG")
 	}
 	n := p.NumZones
-	zoneRT := p.ZoneRT()
-	zoneSize := make([]int, n)
+	w := opt.scratch()
+	zoneRT := w.zoneRTs(p)
+	w.zoneSize = grow(w.zoneSize, n)
+	zoneSize := w.zoneSize
+	for i := range zoneSize {
+		zoneSize[i] = 0
+	}
 	for _, z := range p.ClientZones {
 		zoneSize[z]++
 	}
-	order := zonesBySizeDesc(zoneSize)
-	loads := make([]float64, p.NumServers())
+	w.order = zonesBySizeDescInto(zoneSize, w.order)
+	order := w.order
+	loads := w.zeroLoads(p.NumServers())
 	target := make([]int, n)
-	candidates := make([]int, 0, p.NumServers())
+	w.candidates = grow(w.candidates, p.NumServers())[:0]
+	candidates := w.candidates
 	for _, z := range order {
 		candidates = candidates[:0]
 		for i, c := range p.ServerCaps {
@@ -113,12 +135,14 @@ func StickyGreZ(incumbent []int, bonus float64) IAPFunc {
 
 // greZBiased is GreZ with an optional desirability bias term.
 func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone int) float64) ([]int, error) {
-	ci := InitialCosts(p)
+	w := opt.scratch()
+	ci := w.initialCosts(p)
 	m, n := p.NumServers(), p.NumZones
-	zoneRT := p.ZoneRT()
+	zoneRT := w.zoneRTs(p)
 
-	lists := make([]desirabilityList, n)
-	mu := make([]float64, m)
+	lists := w.desirability(n, m)
+	w.mu = grow(w.mu, m)
+	mu := w.mu
 	for z := 0; z < n; z++ {
 		for i := 0; i < m; i++ {
 			mu[i] = -float64(ci[i][z])
@@ -126,11 +150,12 @@ func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone in
 				mu[i] += bias(i, z)
 			}
 		}
-		lists[z] = buildDesirability(z, mu)
+		srv, muSorted := w.listBacking(z, m)
+		lists[z] = buildDesirabilityInto(z, mu, srv, muSorted)
 	}
 	sortByRegret(lists)
 
-	loads := make([]float64, m)
+	loads := w.zeroLoads(m)
 	target := make([]int, n)
 	for i := range target {
 		target[i] = -1
@@ -163,12 +188,14 @@ func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone in
 // still take it, as the classic GAP greedy does. Quadratically more work,
 // occasionally better packings; quantified by the ablation benchmark.
 func GreZDynamic(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
-	ci := InitialCosts(p)
+	w := opt.scratch()
+	ci := w.initialCosts(p)
 	m, n := p.NumServers(), p.NumZones
-	zoneRT := p.ZoneRT()
-	loads := make([]float64, m)
+	zoneRT := w.zoneRTs(p)
+	loads := w.zeroLoads(m)
 	target := make([]int, n)
-	unassigned := make([]bool, n)
+	w.unassigned = grow(w.unassigned, n)
+	unassigned := w.unassigned
 	for i := range target {
 		target[i] = -1
 		unassigned[i] = true
@@ -182,14 +209,16 @@ func GreZDynamic(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
 			if !unassigned[z] {
 				continue
 			}
-			// Find best and second-best feasible µ for this zone.
+			// Find best and second-best feasible µ for this zone. Ties on µ
+			// keep the lowest-index server (deterministic); the tolerance
+			// helper guards against float drift in biased µ values.
 			best, second, bestSrv := negInf, negInf, -1
 			for i := 0; i < m; i++ {
 				if !almostLE(loads[i]+zoneRT[z], p.ServerCaps[i]) {
 					continue
 				}
 				v := -float64(ci[i][z])
-				if v > best || (v == best && bestSrv == -1) {
+				if bestSrv == -1 || (v > best && !almostEq(v, best)) {
 					second = best
 					best, bestSrv = v, i
 				} else if v > second {
@@ -203,7 +232,9 @@ func GreZDynamic(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
 			if second != negInf {
 				regret = best - second
 			}
-			if bestZone == -1 || regret > bestRegret || (regret == bestRegret && z < bestZone) {
+			// Strictly-greater regret wins; near-equal regrets keep the
+			// lowest zone index (zones are scanned in ascending order).
+			if bestZone == -1 || (regret > bestRegret && !almostEq(regret, bestRegret)) {
 				bestZone, bestServer, bestRegret = z, bestSrv, regret
 			}
 		}
@@ -235,19 +266,23 @@ const negInf = -1e308
 // zonesBySizeDesc returns zone indexes sorted by client count descending,
 // ties by zone index ascending (deterministic).
 func zonesBySizeDesc(size []int) []int {
-	order := make([]int, len(size))
+	return zonesBySizeDescInto(size, nil)
+}
+
+// zonesBySizeDescInto is zonesBySizeDesc writing into buf when it has
+// capacity. The (count desc, index asc) order is total, so the unstable
+// sort is deterministic.
+func zonesBySizeDescInto(size []int, buf []int) []int {
+	order := grow(buf, len(size))
 	for i := range order {
 		order[i] = i
 	}
-	for a := 1; a < len(order); a++ {
-		z := order[a]
-		b := a - 1
-		for b >= 0 && (size[order[b]] < size[z] || (size[order[b]] == size[z] && order[b] > z)) {
-			order[b+1] = order[b]
-			b--
+	slices.SortFunc(order, func(a, b int) int {
+		if size[a] != size[b] {
+			return size[b] - size[a]
 		}
-		order[b+1] = z
-	}
+		return a - b
+	})
 	return order
 }
 

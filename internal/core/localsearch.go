@@ -13,141 +13,38 @@ package core
 // Moves are accepted when they improve (WithQoS, -RAPCost, -totalLoad)
 // lexicographically. The search stops after maxRounds full passes or when
 // no move improves.
+//
+// Scoring is incremental: the search runs on an Evaluator, so a zone move
+// costs O(clients of the zone) and a contact switch O(1), with no cloning
+// and no per-candidate allocation. localSearchOracle retains the original
+// clone-and-rescore implementation as a test oracle; the equivalence tests
+// in evaluator_test.go prove both accept identical move sequences. To
+// amortise the evaluator's buffers across repeated searches (replication or
+// churn loops), hold an Evaluator, Reset it, and call its LocalSearch
+// method directly.
 func LocalSearch(p *Problem, a *Assignment, maxRounds int) *Assignment {
-	cur := a.Clone()
-	for round := 0; round < maxRounds; round++ {
-		improvedZone := tryBestZoneMove(p, cur)
-		improvedContact := tryBestContactSwitch(p, cur)
-		if !improvedZone && !improvedContact {
-			break
-		}
-	}
-	return cur
+	ev := NewEvaluator(p, a)
+	ev.LocalSearch(maxRounds)
+	return ev.Assignment()
 }
 
+// score is the lexicographic objective of the local search.
 type score struct {
 	withQoS int
 	rapCost float64
 	load    float64
 }
 
+// betterThan compares scores lexicographically. Float components are
+// compared through the shared tolerance helper so that incremental
+// accumulation and full re-summation — which differ only by rounding —
+// order candidates identically.
 func (s score) betterThan(o score) bool {
 	if s.withQoS != o.withQoS {
 		return s.withQoS > o.withQoS
 	}
-	if s.rapCost != o.rapCost {
+	if !almostEq(s.rapCost, o.rapCost) {
 		return s.rapCost < o.rapCost
 	}
-	return s.load < o.load-1e-12
-}
-
-func evaluateScore(p *Problem, a *Assignment) score {
-	var s score
-	for j := range p.ClientZones {
-		d := a.ClientDelay(p, j)
-		if d <= p.D {
-			s.withQoS++
-		} else {
-			s.rapCost += d - p.D
-		}
-	}
-	for _, l := range a.ServerLoads(p) {
-		s.load += l
-	}
-	return s
-}
-
-// tryBestZoneMove applies the single best improving zone move, if any.
-func tryBestZoneMove(p *Problem, a *Assignment) bool {
-	m := p.NumServers()
-	zoneRT := p.ZoneRT()
-	loads := a.ServerLoads(p)
-	base := evaluateScore(p, a)
-
-	bestScore := base
-	bestZone, bestServer := -1, -1
-	for z := 0; z < p.NumZones; z++ {
-		old := a.ZoneServer[z]
-		for s := 0; s < m; s++ {
-			if s == old {
-				continue
-			}
-			// Feasibility on the destination: it gains the zone's target
-			// load (forwarding loads of followed clients stay zero because
-			// they land on the new target itself).
-			if !almostLE(loads[s]+zoneRT[z], p.ServerCaps[s]) {
-				continue
-			}
-			cand := applyZoneMove(p, a, z, s)
-			cs := evaluateScore(p, cand)
-			if cs.betterThan(bestScore) {
-				bestScore, bestZone, bestServer = cs, z, s
-			}
-		}
-	}
-	if bestZone < 0 {
-		return false
-	}
-	*a = *applyZoneMove(p, a, bestZone, bestServer)
-	return true
-}
-
-// applyZoneMove returns a copy of a with zone z rehosted on server s;
-// clients of z whose contact was the old target follow to s.
-func applyZoneMove(p *Problem, a *Assignment, z, s int) *Assignment {
-	out := a.Clone()
-	old := out.ZoneServer[z]
-	out.ZoneServer[z] = s
-	for j, cz := range p.ClientZones {
-		if cz == z && out.ClientContact[j] == old {
-			out.ClientContact[j] = s
-		}
-	}
-	return out
-}
-
-// tryBestContactSwitch applies the single best improving contact switch.
-// Deltas are local to one client, so this pass is cheap.
-func tryBestContactSwitch(p *Problem, a *Assignment) bool {
-	m := p.NumServers()
-	loads := a.ServerLoads(p)
-	improved := false
-	for j := range p.ClientZones {
-		t := a.Target(p, j)
-		cur := a.ClientContact[j]
-		curDelay := a.ClientDelay(p, j)
-		bestServer := -1
-		bestDelay := curDelay
-		for s := 0; s < m; s++ {
-			if s == cur {
-				continue
-			}
-			var d float64
-			if s == t {
-				d = p.CS[j][t]
-			} else {
-				if !almostLE(loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
-					continue
-				}
-				d = p.CS[j][s] + p.SS[s][t]
-			}
-			if d < bestDelay-1e-12 {
-				bestDelay, bestServer = d, s
-			}
-		}
-		// Only accept switches that matter for the objective: gaining QoS,
-		// or shrinking the excess of an out-of-bound client. Shaving delay
-		// that is already within the bound changes nothing the CAP counts.
-		if bestServer >= 0 && (curDelay > p.D) {
-			if cur != t {
-				loads[cur] -= 2 * p.ClientRT[j]
-			}
-			if bestServer != t {
-				loads[bestServer] += 2 * p.ClientRT[j]
-			}
-			a.ClientContact[j] = bestServer
-			improved = true
-		}
-	}
-	return improved
+	return s.load < o.load && !almostEq(s.load, o.load)
 }

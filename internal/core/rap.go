@@ -31,18 +31,20 @@ func VirC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error) 
 //
 // Loads start at the initial phase's zone loads, matching the RAP
 // constraint (10): contact load fits within C_{s_i} − R_{s_i}.
-func GreC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error) {
+func GreC(_ *xrand.RNG, p *Problem, zoneServer []int, opt Options) ([]int, error) {
 	m := p.NumServers()
+	w := opt.scratch()
 	contact := make([]int, p.NumClients())
-	loads := make([]float64, m)
-	zoneRT := p.ZoneRT()
+	zoneRT := w.zoneRTs(p)
+	loads := w.zeroLoads(m)
 	for z, s := range zoneServer {
 		loads[s] += zoneRT[z]
 	}
 
 	// First pass: clients whose direct delay to the target meets the bound
 	// connect straight to it (no forwarding, no extra load).
-	var late []int // the paper's list L_E
+	w.late = grow(w.late, p.NumClients())[:0]
+	late := w.late // the paper's list L_E
 	for j, z := range p.ClientZones {
 		t := zoneServer[z]
 		if p.CS[j][t] <= p.D {
@@ -54,14 +56,16 @@ func GreC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error) 
 	}
 
 	// Second pass: regret-ordered greedy over the late clients.
-	lists := make([]desirabilityList, 0, len(late))
-	mu := make([]float64, m)
-	for _, j := range late {
+	lists := w.desirability(len(late), m)
+	w.mu = grow(w.mu, m)
+	mu := w.mu
+	for li, j := range late {
 		t := zoneServer[p.ClientZones[j]]
 		for i := 0; i < m; i++ {
 			mu[i] = -RefinedCost(p, j, i, t)
 		}
-		lists = append(lists, buildDesirability(j, mu))
+		srv, muSorted := w.listBacking(li, m)
+		lists[li] = buildDesirabilityInto(j, mu, srv, muSorted)
 	}
 	sortByRegret(lists)
 

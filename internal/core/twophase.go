@@ -15,7 +15,11 @@ type TwoPhase struct {
 	Refine RAPFunc
 }
 
-// Solve runs both phases and returns the resulting assignment.
+// Solve runs both phases and returns the resulting assignment. The
+// returned assignment is always freshly allocated and safe to retain;
+// callers that solve repeatedly (replication or churn loops) should set
+// Options.Scratch so both phases reuse their internal buffers — cost
+// matrices, preference lists, load accumulators — across calls.
 func (tp TwoPhase) Solve(rng *xrand.RNG, p *Problem, opt Options) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", tp.Name, err)

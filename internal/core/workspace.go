@@ -1,0 +1,152 @@
+package core
+
+// Workspace holds reusable scratch buffers for the assignment algorithms'
+// hot paths: the IAP cost matrix, zone bandwidth totals, per-server load
+// accumulators, desirability preference lists and evaluation delay vectors.
+// Pass one through Options.Scratch (or use its EvaluateInto method) to
+// make repeated Solve/Evaluate calls — e.g. replication loops, churn
+// re-optimisation — allocation-free apart from the returned assignments,
+// which are always freshly allocated and safe to retain.
+//
+// The zero value is ready to use. A Workspace is not safe for concurrent
+// use; give each goroutine its own.
+type Workspace struct {
+	ci         [][]int
+	ciFlat     []int
+	zoneRT     []float64
+	zoneSize   []int
+	loads      []float64
+	mu         []float64
+	order      []int
+	candidates []int
+	late       []int
+	unassigned []bool
+	lists      []desirabilityList
+	srvFlat    []int
+	muFlat     []float64
+	evLoads    []float64
+}
+
+// NewWorkspace returns an empty workspace. Buffers grow on first use and
+// are retained between calls.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow returns s resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// initialCosts is InitialCosts writing into the workspace's reusable
+// matrix. The result is valid until the next workspace use.
+func (w *Workspace) initialCosts(p *Problem) [][]int {
+	m, n := p.NumServers(), p.NumZones
+	w.ciFlat = grow(w.ciFlat, m*n)
+	flat := w.ciFlat
+	for i := range flat {
+		flat[i] = 0
+	}
+	if cap(w.ci) < m {
+		w.ci = make([][]int, m)
+	}
+	w.ci = w.ci[:m]
+	for i := range w.ci {
+		w.ci[i], flat = flat[:n], flat[n:]
+	}
+	for j, z := range p.ClientZones {
+		row := p.CS[j]
+		for i := 0; i < m; i++ {
+			if row[i] > p.D {
+				w.ci[i][z]++
+			}
+		}
+	}
+	return w.ci
+}
+
+// zoneRTs is Problem.ZoneRT writing into the workspace's reusable vector.
+func (w *Workspace) zoneRTs(p *Problem) []float64 {
+	w.zoneRT = grow(w.zoneRT, p.NumZones)
+	out := w.zoneRT
+	for i := range out {
+		out[i] = 0
+	}
+	for j, z := range p.ClientZones {
+		out[z] += p.ClientRT[j]
+	}
+	return out
+}
+
+// zeroLoads returns the workspace's per-server load accumulator, zeroed.
+func (w *Workspace) zeroLoads(m int) []float64 {
+	w.loads = grow(w.loads, m)
+	for i := range w.loads {
+		w.loads[i] = 0
+	}
+	return w.loads
+}
+
+// desirability returns n preference lists backed by the workspace's flat
+// arrays, each with room for m servers. Entries must be filled with
+// buildDesirabilityInto before use.
+func (w *Workspace) desirability(n, m int) []desirabilityList {
+	if cap(w.lists) < n {
+		w.lists = make([]desirabilityList, n)
+	}
+	w.lists = w.lists[:n]
+	w.srvFlat = grow(w.srvFlat, n*m)
+	w.muFlat = grow(w.muFlat, n*m)
+	return w.lists
+}
+
+// listBacking returns the i-th preference list's server and µ backing
+// slices (each of length m) inside the flat arrays.
+func (w *Workspace) listBacking(i, m int) ([]int, []float64) {
+	return w.srvFlat[i*m : (i+1)*m], w.muFlat[i*m : (i+1)*m]
+}
+
+// EvaluateInto is Evaluate reusing the workspace's load accumulator and
+// out's Delays buffer: repeated quality evaluation (simulation sampling,
+// replication loops) allocates nothing once the buffers have grown.
+// out is fully overwritten.
+func (w *Workspace) EvaluateInto(truth *Problem, a *Assignment, out *Metrics) {
+	k := truth.NumClients()
+	out.Delays = grow(out.Delays, k)
+	out.PQoS, out.Utilization, out.WithQoS, out.MaxLoadRatio = 0, 0, 0, 0
+	for j := 0; j < k; j++ {
+		d := a.ClientDelay(truth, j)
+		out.Delays[j] = d
+		if d <= truth.D {
+			out.WithQoS++
+		}
+	}
+	if k > 0 {
+		out.PQoS = float64(out.WithQoS) / float64(k)
+	}
+	w.evLoads = grow(w.evLoads, truth.NumServers())
+	loads := w.evLoads
+	for i := range loads {
+		loads[i] = 0
+	}
+	for j, z := range truth.ClientZones {
+		t := a.ZoneServer[z]
+		loads[t] += truth.ClientRT[j]
+		if c := a.ClientContact[j]; c != t && c >= 0 {
+			loads[c] += 2 * truth.ClientRT[j]
+		}
+	}
+	var used, capTotal float64
+	for i, l := range loads {
+		used += l
+		capTotal += truth.ServerCaps[i]
+		if r := l / truth.ServerCaps[i]; r > out.MaxLoadRatio {
+			out.MaxLoadRatio = r
+		}
+	}
+	if capTotal > 0 {
+		out.Utilization = used / capTotal
+	}
+}

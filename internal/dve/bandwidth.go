@@ -37,12 +37,21 @@ func (c Config) ZoneRTMbps(zonePop int) float64 {
 // ClientRTs returns the per-client bandwidth requirement vector for the
 // world's current population.
 func (w *World) ClientRTs() []float64 {
+	return w.ClientRTsInto(nil)
+}
+
+// ClientRTsInto is ClientRTs writing into buf when it has capacity.
+func (w *World) ClientRTsInto(buf []float64) []float64 {
 	pop := w.ZonePopulations()
-	out := make([]float64, len(w.ClientZones))
-	for j, z := range w.ClientZones {
-		out[j] = w.Cfg.ClientRTMbps(pop[z])
+	k := len(w.ClientZones)
+	if cap(buf) < k {
+		buf = make([]float64, k)
 	}
-	return out
+	buf = buf[:k]
+	for j, z := range w.ClientZones {
+		buf[j] = w.Cfg.ClientRTMbps(pop[z])
+	}
+	return buf
 }
 
 // TotalDemandMbps returns the summed target-side bandwidth demand of the

@@ -10,31 +10,63 @@ import (
 // returned problem with the estimator package before solving, and evaluate
 // against this (unperturbed) problem.
 func (w *World) Problem() *core.Problem {
+	p := &core.Problem{}
+	w.ProblemInto(p)
+	return p
+}
+
+// ProblemInto is Problem writing into dst, reusing dst's backing arrays
+// when they are large enough. Periodic re-optimisation under churn calls
+// this every cycle; with a retained dst the k×m client-server delay matrix
+// — by far the largest allocation of the snapshot — is rebuilt in place
+// instead of reallocated. dst is fully overwritten.
+func (w *World) ProblemInto(dst *core.Problem) {
 	m := w.Cfg.Servers
 	k := len(w.ClientNodes)
-	p := &core.Problem{
-		ServerCaps:  append([]float64(nil), w.ServerCaps...),
-		ClientZones: append([]int(nil), w.ClientZones...),
-		NumZones:    w.Cfg.Zones,
-		ClientRT:    w.ClientRTs(),
-		CS:          make([][]float64, k),
-		SS:          make([][]float64, m),
-		D:           w.Cfg.DelayBoundMs,
-	}
-	csFlat := make([]float64, k*m)
+	dst.NumZones = w.Cfg.Zones
+	dst.D = w.Cfg.DelayBoundMs
+	dst.ServerCaps = append(dst.ServerCaps[:0], w.ServerCaps...)
+	dst.ClientZones = append(dst.ClientZones[:0], w.ClientZones...)
+	dst.ClientRT = w.ClientRTsInto(dst.ClientRT)
+	dst.CS = ensureMatrix(dst.CS, k, m)
 	for j := 0; j < k; j++ {
-		p.CS[j], csFlat = csFlat[:m], csFlat[m:]
+		row := dst.CS[j]
 		cn := w.ClientNodes[j]
 		for i := 0; i < m; i++ {
-			p.CS[j][i] = w.Delays.RTT(cn, w.ServerNodes[i])
+			row[i] = w.Delays.RTT(cn, w.ServerNodes[i])
 		}
 	}
-	ssFlat := make([]float64, m*m)
+	dst.SS = ensureMatrix(dst.SS, m, m)
 	for i := 0; i < m; i++ {
-		p.SS[i], ssFlat = ssFlat[:m], ssFlat[m:]
+		row := dst.SS[i]
 		for l := 0; l < m; l++ {
-			p.SS[i][l] = w.Delays.ServerRTT(w.ServerNodes[i], w.ServerNodes[l])
+			row[l] = w.Delays.ServerRTT(w.ServerNodes[i], w.ServerNodes[l])
 		}
 	}
-	return p
+}
+
+// ensureMatrix returns an r×c matrix reusing mat's rows when every needed
+// row already has capacity c; otherwise it allocates fresh rows over one
+// flat array. Row contents are unspecified — callers overwrite fully.
+func ensureMatrix(mat [][]float64, r, c int) [][]float64 {
+	if cap(mat) >= r {
+		mat = mat[:r]
+		ok := true
+		for i := range mat {
+			if cap(mat[i]) < c {
+				ok = false
+				break
+			}
+			mat[i] = mat[i][:c]
+		}
+		if ok {
+			return mat
+		}
+	}
+	mat = make([][]float64, r)
+	flat := make([]float64, r*c)
+	for i := range mat {
+		mat[i], flat = flat[:c:c], flat[c:]
+	}
+	return mat
 }

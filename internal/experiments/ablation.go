@@ -67,15 +67,22 @@ func Ablation(setup Setup, opt AblationOptions) (*AblationResult, error) {
 		}
 		truth := world.Problem()
 		out := make(row, len(variants))
+		// One workspace, evaluator and metrics buffer per replication:
+		// every variant's solve, local search and evaluation reuses them.
+		sopt := scratchOpts()
+		var ev core.Evaluator
+		var m core.Metrics
 		for _, v := range variants {
-			a, err := v.algo.Solve(rng.Split(), truth, solveOpts)
+			a, err := v.algo.Solve(rng.Split(), truth, sopt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.name, err)
 			}
 			if v.local {
-				a = core.LocalSearch(truth, a, opt.LocalSearchRounds)
+				ev.Reset(truth, a)
+				ev.LocalSearch(opt.LocalSearchRounds)
+				a = ev.Assignment()
 			}
-			m := core.Evaluate(truth, a)
+			sopt.Scratch.EvaluateInto(truth, a, &m)
 			out[v.name] = [3]float64{m.PQoS, m.Utilization, float64(core.IAPCost(truth, a.ZoneServer))}
 		}
 		return out, nil

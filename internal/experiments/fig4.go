@@ -68,9 +68,10 @@ func Fig4(setup Setup, opt Fig4Options) (*Fig4Result, error) {
 			return nil, err
 		}
 		truth := world.Problem()
+		sopt := scratchOpts()
 		out := make(delays, len(algos))
 		for _, tp := range algos {
-			a, err := tp.Solve(rng.Split(), truth, solveOpts)
+			a, err := tp.Solve(rng.Split(), truth, sopt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", tp.Name, err)
 			}

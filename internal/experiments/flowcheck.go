@@ -74,9 +74,10 @@ func FlowCheck(setup Setup, opt FlowCheckOptions) (*FlowCheckResult, error) {
 			return repOut{}, err
 		}
 		truth := world.Problem()
+		sopt := scratchOpts()
 		out := repOut{perAlgo: map[string][4]float64{}}
 		for _, tp := range algos {
-			a, err := tp.Solve(rng.Split(), truth, solveOpts)
+			a, err := tp.Solve(rng.Split(), truth, sopt)
 			if err != nil {
 				return repOut{}, fmt.Errorf("%s: %w", tp.Name, err)
 			}
@@ -90,7 +91,7 @@ func FlowCheck(setup Setup, opt FlowCheckOptions) (*FlowCheckResult, error) {
 		}
 		// Knee profile: same GreZ-GreC assignment, capacities re-scaled to
 		// fixed headroom over actual load.
-		a, err := core.GreZGreC.Solve(rng.Split(), truth, solveOpts)
+		a, err := core.GreZGreC.Solve(rng.Split(), truth, sopt)
 		if err != nil {
 			return repOut{}, err
 		}

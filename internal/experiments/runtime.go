@@ -65,10 +65,11 @@ func Runtime(setup Setup, opt RuntimeOptions) (*RuntimeResult, error) {
 			return nil, err
 		}
 		truth := world.Problem()
+		sopt := scratchOpts()
 		row := RuntimeRow{Scenario: scenario, Heuristic: map[string]time.Duration{}}
 		for _, tp := range algos {
 			start := time.Now()
-			if _, err := tp.Solve(rng.Split(), truth, solveOpts); err != nil {
+			if _, err := tp.Solve(rng.Split(), truth, sopt); err != nil {
 				return nil, fmt.Errorf("runtime %s/%s: %w", scenario, tp.Name, err)
 			}
 			row.Heuristic[tp.Name] = time.Since(start)

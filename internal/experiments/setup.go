@@ -131,6 +131,17 @@ func (c Cell) String() string {
 // MaxLoadRatio).
 var solveOpts = core.Options{Overflow: core.SpillLargestResidual}
 
+// scratchOpts returns solveOpts with a fresh reusable workspace attached.
+// Each replication goroutine calls this once and reuses the workspace
+// across every Solve in the replication, so the greedy phases' cost
+// matrices and preference lists are allocated once per rep, not once per
+// algorithm invocation.
+func scratchOpts() core.Options {
+	opt := solveOpts
+	opt.Scratch = core.NewWorkspace()
+	return opt
+}
+
 // repMetrics holds one replication's evaluation per algorithm.
 type repMetrics map[string]core.Metrics
 
@@ -143,9 +154,10 @@ func (s Setup) runAlgorithms(cfg dve.Config, algos []core.TwoPhase) ([]repMetric
 			return nil, err
 		}
 		truth := world.Problem()
+		sopt := scratchOpts()
 		out := make(repMetrics, len(algos))
 		for _, tp := range algos {
-			a, err := tp.Solve(rng.Split(), truth, solveOpts)
+			a, err := tp.Solve(rng.Split(), truth, sopt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", tp.Name, err)
 			}

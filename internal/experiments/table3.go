@@ -57,12 +57,13 @@ func Table3(setup Setup, opt Table3Options) (*Table3Result, error) {
 			return nil, err
 		}
 		truth := world.Problem()
+		sopt := scratchOpts()
 
 		// Solve every algorithm on the pre-churn world.
 		before := make(map[string]*core.Assignment, len(algos))
 		out := make(row, len(algos))
 		for _, tp := range algos {
-			a, err := tp.Solve(rng.Split(), truth, solveOpts)
+			a, err := tp.Solve(rng.Split(), truth, sopt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", tp.Name, err)
 			}
@@ -90,7 +91,7 @@ func Table3(setup Setup, opt Table3Options) (*Table3Result, error) {
 			adapted := adaptAssignment(a, joined, removed, moved, afterTruth)
 			afterQoS := core.Evaluate(afterTruth, adapted).PQoS
 
-			re, err := tp.Solve(rng.Split(), afterTruth, solveOpts)
+			re, err := tp.Solve(rng.Split(), afterTruth, sopt)
 			if err != nil {
 				return nil, fmt.Errorf("%s re-exec: %w", tp.Name, err)
 			}

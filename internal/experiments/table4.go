@@ -61,10 +61,11 @@ func Table4(setup Setup, opt Table4Options) (*Table4Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			sopt := scratchOpts()
 			out := make(repMetrics, len(algos))
 			for _, tp := range algos {
 				// Solve on what the measurement service reports…
-				a, err := tp.Solve(rng.Split(), estimated, solveOpts)
+				a, err := tp.Solve(rng.Split(), estimated, sopt)
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", tp.Name, err)
 				}

@@ -89,6 +89,13 @@ type Driver struct {
 	// by an in-flight handoff (HandoffFreezeSec > 0 only).
 	zoneFrozenUntil []float64
 	errs            []error
+
+	// Reused buffers: the problem snapshot (its k×m delay matrix dominates
+	// per-cycle allocation), the algorithms' scratch workspace, and the
+	// evaluation metrics. Rebuilt in place every reassignment and sample.
+	prob  core.Problem
+	ws    *core.Workspace
+	evalM core.Metrics
 }
 
 // NewDriver computes an initial assignment and prepares the churn
@@ -97,7 +104,8 @@ func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Optio
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Driver{eng: eng, world: world, algo: algo, opt: opt, cfg: cfg, rng: rng}
+	d := &Driver{eng: eng, world: world, algo: algo, opt: opt, cfg: cfg, rng: rng, ws: core.NewWorkspace()}
+	d.opt.Scratch = d.ws
 	if err := d.reassign("initial"); err != nil {
 		return nil, err
 	}
@@ -200,17 +208,26 @@ func (d *Driver) moveEvent() {
 }
 
 func (d *Driver) reassignEvent() {
-	d.sample("pre-reassign")
-	if err := d.reassign("post-reassign"); err != nil {
+	// One snapshot serves the pre-reassign sample, the solve, and the
+	// post-reassign sample: no churn event can fire inside this event, so
+	// the world — and hence the k×m delay matrix — cannot change.
+	d.world.ProblemInto(&d.prob)
+	d.sampleWith(&d.prob, "pre-reassign")
+	if err := d.reassignWith(&d.prob, "post-reassign"); err != nil {
 		d.errs = append(d.errs, err)
 	}
 	d.eng.Schedule(d.cfg.ReassignEverySec, d.reassignEvent)
 }
 
-// reassign recomputes the full two-phase assignment on the current world
-// and records a sample labelled `label`.
+// reassign snapshots the current world, then recomputes the full two-phase
+// assignment and records a sample labelled `label`.
 func (d *Driver) reassign(label string) error {
-	p := d.world.Problem()
+	d.world.ProblemInto(&d.prob)
+	return d.reassignWith(&d.prob, label)
+}
+
+// reassignWith is reassign on an already-built snapshot of the world.
+func (d *Driver) reassignWith(p *core.Problem, label string) error {
 	algo := d.algo
 	if d.cfg.StickyBonus > 0 && label != "initial" && len(d.zoneServer) == p.NumZones {
 		algo = core.TwoPhase{
@@ -247,7 +264,7 @@ func (d *Driver) reassign(label string) error {
 	}
 	d.zoneServer = a.ZoneServer
 	d.contact = a.ClientContact
-	d.sample(label)
+	d.sampleWith(p, label)
 	return nil
 }
 
@@ -278,7 +295,12 @@ func (d *Driver) MeanContactMovesPerReassign() float64 {
 
 // sample evaluates the current assignment against the current world.
 func (d *Driver) sample(label string) {
-	p := d.world.Problem()
+	d.world.ProblemInto(&d.prob)
+	d.sampleWith(&d.prob, label)
+}
+
+// sampleWith is sample on an already-built snapshot of the world.
+func (d *Driver) sampleWith(p *core.Problem, label string) {
 	a := &core.Assignment{ZoneServer: d.zoneServer, ClientContact: d.contact}
 	if len(d.contact) != p.NumClients() {
 		// Defensive: misaligned state would make Evaluate panic.
@@ -286,7 +308,8 @@ func (d *Driver) sample(label string) {
 			len(d.contact), p.NumClients()))
 		return
 	}
-	m := core.Evaluate(p, a)
+	d.ws.EvaluateInto(p, a, &d.evalM)
+	m := &d.evalM
 	pqos := m.PQoS
 	if d.zoneFrozenUntil != nil && p.NumClients() > 0 {
 		// Handoff model: clients of frozen zones have no QoS regardless of
