@@ -17,6 +17,7 @@ import (
 	"dvecap/internal/experiments"
 	"dvecap/internal/lp"
 	"dvecap/internal/milp"
+	"dvecap/internal/repair"
 	"dvecap/internal/topology"
 	"dvecap/internal/xrand"
 )
@@ -375,6 +376,93 @@ func BenchmarkEvaluatorReset(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.Reset(p, a)
+	}
+}
+
+// --- churn repair ----------------------------------------------------------
+
+// benchRepairPlanner builds the repair planner on the churn-scale scenario
+// with a GreZ-GreC start, plus the live-handle set events draw from.
+func benchRepairPlanner(b *testing.B, p *core.Problem) (*repair.Planner, []int) {
+	b.Helper()
+	a, err := core.GreZGreC.Solve(xrand.New(7), p, core.Options{Overflow: core.SpillLargestResidual})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := repair.NewWithAssignment(repair.Config{
+		Algo: core.GreZGreC,
+		Opt:  core.Options{Overflow: core.SpillLargestResidual, Scratch: core.NewWorkspace()},
+	}, p, a, xrand.New(91))
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := make([]int, p.NumClients())
+	for h := range live {
+		live[h] = h
+	}
+	return pl, live
+}
+
+// repairEvent applies the i-th synthetic churn event: a join (cloning an
+// existing client's placement, matching the scenario's distribution), a
+// leave, or a zone move, cycling through the three. src supplies placement
+// data and must be the pristine problem the planner was built from.
+func repairEvent(b *testing.B, pl *repair.Planner, live *[]int, src *core.Problem, rng *xrand.RNG, i int) {
+	b.Helper()
+	switch i % 3 {
+	case 0:
+		tpl := rng.IntN(src.NumClients())
+		h, err := pl.Join(src.ClientZones[tpl], src.ClientRT[tpl], src.CS[tpl])
+		if err != nil {
+			b.Fatal(err)
+		}
+		*live = append(*live, h)
+	case 1:
+		l := *live
+		pos := rng.IntN(len(l))
+		if err := pl.Leave(l[pos]); err != nil {
+			b.Fatal(err)
+		}
+		l[pos] = l[len(l)-1]
+		*live = l[:len(l)-1]
+	default:
+		l := *live
+		if err := pl.Move(l[rng.IntN(len(l))], rng.IntN(src.NumZones)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepair measures one churn event — join, leave or zone move —
+// repaired incrementally on the churn-scale scenario (50 servers / 500
+// zones / 100k clients): the planner's O(affected) path. Compare
+// BenchmarkRepairFullResolve, the paper's §3.4 full re-execution on the
+// same event stream; BENCH_repair.json records the measured gap.
+func BenchmarkRepair(b *testing.B) {
+	p := largeProblem(b)
+	pl, live := benchRepairPlanner(b, p)
+	rng := xrand.New(23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repairEvent(b, pl, &live, p, rng, i)
+	}
+}
+
+// BenchmarkRepairFullResolve applies the identical event stream but
+// answers every event with a full two-phase re-solve of the whole problem
+// — the baseline the repair subsystem replaces.
+func BenchmarkRepairFullResolve(b *testing.B) {
+	p := largeProblem(b)
+	pl, live := benchRepairPlanner(b, p)
+	rng := xrand.New(23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repairEvent(b, pl, &live, p, rng, i)
+		if err := pl.FullSolve(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,18 +1,32 @@
 // Command capdirector runs the online client-assignment service over HTTP.
 // It generates (or loads) a topology, places servers with capacities, and
 // then serves join/leave/move/reassign requests — the operational form of
-// the paper's geographically distributed server architecture.
+// the paper's geographically distributed server architecture. Every churn
+// request is applied through the incremental repair subsystem in
+// O(affected); full two-phase re-solves run on POST /v1/reassign, on the
+// -reassign-every timer, or automatically when -drift arms the quality
+// guard.
 //
 // Usage:
 //
 //	capdirector -addr :8080 -servers 20 -zones 80 -capacity 500
 //	capdirector -addr :8080 -topology topo.json -algorithm GreZ-VirC
+//	capdirector -addr :8080 -drift 0.02 -reassign-every 5m
 //
 // Try it:
 //
 //	curl -s -X POST localhost:8080/v1/clients -d '{"node":17,"zone":4}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s -X POST localhost:8080/v1/reassign
+//
+// GET /v1/stats reports, besides the paper's quality measures (pqos,
+// utilization, with_qos), the repair subsystem's counters:
+//
+//	repair_events    churn events handled incrementally (joins+leaves+moves)
+//	full_solves      full two-phase re-solves run so far
+//	zone_handoffs    zones rehosted (localized repair moves + full-solve diffs)
+//	contact_switches contact re-placements made by the repair path
+//	last_drift_pqos  current pQoS decay below the last full solve's level
 package main
 
 import (
@@ -40,6 +54,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		topoFile  = flag.String("topology", "", "topology JSON (default: generate the paper's 500-node hierarchy)")
 		reassign  = flag.Duration("reassign-every", 0, "re-execute the algorithm periodically (0 = only on POST /v1/reassign)")
+		drift     = flag.Float64("drift", 0, "arm the repair planner's quality guard: full re-solve when pQoS decays this far below the last full solve (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -79,6 +94,7 @@ func main() {
 		MessageBytes: 100,
 		Algorithm:    *algorithm,
 		Seed:         *seed,
+		DriftPQoS:    *drift,
 	})
 	if err != nil {
 		log.Fatalf("capdirector: %v", err)
@@ -87,10 +103,13 @@ func main() {
 	fmt.Printf("capdirector: %d servers, %d zones, %.0f Mbps, D=%.0fms, algorithm %s\n",
 		*servers, *zones, *capacity, *bound, *algorithm)
 	fmt.Printf("capdirector: topology %d nodes / %d edges; listening on %s\n", g.N(), g.M(), *addr)
+	if *drift > 0 {
+		fmt.Printf("capdirector: drift guard armed at %.3f pQoS\n", *drift)
+	}
 	if *reassign > 0 {
 		go d.RunReassignLoop(context.Background(), *reassign, func(res director.ReassignResult) {
-			log.Printf("reassign: %d clients, pQoS %.3f, R %.3f, %d contacts moved",
-				res.Clients, res.PQoS, res.Utilization, res.Moved)
+			log.Printf("reassign: %d clients, pQoS %.3f, R %.3f, %d contacts moved; totals: %d zone handoffs, %d full solves",
+				res.Clients, res.PQoS, res.Utilization, res.Moved, res.ZoneHandoffs, res.FullSolves)
 		})
 		fmt.Printf("capdirector: periodic reassignment every %s\n", *reassign)
 	}

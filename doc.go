@@ -34,17 +34,38 @@
 // effective delays, per-server loads, the QoS count and the RAP cost — and
 // updates them incrementally: a zone move is scored in O(clients of the
 // zone) and a contact switch in O(1), with no cloning and no per-candidate
-// allocation. A core.Workspace (threaded through core.Options.Scratch)
-// gives the greedy phases reusable buffers for their cost matrices and
-// preference lists, so repeated Solve/Evaluate cycles — replication loops,
-// the churn driver's periodic reassignment — allocate nothing but the
-// returned assignments. The original clone-and-rescore local search is
-// retained inside internal/core as a test oracle, with equivalence tests
-// proving both accept identical move sequences.
+// allocation. The evaluator also supports churn mutations — clients joining,
+// leaving, moving between zones, refreshing their measured delays — each
+// O(1) in derived-state maintenance. A core.Workspace (threaded through
+// core.Options.Scratch) gives the greedy phases reusable buffers for their
+// cost matrices and preference lists, so repeated Solve/Evaluate cycles —
+// replication loops, the churn driver's periodic reassignment — allocate
+// nothing but the returned assignments. The original clone-and-rescore
+// local search is retained inside internal/core as a test oracle, with
+// equivalence tests proving both accept identical move sequences.
 //
-// BenchmarkLocalSearch exercises a churn-scale scenario (50 servers, 500
-// zones, 100 000 clients — far beyond the paper's 2000-client maximum);
-// BENCH_localsearch.json records the measured baseline against the oracle.
+// # Incremental churn repair
+//
+// Where the paper re-executes the whole two-phase algorithm as the DVE
+// evolves (§3.4), the repair subsystem (internal/repair, DESIGN.md §7)
+// re-optimises only what churn touched: each join/leave/move/delay-update
+// event is answered in O(affected) — greedy contact placement for the
+// event's client plus a localized zone-move scan seeded from the zones the
+// event changed — while a drift guard triggers an amortized full re-solve
+// only when quality decays past a threshold. The sim churn driver
+// (ChurnConfig.Repair), the director service and this package's Session
+// all run on it:
+//
+//	sess, err := scn.StartSession("GreZ-GreC", 0)
+//	if err != nil { ... }
+//	sess.Join(10); sess.Leave(3); sess.Move(5)
+//	result, err := sess.Result()
+//
+// BenchmarkLocalSearch and BenchmarkRepair exercise a churn-scale scenario
+// (50 servers, 500 zones, 100 000 clients — far beyond the paper's
+// 2000-client maximum); BENCH_localsearch.json and BENCH_repair.json record
+// the measured baselines (700× vs the clone-and-rescore oracle; 292× vs a
+// per-event full re-solve).
 //
 // The facade in this package covers common workflows; the full machinery
 // (generators, exact solver, churn simulation, experiment harness) lives in

@@ -13,17 +13,23 @@ package core
 // reusing all internal buffers, so replication and churn loops can score
 // millions of moves without allocating. An Evaluator is not safe for
 // concurrent use.
+//
+// Beyond move scoring, the evaluator supports churn mutations — AddClient,
+// RemoveClient, MoveClient, SetClientDelays, SetClientRT (evaluator_dyn.go)
+// — each O(1) in derived-state maintenance, which is what the repair
+// subsystem builds on. Those methods mutate the bound Problem and therefore
+// require the evaluator to own it exclusively.
 type Evaluator struct {
 	p *Problem
 
 	zoneServer []int
 	contact    []int
 
-	// CSR index of zone → client IDs: clients of zone z are
-	// zoneClients[zoneOff[z]:zoneOff[z+1]].
-	zoneOff     []int
-	zoneClients []int
-	cursor      []int
+	// Mutable zone → client index: zoneMembers[z] lists the client IDs of
+	// zone z in arbitrary order, and posInZone[j] is client j's position
+	// inside its zone's list, so membership changes are O(1) swap-removes.
+	zoneMembers [][]int
+	posInZone   []int
 
 	zoneRT []float64
 	delay  []float64 // effective delay per client
@@ -52,23 +58,22 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 	ev.contact = grow(ev.contact, k)
 	copy(ev.contact, a.ClientContact)
 
-	// Zone → clients CSR index.
-	ev.zoneOff = grow(ev.zoneOff, n+1)
-	ev.zoneClients = grow(ev.zoneClients, k)
-	ev.cursor = grow(ev.cursor, n)
-	for i := range ev.zoneOff {
-		ev.zoneOff[i] = 0
+	// Zone → clients index. Per-zone buckets keep their capacity across
+	// Resets, so steady-state rebinding allocates nothing.
+	if cap(ev.zoneMembers) < n {
+		nm := make([][]int, n)
+		copy(nm, ev.zoneMembers)
+		ev.zoneMembers = nm
+	} else {
+		ev.zoneMembers = ev.zoneMembers[:n]
 	}
-	for _, z := range p.ClientZones {
-		ev.zoneOff[z+1]++
+	for z := range ev.zoneMembers {
+		ev.zoneMembers[z] = ev.zoneMembers[z][:0]
 	}
-	for z := 0; z < n; z++ {
-		ev.zoneOff[z+1] += ev.zoneOff[z]
-		ev.cursor[z] = ev.zoneOff[z]
-	}
+	ev.posInZone = grow(ev.posInZone, k)
 	for j, z := range p.ClientZones {
-		ev.zoneClients[ev.cursor[z]] = j
-		ev.cursor[z]++
+		ev.posInZone[j] = len(ev.zoneMembers[z])
+		ev.zoneMembers[z] = append(ev.zoneMembers[z], j)
 	}
 
 	ev.zoneRT = grow(ev.zoneRT, n)
@@ -109,7 +114,7 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 
 // clientsOf returns the client IDs of zone z.
 func (ev *Evaluator) clientsOf(z int) []int {
-	return ev.zoneClients[ev.zoneOff[z]:ev.zoneOff[z+1]]
+	return ev.zoneMembers[z]
 }
 
 // WithQoS returns the number of clients whose effective delay meets the

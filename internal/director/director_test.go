@@ -89,8 +89,8 @@ func TestJoinLookupLeave(t *testing.T) {
 	if info.ID != "alice" || info.Zone != 3 {
 		t.Fatalf("info = %+v", info)
 	}
-	if info.Target != d.zoneServer[3] {
-		t.Fatalf("target %d, want zone 3's server %d", info.Target, d.zoneServer[3])
+	if info.Target != d.planner.ZoneHost(3) {
+		t.Fatalf("target %d, want zone 3's server %d", info.Target, d.planner.ZoneHost(3))
 	}
 	got, err := d.Lookup("alice")
 	if err != nil {
@@ -145,7 +145,7 @@ func TestMoveChangesTargetZone(t *testing.T) {
 	if info.Zone != 5 {
 		t.Fatalf("zone = %d", info.Zone)
 	}
-	if info.Target != d.zoneServer[5] {
+	if info.Target != d.planner.ZoneHost(5) {
 		t.Fatal("target not updated on move")
 	}
 	if _, err := d.Move("ghost", 1); err == nil {
@@ -177,6 +177,110 @@ func TestStatsAndReassign(t *testing.T) {
 	}
 	if res.Clients != 120 {
 		t.Fatalf("reassign clients = %d", res.Clients)
+	}
+}
+
+func TestStatsExposeRepairCounters(t *testing.T) {
+	d := testDirector(t)
+	rng := xrand.New(44)
+	ids := make([]string, 0, 60)
+	for i := 0; i < 60; i++ {
+		info, err := d.Join("", rng.IntN(40), rng.IntN(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := d.Move(ids[i], rng.IntN(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Leave(ids[20]); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.RepairEvents != 60+10+1 {
+		t.Fatalf("repair events = %d, want 71", s.RepairEvents)
+	}
+	if s.FullSolves != 0 {
+		t.Fatalf("full solves = %d before any Reassign", s.FullSolves)
+	}
+	if _, err := d.Reassign(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().FullSolves; got != 1 {
+		t.Fatalf("full solves = %d after Reassign, want 1", got)
+	}
+	// The planner's O(1) metrics must agree with a from-scratch evaluation
+	// of the exported problem + assignment.
+	d.mu.RLock()
+	p, a := d.problemLocked(), d.assignmentLocked()
+	d.mu.RUnlock()
+	m := core.Evaluate(p, a)
+	s = d.Stats()
+	if s.WithQoS != m.WithQoS {
+		t.Fatalf("stats withQoS = %d, evaluation gives %d", s.WithQoS, m.WithQoS)
+	}
+	if diff := s.Utilization - m.Utilization; diff > 1e-7 || diff < -1e-7 {
+		t.Fatalf("stats utilization = %v, evaluation gives %v", s.Utilization, m.Utilization)
+	}
+}
+
+func TestDriftGuardTriggersAutomaticFullSolve(t *testing.T) {
+	g, err := topology.Waxman(xrand.New(5), topology.DefaultWaxman(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := topology.NewDelayMatrix(g, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tight bound guarantees the empty-world baseline (pQoS 1) decays as
+	// clients join, so the armed guard must fire: this pins the
+	// Config.DriftPQoS → planner wiring, not just planner behavior.
+	d, err := New(Config{
+		ServerNodes:  []int{0, 10, 20, 30},
+		ServerCaps:   []float64{50, 50, 50, 50},
+		Zones:        8,
+		Delays:       dm,
+		DelayBoundMs: 60,
+		FrameRate:    25,
+		MessageBytes: 100,
+		Seed:         1,
+		DriftPQoS:    0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(46)
+	for i := 0; i < 300; i++ {
+		if _, err := d.Join("", rng.IntN(40), rng.IntN(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.PQoS > 1-0.05 {
+		t.Fatalf("scenario not tight enough to exercise the guard: %+v", s)
+	}
+	if s.FullSolves < 1 {
+		t.Fatalf("armed drift guard never fired a full solve: %+v", s)
+	}
+	// After each guard-fired solve the baseline re-anchors, so drift stays
+	// bounded near the threshold instead of growing without limit.
+	if s.LastDriftPQoS > 0.05+0.01 {
+		t.Fatalf("drift not re-anchored after guard fired: %+v", s)
+	}
+	if s.RepairEvents != 300 {
+		t.Fatalf("inconsistent stats: %+v", s)
+	}
+	cfgBad := Config{
+		ServerNodes: []int{0}, ServerCaps: []float64{10},
+		Zones: 1, Delays: dm, DelayBoundMs: 250, FrameRate: 25, MessageBytes: 100,
+		DriftPQoS: -1,
+	}
+	if err := cfgBad.Validate(); err == nil {
+		t.Fatal("negative DriftPQoS accepted")
 	}
 }
 

@@ -9,19 +9,32 @@ import (
 // RunReassignLoop re-executes the assignment algorithm every interval until
 // ctx is cancelled — the deployed form of the paper's §3.4 prescription
 // that the two-phase algorithm "needs to be executed again" as the DVE
-// evolves. onResult, when non-nil, receives every outcome (for logging or
-// metrics export); errors are logged and do not stop the loop.
+// evolves (with the repair planner armed, this is the fallback cadence
+// behind the per-event incremental path). onResult, when non-nil, receives
+// every outcome (for logging or metrics export); errors are logged and do
+// not stop the loop.
 func (d *Director) RunReassignLoop(ctx context.Context, interval time.Duration, onResult func(ReassignResult)) {
 	if interval <= 0 {
 		interval = time.Minute
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	d.RunReassignTicks(ctx, ticker.C, onResult)
+}
+
+// RunReassignTicks is RunReassignLoop with the clock injected: one full
+// re-execution per value received on ticks, until ctx is cancelled or
+// ticks is closed. Tests drive it deterministically with a plain channel;
+// production wraps it in a time.Ticker via RunReassignLoop.
+func (d *Director) RunReassignTicks(ctx context.Context, ticks <-chan time.Time, onResult func(ReassignResult)) {
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case _, ok := <-ticks:
+			if !ok {
+				return
+			}
 			res, err := d.Reassign()
 			if err != nil {
 				log.Printf("director: periodic reassign: %v", err)

@@ -9,6 +9,64 @@ import (
 	"dvecap/internal/xrand"
 )
 
+// TestRunReassignTicksDeterministic drives the loop through an injected
+// tick channel: every tick produces exactly one result, synchronously
+// observable, with no wall-clock involved.
+func TestRunReassignTicksDeterministic(t *testing.T) {
+	d := testDirector(t)
+	rng := xrand.New(62)
+	for i := 0; i < 40; i++ {
+		if _, err := d.Join("", rng.IntN(40), rng.IntN(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ticks := make(chan time.Time)
+	results := make(chan ReassignResult)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.RunReassignTicks(ctx, ticks, func(r ReassignResult) { results <- r })
+	}()
+	for tick := 0; tick < 5; tick++ {
+		ticks <- time.Time{}
+		r := <-results
+		if r.Clients != 40 {
+			t.Fatalf("tick %d: reassign saw %d clients", tick, r.Clients)
+		}
+		if r.FullSolves != tick+1 {
+			t.Fatalf("tick %d: %d full solves, want %d", tick, r.FullSolves, tick+1)
+		}
+		if r.PQoS < 0 || r.PQoS > 1 {
+			t.Fatalf("tick %d: bad pQoS %v", tick, r.PQoS)
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("loop did not stop after cancel")
+	}
+}
+
+// TestRunReassignTicksStopsOnClosedChannel proves closing the tick source
+// ends the loop without a context cancellation.
+func TestRunReassignTicksStopsOnClosedChannel(t *testing.T) {
+	d := testDirector(t)
+	ticks := make(chan time.Time)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.RunReassignTicks(context.Background(), ticks, nil)
+	}()
+	close(ticks)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("loop did not stop after ticks closed")
+	}
+}
+
 func TestRunReassignLoopFiresAndStops(t *testing.T) {
 	d := testDirector(t)
 	rng := xrand.New(60)

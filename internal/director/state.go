@@ -1,10 +1,13 @@
 // Package director implements an online client-assignment service: the
 // operational form of the paper's architecture (Fig. 1). It keeps the live
 // state of a geographically distributed server deployment — server nodes,
-// capacities, the measured delay matrix, the client population — serves
-// cheap incremental attach decisions as clients join, move and leave, and
-// re-executes a full two-phase assignment on demand or on a timer, which is
-// exactly the paper's §3.4 prescription for DVE dynamics.
+// capacities, the measured delay matrix, the client population — and
+// applies every join, leave and move through the incremental churn-repair
+// subsystem (internal/repair): the event's client is re-attached greedily
+// and a localized zone-move scan repairs around the zones it touched, all
+// in O(affected). A full two-phase re-execution — the paper's §3.4
+// prescription for DVE dynamics — still runs on demand, on a timer, or
+// automatically when the planner's drift guard is armed (Config.DriftPQoS).
 //
 // The HTTP API (server.go) exposes this over JSON for non-Go consumers;
 // Client (client.go) is the Go binding.
@@ -15,6 +18,7 @@ import (
 	"sync"
 
 	"dvecap/internal/core"
+	"dvecap/internal/repair"
 	"dvecap/internal/topology"
 	"dvecap/internal/xrand"
 )
@@ -39,6 +43,11 @@ type Config struct {
 	Algorithm string
 	// Seed drives the algorithm's randomised choices.
 	Seed uint64
+	// DriftPQoS, when > 0, arms the repair planner's quality guard: a full
+	// two-phase re-solve fires automatically once pQoS decays more than
+	// this far below the last full solve's level. 0 leaves full solves to
+	// Reassign calls and the reassign loop.
+	DriftPQoS float64
 }
 
 // Validate reports the first invalid field.
@@ -58,6 +67,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("director: FrameRate = %v, want > 0", c.FrameRate)
 	case c.MessageBytes <= 0:
 		return fmt.Errorf("director: MessageBytes = %v, want > 0", c.MessageBytes)
+	case c.DriftPQoS < 0:
+		return fmt.Errorf("director: DriftPQoS = %v, want >= 0", c.DriftPQoS)
 	}
 	for i, n := range c.ServerNodes {
 		if n < 0 || n >= c.Delays.N() {
@@ -72,23 +83,28 @@ func (c Config) Validate() error {
 
 // clientRec is one registered client.
 type clientRec struct {
-	id      string
-	node    int
-	zone    int
-	contact int
+	id     string
+	node   int
+	zone   int
+	handle int // the client's stable handle in the repair planner
 }
 
-// Director is the thread-safe assignment service state.
+// Director is the thread-safe assignment service state. The repair planner
+// is the single source of truth for zone hosting and client contacts; the
+// director layers identity (string IDs, registration order), the topology
+// delay oracle and the bandwidth model on top of it.
 type Director struct {
 	cfg  Config
 	algo core.TwoPhase
 
-	mu         sync.RWMutex
-	clients    map[string]*clientRec
-	order      []string // registration order, the canonical indexing
-	zoneServer []int
-	rng        *xrand.RNG
-	seq        uint64
+	mu      sync.RWMutex
+	clients map[string]*clientRec
+	order   []string // registration order, the canonical indexing
+	planner *repair.Planner
+	zonePop []int
+	csBuf   []float64
+	rng     *xrand.RNG
+	seq     uint64
 }
 
 // New builds a director and computes an initial (empty-world) zone
@@ -109,14 +125,50 @@ func New(cfg Config) (*Director, error) {
 		algo:    algo,
 		clients: map[string]*clientRec{},
 		rng:     xrand.New(cfg.Seed),
+		zonePop: make([]int, cfg.Zones),
+		csBuf:   make([]float64, len(cfg.ServerNodes)),
 	}
 	// With no clients every zone is cost-free everywhere; spread zones
 	// round-robin so early joins have sane targets.
-	d.zoneServer = make([]int, cfg.Zones)
-	for z := range d.zoneServer {
-		d.zoneServer[z] = z % len(cfg.ServerNodes)
+	roundRobin := make([]int, cfg.Zones)
+	for z := range roundRobin {
+		roundRobin[z] = z % len(cfg.ServerNodes)
 	}
+	pl, err := repair.NewWithAssignment(repair.Config{
+		Algo:      algo,
+		Opt:       core.Options{Overflow: core.SpillLargestResidual},
+		DriftPQoS: cfg.DriftPQoS,
+	}, d.emptyProblem(), &core.Assignment{
+		ZoneServer:    roundRobin,
+		ClientContact: []int{},
+	}, d.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	d.planner = pl
 	return d, nil
+}
+
+// emptyProblem snapshots the deployment's static side (servers, capacities,
+// inter-server delays, the bound) with zero clients — the planner's seed.
+func (d *Director) emptyProblem() *core.Problem {
+	m := len(d.cfg.ServerNodes)
+	p := &core.Problem{
+		ServerCaps:  append([]float64(nil), d.cfg.ServerCaps...),
+		ClientZones: []int{},
+		NumZones:    d.cfg.Zones,
+		ClientRT:    []float64{},
+		CS:          [][]float64{},
+		SS:          make([][]float64, m),
+		D:           d.cfg.DelayBoundMs,
+	}
+	for i := 0; i < m; i++ {
+		p.SS[i] = make([]float64, m)
+		for l := 0; l < m; l++ {
+			p.SS[i][l] = d.serverServerRTT(i, l)
+		}
+	}
+	return p
 }
 
 // ClientInfo is the externally visible state of one client.
@@ -131,10 +183,11 @@ type ClientInfo struct {
 }
 
 // Join registers a client at a topology node entering a zone. id may be
-// empty, in which case one is generated. The client is attached greedily:
-// directly to its target when within the bound, otherwise through the
-// feasible contact server minimising its effective delay (one step of
-// GreC's logic).
+// empty, in which case one is generated. The client is admitted through
+// the repair planner: attached greedily (directly to its target when
+// within the bound, otherwise through the feasible contact server
+// minimising its effective delay — one step of GreC's logic), with a
+// localized repair pass around the zone it entered.
 func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -151,19 +204,44 @@ func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
 	if _, exists := d.clients[id]; exists {
 		return ClientInfo{}, fmt.Errorf("director: client %q already registered", id)
 	}
-	rec := &clientRec{id: id, node: node, zone: zone}
-	rec.contact = d.attachLocked(rec)
+	for i := range d.csBuf {
+		d.csBuf[i] = d.clientServerRTT(node, i)
+	}
+	// Incumbents are refreshed to the new population's RT before the
+	// planner event, so Join's repair pass judges feasibility against
+	// up-to-date loads.
+	d.zonePop[zone]++
+	d.refreshZoneRTLocked(zone)
+	rt := d.zoneClientRT(zone)
+	h, err := d.planner.Join(zone, rt, d.csBuf)
+	if err != nil {
+		d.zonePop[zone]--
+		d.refreshZoneRTLocked(zone)
+		return ClientInfo{}, err
+	}
+	rec := &clientRec{id: id, node: node, zone: zone, handle: h}
 	d.clients[id] = rec
 	d.order = append(d.order, id)
 	return d.infoLocked(rec), nil
 }
 
-// Leave removes a client.
+// Leave removes a client, repairing around the zone it vacated.
 func (d *Director) Leave(id string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.clients[id]; !ok {
+	rec, ok := d.clients[id]
+	if !ok {
 		return fmt.Errorf("director: unknown client %q", id)
+	}
+	// Refresh to the post-departure population before the event (the
+	// departing client's smaller RT is subtracted consistently), so the
+	// repair pass inside Leave sees up-to-date loads.
+	d.zonePop[rec.zone]--
+	d.refreshZoneRTLocked(rec.zone)
+	if err := d.planner.Leave(rec.handle); err != nil {
+		d.zonePop[rec.zone]++
+		d.refreshZoneRTLocked(rec.zone)
+		return err
 	}
 	delete(d.clients, id)
 	for i, oid := range d.order {
@@ -175,7 +253,8 @@ func (d *Director) Leave(id string) error {
 	return nil
 }
 
-// Move relocates a client's avatar to another zone and re-attaches it.
+// Move relocates a client's avatar to another zone and re-attaches it,
+// repairing around both affected zones.
 func (d *Director) Move(id string, zone int) (ClientInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -186,9 +265,50 @@ func (d *Director) Move(id string, zone int) (ClientInfo, error) {
 	if zone < 0 || zone >= d.cfg.Zones {
 		return ClientInfo{}, fmt.Errorf("director: zone %d outside [0,%d)", zone, d.cfg.Zones)
 	}
+	old := rec.zone
+	if zone != old {
+		// Bring both zones' bandwidth up to date before the event — the
+		// vacated zone's members to the shrunk population's RT, the entered
+		// zone's incumbents and the mover itself to the grown one's — so
+		// Move's repair pass sees exact loads.
+		d.zonePop[old]--
+		d.zonePop[zone]++
+		d.refreshZoneRTLocked(old)
+		d.refreshZoneRTLocked(zone)
+		_ = d.planner.SetRT(rec.handle, d.zoneClientRT(zone))
+	}
+	if err := d.planner.Move(rec.handle, zone); err != nil {
+		if zone != old {
+			d.zonePop[old]++
+			d.zonePop[zone]--
+			d.refreshZoneRTLocked(old)
+			d.refreshZoneRTLocked(zone)
+			_ = d.planner.SetRT(rec.handle, d.zoneClientRT(old))
+		}
+		return ClientInfo{}, err
+	}
 	rec.zone = zone
-	rec.contact = d.attachLocked(rec)
 	return d.infoLocked(rec), nil
+}
+
+// zoneClientRT is the bandwidth requirement of one client of the zone at
+// its current population (d.zonePop must already reflect it).
+func (d *Director) zoneClientRT(zone int) float64 {
+	pop := d.zonePop[zone]
+	if pop == 0 {
+		pop = 1
+	}
+	bytesPerSec := d.cfg.FrameRate * (d.cfg.MessageBytes + float64(pop)*d.cfg.MessageBytes)
+	return bytesPerSec * 8 / 1e6
+}
+
+// refreshZoneRTLocked pushes the zone's population-dependent bandwidth into
+// the planner after a membership change.
+func (d *Director) refreshZoneRTLocked(zone int) {
+	if d.zonePop[zone] <= 0 {
+		return
+	}
+	_ = d.planner.RefreshZoneRT(zone, d.zoneClientRT(zone))
 }
 
 // Lookup returns a client's current assignment.
@@ -202,54 +322,23 @@ func (d *Director) Lookup(id string) (ClientInfo, error) {
 	return d.infoLocked(rec), nil
 }
 
-// attachLocked picks a contact server for one client against current loads:
-// the target if within bound, else the feasible contact minimising
-// effective delay (ties to the target).
-func (d *Director) attachLocked(rec *clientRec) int {
-	t := d.zoneServer[rec.zone]
-	direct := d.clientServerRTT(rec.node, t)
-	if direct <= d.cfg.DelayBoundMs {
-		return t
-	}
-	loads := d.loadsLocked(rec.id)
-	rt := d.clientRTLocked(rec.zone)
-	best, bestDelay := t, direct
-	for i := range d.cfg.ServerNodes {
-		if i == t {
-			continue
-		}
-		if loads[i]+2*rt > d.cfg.ServerCaps[i] {
-			continue
-		}
-		delay := d.clientServerRTT(rec.node, i) + d.serverServerRTT(i, t)
-		if delay < bestDelay {
-			best, bestDelay = i, delay
-		}
-	}
-	return best
-}
-
-// infoLocked renders a record.
+// infoLocked renders a record from the planner's maintained solution.
 func (d *Director) infoLocked(rec *clientRec) ClientInfo {
-	t := d.zoneServer[rec.zone]
-	delay := d.effectiveDelayLocked(rec)
+	contact, err := d.planner.Contact(rec.handle)
+	if err != nil {
+		// A live record always has a live handle; this is unreachable.
+		contact = -1
+	}
+	delay, _ := d.planner.ClientDelay(rec.handle)
 	return ClientInfo{
 		ID:      rec.id,
 		Node:    rec.node,
 		Zone:    rec.zone,
-		Contact: rec.contact,
-		Target:  t,
+		Contact: contact,
+		Target:  d.planner.ZoneHost(rec.zone),
 		DelayMs: delay,
 		QoS:     delay <= d.cfg.DelayBoundMs,
 	}
-}
-
-func (d *Director) effectiveDelayLocked(rec *clientRec) float64 {
-	t := d.zoneServer[rec.zone]
-	if rec.contact == t {
-		return d.clientServerRTT(rec.node, t)
-	}
-	return d.clientServerRTT(rec.node, rec.contact) + d.serverServerRTT(rec.contact, t)
 }
 
 func (d *Director) clientServerRTT(node, server int) float64 {
@@ -258,50 +347,6 @@ func (d *Director) clientServerRTT(node, server int) float64 {
 
 func (d *Director) serverServerRTT(a, b int) float64 {
 	return d.cfg.Delays.ServerRTT(d.cfg.ServerNodes[a], d.cfg.ServerNodes[b])
-}
-
-// clientRTLocked is the bandwidth requirement of one client in the given
-// zone at its current population.
-func (d *Director) clientRTLocked(zone int) float64 {
-	pop := 0
-	for _, rec := range d.clients {
-		if rec.zone == zone {
-			pop++
-		}
-	}
-	if pop == 0 {
-		pop = 1
-	}
-	bytesPerSec := d.cfg.FrameRate * (d.cfg.MessageBytes + float64(pop)*d.cfg.MessageBytes)
-	return bytesPerSec * 8 / 1e6
-}
-
-// loadsLocked computes per-server load, optionally excluding one client.
-func (d *Director) loadsLocked(excludeID string) []float64 {
-	loads := make([]float64, len(d.cfg.ServerNodes))
-	pop := make([]int, d.cfg.Zones)
-	for _, rec := range d.clients {
-		pop[rec.zone]++
-	}
-	rtOf := func(zone int) float64 {
-		p := pop[zone]
-		if p == 0 {
-			p = 1
-		}
-		return d.cfg.FrameRate * (d.cfg.MessageBytes + float64(p)*d.cfg.MessageBytes) * 8 / 1e6
-	}
-	for _, rec := range d.clients {
-		if rec.id == excludeID {
-			continue
-		}
-		rt := rtOf(rec.zone)
-		t := d.zoneServer[rec.zone]
-		loads[t] += rt
-		if rec.contact != t {
-			loads[rec.contact] += 2 * rt
-		}
-	}
-	return loads
 }
 
 // problemLocked snapshots the current population as a core.Problem, with
@@ -341,39 +386,61 @@ func (d *Director) problemLocked() *core.Problem {
 	return p
 }
 
-// Stats summarises the current system state.
+// Stats summarises the current system state, including the repair
+// subsystem's counters.
 type Stats struct {
 	Clients     int     `json:"clients"`
 	WithQoS     int     `json:"with_qos"`
 	PQoS        float64 `json:"pqos"`
 	Utilization float64 `json:"utilization"`
 	Algorithm   string  `json:"algorithm"`
+	// Repair-subsystem counters: incremental events handled, full
+	// two-phase re-solves, zones rehosted (localized repairs plus
+	// full-solve diffs), contact re-placements made by the repair path,
+	// and the current pQoS drift below the last full solve's level.
+	RepairEvents    int     `json:"repair_events"`
+	FullSolves      int     `json:"full_solves"`
+	ZoneHandoffs    int     `json:"zone_handoffs"`
+	ContactSwitches int     `json:"contact_switches"`
+	LastDriftPQoS   float64 `json:"last_drift_pqos"`
+	// LastSolveError surfaces a failed drift-guard full solve (empty when
+	// the last one succeeded).
+	LastSolveError string `json:"last_solve_error,omitempty"`
 }
 
-// Stats computes current quality metrics.
+// Stats reads current quality metrics off the planner's incrementally
+// maintained state — O(1), no population rescan.
 func (d *Director) Stats() Stats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.statsLocked()
+}
+
+func (d *Director) statsLocked() Stats {
 	s := Stats{Clients: len(d.order), Algorithm: d.algo.Name}
+	st := d.planner.Stats()
+	s.RepairEvents = st.Events
+	s.FullSolves = st.FullSolves
+	s.ZoneHandoffs = st.ZoneHandoffs
+	s.ContactSwitches = st.ContactSwitches
+	s.LastDriftPQoS = st.LastDriftPQoS
+	s.LastSolveError = st.LastSolveError
 	if len(d.order) == 0 {
 		return s
 	}
-	p := d.problemLocked()
-	a := d.assignmentLocked()
-	m := core.Evaluate(p, a)
-	s.WithQoS = m.WithQoS
-	s.PQoS = m.PQoS
-	s.Utilization = m.Utilization
+	s.WithQoS = d.planner.WithQoS()
+	s.PQoS = d.planner.PQoS()
+	s.Utilization = d.planner.Utilization()
 	return s
 }
 
 func (d *Director) assignmentLocked() *core.Assignment {
 	a := &core.Assignment{
-		ZoneServer:    append([]int(nil), d.zoneServer...),
+		ZoneServer:    d.planner.ZoneServers(),
 		ClientContact: make([]int, len(d.order)),
 	}
 	for j, id := range d.order {
-		a.ClientContact[j] = d.clients[id].contact
+		a.ClientContact[j], _ = d.planner.Contact(d.clients[id].handle)
 	}
 	return a
 }
@@ -391,33 +458,22 @@ func (d *Director) Reassign() (ReassignResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.order) == 0 {
-		return ReassignResult{Stats: Stats{Algorithm: d.algo.Name}}, nil
+		return ReassignResult{Stats: d.statsLocked()}, nil
 	}
-	p := d.problemLocked()
-	a, err := d.algo.Solve(d.rng.Split(), p, core.Options{Overflow: core.SpillLargestResidual})
-	if err != nil {
+	before := make([]int, len(d.order))
+	for j, id := range d.order {
+		before[j], _ = d.planner.Contact(d.clients[id].handle)
+	}
+	if err := d.planner.FullSolve(); err != nil {
 		return ReassignResult{}, err
 	}
 	moved := 0
-	d.zoneServer = a.ZoneServer
 	for j, id := range d.order {
-		rec := d.clients[id]
-		if rec.contact != a.ClientContact[j] {
+		if after, _ := d.planner.Contact(d.clients[id].handle); after != before[j] {
 			moved++
 		}
-		rec.contact = a.ClientContact[j]
 	}
-	m := core.Evaluate(p, a)
-	return ReassignResult{
-		Stats: Stats{
-			Clients:     len(d.order),
-			WithQoS:     m.WithQoS,
-			PQoS:        m.PQoS,
-			Utilization: m.Utilization,
-			Algorithm:   d.algo.Name,
-		},
-		Moved: moved,
-	}, nil
+	return ReassignResult{Stats: d.statsLocked(), Moved: moved}, nil
 }
 
 // ProblemSnapshot exports the live state as a core.Problem (clients in

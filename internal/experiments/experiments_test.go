@@ -434,3 +434,32 @@ func TestFlowCheckSmoke(t *testing.T) {
 		t.Fatal("rendering broken")
 	}
 }
+
+func TestRepairSmoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Repair(s, RepairOptions{
+		HorizonSec: 600,
+		Scenario:   "10s-30z-400c-200cp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar of the repair subsystem: time-averaged quality
+	// within 2% of full-resolve mode, with strictly fewer zone handoffs.
+	if res.Repair.MeanPQoS.Mean() < res.Full.MeanPQoS.Mean()-0.02 {
+		t.Fatalf("repair pQoS %.3f trails full-resolve %.3f by more than 0.02",
+			res.Repair.MeanPQoS.Mean(), res.Full.MeanPQoS.Mean())
+	}
+	if res.Repair.ZoneHandoffs.Mean() >= res.Full.ZoneHandoffs.Mean() {
+		t.Fatalf("repair handed off %.1f zones/run, full-resolve %.1f — want strictly fewer",
+			res.Repair.ZoneHandoffs.Mean(), res.Full.ZoneHandoffs.Mean())
+	}
+	if res.Repair.FullSolves.Mean() >= res.Full.FullSolves.Mean() {
+		t.Fatalf("repair ran %.1f full solves/run, full-resolve %.1f",
+			res.Repair.FullSolves.Mean(), res.Full.FullSolves.Mean())
+	}
+	if !strings.Contains(res.String(), "Repair") {
+		t.Fatal("rendering broken")
+	}
+}

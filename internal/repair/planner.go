@@ -1,0 +1,448 @@
+// Package repair implements incremental churn repair for the client
+// assignment problem: O(affected) re-optimisation per join/leave/move/
+// delay-update event, in place of the full two-phase re-execution the
+// paper's §3.4 prescribes for DVE dynamics (DESIGN.md §7).
+//
+// A Planner sits on a long-lived core.Evaluator bound to a problem the
+// planner owns exclusively. Each churn event is applied through the
+// evaluator's O(1) mutation deltas, the affected client is re-attached
+// with one step of GreC's greedy contact logic, and a localized zone-move
+// scan is seeded from the zones whose client sets or loads the event
+// changed. Quality drift against the last full two-phase solve is tracked
+// continuously; when it decays past a configurable threshold the planner
+// amortizes one full re-solve and resumes repairing from there.
+//
+// Clients are addressed by stable integer handles, so callers can keep
+// their own indexing (registration order, world order) while the planner
+// compacts its dense problem arrays with swap-removes.
+package repair
+
+import (
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/xrand"
+)
+
+// Config parameterises a Planner.
+type Config struct {
+	// Algo is the two-phase algorithm used for the initial solve and every
+	// full re-solve (required).
+	Algo core.TwoPhase
+	// Opt configures full solves. A Scratch workspace is attached
+	// automatically when none is set.
+	Opt core.Options
+	// DriftPQoS, when > 0, arms the quality guard: as soon as the
+	// maintained solution's pQoS falls more than this far below the level
+	// the last full solve achieved, the planner re-runs the full two-phase
+	// algorithm. 0 disables the guard — full solves then happen only
+	// through explicit FullSolve calls (e.g. a fallback cadence).
+	DriftPQoS float64
+	// MinEventsBetweenFullSolves amortizes drift-triggered full solves: at
+	// least this many events must separate two of them (default 1).
+	MinEventsBetweenFullSolves int
+	// StickyBonus, when > 0, biases full re-solves toward the incumbent
+	// hosting via core.StickyGreZ — zones move only when the improvement
+	// beats the bonus, reducing handoff volume (DESIGN.md §5).
+	StickyBonus float64
+}
+
+// Stats counts what the planner has done since construction.
+type Stats struct {
+	Joins        int `json:"joins"`
+	Leaves       int `json:"leaves"`
+	Moves        int `json:"moves"`
+	DelayUpdates int `json:"delay_updates"`
+	// Events is the total event count (sum of the four above).
+	Events int `json:"events"`
+	// FullSolves counts full two-phase re-solves, including the initial
+	// one and explicit FullSolve calls.
+	FullSolves int `json:"full_solves"`
+	// ZoneHandoffs counts zone rehostings: localized repair moves plus
+	// zones whose server changed across a full re-solve.
+	ZoneHandoffs int `json:"zone_handoffs"`
+	// ContactSwitches counts contact re-placements made by the repair path
+	// (full solves re-derive all contacts and are not counted here).
+	ContactSwitches int `json:"contact_switches"`
+	// BaselinePQoS is the pQoS the last full solve achieved; LastDriftPQoS
+	// is how far below it the maintained solution currently sits.
+	BaselinePQoS  float64 `json:"baseline_pqos"`
+	LastDriftPQoS float64 `json:"last_drift_pqos"`
+	// LastSolveError is the message of the most recent failed drift-guard
+	// full solve (empty when the last one succeeded). Possible only under
+	// restrictive overflow policies; failed solves back off exponentially.
+	LastSolveError string `json:"last_solve_error,omitempty"`
+}
+
+// Planner maintains a CAP solution under churn.
+type Planner struct {
+	cfg Config
+	rng *xrand.RNG
+
+	prob *core.Problem
+	ev   *core.Evaluator
+
+	idx  []int // handle → dense client index, -1 when released
+	hnd  []int // dense client index → handle
+	free []int // released handles available for reuse
+
+	eventsSinceFull int
+	failBackoff     int // events to wait after a failed guard solve; doubles per failure
+	stats           Stats
+	solveErr        error
+}
+
+// New builds a planner over a clone of p (the planner owns its copy
+// exclusively), runs the initial full solve with cfg.Algo, and returns the
+// ready planner. Clients receive handles 0..NumClients-1 in problem order.
+func New(cfg Config, p *core.Problem, rng *xrand.RNG) (*Planner, error) {
+	pl, err := prepare(cfg, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.FullSolve(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// NewWithAssignment is New for callers that already hold a solution for p
+// (e.g. a simulation's initial solve): no algorithm run happens, a is
+// adopted as the baseline.
+func NewWithAssignment(cfg Config, p *core.Problem, a *core.Assignment, rng *xrand.RNG) (*Planner, error) {
+	pl, err := prepare(cfg, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Validate(p); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	pl.ev = core.NewEvaluator(pl.prob, a)
+	pl.stats.BaselinePQoS = pl.ev.PQoS()
+	return pl, nil
+}
+
+func prepare(cfg Config, p *core.Problem, rng *xrand.RNG) (*Planner, error) {
+	if cfg.Algo.Init == nil || cfg.Algo.Refine == nil {
+		return nil, fmt.Errorf("repair: config needs a complete two-phase algorithm")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("repair: nil RNG")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	if cfg.Opt.Scratch == nil {
+		cfg.Opt.Scratch = core.NewWorkspace()
+	}
+	if cfg.MinEventsBetweenFullSolves < 1 {
+		cfg.MinEventsBetweenFullSolves = 1
+	}
+	pl := &Planner{cfg: cfg, rng: rng, prob: p.Clone()}
+	k := pl.prob.NumClients()
+	pl.idx = make([]int, k)
+	pl.hnd = make([]int, k)
+	for j := 0; j < k; j++ {
+		pl.idx[j], pl.hnd[j] = j, j
+	}
+	return pl, nil
+}
+
+// index resolves a handle, rejecting released and out-of-range ones.
+func (pl *Planner) index(handle int) (int, error) {
+	if handle < 0 || handle >= len(pl.idx) || pl.idx[handle] < 0 {
+		return 0, fmt.Errorf("repair: unknown client handle %d", handle)
+	}
+	return pl.idx[handle], nil
+}
+
+// Join admits a client into zone with bandwidth requirement rt and
+// client-server delay row cs (copied), attaches it greedily, repairs
+// around the zone it landed in, and returns the client's stable handle.
+func (pl *Planner) Join(zone int, rt float64, cs []float64) (int, error) {
+	if zone < 0 || zone >= pl.prob.NumZones {
+		return 0, fmt.Errorf("repair: zone %d outside [0,%d)", zone, pl.prob.NumZones)
+	}
+	if rt <= 0 {
+		return 0, fmt.Errorf("repair: client RT %v, want > 0", rt)
+	}
+	if len(cs) != pl.prob.NumServers() {
+		return 0, fmt.Errorf("repair: delay row has %d entries, want %d", len(cs), pl.prob.NumServers())
+	}
+	j := pl.ev.AddClient(zone, rt, cs)
+	if pl.ev.GreedyContact(j) {
+		pl.stats.ContactSwitches++
+	}
+	var h int
+	if n := len(pl.free); n > 0 {
+		h = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		pl.idx[h] = j
+	} else {
+		h = len(pl.idx)
+		pl.idx = append(pl.idx, j)
+	}
+	pl.hnd = append(pl.hnd, h)
+	pl.stats.Joins++
+	pl.repairZones(zone)
+	pl.afterEvent()
+	return h, nil
+}
+
+// Leave removes the client behind handle and repairs around the zone it
+// vacated. The handle becomes invalid (and may be reused by later joins).
+func (pl *Planner) Leave(handle int) error {
+	j, err := pl.index(handle)
+	if err != nil {
+		return err
+	}
+	zone := pl.prob.ClientZones[j]
+	moved := pl.ev.RemoveClient(j)
+	if moved >= 0 {
+		hm := pl.hnd[moved]
+		pl.hnd[j] = hm
+		pl.idx[hm] = j
+	}
+	pl.hnd = pl.hnd[:len(pl.hnd)-1]
+	pl.idx[handle] = -1
+	pl.free = append(pl.free, handle)
+	pl.stats.Leaves++
+	pl.repairZones(zone)
+	pl.afterEvent()
+	return nil
+}
+
+// Move migrates the client's avatar to newZone, re-attaches it, and
+// repairs around both the vacated and the entered zone.
+func (pl *Planner) Move(handle, newZone int) error {
+	j, err := pl.index(handle)
+	if err != nil {
+		return err
+	}
+	if newZone < 0 || newZone >= pl.prob.NumZones {
+		return fmt.Errorf("repair: zone %d outside [0,%d)", newZone, pl.prob.NumZones)
+	}
+	old := pl.prob.ClientZones[j]
+	pl.stats.Moves++
+	if newZone != old {
+		pl.ev.MoveClient(j, newZone)
+		if pl.ev.GreedyContact(j) {
+			pl.stats.ContactSwitches++
+		}
+		pl.repairZones(old, newZone)
+	}
+	pl.afterEvent()
+	return nil
+}
+
+// UpdateDelays replaces the client's measured delay row (copied) and
+// re-attaches it if the refresh pushed it out of bound.
+func (pl *Planner) UpdateDelays(handle int, cs []float64) error {
+	j, err := pl.index(handle)
+	if err != nil {
+		return err
+	}
+	if len(cs) != pl.prob.NumServers() {
+		return fmt.Errorf("repair: delay row has %d entries, want %d", len(cs), pl.prob.NumServers())
+	}
+	pl.ev.SetClientDelays(j, cs)
+	if pl.ev.GreedyContact(j) {
+		pl.stats.ContactSwitches++
+	}
+	pl.stats.DelayUpdates++
+	pl.repairZones(pl.prob.ClientZones[j])
+	pl.afterEvent()
+	return nil
+}
+
+// SetRT updates one client's bandwidth requirement — bookkeeping for
+// population-dependent bandwidth models, not a churn event (no repair
+// pass, no drift check).
+func (pl *Planner) SetRT(handle int, rt float64) error {
+	j, err := pl.index(handle)
+	if err != nil {
+		return err
+	}
+	if rt <= 0 {
+		return fmt.Errorf("repair: client RT %v, want > 0", rt)
+	}
+	pl.ev.SetClientRT(j, rt)
+	return nil
+}
+
+// RefreshZoneRT sets the bandwidth requirement of every client of zone z
+// to rt — the per-zone-uniform bandwidth models (one state update per
+// frame covering the zone's population) after that population changed.
+func (pl *Planner) RefreshZoneRT(z int, rt float64) error {
+	if z < 0 || z >= pl.prob.NumZones {
+		return fmt.Errorf("repair: zone %d outside [0,%d)", z, pl.prob.NumZones)
+	}
+	if rt <= 0 {
+		return fmt.Errorf("repair: client RT %v, want > 0", rt)
+	}
+	for _, j := range pl.ev.ZoneClients(z) {
+		pl.ev.SetClientRT(j, rt)
+	}
+	return nil
+}
+
+// repairZones runs the localized repair pass seeded from the given zones:
+// the single best improving rehosting per seed zone, and — when a zone did
+// move — greedy contact re-placement for its still-out-of-bound clients.
+func (pl *Planner) repairZones(zones ...int) {
+	for _, z := range zones {
+		if !pl.ev.ImproveZone(z) {
+			continue
+		}
+		pl.stats.ZoneHandoffs++
+		for _, j := range pl.ev.ZoneClients(z) {
+			if pl.ev.ClientDelay(j) <= pl.prob.D {
+				continue
+			}
+			if pl.ev.GreedyContact(j) {
+				pl.stats.ContactSwitches++
+			}
+		}
+	}
+}
+
+// afterEvent updates drift tracking and fires the amortized full re-solve
+// when the quality guard trips. It never fails the event: by the time the
+// guard runs, the event is fully applied and the maintained solution is
+// valid, so a failing solve (possible only under restrictive overflow
+// policies) is recorded — visible through TakeSolveErr and
+// Stats.LastSolveError — and retried with exponential event backoff so
+// the O(affected) path never degrades into one failing full solve per
+// event.
+func (pl *Planner) afterEvent() {
+	pl.stats.Events++
+	pl.eventsSinceFull++
+	minGap := pl.cfg.MinEventsBetweenFullSolves
+	if pl.failBackoff > minGap {
+		minGap = pl.failBackoff
+	}
+	pl.stats.LastDriftPQoS = pl.stats.BaselinePQoS - pl.ev.PQoS()
+	if pl.cfg.DriftPQoS > 0 &&
+		pl.stats.LastDriftPQoS > pl.cfg.DriftPQoS &&
+		pl.eventsSinceFull >= minGap {
+		if err := pl.FullSolve(); err != nil {
+			pl.solveErr = err
+			pl.stats.LastSolveError = err.Error()
+			pl.eventsSinceFull = 0
+			if pl.failBackoff == 0 {
+				pl.failBackoff = 1
+			} else if pl.failBackoff < 1024 {
+				pl.failBackoff *= 2
+			}
+		}
+	}
+}
+
+// TakeSolveErr drains the most recent drift-guard full-solve failure, if
+// any. Event methods (Join, Leave, Move, UpdateDelays) return an error
+// only when the event itself was rejected — a guard solve failing never
+// un-applies an event, so its error is reported out of band here (and
+// mirrored in Stats.LastSolveError for JSON consumers).
+func (pl *Planner) TakeSolveErr() error {
+	err := pl.solveErr
+	pl.solveErr = nil
+	return err
+}
+
+// FullSolve re-runs the configured two-phase algorithm over the planner's
+// whole problem and adopts the result as the new drift baseline. Callers
+// running a fallback cadence invoke this on their timer; the drift guard
+// invokes it automatically when armed.
+func (pl *Planner) FullSolve() error {
+	algo := pl.cfg.Algo
+	if pl.cfg.StickyBonus > 0 && pl.ev != nil {
+		algo = algo.WithSticky(pl.ZoneServers(), pl.cfg.StickyBonus)
+	}
+	a, err := algo.Solve(pl.rng.Split(), pl.prob, pl.cfg.Opt)
+	if err != nil {
+		return fmt.Errorf("repair: full solve: %w", err)
+	}
+	if pl.ev != nil {
+		for z, s := range a.ZoneServer {
+			if pl.ev.ZoneHost(z) != s {
+				pl.stats.ZoneHandoffs++
+			}
+		}
+		pl.ev.Reset(pl.prob, a)
+	} else {
+		pl.ev = core.NewEvaluator(pl.prob, a)
+	}
+	pl.stats.FullSolves++
+	pl.stats.BaselinePQoS = pl.ev.PQoS()
+	pl.stats.LastDriftPQoS = 0
+	pl.stats.LastSolveError = ""
+	pl.eventsSinceFull = 0
+	pl.failBackoff = 0
+	return nil
+}
+
+// Contact returns the client's current contact server.
+func (pl *Planner) Contact(handle int) (int, error) {
+	j, err := pl.index(handle)
+	if err != nil {
+		return 0, err
+	}
+	return pl.ev.Contact(j), nil
+}
+
+// ZoneHost returns the server currently hosting zone z.
+func (pl *Planner) ZoneHost(z int) int { return pl.ev.ZoneHost(z) }
+
+// ZoneServers returns a fresh copy of the current zone hosting.
+func (pl *Planner) ZoneServers() []int {
+	out := make([]int, pl.prob.NumZones)
+	for z := range out {
+		out[z] = pl.ev.ZoneHost(z)
+	}
+	return out
+}
+
+// ClientDelay returns the client's current effective delay.
+func (pl *Planner) ClientDelay(handle int) (float64, error) {
+	j, err := pl.index(handle)
+	if err != nil {
+		return 0, err
+	}
+	return pl.ev.ClientDelay(j), nil
+}
+
+// Index returns the client's current dense index in Problem/Assignment
+// order. Indices shift on leaves; handles do not.
+func (pl *Planner) Index(handle int) (int, error) { return pl.index(handle) }
+
+// NumClients returns the current population.
+func (pl *Planner) NumClients() int { return pl.ev.NumClients() }
+
+// PQoS returns the maintained solution's fraction of clients in bound.
+func (pl *Planner) PQoS() float64 { return pl.ev.PQoS() }
+
+// WithQoS returns the absolute count of clients in bound.
+func (pl *Planner) WithQoS() int { return pl.ev.WithQoS() }
+
+// Utilization returns total server load over total capacity.
+func (pl *Planner) Utilization() float64 {
+	if c := pl.prob.TotalCapacity(); c > 0 {
+		return pl.ev.TotalLoad() / c
+	}
+	return 0
+}
+
+// Stats returns the planner's counters.
+func (pl *Planner) Stats() Stats { return pl.stats }
+
+// Assignment returns a fresh copy of the maintained solution, in the
+// planner's dense client order (see Index).
+func (pl *Planner) Assignment() *core.Assignment { return pl.ev.Assignment() }
+
+// Problem exposes the planner's problem mirror. Callers must treat it as
+// read-only; it is kept consistent with the evaluator by the event API.
+func (pl *Planner) Problem() *core.Problem { return pl.prob }
+
+// Evaluator exposes the underlying evaluator for metrics readers and
+// equivalence tests. Callers must not apply moves through it.
+func (pl *Planner) Evaluator() *core.Evaluator { return pl.ev }

@@ -1,0 +1,148 @@
+package repair
+
+import (
+	"dvecap/internal/dve"
+)
+
+// WorldBinding feeds a dve.World's churn into a Planner. It owns the
+// subtle bookkeeping both world-backed consumers (the sim churn driver
+// and the dvecap Session facade) need identically: the world-indexed
+// handle map, the per-zone population mirror, and the refresh of the
+// population-dependent bandwidth model after every membership change.
+// The director binds its own HTTP-level state instead (it has no World).
+//
+// The binding assumes it sees every churn mutation of the world, in
+// order; its methods take the index slices the world's dynamics
+// operations return.
+type WorldBinding struct {
+	world   *dve.World
+	pl      *Planner
+	handles []int
+	zonePop []int
+	csBuf   []float64
+}
+
+// BindWorld pairs a planner with the world its problem was snapshotted
+// from: the world's current clients map to handles 0..k-1 in world order,
+// exactly how New/NewWithAssignment issued them.
+func BindWorld(pl *Planner, w *dve.World) *WorldBinding {
+	b := &WorldBinding{
+		world:   w,
+		pl:      pl,
+		handles: make([]int, w.NumClients()),
+		zonePop: w.ZonePopulations(),
+		csBuf:   make([]float64, w.Cfg.Servers),
+	}
+	for j := range b.handles {
+		b.handles[j] = j
+	}
+	return b
+}
+
+// Planner returns the bound planner.
+func (b *WorldBinding) Planner() *Planner { return b.pl }
+
+// Handles returns the planner handle of each world-indexed client — the
+// binding's own state, read-only for callers.
+func (b *WorldBinding) Handles() []int { return b.handles }
+
+// Join admits the world clients at the given indexes (as returned by
+// World.Join): each gets its ground-truth delay row and population-
+// dependent bandwidth. The zone's incumbents are refreshed to the new
+// population's RT *before* the planner event, so the repair pass inside
+// Join judges feasibility against up-to-date loads.
+func (b *WorldBinding) Join(idx []int) error {
+	w := b.world
+	for _, j := range idx {
+		zone := w.ClientZones[j]
+		cn := w.ClientNodes[j]
+		for i := range b.csBuf {
+			b.csBuf[i] = w.Delays.RTT(cn, w.ServerNodes[i])
+		}
+		b.zonePop[zone]++
+		rt := w.Cfg.ClientRTMbps(b.zonePop[zone])
+		if err := b.pl.RefreshZoneRT(zone, rt); err != nil {
+			return err
+		}
+		h, err := b.pl.Join(zone, rt, b.csBuf)
+		if err != nil {
+			return err
+		}
+		b.handles = append(b.handles, h)
+	}
+	return nil
+}
+
+// Leave removes the clients that held the given pre-removal world indexes
+// (ascending, as returned by World.Leave). The handle map is compacted
+// even when a removal errors, so the binding stays aligned with the world
+// — which has already forgotten these clients.
+func (b *WorldBinding) Leave(removed []int) error {
+	var firstErr error
+	for _, r := range removed {
+		if err := b.leaveOne(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	b.handles = dve.Compact(b.handles, removed)
+	return firstErr
+}
+
+func (b *WorldBinding) leaveOne(r int) error {
+	h := b.handles[r]
+	idx, err := b.pl.Index(h)
+	if err != nil {
+		return err
+	}
+	zone := b.pl.Problem().ClientZones[idx]
+	// Refresh to the post-departure population before the event (the
+	// departing client is refreshed too — its smaller RT is subtracted
+	// consistently), so Leave's repair pass sees up-to-date loads.
+	b.zonePop[zone]--
+	if b.zonePop[zone] > 0 {
+		if err := b.pl.RefreshZoneRT(zone, b.world.Cfg.ClientRTMbps(b.zonePop[zone])); err != nil {
+			return err
+		}
+	}
+	return b.pl.Leave(h)
+}
+
+// Move migrates the world clients at the given indexes (whose world zone
+// already changed, as returned by World.Move). Both zones' bandwidth is
+// brought up to date *before* the planner event — the vacated zone's
+// incumbents (and the mover) to the shrunk population's RT, the entered
+// zone's incumbents to the grown one's, and finally the mover itself to
+// its destination RT — so Move's repair pass sees exact loads.
+func (b *WorldBinding) Move(moved []int) error {
+	w := b.world
+	for _, j := range moved {
+		h := b.handles[j]
+		idx, err := b.pl.Index(h)
+		if err != nil {
+			return err
+		}
+		oldZone := b.pl.Problem().ClientZones[idx]
+		newZone := w.ClientZones[j]
+		if newZone == oldZone {
+			continue
+		}
+		b.zonePop[oldZone]--
+		b.zonePop[newZone]++
+		if b.zonePop[oldZone] > 0 {
+			if err := b.pl.RefreshZoneRT(oldZone, w.Cfg.ClientRTMbps(b.zonePop[oldZone])); err != nil {
+				return err
+			}
+		}
+		newRT := w.Cfg.ClientRTMbps(b.zonePop[newZone])
+		if err := b.pl.RefreshZoneRT(newZone, newRT); err != nil {
+			return err
+		}
+		if err := b.pl.SetRT(h, newRT); err != nil {
+			return err
+		}
+		if err := b.pl.Move(h, newZone); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"dvecap/internal/core"
 	"dvecap/internal/dve"
+	"dvecap/internal/repair"
 	"dvecap/internal/xrand"
 )
 
@@ -34,6 +35,28 @@ type ChurnConfig struct {
 	// on their server unless a move improves the IAP cost by more than the
 	// bonus. Meaningful with HandoffFreezeSec; see DESIGN.md §5.
 	StickyBonus float64
+	// Repair switches the driver from periodic full re-solves to the
+	// incremental churn-repair subsystem (DESIGN.md §7): every join, leave
+	// and move is applied through a repair.Planner in O(affected), and the
+	// ReassignEverySec tick becomes the fallback cadence — it samples
+	// quality and runs a full two-phase re-solve only when pQoS has
+	// drifted past the threshold since the last full solve. With
+	// HandoffFreezeSec > 0, repair-mode zone freezes are applied at
+	// sampling granularity (the driver notices planner-side rehostings
+	// when it syncs for a sample).
+	Repair bool
+	// RepairDriftPQoS is the drift threshold the fallback tick checks: a
+	// full re-solve runs once pQoS falls more than this far below the last
+	// full solve's level. 0 means the default 0.02.
+	RepairDriftPQoS float64
+}
+
+// repairDrift resolves the configured drift threshold.
+func (c ChurnConfig) repairDrift() float64 {
+	if c.RepairDriftPQoS > 0 {
+		return c.RepairDriftPQoS
+	}
+	return 0.02
 }
 
 // Validate reports the first invalid rate.
@@ -53,6 +76,8 @@ func (c ChurnConfig) Validate() error {
 		return fmt.Errorf("sim: SampleEverySec = %v, want >= 0", c.SampleEverySec)
 	case c.StickyBonus < 0:
 		return fmt.Errorf("sim: StickyBonus = %v, want >= 0", c.StickyBonus)
+	case c.RepairDriftPQoS < 0:
+		return fmt.Errorf("sim: RepairDriftPQoS = %v, want >= 0", c.RepairDriftPQoS)
 	}
 	return nil
 }
@@ -85,10 +110,18 @@ type Driver struct {
 	// had to switch contact servers — the disruption cost of §3.4's
 	// periodic reassignment.
 	contactMoves []int
+	// zoneMoves records, per re-execution, how many zones changed servers
+	// (full-solve mode; repair mode counts through the planner).
+	zoneMoves []int
 	// zoneFrozenUntil[z] is the virtual time until which zone z is frozen
 	// by an in-flight handoff (HandoffFreezeSec > 0 only).
 	zoneFrozenUntil []float64
 	errs            []error
+
+	// Repair mode: the incremental planner and its world binding (the
+	// world-indexed handle map plus bandwidth-model refreshes).
+	planner *repair.Planner
+	binding *repair.WorldBinding
 
 	// Reused buffers: the problem snapshot (its k×m delay matrix dominates
 	// per-cycle allocation), the algorithms' scratch workspace, and the
@@ -108,6 +141,25 @@ func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Optio
 	d.opt.Scratch = d.ws
 	if err := d.reassign("initial"); err != nil {
 		return nil, err
+	}
+	if cfg.Repair {
+		// The initial full solve just ran on d.prob; the planner adopts it
+		// and takes over per-event re-optimisation from here. The planner's
+		// own per-event guard stays disarmed — in the driver, drift is
+		// checked only at the ReassignEverySec fallback tick.
+		pl, err := repair.NewWithAssignment(repair.Config{
+			Algo:        algo,
+			Opt:         d.opt,
+			StickyBonus: cfg.StickyBonus,
+		}, &d.prob, d.Assignment(), d.rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		d.planner = pl
+		d.binding = repair.BindWorld(pl, world)
+		if cfg.HandoffFreezeSec > 0 && d.zoneFrozenUntil == nil {
+			d.zoneFrozenUntil = make([]float64, world.Cfg.Zones)
+		}
 	}
 	return d, nil
 }
@@ -140,18 +192,53 @@ func (d *Driver) Errors() []error { return d.errs }
 // Assignment returns the current assignment (aligned with the world's
 // current client indexing).
 func (d *Driver) Assignment() *core.Assignment {
+	if d.planner != nil {
+		d.syncFromPlanner()
+	}
 	return &core.Assignment{
 		ZoneServer:    append([]int(nil), d.zoneServer...),
 		ClientContact: append([]int(nil), d.contact...),
 	}
 }
 
+// RepairStats returns the planner's counters; ok is false outside repair
+// mode.
+func (d *Driver) RepairStats() (st repair.Stats, ok bool) {
+	if d.planner == nil {
+		return repair.Stats{}, false
+	}
+	return d.planner.Stats(), true
+}
+
+// TotalZoneHandoffs returns how many zone rehostings the run has performed
+// so far: per-reassign diffs in full-solve mode, the planner's count
+// (localized moves plus full-solve diffs) in repair mode.
+func (d *Driver) TotalZoneHandoffs() int {
+	if d.planner != nil {
+		return d.planner.Stats().ZoneHandoffs
+	}
+	total := 0
+	for _, m := range d.zoneMoves {
+		total += m
+	}
+	return total
+}
+
 func (d *Driver) joinEvent() {
 	idx := d.world.Join(d.rng, 1)
-	// Until the next reassignment a new client connects straight to its
-	// zone's current server (the only server that can serve it at all).
-	for _, j := range idx {
-		d.contact = append(d.contact, d.zoneServer[d.world.ClientZones[j]])
+	if d.planner != nil {
+		if err := d.binding.Join(idx); err != nil {
+			d.errs = append(d.errs, err)
+		}
+		if err := d.planner.TakeSolveErr(); err != nil {
+			d.errs = append(d.errs, err)
+		}
+	} else {
+		// Until the next reassignment a new client connects straight to its
+		// zone's current server (the only server that can serve it at all).
+		for _, j := range idx {
+			d.contact = append(d.contact, d.zoneServer[d.world.ClientZones[j]])
+		}
 	}
 	if d.cfg.JoinRate > 0 {
 		d.eng.Schedule(d.rng.Exp(d.cfg.JoinRate), d.joinEvent)
@@ -173,9 +260,17 @@ func (d *Driver) scheduleLeave() {
 func (d *Driver) leaveEvent() {
 	if d.world.NumClients() > 0 {
 		removed, err := d.world.Leave(d.rng, 1)
-		if err != nil {
+		switch {
+		case err != nil:
 			d.errs = append(d.errs, err)
-		} else {
+		case d.planner != nil:
+			if err := d.binding.Leave(removed); err != nil {
+				d.errs = append(d.errs, err)
+			}
+			if err := d.planner.TakeSolveErr(); err != nil {
+				d.errs = append(d.errs, err)
+			}
+		default:
 			d.contact = dve.Compact(d.contact, removed)
 		}
 	}
@@ -195,9 +290,17 @@ func (d *Driver) scheduleMove() {
 func (d *Driver) moveEvent() {
 	if d.world.NumClients() > 0 {
 		moved, err := d.world.Move(d.rng, 1)
-		if err != nil {
+		switch {
+		case err != nil:
 			d.errs = append(d.errs, err)
-		} else {
+		case d.planner != nil:
+			if err := d.binding.Move(moved); err != nil {
+				d.errs = append(d.errs, err)
+			}
+			if err := d.planner.TakeSolveErr(); err != nil {
+				d.errs = append(d.errs, err)
+			}
+		default:
 			// A moved avatar lands on its new zone's server until refined.
 			for _, j := range moved {
 				d.contact[j] = d.zoneServer[d.world.ClientZones[j]]
@@ -212,11 +315,58 @@ func (d *Driver) reassignEvent() {
 	// post-reassign sample: no churn event can fire inside this event, so
 	// the world — and hence the k×m delay matrix — cannot change.
 	d.world.ProblemInto(&d.prob)
-	d.sampleWith(&d.prob, "pre-reassign")
-	if err := d.reassignWith(&d.prob, "post-reassign"); err != nil {
-		d.errs = append(d.errs, err)
+	if d.planner != nil {
+		// Repair mode: events were repaired incrementally as they arrived;
+		// the tick is the fallback cadence — it samples quality and runs a
+		// full re-solve only when repair let pQoS drift past the threshold.
+		d.syncFromPlanner()
+		d.sampleWith(&d.prob, "pre-reassign")
+		// A "post-reassign" sample is emitted only when the fallback solve
+		// actually ran, so pre/post pairs always bracket a real solve.
+		if d.planner.Stats().LastDriftPQoS > d.cfg.repairDrift() {
+			if err := d.planner.FullSolve(); err != nil {
+				d.errs = append(d.errs, err)
+			}
+			d.syncFromPlanner()
+			d.sampleWith(&d.prob, "post-reassign")
+		}
+	} else {
+		d.sampleWith(&d.prob, "pre-reassign")
+		if err := d.reassignWith(&d.prob, "post-reassign"); err != nil {
+			d.errs = append(d.errs, err)
+		}
 	}
 	d.eng.Schedule(d.cfg.ReassignEverySec, d.reassignEvent)
+}
+
+// syncFromPlanner projects the planner's maintained solution back onto the
+// driver's world-indexed assignment state. With the handoff model enabled,
+// zones the planner rehosted since the last sync enter their freeze window
+// now (repair-mode freezes are at sampling granularity).
+func (d *Driver) syncFromPlanner() {
+	n := d.world.Cfg.Zones
+	freezeUntil := d.eng.Now() + d.cfg.HandoffFreezeSec
+	for z := 0; z < n; z++ {
+		s := d.planner.ZoneHost(z)
+		if d.zoneFrozenUntil != nil && d.zoneServer[z] != s {
+			d.zoneFrozenUntil[z] = freezeUntil
+		}
+		d.zoneServer[z] = s
+	}
+	handles := d.binding.Handles()
+	k := len(handles)
+	if cap(d.contact) < k {
+		d.contact = make([]int, k)
+	}
+	d.contact = d.contact[:k]
+	for j, h := range handles {
+		c, err := d.planner.Contact(h)
+		if err != nil {
+			d.errs = append(d.errs, err)
+			continue
+		}
+		d.contact[j] = c
+	}
 }
 
 // reassign snapshots the current world, then recomputes the full two-phase
@@ -230,11 +380,7 @@ func (d *Driver) reassign(label string) error {
 func (d *Driver) reassignWith(p *core.Problem, label string) error {
 	algo := d.algo
 	if d.cfg.StickyBonus > 0 && label != "initial" && len(d.zoneServer) == p.NumZones {
-		algo = core.TwoPhase{
-			Name:   d.algo.Name + "+sticky",
-			Init:   core.StickyGreZ(append([]int(nil), d.zoneServer...), d.cfg.StickyBonus),
-			Refine: d.algo.Refine,
-		}
+		algo = d.algo.WithSticky(append([]int(nil), d.zoneServer...), d.cfg.StickyBonus)
 	}
 	a, err := algo.Solve(d.rng.Split(), p, d.opt)
 	if err != nil {
@@ -248,6 +394,15 @@ func (d *Driver) reassignWith(p *core.Problem, label string) error {
 			}
 		}
 		d.contactMoves = append(d.contactMoves, moves)
+	}
+	if len(d.zoneServer) == len(a.ZoneServer) && label != "initial" {
+		moves := 0
+		for z := range d.zoneServer {
+			if d.zoneServer[z] != a.ZoneServer[z] {
+				moves++
+			}
+		}
+		d.zoneMoves = append(d.zoneMoves, moves)
 	}
 	if d.cfg.HandoffFreezeSec > 0 {
 		if d.zoneFrozenUntil == nil {
@@ -295,6 +450,9 @@ func (d *Driver) MeanContactMovesPerReassign() float64 {
 
 // sample evaluates the current assignment against the current world.
 func (d *Driver) sample(label string) {
+	if d.planner != nil {
+		d.syncFromPlanner()
+	}
 	d.world.ProblemInto(&d.prob)
 	d.sampleWith(&d.prob, label)
 }

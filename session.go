@@ -1,0 +1,141 @@
+package dvecap
+
+import (
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/repair"
+)
+
+// Session is the incremental counterpart of Assign: it solves the
+// scenario once, then keeps the solution repaired under churn in
+// O(affected) per event through the churn-repair subsystem, instead of
+// re-running the full two-phase algorithm after every change. A session
+// owns the scenario's dynamics while open — interleaving Scenario.Churn
+// with session events is not supported.
+type Session struct {
+	scn     *Scenario
+	binding *repair.WorldBinding
+	algo    string
+}
+
+// SessionStats mirrors the repair subsystem's counters.
+type SessionStats struct {
+	// Joins, Leaves and Moves count the churn events applied.
+	Joins, Leaves, Moves int
+	// FullSolves counts full two-phase re-solves (the initial one, drift-
+	// triggered ones, and explicit Resolve calls).
+	FullSolves int
+	// ZoneHandoffs counts zone rehostings; ContactSwitches counts contact
+	// re-placements made by the repair path.
+	ZoneHandoffs, ContactSwitches int
+	// LastDriftPQoS is the current pQoS decay below the last full solve.
+	LastDriftPQoS float64
+	// LastSolveError reports a failed drift-guard full solve (empty when
+	// the last one succeeded).
+	LastSolveError string
+}
+
+// StartSession solves the scenario's current state with the named
+// algorithm and returns a session that repairs the solution incrementally
+// as clients join, leave and move. The drift guard is armed at driftPQoS
+// (≤ 0 takes the default 0.02): quality decay past it triggers one
+// amortized full re-solve.
+func (s *Scenario) StartSession(algorithm string, driftPQoS float64) (*Session, error) {
+	tp, ok := core.ByName(algorithm)
+	if !ok {
+		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
+	}
+	if driftPQoS <= 0 {
+		driftPQoS = 0.02
+	}
+	pl, err := repair.New(repair.Config{
+		Algo:      tp,
+		Opt:       core.Options{Overflow: core.SpillLargestResidual},
+		DriftPQoS: driftPQoS,
+	}, s.world.Problem(), s.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		scn:     s,
+		binding: repair.BindWorld(pl, s.world),
+		algo:    algorithm,
+	}, nil
+}
+
+// Join admits n clients drawn from the scenario's placement models,
+// repairing around each zone they land in.
+func (sess *Session) Join(n int) error {
+	return sess.binding.Join(sess.scn.world.Join(sess.scn.rng.Split(), n))
+}
+
+// Leave removes n uniformly chosen clients.
+func (sess *Session) Leave(n int) error {
+	removed, err := sess.scn.world.Leave(sess.scn.rng.Split(), n)
+	if err != nil {
+		return err
+	}
+	return sess.binding.Leave(removed)
+}
+
+// Move migrates n uniformly chosen clients to newly drawn zones.
+func (sess *Session) Move(n int) error {
+	moved, err := sess.scn.world.Move(sess.scn.rng.Split(), n)
+	if err != nil {
+		return err
+	}
+	return sess.binding.Move(moved)
+}
+
+// Resolve forces one full two-phase re-solve, re-anchoring the drift
+// baseline — the session equivalent of POST /v1/reassign.
+func (sess *Session) Resolve() error { return sess.binding.Planner().FullSolve() }
+
+// NumClients returns the current population.
+func (sess *Session) NumClients() int { return sess.binding.Planner().NumClients() }
+
+// Result evaluates the maintained solution against the scenario's ground
+// truth, in the same shape Assign returns.
+func (sess *Session) Result() (*Result, error) {
+	pl := sess.binding.Planner()
+	truth := sess.scn.world.Problem()
+	handles := sess.binding.Handles()
+	a := &core.Assignment{
+		ZoneServer:    pl.ZoneServers(),
+		ClientContact: make([]int, len(handles)),
+	}
+	for j, h := range handles {
+		c, err := pl.Contact(h)
+		if err != nil {
+			return nil, err
+		}
+		a.ClientContact[j] = c
+	}
+	m := core.Evaluate(truth, a)
+	return &Result{
+		Algorithm:     sess.algo,
+		PQoS:          m.PQoS,
+		Utilization:   m.Utilization,
+		WithQoS:       m.WithQoS,
+		Clients:       truth.NumClients(),
+		Delays:        m.Delays,
+		ZoneServer:    a.ZoneServer,
+		ClientContact: a.ClientContact,
+	}, nil
+}
+
+// Stats returns the session's repair counters.
+func (sess *Session) Stats() SessionStats {
+	st := sess.binding.Planner().Stats()
+	return SessionStats{
+		Joins:           st.Joins,
+		Leaves:          st.Leaves,
+		Moves:           st.Moves,
+		FullSolves:      st.FullSolves,
+		ZoneHandoffs:    st.ZoneHandoffs,
+		ContactSwitches: st.ContactSwitches,
+		LastDriftPQoS:   st.LastDriftPQoS,
+		LastSolveError:  st.LastSolveError,
+	}
+}
