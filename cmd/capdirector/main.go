@@ -12,6 +12,7 @@
 //	capdirector -addr :8080 -servers 20 -zones 80 -capacity 500
 //	capdirector -addr :8080 -topology topo.json -algorithm GreZ-VirC
 //	capdirector -addr :8080 -drift 0.02 -reassign-every 5m
+//	capdirector -addr :8080 -workers -1   # shard scans across all CPUs
 //
 // Try it:
 //
@@ -55,6 +56,7 @@ func main() {
 		topoFile  = flag.String("topology", "", "topology JSON (default: generate the paper's 500-node hierarchy)")
 		reassign  = flag.Duration("reassign-every", 0, "re-execute the algorithm periodically (0 = only on POST /v1/reassign)")
 		drift     = flag.Float64("drift", 0, "arm the repair planner's quality guard: full re-solve when pQoS decays this far below the last full solve (0 = disabled)")
+		workers   = flag.Int("workers", 0, "goroutines for the sharded assignment scans (0/1 = sequential, -1 = all CPUs); results are identical for every setting")
 	)
 	flag.Parse()
 
@@ -95,6 +97,7 @@ func main() {
 		Algorithm:    *algorithm,
 		Seed:         *seed,
 		DriftPQoS:    *drift,
+		Workers:      *workers,
 	})
 	if err != nil {
 		log.Fatalf("capdirector: %v", err)
@@ -105,6 +108,9 @@ func main() {
 	fmt.Printf("capdirector: topology %d nodes / %d edges; listening on %s\n", g.N(), g.M(), *addr)
 	if *drift > 0 {
 		fmt.Printf("capdirector: drift guard armed at %.3f pQoS\n", *drift)
+	}
+	if *workers > 1 || *workers < 0 {
+		fmt.Printf("capdirector: sharded scans across %d workers\n", *workers)
 	}
 	if *reassign > 0 {
 		go d.RunReassignLoop(context.Background(), *reassign, func(res director.ReassignResult) {

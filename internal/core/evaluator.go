@@ -38,6 +38,11 @@ type Evaluator struct {
 	withQoS   int
 	rapCost   float64
 	totalLoad float64
+
+	// Candidate-delta cache and scan parallelism (movecache.go). workers
+	// ≤ 1 scans sequentially; results are identical for every setting.
+	cache   moveCache
+	workers int
 }
 
 // NewEvaluator returns an evaluator bound to p with a's solution loaded.
@@ -110,6 +115,11 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 	for _, l := range ev.loads {
 		ev.totalLoad += l
 	}
+
+	// Rebinding invalidates every cached zone-move delta; the cache is
+	// sized here so mutation-side invalidation stays O(1).
+	ev.cache.ensure(n, m)
+	ev.cache.invalidateAll()
 }
 
 // clientsOf returns the client IDs of zone z.
@@ -150,40 +160,11 @@ func (ev *Evaluator) score() score {
 
 // zoneMoveScore returns the objective the solution would have after
 // rehosting zone z on server s (clients whose contact was the old target
-// follow to s), in O(clients of z) and without mutating anything.
+// follow to s), in O(clients of z) and without mutating anything. It is
+// the current score plus the pure delta of zoneMoveDelta — the same
+// arithmetic every search path uses.
 func (ev *Evaluator) zoneMoveScore(z, s int) score {
-	p := ev.p
-	old := ev.zoneServer[z]
-	cand := ev.score()
-	if s == old {
-		return cand
-	}
-	for _, j := range ev.clientsOf(z) {
-		c := ev.contact[j]
-		var nd float64
-		if c == old || c == s {
-			// Followers land on the new target; a contact that *is* the new
-			// target stops forwarding. Either way the delay is direct.
-			nd = p.CS[j][s]
-			if c == s {
-				cand.load -= 2 * p.ClientRT[j]
-			}
-		} else {
-			nd = p.CS[j][c] + p.SS[c][s]
-		}
-		od := ev.delay[j]
-		if od <= p.D {
-			cand.withQoS--
-		} else {
-			cand.rapCost -= od - p.D
-		}
-		if nd <= p.D {
-			cand.withQoS++
-		} else {
-			cand.rapCost += nd - p.D
-		}
-	}
-	return cand
+	return ev.score().plus(ev.zoneMoveDelta(z, s))
 }
 
 // ApplyZoneMove rehosts zone z on server s, updating all derived state
@@ -225,16 +206,21 @@ func (ev *Evaluator) ApplyZoneMove(z, s int) {
 		ev.delay[j] = nd
 	}
 	ev.zoneServer[z] = s
+	ev.touchZone(z)
 }
 
 // ApplyContactSwitch points client j's contact at server s, updating all
-// derived state in O(1).
+// derived state in O(1) — plus an O(servers) adjustment of the client's
+// zone row in the candidate-delta cache, which keeps the row usable
+// instead of invalidating it (contact switches are the high-volume
+// mutation of the search's inner loop).
 func (ev *Evaluator) ApplyContactSwitch(j, s int) {
 	p := ev.p
 	c := ev.contact[j]
 	if s == c {
 		return
 	}
+	ev.adjustRowForClient(j, -1)
 	t := ev.zoneServer[p.ClientZones[j]]
 	rt2 := 2 * p.ClientRT[j]
 	if c != t {
@@ -264,11 +250,15 @@ func (ev *Evaluator) ApplyContactSwitch(j, s int) {
 	}
 	ev.delay[j] = nd
 	ev.contact[j] = s
+	ev.adjustRowForClient(j, 1)
 }
 
 // LocalSearch runs the hill climber on the evaluator's current solution,
 // mutating it in place; it reports whether any move was accepted. Same
-// semantics as the package-level LocalSearch.
+// semantics as the package-level LocalSearch. The zone-move scan runs
+// through the candidate-delta cache, sharded across the goroutines set by
+// SetWorkers (movecache.go); the accepted moves are identical for every
+// worker count.
 func (ev *Evaluator) LocalSearch(maxRounds int) bool {
 	any := false
 	for round := 0; round < maxRounds; round++ {
@@ -280,38 +270,6 @@ func (ev *Evaluator) LocalSearch(maxRounds int) bool {
 		any = true
 	}
 	return any
-}
-
-// bestZoneMove applies the single best improving zone move, if any.
-func (ev *Evaluator) bestZoneMove() bool {
-	p := ev.p
-	m := p.NumServers()
-	bestScore := ev.score()
-	bestZone, bestServer := -1, -1
-	for z := 0; z < p.NumZones; z++ {
-		old := ev.zoneServer[z]
-		rt := ev.zoneRT[z]
-		for s := 0; s < m; s++ {
-			if s == old {
-				continue
-			}
-			// Feasibility on the destination: it gains the zone's target
-			// load (forwarding loads of followed clients stay zero because
-			// they land on the new target itself).
-			if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
-				continue
-			}
-			cs := ev.zoneMoveScore(z, s)
-			if cs.betterThan(bestScore) {
-				bestScore, bestZone, bestServer = cs, z, s
-			}
-		}
-	}
-	if bestZone < 0 {
-		return false
-	}
-	ev.ApplyZoneMove(bestZone, bestServer)
-	return true
 }
 
 // contactSwitchPass greedily improves each out-of-bound client's contact,

@@ -70,6 +70,7 @@ func (ev *Evaluator) AddClient(zone int, rt float64, cs []float64) int {
 	} else {
 		ev.rapCost += d - p.D
 	}
+	ev.touchZone(zone)
 	return j
 }
 
@@ -98,6 +99,7 @@ func (ev *Evaluator) RemoveClient(j int) int {
 	}
 	ev.zoneRT[z] -= rt
 	ev.dropFromZone(j, z)
+	ev.touchZone(z)
 
 	moved := -1
 	if j != l {
@@ -149,6 +151,8 @@ func (ev *Evaluator) MoveClient(j, newZone int) {
 	c := ev.contact[j]
 
 	ev.dropFromZone(j, old)
+	ev.touchZone(old)
+	ev.touchZone(newZone)
 	ev.posInZone[j] = len(ev.zoneMembers[newZone])
 	ev.zoneMembers[newZone] = append(ev.zoneMembers[newZone], j)
 	p.ClientZones[j] = newZone
@@ -190,6 +194,7 @@ func (ev *Evaluator) SetClientDelays(j int, cs []float64) {
 		nd = p.CS[j][c] + p.SS[c][t]
 	}
 	ev.replaceDelay(j, nd)
+	ev.touchZone(p.ClientZones[j])
 }
 
 // SetClientRT changes client j's bandwidth requirement, shifting the
@@ -211,6 +216,7 @@ func (ev *Evaluator) SetClientRT(j int, rt float64) {
 		ev.loads[c] += 2 * delta
 		ev.totalLoad += 2 * delta
 	}
+	ev.touchZone(z)
 }
 
 // replaceDelay swaps client j's effective delay for nd, maintaining the
@@ -270,28 +276,41 @@ func (ev *Evaluator) GreedyContact(j int) bool {
 // was applied — the seeded, localized form of bestZoneMove the repair path
 // uses. Unlike the full local search it does not take load-only
 // improvements: a zone handoff is disruptive, so repair moves a zone only
-// when clients' quality is at stake. O(servers × clients of z).
+// when clients' quality is at stake.
+//
+// The scan consults the candidate-delta cache: a zone untouched since its
+// row was last computed folds in O(servers); a dirty zone is scanned
+// directly in O(servers × clients of z), gating the delta computation on
+// destination feasibility (cheaper than filling the row, which repair's
+// churn would immediately re-dirty). Both paths evaluate candidates with
+// identical arithmetic and accept identical moves.
 func (ev *Evaluator) ImproveZone(z int) bool {
 	p := ev.p
-	old := ev.zoneServer[z]
-	rt := ev.zoneRT[z]
+	ev.cache.ensure(p.NumZones, p.NumServers())
 	cur := ev.score()
-	bestScore := cur
-	best := -1
-	for s := 0; s < p.NumServers(); s++ {
-		if s == old {
-			continue
-		}
-		if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
-			continue
-		}
-		cs := ev.zoneMoveScore(z, s)
-		if cs.withQoS < cur.withQoS ||
-			(cs.withQoS == cur.withQoS && (almostEq(cs.rapCost, cur.rapCost) || cs.rapCost >= cur.rapCost)) {
-			continue // no quality gain — not worth a handoff
-		}
-		if cs.betterThan(bestScore) {
-			bestScore, best = cs, s
+	var best int
+	if !ev.cache.dirty[z] {
+		best, _ = ev.bestInRow(z, cur, true)
+	} else {
+		old := ev.zoneServer[z]
+		rt := ev.zoneRT[z]
+		bestScore := cur
+		best = -1
+		for s := 0; s < p.NumServers(); s++ {
+			if s == old {
+				continue
+			}
+			if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
+				continue
+			}
+			cs := cur.plus(ev.zoneMoveDelta(z, s))
+			if cs.withQoS < cur.withQoS ||
+				(cs.withQoS == cur.withQoS && (almostEq(cs.rapCost, cur.rapCost) || cs.rapCost >= cur.rapCost)) {
+				continue // no quality gain — not worth a handoff
+			}
+			if cs.betterThan(bestScore) {
+				bestScore, best = cs, s
+			}
 		}
 	}
 	if best < 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"slices"
 
 	"dvecap/internal/xrand"
@@ -35,6 +36,14 @@ type Options struct {
 	// assignment. Callers that solve in a loop — replications, churn
 	// re-optimisation — should pass one Workspace per goroutine.
 	Scratch *Workspace
+	// Workers sets the goroutine count for the parallelisable scans: the
+	// evaluator's sharded zone-move search (LocalSearchOpt, and the repair
+	// planner's evaluator) and the greedy zone phase's O(clients × servers)
+	// cost-matrix build. 0 and 1 run sequentially, n > 1 shards across n
+	// goroutines, negative uses runtime.GOMAXPROCS(0). Results are
+	// bit-identical for every setting — parallelism changes scheduling,
+	// never outcomes (DESIGN.md §8).
+	Workers int
 }
 
 // scratch returns the options' workspace, or a fresh one when unset.
@@ -43,6 +52,18 @@ func (o Options) scratch() *Workspace {
 		return o.Scratch
 	}
 	return &Workspace{}
+}
+
+// workerCount resolves the Workers field: ≥ 1, with negative meaning one
+// goroutine per available CPU.
+func (o Options) workerCount() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // IAPFunc assigns zones to servers (the initial assignment phase),
@@ -136,7 +157,7 @@ func StickyGreZ(incumbent []int, bonus float64) IAPFunc {
 // greZBiased is GreZ with an optional desirability bias term.
 func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone int) float64) ([]int, error) {
 	w := opt.scratch()
-	ci := w.initialCosts(p)
+	ci := w.initialCostsParallel(p, opt.workerCount())
 	m, n := p.NumServers(), p.NumZones
 	zoneRT := w.zoneRTs(p)
 
@@ -189,7 +210,7 @@ func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone in
 // occasionally better packings; quantified by the ablation benchmark.
 func GreZDynamic(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
 	w := opt.scratch()
-	ci := w.initialCosts(p)
+	ci := w.initialCostsParallel(p, opt.workerCount())
 	m, n := p.NumServers(), p.NumZones
 	zoneRT := w.zoneRTs(p)
 	loads := w.zeroLoads(m)

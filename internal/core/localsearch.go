@@ -16,14 +16,25 @@ package core
 //
 // Scoring is incremental: the search runs on an Evaluator, so a zone move
 // costs O(clients of the zone) and a contact switch O(1), with no cloning
-// and no per-candidate allocation. localSearchOracle retains the original
-// clone-and-rescore implementation as a test oracle; the equivalence tests
-// in evaluator_test.go prove both accept identical move sequences. To
-// amortise the evaluator's buffers across repeated searches (replication or
-// churn loops), hold an Evaluator, Reset it, and call its LocalSearch
-// method directly.
+// and no per-candidate allocation. The zone-move scan runs through the
+// evaluator's candidate-delta cache, so rounds after the first pay only
+// for zones the previous round touched (DESIGN.md §8). localSearchOracle
+// retains the original clone-and-rescore implementation as a test oracle;
+// the equivalence tests in evaluator_test.go prove both accept identical
+// move sequences. To amortise the evaluator's buffers across repeated
+// searches (replication or churn loops), hold an Evaluator, Reset it, and
+// call its LocalSearch method directly.
 func LocalSearch(p *Problem, a *Assignment, maxRounds int) *Assignment {
+	return LocalSearchOpt(p, a, maxRounds, Options{})
+}
+
+// LocalSearchOpt is LocalSearch honouring Options: Workers > 1 shards the
+// zone-move candidate scan across that many goroutines (Workers < 0 uses
+// all CPUs), with accepted moves bit-identical to the sequential scan for
+// every worker count — see parallel_test.go.
+func LocalSearchOpt(p *Problem, a *Assignment, maxRounds int, opt Options) *Assignment {
 	ev := NewEvaluator(p, a)
+	ev.SetWorkers(opt.workerCount())
 	ev.LocalSearch(maxRounds)
 	return ev.Assignment()
 }

@@ -1,0 +1,433 @@
+package core
+
+// Parallel sharded zone-move search with candidate-delta caching
+// (DESIGN.md §8). Two independent accelerations of the local search's
+// dominant cost, the (zone × server) candidate scan:
+//
+//  1. Candidate-delta cache: the objective delta of rehosting zone z on
+//     server s is a pure function of the zone's local state — its clients'
+//     delays, contacts, delay rows and bandwidth, and the zone's current
+//     host. Those deltas are memoised in a flat (zones × servers) matrix
+//     with one dirty bit per zone; every evaluator mutation marks only the
+//     zones whose local state it changed, so after an accepted move the
+//     next scan recomputes one row instead of all of them. Destination
+//     feasibility is never cached: it is checked against live loads at
+//     fold time, which is what keeps the cache sound while loads shift
+//     under it.
+//
+//  2. Sharded scan: the per-zone fold is embarrassingly parallel. With
+//     Options.Workers > 1, zones are sharded across a worker pool (strided
+//     so clustered dirty rows balance); each worker refreshes the dirty
+//     rows of its shard and folds every row against a read-only snapshot
+//     of the evaluator's scalar state, writing its per-zone winner into a
+//     slot owned by that zone. A deterministic reduction then folds the
+//     per-zone winners in ascending zone order, accepting only strict
+//     improvements — so the lowest zone index (and within a zone, the
+//     lowest server index) wins ties, exactly like the sequential fold.
+//
+// Determinism contract: the parallel scan is bit-identical to the
+// sequential cached scan by construction — workers compute the same pure
+// per-zone results from the same cache state and the reduction is a fixed
+// serial fold — so the worker count NEVER changes an outcome. Against the
+// retained cache-free rescan, every path evaluates candidates as
+// score().plus(delta) with the same summation order, so cache entries are
+// bit-identical to fresh computation too; the one exception is the
+// O(servers) retract-and-re-add a contact switch applies to its zone's
+// row (adjustRowForClient), which can drift from a fresh build by float
+// rounding. All tie comparisons go through the shared tolerance helpers
+// sized far above that drift, and the equivalence tests in
+// parallel_test.go enforce move-for-move identity against the rescan on
+// generous and tight instances for every worker count.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// moveCache memoises per-(zone, server) rehosting deltas plus the per-scan
+// reduction buffers. All slices are flat and reused across scans; the
+// matrix is (zones × servers) with server as the fast axis.
+type moveCache struct {
+	servers int // row stride; 0 until first ensure
+
+	dQoS  []int32   // QoS-count delta per candidate
+	dRap  []float64 // RAP-cost delta per candidate
+	dLoad []float64 // total-load delta per candidate
+	dirty []bool    // per zone: row must be recomputed before use
+
+	// Per-scan reduction state: each zone's best destination and candidate
+	// score, written by the owning worker, folded by the reducer.
+	bestSrv  []int
+	bestCand []score
+}
+
+// ensure sizes the cache for an (n zones × m servers) problem. Dimension
+// changes invalidate everything; matching dimensions keep cached rows.
+func (c *moveCache) ensure(n, m int) {
+	if c.servers == m && len(c.dirty) == n {
+		return
+	}
+	c.servers = m
+	c.dQoS = grow(c.dQoS, n*m)
+	c.dRap = grow(c.dRap, n*m)
+	c.dLoad = grow(c.dLoad, n*m)
+	c.dirty = grow(c.dirty, n)
+	c.bestSrv = grow(c.bestSrv, n)
+	c.bestCand = grow(c.bestCand, n)
+	c.invalidateAll()
+}
+
+// invalidateAll marks every row stale (rebind, full re-solve).
+func (c *moveCache) invalidateAll() {
+	for i := range c.dirty {
+		c.dirty[i] = true
+	}
+}
+
+// touchZone marks zone z's cached row stale. Called by every mutation that
+// changes the zone's local state (membership, delays, contacts, bandwidth,
+// host). A no-op before the cache is first built — rows start dirty.
+func (ev *Evaluator) touchZone(z int) {
+	if z < len(ev.cache.dirty) {
+		ev.cache.dirty[z] = true
+	}
+}
+
+// SetWorkers configures the goroutine count of the sharded zone-move scan:
+// n > 1 shards zones across n goroutines, n of 0 or 1 scans sequentially,
+// and n < 0 uses runtime.GOMAXPROCS(0). The accepted move sequence is
+// bit-identical for every setting — parallelism changes scheduling, never
+// results.
+func (ev *Evaluator) SetWorkers(n int) {
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	ev.workers = n
+}
+
+// zoneMoveDelta computes the objective delta of rehosting zone z on server
+// s as pure sums over the zone's clients, reading only zone-local state —
+// never the global score and never server loads. This purity is what makes
+// the delta cacheable: it stays exact until a mutation touches the zone.
+func (ev *Evaluator) zoneMoveDelta(z, s int) (dQoS int32, dRap, dLoad float64) {
+	p := ev.p
+	old := ev.zoneServer[z]
+	if s == old {
+		return 0, 0, 0
+	}
+	for _, j := range ev.zoneMembers[z] {
+		c := ev.contact[j]
+		var nd float64
+		if c == old || c == s {
+			// Followers land on the new target; a contact that *is* the new
+			// target stops forwarding. Either way the delay is direct.
+			nd = p.CS[j][s]
+			if c == s {
+				dLoad -= 2 * p.ClientRT[j]
+			}
+		} else {
+			nd = p.CS[j][c] + p.SS[c][s]
+		}
+		od := ev.delay[j]
+		if od <= p.D {
+			dQoS--
+		} else {
+			dRap -= od - p.D
+		}
+		if nd <= p.D {
+			dQoS++
+		} else {
+			dRap += nd - p.D
+		}
+	}
+	return dQoS, dRap, dLoad
+}
+
+// plus applies a pure delta to a score. Every candidate comparison in the
+// search goes through this one addition per component, so cached and
+// freshly computed candidates are bit-identical.
+func (s score) plus(dQoS int32, dRap, dLoad float64) score {
+	return score{withQoS: s.withQoS + int(dQoS), rapCost: s.rapCost + dRap, load: s.load + dLoad}
+}
+
+// refreshRow recomputes zone z's cached delta row and clears its dirty
+// bit. O(servers × clients of z), organised client-outer/server-inner so
+// each client's delay, contact and QoS standing load once and the inner
+// loop streams the client's delay row. Per destination the accumulators
+// receive exactly the operands zoneMoveDelta would add, in the same
+// order, so each cache entry is bit-identical to a zoneMoveDelta call.
+// Safe to run concurrently for distinct zones: it writes only row z and
+// dirty[z].
+func (ev *Evaluator) refreshRow(z int) {
+	p := ev.p
+	m := ev.cache.servers
+	row := z * m
+	old := ev.zoneServer[z]
+	dQoS := ev.cache.dQoS[row : row+m]
+	dRap := ev.cache.dRap[row : row+m]
+	dLoad := ev.cache.dLoad[row : row+m]
+	for s := range dQoS {
+		dQoS[s], dRap[s], dLoad[s] = 0, 0, 0
+	}
+	for _, j := range ev.zoneMembers[z] {
+		c := ev.contact[j]
+		cs := p.CS[j]
+		od := ev.delay[j]
+		inQoS := od <= p.D
+		var excess float64
+		if !inQoS {
+			excess = od - p.D
+		}
+		if c == old {
+			// Follower: lands directly on every destination (c == s is
+			// impossible here since destinations exclude the old host).
+			for s := 0; s < m; s++ {
+				if s == old {
+					continue
+				}
+				if inQoS {
+					dQoS[s]--
+				} else {
+					dRap[s] -= excess
+				}
+				if nd := cs[s]; nd <= p.D {
+					dQoS[s]++
+				} else {
+					dRap[s] += nd - p.D
+				}
+			}
+		} else {
+			base := cs[c]
+			ss := p.SS[c]
+			for s := 0; s < m; s++ {
+				if s == old {
+					continue
+				}
+				var nd float64
+				if s == c {
+					// The contact *is* the destination: direct, forwarding stops.
+					nd = cs[s]
+					dLoad[s] -= 2 * p.ClientRT[j]
+				} else {
+					nd = base + ss[s]
+				}
+				if inQoS {
+					dQoS[s]--
+				} else {
+					dRap[s] -= excess
+				}
+				if nd <= p.D {
+					dQoS[s]++
+				} else {
+					dRap[s] += nd - p.D
+				}
+			}
+		}
+	}
+	ev.cache.dirty[z] = false
+}
+
+// adjustRowForClient adds sign (±1) times client j's contribution to its
+// zone's cached row — the O(servers) repair a contact switch needs, in
+// place of re-deriving the whole row in O(servers × clients of zone).
+// Call with -1 before mutating the client's contact or delay and +1
+// after. A no-op when the row is dirty anyway. Retract-and-re-add leaves
+// the float entries within rounding of a fresh build (the integer QoS
+// entries stay exact); every tie comparison goes through the shared
+// tolerance helpers, and the equivalence tests hold move-for-move.
+func (ev *Evaluator) adjustRowForClient(j int, sign int32) {
+	z := ev.p.ClientZones[j]
+	if z >= len(ev.cache.dirty) || ev.cache.dirty[z] {
+		return
+	}
+	p := ev.p
+	m := ev.cache.servers
+	row := z * m
+	old := ev.zoneServer[z]
+	dQoS := ev.cache.dQoS[row : row+m]
+	dRap := ev.cache.dRap[row : row+m]
+	dLoad := ev.cache.dLoad[row : row+m]
+	fsign := float64(sign)
+	c := ev.contact[j]
+	cs := p.CS[j]
+	od := ev.delay[j]
+	inQoS := od <= p.D
+	var excess float64
+	if !inQoS {
+		excess = od - p.D
+	}
+	var ss []float64
+	var base float64
+	if c != old {
+		base = cs[c]
+		ss = p.SS[c]
+	}
+	for s := 0; s < m; s++ {
+		if s == old {
+			continue
+		}
+		var nd float64
+		switch {
+		case c == old:
+			nd = cs[s]
+		case s == c:
+			nd = cs[s]
+			dLoad[s] -= fsign * 2 * p.ClientRT[j]
+		default:
+			nd = base + ss[s]
+		}
+		if inQoS {
+			dQoS[s] -= sign
+		} else {
+			dRap[s] -= fsign * excess
+		}
+		if nd <= p.D {
+			dQoS[s] += sign
+		} else {
+			dRap[s] += fsign * (nd - p.D)
+		}
+	}
+}
+
+// bestInRow folds zone z's cached row against base, checking destination
+// feasibility against live loads, and returns the zone's best candidate
+// (-1 when nothing beats base). Strict improvement only, servers scanned
+// in ascending order — the lowest server index wins ties. qualityOnly
+// applies ImproveZone's repair filter: candidates must gain QoS count or
+// shrink RAP cost, load-only improvements are not worth a zone handoff.
+func (ev *Evaluator) bestInRow(z int, base score, qualityOnly bool) (int, score) {
+	p := ev.p
+	m := ev.cache.servers
+	old := ev.zoneServer[z]
+	rt := ev.zoneRT[z]
+	row := z * m
+	bestSrv, best := -1, base
+	for s := 0; s < m; s++ {
+		if s == old {
+			continue
+		}
+		// Feasibility on the destination: it gains the zone's target load
+		// (forwarding loads of followed clients stay zero because they land
+		// on the new target itself). Always judged against live loads —
+		// cached deltas are load-free by construction.
+		if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
+			continue
+		}
+		cand := base.plus(ev.cache.dQoS[row+s], ev.cache.dRap[row+s], ev.cache.dLoad[row+s])
+		if qualityOnly && (cand.withQoS < base.withQoS ||
+			(cand.withQoS == base.withQoS && (almostEq(cand.rapCost, base.rapCost) || cand.rapCost >= base.rapCost))) {
+			continue // no quality gain — not worth a handoff
+		}
+		if cand.betterThan(best) {
+			best, bestSrv = cand, s
+		}
+	}
+	return bestSrv, best
+}
+
+// bestZoneMove applies the single best improving zone move, if any,
+// scanning through the candidate-delta cache — sharded across the
+// configured workers when more than one is set.
+func (ev *Evaluator) bestZoneMove() bool {
+	n := ev.p.NumZones
+	ev.cache.ensure(n, ev.p.NumServers())
+	base := ev.score()
+	workers := ev.workers
+	if workers > n {
+		workers = n
+	}
+	srv, cand := ev.cache.bestSrv, ev.cache.bestCand
+	if workers <= 1 {
+		for z := 0; z < n; z++ {
+			if ev.cache.dirty[z] {
+				ev.refreshRow(z)
+			}
+			srv[z], cand[z] = ev.bestInRow(z, base, false)
+		}
+	} else {
+		// Shard phase: workers own strided zone subsets (clustered dirty
+		// rows balance across shards), refresh their dirty rows and fold
+		// every row against the read-only evaluator state, writing each
+		// zone's winner into its own slot. No shared mutable state beyond
+		// disjoint slice elements.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for z := w; z < n; z += workers {
+					if ev.cache.dirty[z] {
+						ev.refreshRow(z)
+					}
+					srv[z], cand[z] = ev.bestInRow(z, base, false)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// Deterministic reduction: fold per-zone winners in ascending zone
+	// order, strict improvement only — the lowest zone index wins ties,
+	// exactly as the sequential scan's running fold would.
+	bestZone, bestServer, best := -1, -1, base
+	for z := 0; z < n; z++ {
+		if srv[z] >= 0 && cand[z].betterThan(best) {
+			best, bestZone, bestServer = cand[z], z, srv[z]
+		}
+	}
+	if bestZone < 0 {
+		return false
+	}
+	ev.ApplyZoneMove(bestZone, bestServer)
+	return true
+}
+
+// bestZoneMoveRescan is the retained cache-free reference: the full
+// (zone × server) rescan the cache replaces, kept for the equivalence
+// tests and the BenchmarkParallelLocalSearch baseline. Identical candidate
+// arithmetic (score().plus of the pure delta), identical fold order.
+func (ev *Evaluator) bestZoneMoveRescan() bool {
+	p := ev.p
+	m := p.NumServers()
+	base := ev.score()
+	bestScore := base
+	bestZone, bestServer := -1, -1
+	for z := 0; z < p.NumZones; z++ {
+		old := ev.zoneServer[z]
+		rt := ev.zoneRT[z]
+		for s := 0; s < m; s++ {
+			if s == old {
+				continue
+			}
+			if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
+				continue
+			}
+			cs := base.plus(ev.zoneMoveDelta(z, s))
+			if cs.betterThan(bestScore) {
+				bestScore, bestZone, bestServer = cs, z, s
+			}
+		}
+	}
+	if bestZone < 0 {
+		return false
+	}
+	ev.ApplyZoneMove(bestZone, bestServer)
+	return true
+}
+
+// localSearchRescan is LocalSearch on the cache-free reference scan — the
+// pre-cache implementation, retained as the sequential oracle.
+func (ev *Evaluator) localSearchRescan(maxRounds int) bool {
+	any := false
+	for round := 0; round < maxRounds; round++ {
+		improvedZone := ev.bestZoneMoveRescan()
+		improvedContact := ev.contactSwitchPass()
+		if !improvedZone && !improvedContact {
+			break
+		}
+		any = true
+	}
+	return any
+}

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Workspace holds reusable scratch buffers for the assignment algorithms'
 // hot paths: the IAP cost matrix, zone bandwidth totals, per-server load
 // accumulators, desirability preference lists and evaluation delay vectors.
@@ -13,6 +15,7 @@ package core
 type Workspace struct {
 	ci         [][]int
 	ciFlat     []int
+	ciPart     []int // per-worker partial count matrices, workers × m × n
 	zoneRT     []float64
 	zoneSize   []int
 	loads      []float64
@@ -43,7 +46,19 @@ func grow[T any](s []T, n int) []T {
 // initialCosts is InitialCosts writing into the workspace's reusable
 // matrix. The result is valid until the next workspace use.
 func (w *Workspace) initialCosts(p *Problem) [][]int {
+	return w.initialCostsParallel(p, 1)
+}
+
+// initialCostsParallel is initialCosts with the O(clients × servers) count
+// pass sharded across workers: each worker accumulates a private partial
+// count matrix over a contiguous client block, and the partials are summed
+// into the result. Counts are integers, so the merge is exact and the
+// matrix is identical for every worker count. Small instances (or workers
+// ≤ 1) take the sequential path — the partial matrices wouldn't pay for
+// themselves.
+func (w *Workspace) initialCostsParallel(p *Problem, workers int) [][]int {
 	m, n := p.NumServers(), p.NumZones
+	k := p.NumClients()
 	w.ciFlat = grow(w.ciFlat, m*n)
 	flat := w.ciFlat
 	for i := range flat {
@@ -56,15 +71,58 @@ func (w *Workspace) initialCosts(p *Problem) [][]int {
 	for i := range w.ci {
 		w.ci[i], flat = flat[:n], flat[n:]
 	}
-	for j, z := range p.ClientZones {
-		row := p.CS[j]
-		for i := 0; i < m; i++ {
-			if row[i] > p.D {
-				w.ci[i][z]++
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 || k*m < 1<<15 {
+		countInitialCosts(p, w.ci, 0, k)
+		return w.ci
+	}
+	w.ciPart = grow(w.ciPart, workers*m*n)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			part := w.ciPart[wk*m*n : (wk+1)*m*n]
+			for i := range part {
+				part[i] = 0
+			}
+			// Contiguous client blocks: CS rows stream in order per worker.
+			lo, hi := wk*k/workers, (wk+1)*k/workers
+			rows := make([][]int, m)
+			rest := part
+			for i := range rows {
+				rows[i], rest = rest[:n], rest[n:]
+			}
+			countInitialCosts(p, rows, lo, hi)
+		}(wk)
+	}
+	wg.Wait()
+	for wk := 0; wk < workers; wk++ {
+		part := w.ciPart[wk*m*n : (wk+1)*m*n]
+		for i, v := range part {
+			if v != 0 {
+				w.ciFlat[i] += v
 			}
 		}
 	}
 	return w.ci
+}
+
+// countInitialCosts accumulates the IAP cost counts of clients [lo, hi)
+// into ci (an m × n matrix).
+func countInitialCosts(p *Problem, ci [][]int, lo, hi int) {
+	m := p.NumServers()
+	for j := lo; j < hi; j++ {
+		row := p.CS[j]
+		z := p.ClientZones[j]
+		for i := 0; i < m; i++ {
+			if row[i] > p.D {
+				ci[i][z]++
+			}
+		}
+	}
 }
 
 // zoneRTs is Problem.ZoneRT writing into the workspace's reusable vector.

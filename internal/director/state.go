@@ -48,6 +48,11 @@ type Config struct {
 	// this far below the last full solve's level. 0 leaves full solves to
 	// Reassign calls and the reassign loop.
 	DriftPQoS float64
+	// Workers shards the assignment engine's parallelisable scans — the
+	// evaluator's zone-move search and full solves' cost-matrix build —
+	// across this many goroutines (0 or 1 sequential, negative all CPUs).
+	// Assignments are bit-identical for every setting; see DESIGN.md §8.
+	Workers int
 }
 
 // Validate reports the first invalid field.
@@ -136,7 +141,7 @@ func New(cfg Config) (*Director, error) {
 	}
 	pl, err := repair.NewWithAssignment(repair.Config{
 		Algo:      algo,
-		Opt:       core.Options{Overflow: core.SpillLargestResidual},
+		Opt:       core.Options{Overflow: core.SpillLargestResidual, Workers: cfg.Workers},
 		DriftPQoS: cfg.DriftPQoS,
 	}, d.emptyProblem(), &core.Assignment{
 		ZoneServer:    roundRobin,

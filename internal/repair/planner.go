@@ -30,7 +30,11 @@ type Config struct {
 	// full re-solve (required).
 	Algo core.TwoPhase
 	// Opt configures full solves. A Scratch workspace is attached
-	// automatically when none is set.
+	// automatically when none is set. Opt.Workers also configures the
+	// planner's evaluator: the seeded repair scans consult the evaluator's
+	// candidate-delta cache either way, and full solves shard the greedy
+	// phase's cost-matrix build across that many goroutines (DESIGN.md §8).
+	// Repair decisions are bit-identical for every worker count.
 	Opt core.Options
 	// DriftPQoS, when > 0, arms the quality guard: as soon as the
 	// maintained solution's pQoS falls more than this far below the level
@@ -118,6 +122,7 @@ func NewWithAssignment(cfg Config, p *core.Problem, a *core.Assignment, rng *xra
 		return nil, fmt.Errorf("repair: %w", err)
 	}
 	pl.ev = core.NewEvaluator(pl.prob, a)
+	pl.ev.SetWorkers(cfg.Opt.Workers)
 	pl.stats.BaselinePQoS = pl.ev.PQoS()
 	return pl, nil
 }
@@ -371,6 +376,7 @@ func (pl *Planner) FullSolve() error {
 		pl.ev.Reset(pl.prob, a)
 	} else {
 		pl.ev = core.NewEvaluator(pl.prob, a)
+		pl.ev.SetWorkers(pl.cfg.Opt.Workers)
 	}
 	pl.stats.FullSolves++
 	pl.stats.BaselinePQoS = pl.ev.PQoS()

@@ -132,7 +132,10 @@ type Driver struct {
 }
 
 // NewDriver computes an initial assignment and prepares the churn
-// processes; call Start then eng.Run.
+// processes; call Start then eng.Run. opt flows into every solve and, in
+// repair mode, into the planner — so opt.Workers shards the assignment
+// scans (core.Options.Workers; DESIGN.md §8) without changing any result:
+// runs are bit-identical for every worker count.
 func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Options, cfg ChurnConfig, rng *xrand.RNG) (*Driver, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

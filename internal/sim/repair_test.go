@@ -136,6 +136,46 @@ func TestDriverRepairDeterministic(t *testing.T) {
 	}
 }
 
+// TestDriverRepairWorkersDeterministic runs the identical repair-mode
+// churn (same world, same seeds) with sequential and sharded scans: the
+// parallel search is bit-identical to the sequential one (DESIGN.md §8),
+// so every sample and every handoff count must match end to end.
+func TestDriverRepairWorkersDeterministic(t *testing.T) {
+	run := func(workers int) ([]Sample, int) {
+		w := buildTestWorld(t, 30)
+		e := NewEngine()
+		opt := coreOpts()
+		opt.Workers = workers
+		cfg := repairChurn()
+		cfg.JoinRate = 2
+		cfg.MeanSessionSec = 120
+		cfg.MoveRatePerClient = 0.01
+		d, err := NewDriver(e, w, core.GreZGreC, opt, cfg, xrand.New(41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		e.Run(250)
+		for _, err := range d.Errors() {
+			t.Fatalf("workers=%d driver error: %v", workers, err)
+		}
+		return d.Samples(), d.TotalZoneHandoffs()
+	}
+	seq, seqHandoffs := run(1)
+	for _, workers := range []int{4, 8} {
+		par, parHandoffs := run(workers)
+		if len(seq) != len(par) || seqHandoffs != parHandoffs {
+			t.Fatalf("workers=%d diverged: %d/%d samples, %d/%d handoffs",
+				workers, len(seq), len(par), seqHandoffs, parHandoffs)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d sample %d differs: %+v vs %+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
 // TestDriverRepairFewerHandoffs compares a repair-mode run against a
 // full-resolve run of the same world and churn seed: repair must not hand
 // zones off more often, and its quality must stay comparable.
