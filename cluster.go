@@ -1,0 +1,444 @@
+package dvecap
+
+import (
+	"errors"
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/estimator"
+	"dvecap/internal/repair"
+)
+
+// Sentinel errors of the Cluster API. Test with errors.Is; the director
+// service shares the client sentinels, so discrimination works across
+// layers.
+var (
+	// ErrUnknownClient reports an operation on an unregistered client ID.
+	ErrUnknownClient error = repair.ErrUnknownClient
+	// ErrDuplicateClient reports a join under an ID already registered.
+	ErrDuplicateClient error = repair.ErrDuplicateClient
+	// ErrUnknownZone reports a reference to a zone ID never added.
+	ErrUnknownZone = errors.New("unknown zone")
+	// ErrUnknownServer reports a reference to a server ID never added.
+	ErrUnknownServer = errors.New("unknown server")
+)
+
+// ServerSpec describes one server of a Cluster.
+type ServerSpec struct {
+	// CapacityMbps is the server's bandwidth capacity. Required, > 0.
+	CapacityMbps float64
+	// RTTs maps other server IDs to the measured server↔server round-trip
+	// time in milliseconds. A pair may be supplied on either endpoint (or
+	// both, if they agree); every pair must be covered by the time the
+	// cluster is solved, unless SetServerRTTs supplies the full matrix.
+	// Servers referenced here may be added later. Inter-server links are
+	// assumed well-provisioned — supply discounted RTTs if your deployment
+	// models that (the paper uses 50%).
+	RTTs map[string]float64
+}
+
+// ClientSpec describes one client: its zone, its bandwidth requirement on
+// the zone's server, and its measured RTT to every server. Exactly one of
+// RTTs and RTTRow must be set.
+type ClientSpec struct {
+	// Zone is the ID of the zone the client's avatar is in. Required.
+	Zone string
+	// BandwidthMbps is the client's bandwidth requirement on its target
+	// server (the paper's R^T). Required, > 0.
+	BandwidthMbps float64
+	// RTTs maps server IDs to measured client↔server round-trip times in
+	// milliseconds. Every server must be covered.
+	RTTs map[string]float64
+	// RTTRow is the same information as a dense row in ServerIDs order —
+	// the matrix-supplied form for callers that already hold one (e.g. a
+	// King/IDMaps estimator snapshot).
+	RTTRow []float64
+}
+
+// Cluster assembles a client-assignment instance from real infrastructure:
+// servers, zones and clients with string IDs and measured (or
+// matrix-supplied) RTTs, instead of the synthetic Scenario generator. Once
+// populated it is solved in one shot (Solve) or kept repaired under churn
+// (Open).
+//
+// Dense indices — the ZoneServer/ClientContact slices of Result — follow
+// insertion order: the i-th AddServer call is server index i, and likewise
+// for zones and clients (see ServerIDs, ZoneIDs, ClientIDs). A Cluster is
+// not safe for concurrent use; the session returned by Open is
+// independent of later mutations of the builder.
+type Cluster struct {
+	delayBound float64
+
+	serverIDs []string
+	serverIdx map[string]int
+	caps      []float64
+	ssSpecs   []map[string]float64
+	ssMatrix  [][]float64
+
+	zoneIDs []string
+	zoneIdx map[string]int
+
+	clientIDs []string
+	clientIdx map[string]int
+	clients   []ClientSpec
+
+	// pre short-circuits building for the Scenario adapters, which already
+	// hold a validated problem.
+	pre *core.Problem
+
+	built *core.Problem
+	dirty bool
+}
+
+// NewCluster starts an empty cluster with the given interactivity bound
+// D in milliseconds (the paper's default is 250).
+func NewCluster(delayBoundMs float64) *Cluster {
+	return &Cluster{
+		delayBound: delayBoundMs,
+		serverIdx:  map[string]int{},
+		zoneIdx:    map[string]int{},
+		clientIdx:  map[string]int{},
+	}
+}
+
+// AddServer registers a server. IDs must be unique across servers.
+func (c *Cluster) AddServer(id string, spec ServerSpec) error {
+	if id == "" {
+		return fmt.Errorf("dvecap: empty server ID")
+	}
+	if _, dup := c.serverIdx[id]; dup {
+		return fmt.Errorf("dvecap: duplicate server %q", id)
+	}
+	if !(spec.CapacityMbps > 0) { // rejects NaN too
+		return fmt.Errorf("dvecap: server %q capacity %v, want > 0", id, spec.CapacityMbps)
+	}
+	c.serverIdx[id] = len(c.serverIDs)
+	c.serverIDs = append(c.serverIDs, id)
+	c.caps = append(c.caps, spec.CapacityMbps)
+	rtts := make(map[string]float64, len(spec.RTTs))
+	for k, v := range spec.RTTs {
+		rtts[k] = v
+	}
+	c.ssSpecs = append(c.ssSpecs, rtts)
+	c.dirty = true
+	return nil
+}
+
+// AddZone registers a virtual-world zone. IDs must be unique across zones.
+// Zones may be empty (no clients), but every zone is always hosted by
+// exactly one server.
+func (c *Cluster) AddZone(id string) error {
+	if id == "" {
+		return fmt.Errorf("dvecap: empty zone ID")
+	}
+	if _, dup := c.zoneIdx[id]; dup {
+		return fmt.Errorf("dvecap: duplicate zone %q", id)
+	}
+	c.zoneIdx[id] = len(c.zoneIDs)
+	c.zoneIDs = append(c.zoneIDs, id)
+	c.dirty = true
+	return nil
+}
+
+// AddClient registers a client. The zone must already exist; servers
+// referenced by spec.RTTs may be added later (coverage is checked at
+// solve time).
+func (c *Cluster) AddClient(id string, spec ClientSpec) error {
+	if id == "" {
+		return fmt.Errorf("dvecap: empty client ID")
+	}
+	if _, dup := c.clientIdx[id]; dup {
+		return fmt.Errorf("dvecap: %w %q", ErrDuplicateClient, id)
+	}
+	if _, ok := c.zoneIdx[spec.Zone]; !ok {
+		return fmt.Errorf("dvecap: client %q: %w %q", id, ErrUnknownZone, spec.Zone)
+	}
+	if !(spec.BandwidthMbps > 0) { // rejects NaN too
+		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, spec.BandwidthMbps)
+	}
+	if (spec.RTTs == nil) == (spec.RTTRow == nil) {
+		return fmt.Errorf("dvecap: client %q: set exactly one of RTTs and RTTRow", id)
+	}
+	c.clientIdx[id] = len(c.clientIDs)
+	c.clientIDs = append(c.clientIDs, id)
+	c.clients = append(c.clients, spec)
+	c.dirty = true
+	return nil
+}
+
+// SetServerRTTs supplies the full server↔server RTT matrix at once, in
+// ServerIDs order, replacing any per-pair RTTs given to AddServer. The
+// matrix must be square over the current servers with a zero diagonal.
+func (c *Cluster) SetServerRTTs(rtts [][]float64) error {
+	m := len(c.serverIDs)
+	if len(rtts) != m {
+		return fmt.Errorf("dvecap: RTT matrix has %d rows, want %d", len(rtts), m)
+	}
+	mat := make([][]float64, m)
+	for i, row := range rtts {
+		if len(row) != m {
+			return fmt.Errorf("dvecap: RTT matrix row %d has %d entries, want %d", i, len(row), m)
+		}
+		mat[i] = append([]float64(nil), row...)
+	}
+	c.ssMatrix = mat
+	c.dirty = true
+	return nil
+}
+
+// NumServers returns the number of servers added so far.
+func (c *Cluster) NumServers() int { return len(c.serverIDs) }
+
+// NumZones returns the number of zones added so far.
+func (c *Cluster) NumZones() int { return len(c.zoneIDs) }
+
+// NumClients returns the number of clients added so far.
+func (c *Cluster) NumClients() int { return len(c.clientIDs) }
+
+// ServerIDs returns the server IDs in dense index order.
+func (c *Cluster) ServerIDs() []string { return append([]string(nil), c.serverIDs...) }
+
+// ZoneIDs returns the zone IDs in dense index order.
+func (c *Cluster) ZoneIDs() []string { return append([]string(nil), c.zoneIDs...) }
+
+// ClientIDs returns the client IDs in dense index order.
+func (c *Cluster) ClientIDs() []string { return append([]string(nil), c.clientIDs...) }
+
+// serverIndex resolves a server ID.
+func (c *Cluster) serverIndex(id string) (int, error) {
+	i, ok := c.serverIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("dvecap: %w %q", ErrUnknownServer, id)
+	}
+	return i, nil
+}
+
+// zoneIndex resolves a zone ID.
+func (c *Cluster) zoneIndex(id string) (int, error) {
+	z, ok := c.zoneIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("dvecap: %w %q", ErrUnknownZone, id)
+	}
+	return z, nil
+}
+
+// buildSS assembles the server↔server matrix from the full-matrix override
+// or the per-pair specs, checking coverage and consistency.
+func (c *Cluster) buildSS() ([][]float64, error) {
+	m := len(c.serverIDs)
+	if c.ssMatrix != nil {
+		if len(c.ssMatrix) != m {
+			return nil, fmt.Errorf("dvecap: RTT matrix covers %d servers, cluster has %d", len(c.ssMatrix), m)
+		}
+		out := make([][]float64, m)
+		for i := range c.ssMatrix {
+			out[i] = append([]float64(nil), c.ssMatrix[i]...)
+		}
+		return out, nil
+	}
+	out := make([][]float64, m)
+	set := make([][]bool, m)
+	for i := 0; i < m; i++ {
+		out[i] = make([]float64, m)
+		set[i] = make([]bool, m)
+		set[i][i] = true
+	}
+	for i, rtts := range c.ssSpecs {
+		for sid, d := range rtts {
+			l, ok := c.serverIdx[sid]
+			if !ok {
+				return nil, fmt.Errorf("dvecap: server %q RTT: %w %q", c.serverIDs[i], ErrUnknownServer, sid)
+			}
+			if l == i {
+				if d != 0 {
+					return nil, fmt.Errorf("dvecap: server %q self-RTT %v, want 0", sid, d)
+				}
+				continue
+			}
+			if set[i][l] && out[i][l] != d {
+				return nil, fmt.Errorf("dvecap: conflicting RTTs for servers %q↔%q: %v vs %v",
+					c.serverIDs[i], sid, out[i][l], d)
+			}
+			out[i][l], out[l][i] = d, d
+			set[i][l], set[l][i] = true, true
+		}
+	}
+	for i := 0; i < m; i++ {
+		for l := i + 1; l < m; l++ {
+			if !set[i][l] {
+				return nil, fmt.Errorf("dvecap: missing RTT between servers %q and %q (supply it on either, or use SetServerRTTs)",
+					c.serverIDs[i], c.serverIDs[l])
+			}
+		}
+	}
+	return out, nil
+}
+
+// problem validates the cluster into a core problem, cached until the next
+// mutation.
+func (c *Cluster) problem() (*core.Problem, error) {
+	if c.pre != nil {
+		return c.pre, nil
+	}
+	if c.built != nil && !c.dirty {
+		return c.built, nil
+	}
+	k := len(c.clientIDs)
+	p := &core.Problem{
+		ServerCaps:  append([]float64(nil), c.caps...),
+		ClientZones: make([]int, k),
+		NumZones:    len(c.zoneIDs),
+		ClientRT:    make([]float64, k),
+		CS:          make([][]float64, k),
+		D:           c.delayBound,
+	}
+	ss, err := c.buildSS()
+	if err != nil {
+		return nil, err
+	}
+	p.SS = ss
+	for j, spec := range c.clients {
+		z, err := c.zoneIndex(spec.Zone)
+		if err != nil {
+			return nil, err
+		}
+		p.ClientZones[j] = z
+		p.ClientRT[j] = spec.BandwidthMbps
+		row, err := resolveRTTRow(c.clientIDs[j], spec, c.serverIDs, c.serverIdx, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.CS[j] = append([]float64(nil), row...)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dvecap: invalid cluster: %w", err)
+	}
+	c.built, c.dirty = p, false
+	return p, nil
+}
+
+// Solve runs the named two-phase algorithm ("RanZ-VirC", "RanZ-GreC",
+// "GreZ-VirC", "GreZ-GreC", or the extension "DynZ-GreC") over the
+// cluster's current population. See Algorithms for the accepted names and
+// the Option funcs for the knobs (workers, overflow, local-search rounds,
+// estimation error, seed).
+func (c *Cluster) Solve(algorithm string, opts ...Option) (*Result, error) {
+	cfg := resolveOptions(opts)
+	tp, ok := core.ByName(algorithm)
+	if !ok {
+		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
+	}
+	truth, err := c.problem()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	rng := cfg.rngFor()
+	solveP := truth
+	if cfg.estSet {
+		noisy, err := estimator.WithFactor(cfg.estErr).PerturbProblem(rng.Split(), truth)
+		if err != nil {
+			return nil, err
+		}
+		solveP = noisy
+	}
+	a, err := tp.Solve(rng.Split(), solveP, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.lsRounds > 0 {
+		a = core.LocalSearchOpt(solveP, a, cfg.lsRounds, opt)
+	}
+	var ids []string
+	if len(c.clientIDs) > 0 {
+		ids = c.ClientIDs()
+	}
+	return newResult(algorithm, truth, a, core.Evaluate(truth, a), ids), nil
+}
+
+// Open solves the cluster's current population once and returns a session
+// that keeps the solution repaired in O(affected) per event — clients
+// joining, leaving, moving and refreshing their measured delays by ID —
+// instead of re-running the full algorithm after every change (DESIGN.md
+// §7). The session snapshots the cluster; mutating the builder afterwards
+// does not affect it. WithDriftGuard arms the automatic re-solve.
+func (c *Cluster) Open(algorithm string, opts ...Option) (*ClusterSession, error) {
+	cfg := resolveOptions(opts)
+	tp, ok := core.ByName(algorithm)
+	if !ok {
+		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
+	}
+	p, err := c.problem()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := repair.New(repair.Config{
+		Algo:      tp,
+		Opt:       opt,
+		DriftPQoS: cfg.drift,
+	}, p, cfg.rngFor().Split())
+	if err != nil {
+		return nil, err
+	}
+	ids := c.clientIDs
+	if ids == nil && p.NumClients() > 0 {
+		// Scenario-adapter clusters carry a prebuilt problem with anonymous
+		// clients; name them by dense index.
+		ids = make([]string, p.NumClients())
+		for j := range ids {
+			ids[j] = fmt.Sprintf("c%d", j)
+		}
+	}
+	binding, err := repair.NewIDBinding(pl, ids)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterSession{
+		binding:    binding,
+		algo:       algorithm,
+		delayBound: p.D,
+		serverIDs:  append([]string(nil), c.serverIDs...),
+		serverIdx:  copyIndex(c.serverIdx),
+		zoneIDs:    append([]string(nil), c.zoneIDs...),
+		zoneIdx:    copyIndex(c.zoneIdx),
+		rowBuf:     make([]float64, p.NumServers()),
+	}, nil
+}
+
+func copyIndex(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// clusterFromProblem wraps an already-validated problem (a Scenario
+// world's snapshot) as a Cluster with synthetic IDs: servers "s0"…,
+// zones "z0"…, clients named by dense index on demand. The Scenario
+// facade runs its Assign and StartSession paths through this view, so
+// every solve surface converges on the Cluster engine.
+func clusterFromProblem(p *core.Problem) *Cluster {
+	c := &Cluster{delayBound: p.D, pre: p}
+	m, n := p.NumServers(), p.NumZones
+	c.serverIDs = make([]string, m)
+	c.serverIdx = make(map[string]int, m)
+	for i := 0; i < m; i++ {
+		id := fmt.Sprintf("s%d", i)
+		c.serverIDs[i], c.serverIdx[id] = id, i
+	}
+	c.zoneIDs = make([]string, n)
+	c.zoneIdx = make(map[string]int, n)
+	for z := 0; z < n; z++ {
+		id := fmt.Sprintf("z%d", z)
+		c.zoneIDs[z], c.zoneIdx[id] = id, z
+	}
+	return c
+}

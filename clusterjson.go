@@ -1,0 +1,90 @@
+package dvecap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// clusterJSON is the interchange form of a Cluster spec: the contract
+// between real deployments (measured inventories exported by ops tooling)
+// and this package — cmd/capassign -cluster consumes it directly.
+type clusterJSON struct {
+	DelayBoundMs float64      `json:"delay_bound_ms"`
+	Servers      []serverJSON `json:"servers"`
+	ServerRTTsMs [][]float64  `json:"server_rtts_ms,omitempty"`
+	Zones        []string     `json:"zones"`
+	Clients      []clientJSON `json:"clients"`
+}
+
+type serverJSON struct {
+	ID           string             `json:"id"`
+	CapacityMbps float64            `json:"capacity_mbps"`
+	RTTsMs       map[string]float64 `json:"rtts_ms,omitempty"`
+}
+
+type clientJSON struct {
+	ID            string             `json:"id"`
+	Zone          string             `json:"zone"`
+	BandwidthMbps float64            `json:"bandwidth_mbps"`
+	RTTsMs        map[string]float64 `json:"rtts_ms,omitempty"`
+	RTTRowMs      []float64          `json:"rtt_row_ms,omitempty"`
+}
+
+// ReadClusterJSON builds a Cluster from its JSON spec:
+//
+//	{
+//	  "delay_bound_ms": 250,
+//	  "servers": [
+//	    {"id": "fra", "capacity_mbps": 500, "rtts_ms": {"nyc": 80}},
+//	    {"id": "nyc", "capacity_mbps": 500}
+//	  ],
+//	  "zones": ["plaza", "forest"],
+//	  "clients": [
+//	    {"id": "alice", "zone": "plaza", "bandwidth_mbps": 0.5,
+//	     "rtts_ms": {"fra": 20, "nyc": 95}}
+//	  ]
+//	}
+//
+// server_rtts_ms may supply the full inter-server matrix (in servers
+// order) instead of per-pair rtts_ms entries; clients may use rtt_row_ms
+// (in servers order) instead of the rtts_ms map. The spec is validated
+// exactly like the builder calls it maps to.
+func ReadClusterJSON(r io.Reader) (*Cluster, error) {
+	var cj clusterJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, fmt.Errorf("dvecap: decoding cluster spec: %w", err)
+	}
+	c := NewCluster(cj.DelayBoundMs)
+	for _, s := range cj.Servers {
+		if err := c.AddServer(s.ID, ServerSpec{CapacityMbps: s.CapacityMbps, RTTs: s.RTTsMs}); err != nil {
+			return nil, err
+		}
+	}
+	if cj.ServerRTTsMs != nil {
+		if err := c.SetServerRTTs(cj.ServerRTTsMs); err != nil {
+			return nil, err
+		}
+	}
+	for _, z := range cj.Zones {
+		if err := c.AddZone(z); err != nil {
+			return nil, err
+		}
+	}
+	for _, cl := range cj.Clients {
+		if err := c.AddClient(cl.ID, ClientSpec{
+			Zone:          cl.Zone,
+			BandwidthMbps: cl.BandwidthMbps,
+			RTTs:          cl.RTTsMs,
+			RTTRow:        cl.RTTRowMs,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Surface spec-level problems (missing RTT pairs, uncovered servers)
+	// at load time rather than first solve.
+	if _, err := c.problem(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,88 @@
+package dvecap
+
+import (
+	"strings"
+	"testing"
+)
+
+const specJSON = `{
+  "delay_bound_ms": 100,
+  "servers": [
+    {"id": "fra", "capacity_mbps": 100, "rtts_ms": {"nyc": 80}},
+    {"id": "nyc", "capacity_mbps": 100}
+  ],
+  "zones": ["plaza", "forest"],
+  "clients": [
+    {"id": "alice", "zone": "plaza", "bandwidth_mbps": 2, "rtts_ms": {"fra": 20, "nyc": 95}},
+    {"id": "bruno", "zone": "plaza", "bandwidth_mbps": 2, "rtts_ms": {"fra": 30, "nyc": 90}},
+    {"id": "chloe", "zone": "forest", "bandwidth_mbps": 2, "rtt_row_ms": [95, 15]},
+    {"id": "diego", "zone": "forest", "bandwidth_mbps": 2, "rtt_row_ms": [90, 25]}
+  ]
+}`
+
+// TestReadClusterJSON checks the spec maps onto the exact builder calls:
+// the loaded cluster must solve identically to the hand-built one.
+func TestReadClusterJSON(t *testing.T) {
+	c, err := ReadClusterJSON(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Solve("GreZ-GreC", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := smallCluster(t).Solve("GreZ-GreC", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "json vs builder", got, want)
+	for i, id := range want.ClientIDs {
+		if got.ClientIDs[i] != id {
+			t.Fatalf("client %d named %q, want %q", i, got.ClientIDs[i], id)
+		}
+	}
+}
+
+func TestReadClusterJSONFullMatrix(t *testing.T) {
+	spec := strings.Replace(specJSON,
+		`{"id": "fra", "capacity_mbps": 100, "rtts_ms": {"nyc": 80}},`,
+		`{"id": "fra", "capacity_mbps": 100},`, 1)
+	spec = strings.Replace(spec, `"zones":`,
+		`"server_rtts_ms": [[0, 80], [80, 0]],
+  "zones":`, 1)
+	c, err := ReadClusterJSON(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Solve("GreZ-GreC", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := smallCluster(t).Solve("GreZ-GreC", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "matrix vs pairwise", got, want)
+}
+
+func TestReadClusterJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed":        `{`,
+		"missing pair":     strings.Replace(specJSON, `, "rtts_ms": {"nyc": 80}`, ``, 1),
+		"unknown zone":     strings.Replace(specJSON, `"zone": "plaza"`, `"zone": "atlantis"`, 1),
+		"zero capacity":    strings.Replace(specJSON, `"capacity_mbps": 100,`, `"capacity_mbps": 0,`, 1),
+		"duplicate server": strings.Replace(specJSON, `"id": "nyc"`, `"id": "fra"`, 1),
+		"duplicate client": strings.Replace(specJSON, `"id": "bruno"`, `"id": "alice"`, 1),
+		"short rtt row":    strings.Replace(specJSON, `[95, 15]`, `[95]`, 1),
+		"uncovered client": strings.Replace(specJSON, `{"fra": 20, "nyc": 95}`, `{"fra": 20}`, 1),
+		"both rtt forms": strings.Replace(specJSON,
+			`"rtt_row_ms": [95, 15]`, `"rtt_row_ms": [95, 15], "rtts_ms": {"fra": 95, "nyc": 15}`, 1),
+	}
+	for name, spec := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadClusterJSON(strings.NewReader(spec)); err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,298 @@
+package dvecap
+
+import (
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/repair"
+)
+
+// ClusterSession is the churn-time surface of a Cluster: the solution from
+// Open is kept repaired in O(affected) per event through the churn-repair
+// subsystem, with every client addressed by its string ID. A session is
+// not safe for concurrent use (the director service wraps one planner with
+// locking for that).
+type ClusterSession struct {
+	binding    *repair.IDBinding
+	algo       string
+	delayBound float64
+	serverIDs  []string
+	serverIdx  map[string]int
+	zoneIDs    []string
+	zoneIdx    map[string]int
+	rowBuf     []float64
+}
+
+// ClusterClient is the externally visible state of one session client.
+type ClusterClient struct {
+	// ID is the client's cluster ID.
+	ID string
+	// Zone is the ID of the zone the client's avatar is in.
+	Zone string
+	// Contact is the ID of the server the client connects to; Target the
+	// ID of the server hosting its zone (they differ when the contact
+	// forwards).
+	Contact, Target string
+	// DelayMs is the client's current effective delay; QoS reports whether
+	// it is within the bound.
+	DelayMs float64
+	QoS     bool
+	// BandwidthMbps is the client's current bandwidth requirement.
+	BandwidthMbps float64
+}
+
+// planner exposes the underlying repair planner to the package's adapters
+// and tests.
+func (s *ClusterSession) planner() *repair.Planner { return s.binding.Planner() }
+
+// zone resolves a zone ID.
+func (s *ClusterSession) zone(id string) (int, error) {
+	z, ok := s.zoneIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("dvecap: %w %q", ErrUnknownZone, id)
+	}
+	return z, nil
+}
+
+// NumClients returns the current population.
+func (s *ClusterSession) NumClients() int { return s.binding.Len() }
+
+// ClientIDs returns the registered client IDs in registration order.
+func (s *ClusterSession) ClientIDs() []string {
+	return append([]string(nil), s.binding.IDs()...)
+}
+
+// Join admits a new client by ID: it is attached greedily (directly to its
+// zone's host when within the bound, otherwise through the feasible
+// contact minimising its effective delay) and a localized repair pass runs
+// around the zone it entered. The spec's zone must be one of the cluster's
+// zones; its RTTs must cover every server.
+func (s *ClusterSession) Join(id string, spec ClientSpec) error {
+	if id == "" {
+		return fmt.Errorf("dvecap: empty client ID")
+	}
+	z, err := s.zone(spec.Zone)
+	if err != nil {
+		return err
+	}
+	if !(spec.BandwidthMbps > 0) { // rejects NaN too
+		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, spec.BandwidthMbps)
+	}
+	row, err := resolveRTTRow(id, spec, s.serverIDs, s.serverIdx, s.rowBuf)
+	if err != nil {
+		return err
+	}
+	return s.binding.Join(id, z, spec.BandwidthMbps, row)
+}
+
+// Leave removes the client, repairing around the zone it vacated. The ID
+// becomes available for reuse.
+func (s *ClusterSession) Leave(id string) error {
+	return s.binding.Leave(id)
+}
+
+// Move migrates the client's avatar to another zone, re-attaches it, and
+// repairs around both the vacated and the entered zone.
+func (s *ClusterSession) Move(id, zone string) error {
+	z, err := s.zone(zone)
+	if err != nil {
+		return err
+	}
+	return s.binding.Move(id, z)
+}
+
+// UpdateDelays overlays freshly measured RTTs (by server ID; ms) onto the
+// client's delay row and streams the refresh into the repair planner: the
+// client is re-attached if the new delays pushed it out of bound, and a
+// localized repair pass runs around its zone. Servers absent from rtts
+// keep their previous measurement — partial refreshes are the norm when
+// only a few paths were re-probed.
+func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) error {
+	if err := s.binding.CopyDelays(id, s.rowBuf); err != nil {
+		return err
+	}
+	for sid, d := range rtts {
+		i, ok := s.serverIdx[sid]
+		if !ok {
+			return fmt.Errorf("dvecap: client %q RTT: %w %q", id, ErrUnknownServer, sid)
+		}
+		s.rowBuf[i] = d
+	}
+	if len(rtts) == 0 {
+		return nil
+	}
+	if err := validateRTTRow(id, s.rowBuf); err != nil {
+		return err
+	}
+	return s.binding.UpdateDelays(id, s.rowBuf)
+}
+
+// UpdateDelayRow is UpdateDelays with a full dense row in ServerIDs order
+// — the matrix-supplied form, replacing every measurement at once.
+func (s *ClusterSession) UpdateDelayRow(id string, rtts []float64) error {
+	if len(rtts) == len(s.serverIDs) {
+		if err := validateRTTRow(id, rtts); err != nil {
+			return err
+		}
+	}
+	return s.binding.UpdateDelays(id, rtts)
+}
+
+// SetBandwidth updates the client's bandwidth requirement (Mbps) —
+// bookkeeping for population- or activity-dependent bandwidth models, not
+// a churn event (no repair pass).
+func (s *ClusterSession) SetBandwidth(id string, mbps float64) error {
+	if !(mbps > 0) { // rejects NaN too
+		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, mbps)
+	}
+	return s.binding.SetRT(id, mbps)
+}
+
+// SetZoneBandwidth sets the bandwidth requirement of every client
+// currently in the zone to perClientMbps — one state update per frame
+// covers the zone's whole population, so a membership change re-prices
+// every member (see the bandwidth model in DESIGN.md §4).
+func (s *ClusterSession) SetZoneBandwidth(zone string, perClientMbps float64) error {
+	z, err := s.zone(zone)
+	if err != nil {
+		return err
+	}
+	return s.binding.Planner().RefreshZoneRT(z, perClientMbps)
+}
+
+// Resolve forces one full two-phase re-solve, re-anchoring the drift
+// baseline.
+func (s *ClusterSession) Resolve() error { return s.binding.Planner().FullSolve() }
+
+// ZoneHost returns the ID of the server currently hosting the zone.
+func (s *ClusterSession) ZoneHost(zone string) (string, error) {
+	z, err := s.zone(zone)
+	if err != nil {
+		return "", err
+	}
+	return s.serverIDs[s.binding.Planner().ZoneHost(z)], nil
+}
+
+// Client returns the client's current assignment.
+func (s *ClusterSession) Client(id string) (ClusterClient, error) {
+	pl := s.binding.Planner()
+	h, err := s.binding.Handle(id)
+	if err != nil {
+		return ClusterClient{}, err
+	}
+	j, err := pl.Index(h)
+	if err != nil {
+		return ClusterClient{}, err
+	}
+	p := pl.Problem()
+	z := p.ClientZones[j]
+	delay := pl.Evaluator().ClientDelay(j)
+	return ClusterClient{
+		ID:            id,
+		Zone:          s.zoneIDs[z],
+		Contact:       s.serverIDs[pl.Evaluator().Contact(j)],
+		Target:        s.serverIDs[pl.ZoneHost(z)],
+		DelayMs:       delay,
+		QoS:           delay <= s.delayBound,
+		BandwidthMbps: p.ClientRT[j],
+	}, nil
+}
+
+// contactIndex returns the client's contact server as a dense index — the
+// Session adapter's bridge back to world-order assignments.
+func (s *ClusterSession) contactIndex(id string) (int, error) {
+	return s.binding.Contact(id)
+}
+
+// Stats returns the session's repair counters.
+func (s *ClusterSession) Stats() SessionStats {
+	return sessionStatsFrom(s.binding.Planner().Stats())
+}
+
+// PQoS returns the maintained solution's fraction of clients in bound.
+func (s *ClusterSession) PQoS() float64 { return s.binding.Planner().PQoS() }
+
+// Utilization returns total server load over total capacity.
+func (s *ClusterSession) Utilization() float64 { return s.binding.Planner().Utilization() }
+
+// Result evaluates the maintained solution against the session's current
+// truth (the measured delays it has been fed), in the same shape Solve
+// returns. Result.ClientIDs names the client behind each dense index.
+func (s *ClusterSession) Result() (*Result, error) {
+	pl := s.binding.Planner()
+	p := pl.Problem()
+	a := pl.Assignment()
+	ids := make([]string, p.NumClients())
+	for _, id := range s.binding.IDs() {
+		h, err := s.binding.Handle(id)
+		if err != nil {
+			return nil, err
+		}
+		j, err := pl.Index(h)
+		if err != nil {
+			return nil, err
+		}
+		ids[j] = id
+	}
+	return newResult(s.algo, p, a, core.Evaluate(p, a), ids), nil
+}
+
+// validateRTTRow rejects measurements no delay model admits — negative or
+// NaN RTTs — before they reach the live planner, whose state is never
+// re-validated wholesale (one-shot solves go through core's
+// Problem.Validate instead).
+func validateRTTRow(owner string, row []float64) error {
+	for i, d := range row {
+		if !(d >= 0) {
+			return fmt.Errorf("dvecap: client %q RTT to server %d is %v ms, want >= 0", owner, i, d)
+		}
+	}
+	return nil
+}
+
+// resolveRTTRow turns a ClientSpec's RTTs (map or dense row) into a dense
+// row in server order, writing into buf when it has capacity. The returned
+// slice may alias spec.RTTRow or buf — callers must copy to retain (the
+// planner always copies).
+func resolveRTTRow(owner string, spec ClientSpec, serverIDs []string, serverIdx map[string]int, buf []float64) ([]float64, error) {
+	m := len(serverIDs)
+	if (spec.RTTs == nil) == (spec.RTTRow == nil) {
+		return nil, fmt.Errorf("dvecap: client %q: set exactly one of RTTs and RTTRow", owner)
+	}
+	if spec.RTTRow != nil {
+		if len(spec.RTTRow) != m {
+			return nil, fmt.Errorf("dvecap: client %q RTT row has %d entries, want %d", owner, len(spec.RTTRow), m)
+		}
+		if err := validateRTTRow(owner, spec.RTTRow); err != nil {
+			return nil, err
+		}
+		return spec.RTTRow, nil
+	}
+	if cap(buf) < m {
+		buf = make([]float64, m)
+	}
+	buf = buf[:m]
+	if len(spec.RTTs) != m {
+		for sid := range spec.RTTs {
+			if _, ok := serverIdx[sid]; !ok {
+				return nil, fmt.Errorf("dvecap: client %q RTT: %w %q", owner, ErrUnknownServer, sid)
+			}
+		}
+		for _, sid := range serverIDs {
+			if _, ok := spec.RTTs[sid]; !ok {
+				return nil, fmt.Errorf("dvecap: client %q missing RTT to server %q", owner, sid)
+			}
+		}
+	}
+	for sid, d := range spec.RTTs {
+		i, ok := serverIdx[sid]
+		if !ok {
+			return nil, fmt.Errorf("dvecap: client %q RTT: %w %q", owner, ErrUnknownServer, sid)
+		}
+		if !(d >= 0) {
+			return nil, fmt.Errorf("dvecap: client %q RTT to server %q is %v ms, want >= 0", owner, sid, d)
+		}
+		buf[i] = d
+	}
+	return buf, nil
+}

@@ -9,14 +9,21 @@
 //	capassign -in problem.json -algorithm GreZ-VirC -out assignment.json
 //	capassign -in problem.json -exact -deadline 60s
 //	capassign -scenario 5s-15z-200c-100cp -dump-problem problem.json
+//	capassign -cluster cluster.json -algorithm GreZ-GreC
+//
+// With -cluster the instance comes from a bring-your-own-infrastructure
+// spec (string IDs, measured RTTs; see dvecap.ReadClusterJSON) and the
+// solution is reported against those IDs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"dvecap"
 	"dvecap/internal/core"
 	"dvecap/internal/dve"
 	"dvecap/internal/milp"
@@ -29,6 +36,7 @@ func main() {
 		scenario  = flag.String("scenario", "20s-80z-1000c-500cp", "scenario notation to generate (ignored with -in/-world)")
 		seed      = flag.Uint64("seed", 1, "random seed for generation and algorithms")
 		inFile    = flag.String("in", "", "read a problem JSON instead of generating")
+		cluster   = flag.String("cluster", "", "read a cluster-spec JSON (bring-your-own-infrastructure IDs and RTTs) instead of generating")
 		worldFile = flag.String("world", "", "read a world JSON (see -dump-world) instead of generating")
 		outFile   = flag.String("out", "", "write the assignment JSON here (default stdout)")
 		dumpProb  = flag.String("dump-problem", "", "write the generated problem JSON here and exit")
@@ -44,6 +52,13 @@ func main() {
 	if *list {
 		for _, n := range core.AlgorithmNames() {
 			fmt.Println(n)
+		}
+		return
+	}
+
+	if *cluster != "" {
+		if err := solveCluster(*cluster, *algorithm, *seed, *outFile, *delays); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -121,6 +136,77 @@ func main() {
 	m := core.Evaluate(p, a)
 	fmt.Fprintf(os.Stderr, "capassign: %s solved %d clients in %s: pQoS %.3f, R %.3f\n",
 		label, p.NumClients(), elapsed.Round(time.Microsecond), m.PQoS, m.Utilization)
+}
+
+// clusterResultJSON reports a -cluster solve against the spec's own IDs.
+type clusterResultJSON struct {
+	Algorithm   string             `json:"algorithm"`
+	PQoS        float64            `json:"pqos"`
+	Utilization float64            `json:"utilization"`
+	WithQoS     int                `json:"with_qos"`
+	Clients     int                `json:"clients"`
+	ZoneServers map[string]string  `json:"zone_servers"`
+	Contacts    map[string]string  `json:"contacts"`
+	DelaysMs    map[string]float64 `json:"delays_ms,omitempty"`
+}
+
+func solveCluster(path, algorithm string, seed uint64, outFile string, withDelays bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	c, err := dvecap.ReadClusterJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := c.Solve(algorithm, dvecap.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	servers, zones := c.ServerIDs(), c.ZoneIDs()
+	out := clusterResultJSON{
+		Algorithm:   res.Algorithm,
+		PQoS:        res.PQoS,
+		Utilization: res.Utilization,
+		WithQoS:     res.WithQoS,
+		Clients:     res.Clients,
+		ZoneServers: make(map[string]string, len(zones)),
+		Contacts:    make(map[string]string, len(res.ClientIDs)),
+	}
+	for z, s := range res.ZoneServer {
+		out.ZoneServers[zones[z]] = servers[s]
+	}
+	for j, id := range res.ClientIDs {
+		out.Contacts[id] = servers[res.ClientContact[j]]
+	}
+	if withDelays {
+		out.DelaysMs = make(map[string]float64, len(res.ClientIDs))
+		for j, id := range res.ClientIDs {
+			out.DelaysMs[id] = res.Delays[j]
+		}
+	}
+
+	w := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "capassign: %s solved cluster of %d clients in %s: pQoS %.3f, R %.3f\n",
+		res.Algorithm, res.Clients, elapsed.Round(time.Microsecond), res.PQoS, res.Utilization)
+	return nil
 }
 
 func loadOrGenerate(inFile, worldFile, scenario string, seed uint64) (*core.Problem, *dve.World, error) {

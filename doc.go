@@ -18,13 +18,39 @@
 // matrices, bandwidth model, client distribution and churn models), and a
 // harness that regenerates every table and figure of the paper.
 //
-// # Quick start
+// # Bring your own infrastructure
+//
+// The primary entry point is the Cluster builder: real servers, zones and
+// clients with string IDs and measured (or matrix-supplied) RTTs, solved
+// in one shot or kept repaired under churn — no synthetic generation
+// anywhere (DESIGN.md §9):
+//
+//	c := dvecap.NewCluster(120) // D = 120 ms
+//	c.AddServer("fra", dvecap.ServerSpec{CapacityMbps: 400, RTTs: map[string]float64{"nyc": 82}})
+//	c.AddServer("nyc", dvecap.ServerSpec{CapacityMbps: 400})
+//	c.AddZone("plaza")
+//	c.AddClient("alice", dvecap.ClientSpec{Zone: "plaza", BandwidthMbps: 2,
+//		RTTs: map[string]float64{"fra": 18, "nyc": 95}})
+//	res, err := c.Solve("GreZ-GreC", dvecap.WithSeed(1))
+//
+// Solve and Open take functional options (WithWorkers, WithOverflow,
+// WithLocalSearchRounds, WithDriftGuard, WithEstimationError, WithSeed).
+// Open returns a ClusterSession whose Join/Leave/Move/UpdateDelays —
+// all by string ID — stream into the incremental repair planner, and
+// ReadClusterJSON loads the same instance from a JSON spec (capassign
+// -cluster). No internal package type appears in any exported signature;
+// ExampleCluster and examples/byoi show the full workflow.
+//
+// # Synthetic scenarios
 //
 //	scn, err := dvecap.NewScenario(dvecap.ScenarioParams{Seed: 1})
 //	if err != nil { ... }
 //	result, err := scn.Assign("GreZ-GreC")
 //	if err != nil { ... }
 //	fmt.Printf("pQoS %.2f at utilisation %.2f\n", result.PQoS, result.Utilization)
+//
+// Scenario's solve surfaces are thin adapters over the Cluster engine,
+// equivalence-tested bit for bit against the pre-redesign paths.
 //
 // # Incremental evaluation and hot-path reuse
 //

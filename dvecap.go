@@ -5,7 +5,6 @@ import (
 
 	"dvecap/internal/core"
 	"dvecap/internal/dve"
-	"dvecap/internal/estimator"
 	"dvecap/internal/topology"
 	"dvecap/internal/xrand"
 )
@@ -29,8 +28,12 @@ type ScenarioParams struct {
 	// DelayBoundMs overrides the interactivity bound when non-zero.
 	DelayBoundMs float64
 	// Correlation sets the physical↔virtual correlation δ in [0,1].
-	// Note: unlike the other fields, the zero value means δ = 0 (no
-	// correlation); pass a negative value for the paper default of 0.5.
+	//
+	// Deprecated: the field's zero value silently means δ = 0 rather than
+	// the paper default of 0.5 (a negative value restores the default) —
+	// a long-standing footgun. Pass the WithCorrelation option to
+	// NewScenario instead, which keeps the default unless explicitly
+	// overridden; when both are given, the option wins.
 	Correlation float64
 	// ClusteredPhysical / ClusteredVirtual enable the hot-node / hot-zone
 	// client distributions.
@@ -42,14 +45,24 @@ type ScenarioParams struct {
 }
 
 // Scenario is a concrete, reproducible DVE instance ready for assignment.
+// Its solve surfaces (Assign, AssignWithEstimationError, StartSession) are
+// thin adapters over the Cluster engine — the same machinery that serves
+// real, bring-your-own-infrastructure deployments — applied to the
+// generated world.
 type Scenario struct {
 	world *dve.World
 	rng   *xrand.RNG
 }
 
 // NewScenario builds a scenario: topology, delay matrix, servers with
-// capacities, and clients placed in both worlds.
-func NewScenario(p ScenarioParams) (*Scenario, error) {
+// capacities, and clients placed in both worlds. Of the options, only
+// WithCorrelation and WithSeed apply (the rest configure solves); see the
+// deprecation note on ScenarioParams.Correlation.
+func NewScenario(p ScenarioParams, opts ...Option) (*Scenario, error) {
+	oc := resolveOptions(opts)
+	if oc.seedSet {
+		p.Seed = oc.seed
+	}
 	cfg := dve.DefaultConfig()
 	if p.Notation != "" {
 		var err error
@@ -74,7 +87,13 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	if p.DelayBoundMs > 0 {
 		cfg.DelayBoundMs = p.DelayBoundMs
 	}
-	if p.Correlation >= 0 {
+	switch {
+	case oc.corrSet:
+		if oc.corr < 0 || oc.corr > 1 {
+			return nil, fmt.Errorf("dvecap: correlation %v outside [0,1]", oc.corr)
+		}
+		cfg.Correlation = oc.corr
+	case p.Correlation >= 0:
 		if p.Correlation > 1 {
 			return nil, fmt.Errorf("dvecap: correlation %v outside [0,1]", p.Correlation)
 		}
@@ -108,85 +127,31 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	return &Scenario{world: world, rng: rng}, nil
 }
 
-// Algorithms returns the names accepted by Assign, in the paper's order
-// plus extensions.
+// Algorithms returns the names accepted by Assign and Cluster.Solve, in
+// the paper's order plus extensions.
 func Algorithms() []string {
 	return core.AlgorithmNames()
 }
 
-// Result is the outcome of one assignment run.
-type Result struct {
-	// Algorithm is the algorithm that produced the assignment.
-	Algorithm string
-	// PQoS is the fraction of clients within the delay bound.
-	PQoS float64
-	// Utilization is consumed bandwidth over total capacity.
-	Utilization float64
-	// WithQoS is the absolute count of clients within the bound.
-	WithQoS int
-	// Clients is the total client count.
-	Clients int
-	// Delays holds each client's effective delay to its target (ms).
-	Delays []float64
-	// ZoneServer and ClientContact expose the raw assignment.
-	ZoneServer    []int
-	ClientContact []int
+// clusterView wraps the scenario's current population as a Cluster, so
+// the scenario's solve surfaces run through the same engine as real
+// deployments. The view snapshots the world — rebuild after churn.
+func (s *Scenario) clusterView() *Cluster {
+	return clusterFromProblem(s.world.Problem())
 }
 
 // Assign runs the named two-phase algorithm ("RanZ-VirC", "RanZ-GreC",
 // "GreZ-VirC", "GreZ-GreC", or the extension "DynZ-GreC") on the scenario's
 // current state.
 func (s *Scenario) Assign(algorithm string) (*Result, error) {
-	tp, ok := core.ByName(algorithm)
-	if !ok {
-		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
-	}
-	truth := s.world.Problem()
-	a, err := tp.Solve(s.rng.Split(), truth, core.Options{Overflow: core.SpillLargestResidual})
-	if err != nil {
-		return nil, err
-	}
-	m := core.Evaluate(truth, a)
-	return &Result{
-		Algorithm:     algorithm,
-		PQoS:          m.PQoS,
-		Utilization:   m.Utilization,
-		WithQoS:       m.WithQoS,
-		Clients:       truth.NumClients(),
-		Delays:        m.Delays,
-		ZoneServer:    a.ZoneServer,
-		ClientContact: a.ClientContact,
-	}, nil
+	return s.clusterView().Solve(algorithm, withRNG(s.rng))
 }
 
 // AssignWithEstimationError runs the algorithm against delays perturbed by
 // a multiplicative error factor e (estimates uniform in [d/e, d·e], the
 // King/IDMaps model) and evaluates the outcome against the true delays.
 func (s *Scenario) AssignWithEstimationError(algorithm string, e float64) (*Result, error) {
-	tp, ok := core.ByName(algorithm)
-	if !ok {
-		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
-	}
-	truth := s.world.Problem()
-	noisy, err := estimator.WithFactor(e).PerturbProblem(s.rng.Split(), truth)
-	if err != nil {
-		return nil, err
-	}
-	a, err := tp.Solve(s.rng.Split(), noisy, core.Options{Overflow: core.SpillLargestResidual})
-	if err != nil {
-		return nil, err
-	}
-	m := core.Evaluate(truth, a)
-	return &Result{
-		Algorithm:     algorithm,
-		PQoS:          m.PQoS,
-		Utilization:   m.Utilization,
-		WithQoS:       m.WithQoS,
-		Clients:       truth.NumClients(),
-		Delays:        m.Delays,
-		ZoneServer:    a.ZoneServer,
-		ClientContact: a.ClientContact,
-	}, nil
+	return s.clusterView().Solve(algorithm, withRNG(s.rng), WithEstimationError(e))
 }
 
 // Churn applies joins, leaves and zone moves to the scenario (the paper's

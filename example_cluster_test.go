@@ -1,0 +1,89 @@
+package dvecap_test
+
+import (
+	"fmt"
+
+	"dvecap"
+)
+
+// ExampleCluster builds an assignment instance from real infrastructure —
+// servers, zones and clients with string IDs and measured RTTs, no
+// synthetic generator — solves it once, then opens a session and streams
+// a measured-delay refresh into the incremental repair planner.
+func ExampleCluster() {
+	c := dvecap.NewCluster(100) // interactivity bound D = 100 ms
+	for _, s := range []struct {
+		id   string
+		rtts map[string]float64
+	}{
+		{"fra", map[string]float64{"nyc": 80}},
+		{"nyc", nil},
+	} {
+		if err := c.AddServer(s.id, dvecap.ServerSpec{CapacityMbps: 100, RTTs: s.rtts}); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	for _, z := range []string{"plaza", "forest"} {
+		if err := c.AddZone(z); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	clients := []struct {
+		id, zone string
+		fra, nyc float64
+	}{
+		{"alice", "plaza", 20, 95},
+		{"bruno", "plaza", 30, 90},
+		{"chloe", "forest", 95, 15},
+		{"diego", "forest", 90, 25},
+	}
+	for _, cl := range clients {
+		err := c.AddClient(cl.id, dvecap.ClientSpec{
+			Zone:          cl.zone,
+			BandwidthMbps: 2,
+			RTTs:          map[string]float64{"fra": cl.fra, "nyc": cl.nyc},
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+
+	res, err := c.Solve("GreZ-GreC", dvecap.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	zones, servers := c.ZoneIDs(), c.ServerIDs()
+	fmt.Printf("%s: %d/%d clients within the bound\n", res.Algorithm, res.WithQoS, res.Clients)
+	for z, s := range res.ZoneServer {
+		fmt.Printf("zone %s hosted on %s\n", zones[z], servers[s])
+	}
+
+	// Live operation: a re-probe finds alice's path to fra congested; the
+	// refresh repairs incrementally (re-attach + localized scan), no full
+	// re-solve.
+	sess, err := c.Open("GreZ-GreC", dvecap.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := sess.UpdateDelays("alice", map[string]float64{"fra": 130}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	alice, err := sess.Client("alice")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("alice now connects via %s at %.0f ms (full solves: %d)\n",
+		alice.Contact, alice.DelayMs, sess.Stats().FullSolves)
+	// Output:
+	// GreZ-GreC: 4/4 clients within the bound
+	// zone plaza hosted on fra
+	// zone forest hosted on fra
+	// alice now connects via nyc at 95 ms (full solves: 1)
+}

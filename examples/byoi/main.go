@@ -1,0 +1,96 @@
+// Command byoi (bring your own infrastructure) shows the public Cluster
+// API end to end on hand-measured data — no synthetic scenario generator
+// anywhere: real-looking servers with capacities and inter-server RTTs,
+// zones, clients with per-server RTT measurements; one-shot solve; then a
+// live session with joins, moves, a leave and a measured-delay refresh
+// streaming into the incremental repair planner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvecap"
+)
+
+func main() {
+	// A three-region deployment. Inter-server RTTs are measured once per
+	// pair (either endpoint may report it).
+	c := dvecap.NewCluster(120) // interactivity bound D = 120 ms
+	check(c.AddServer("fra", dvecap.ServerSpec{
+		CapacityMbps: 400,
+		RTTs:         map[string]float64{"nyc": 82, "sgp": 160},
+	}))
+	check(c.AddServer("nyc", dvecap.ServerSpec{
+		CapacityMbps: 400,
+		RTTs:         map[string]float64{"sgp": 210},
+	}))
+	check(c.AddServer("sgp", dvecap.ServerSpec{CapacityMbps: 300}))
+
+	for _, z := range []string{"plaza", "forest", "harbor", "arena"} {
+		check(c.AddZone(z))
+	}
+
+	// Clients supply their own measured client→server RTTs. In production
+	// these come from probes or a King/IDMaps-style estimator.
+	join := func(id, zone string, fra, nyc, sgp float64) {
+		check(c.AddClient(id, dvecap.ClientSpec{
+			Zone:          zone,
+			BandwidthMbps: 2,
+			RTTs:          map[string]float64{"fra": fra, "nyc": nyc, "sgp": sgp},
+		}))
+	}
+	join("alice", "plaza", 18, 95, 170)
+	join("bruno", "plaza", 25, 101, 182)
+	join("chloe", "forest", 96, 17, 205)
+	join("diego", "forest", 104, 24, 214)
+	join("emiko", "harbor", 175, 210, 12)
+	join("farid", "harbor", 168, 223, 21)
+	join("gwen", "arena", 30, 88, 190)
+	join("hiro", "arena", 160, 220, 16)
+
+	// One-shot solve: which server hosts each zone, which server does each
+	// client connect through?
+	res, err := c.Solve("GreZ-GreC", dvecap.WithSeed(1))
+	check(err)
+	fmt.Printf("one-shot %s: %d/%d clients within %v ms (pQoS %.2f, utilization %.2f)\n",
+		res.Algorithm, res.WithQoS, res.Clients, 120.0, res.PQoS, res.Utilization)
+	servers, zones := c.ServerIDs(), c.ZoneIDs()
+	for z, s := range res.ZoneServer {
+		fmt.Printf("  zone %-6s → %s\n", zones[z], servers[s])
+	}
+
+	// Live operation: open a session and keep the solution repaired in
+	// O(affected) per event. The drift guard re-solves fully only if
+	// quality decays more than 2% below the last full solve.
+	sess, err := c.Open("GreZ-GreC", dvecap.WithSeed(1), dvecap.WithDriftGuard(0.02))
+	check(err)
+
+	check(sess.Join("ivan", dvecap.ClientSpec{
+		Zone:          "plaza",
+		BandwidthMbps: 2,
+		RTTs:          map[string]float64{"fra": 22, "nyc": 99, "sgp": 176},
+	}))
+	check(sess.Move("gwen", "plaza"))
+	check(sess.Leave("bruno"))
+
+	// A re-probe found alice's path to fra congested: stream the fresh
+	// measurements in; the planner re-attaches her and repairs her zone —
+	// no full re-solve.
+	check(sess.UpdateDelays("alice", map[string]float64{"fra": 140, "nyc": 90}))
+
+	alice, err := sess.Client("alice")
+	check(err)
+	fmt.Printf("after refresh: alice connects via %s at %.0f ms (QoS %v)\n",
+		alice.Contact, alice.DelayMs, alice.QoS)
+
+	st := sess.Stats()
+	fmt.Printf("session: %d clients, pQoS %.2f; %d joins, %d moves, %d leaves, %d delay updates; %d full solves\n",
+		sess.NumClients(), sess.PQoS(), st.Joins, st.Moves, st.Leaves, st.DelayUpdates, st.FullSolves)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

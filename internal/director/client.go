@@ -48,6 +48,15 @@ func (c *Client) Move(id string, zone int) (ClientInfo, error) {
 	return out, err
 }
 
+// UpdateDelays streams freshly measured RTTs (one entry per server, in
+// server order; ms) into the director, which repairs incrementally around
+// the client's zone.
+func (c *Client) UpdateDelays(id string, rttsMs []float64) (ClientInfo, error) {
+	var out ClientInfo
+	err := c.do(http.MethodPost, "/v1/clients/"+id+"/delays", map[string]interface{}{"rtts_ms": rttsMs}, &out)
+	return out, err
+}
+
 // Lookup fetches a client's current assignment.
 func (c *Client) Lookup(id string) (ClientInfo, error) {
 	var out ClientInfo

@@ -1,7 +1,11 @@
 package director
 
 import (
+	"encoding/json"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"dvecap/internal/core"
@@ -89,8 +93,8 @@ func TestJoinLookupLeave(t *testing.T) {
 	if info.ID != "alice" || info.Zone != 3 {
 		t.Fatalf("info = %+v", info)
 	}
-	if info.Target != d.planner.ZoneHost(3) {
-		t.Fatalf("target %d, want zone 3's server %d", info.Target, d.planner.ZoneHost(3))
+	if info.Target != d.planner().ZoneHost(3) {
+		t.Fatalf("target %d, want zone 3's server %d", info.Target, d.planner().ZoneHost(3))
 	}
 	got, err := d.Lookup("alice")
 	if err != nil {
@@ -145,7 +149,7 @@ func TestMoveChangesTargetZone(t *testing.T) {
 	if info.Zone != 5 {
 		t.Fatalf("zone = %d", info.Zone)
 	}
-	if info.Target != d.planner.ZoneHost(5) {
+	if info.Target != d.planner().ZoneHost(5) {
 		t.Fatal("target not updated on move")
 	}
 	if _, err := d.Move("ghost", 1); err == nil {
@@ -447,5 +451,139 @@ func TestProblemSnapshotEndpoint(t *testing.T) {
 	}
 	if m := core.Evaluate(p, a); m.PQoS < 0 || m.PQoS > 1 {
 		t.Fatalf("pQoS %v", m.PQoS)
+	}
+}
+
+// TestHTTPStatusCodes pins the status-code discipline of every /v1 route:
+// 405 for a known route with the wrong method, 400 for malformed or
+// invalid bodies, 404 for unknown clients (sentinel-driven, not message
+// sniffing) and unknown routes.
+func TestHTTPStatusCodes(t *testing.T) {
+	d := testDirector(t)
+	if _, err := d.Join("alice", 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"healthz ok", http.MethodGet, "/v1/healthz", "", http.StatusOK},
+		{"stats wrong method", http.MethodPost, "/v1/stats", "", http.StatusMethodNotAllowed},
+		{"problem wrong method", http.MethodPost, "/v1/problem", "", http.StatusMethodNotAllowed},
+		{"reassign wrong method", http.MethodGet, "/v1/reassign", "", http.StatusMethodNotAllowed},
+		{"clients wrong method", http.MethodDelete, "/v1/clients", "", http.StatusMethodNotAllowed},
+		{"join malformed json", http.MethodPost, "/v1/clients", "{", http.StatusBadRequest},
+		{"join invalid zone", http.MethodPost, "/v1/clients", `{"node":0,"zone":999}`, http.StatusBadRequest},
+		{"join invalid node", http.MethodPost, "/v1/clients", `{"node":-1,"zone":0}`, http.StatusBadRequest},
+		{"join duplicate id", http.MethodPost, "/v1/clients", `{"id":"alice","node":0,"zone":0}`, http.StatusBadRequest},
+		{"missing client id", http.MethodGet, "/v1/clients/", "", http.StatusBadRequest},
+		{"lookup unknown client", http.MethodGet, "/v1/clients/nobody", "", http.StatusNotFound},
+		{"lookup wrong method", http.MethodPost, "/v1/clients/alice", "", http.StatusMethodNotAllowed},
+		{"delete unknown client", http.MethodDelete, "/v1/clients/nobody", "", http.StatusNotFound},
+		{"move unknown client", http.MethodPost, "/v1/clients/nobody/move", `{"zone":1}`, http.StatusNotFound},
+		{"move invalid zone", http.MethodPost, "/v1/clients/alice/move", `{"zone":999}`, http.StatusBadRequest},
+		{"move malformed json", http.MethodPost, "/v1/clients/alice/move", "{", http.StatusBadRequest},
+		{"move wrong method", http.MethodGet, "/v1/clients/alice/move", "", http.StatusMethodNotAllowed},
+		{"delays unknown client", http.MethodPost, "/v1/clients/nobody/delays", `{"rtts_ms":[1,2,3,4]}`, http.StatusNotFound},
+		{"delays wrong row length", http.MethodPost, "/v1/clients/alice/delays", `{"rtts_ms":[1]}`, http.StatusBadRequest},
+		{"delays negative rtt", http.MethodPost, "/v1/clients/alice/delays", `{"rtts_ms":[-1,2,3,4]}`, http.StatusBadRequest},
+		{"delays malformed json", http.MethodPost, "/v1/clients/alice/delays", "{", http.StatusBadRequest},
+		{"delays wrong method", http.MethodGet, "/v1/clients/alice/delays", "", http.StatusMethodNotAllowed},
+		{"unknown client subroute", http.MethodGet, "/v1/clients/alice/bogus", "", http.StatusNotFound},
+		{"unknown route", http.MethodGet, "/v1/bogus", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+			// Error responses produced by the handler carry a JSON body with
+			// an "error" field (the mux's own unknown-route 404 is plain text).
+			if tc.want >= 400 && resp.Header.Get("Content-Type") == "application/json" {
+				var ae struct {
+					Error string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Error == "" {
+					t.Fatalf("%s %s: malformed error body (decode err %v)", tc.method, tc.path, err)
+				}
+			}
+		})
+	}
+
+	// The probe traffic above must not have mutated state: the director
+	// still holds exactly the one seeded client.
+	if st := d.Stats(); st.Clients != 1 {
+		t.Fatalf("error-path probes changed population: %d clients", st.Clients)
+	}
+}
+
+// TestHTTPDelaysRoundTrip drives POST /v1/clients/{id}/delays through the
+// Go binding and asserts the acceptance property of the endpoint: the
+// refresh is applied (the client's delay reflects the posted row, and
+// Lookup agrees) by the incremental repair path — delay_updates
+// increments, full_solves does not.
+func TestHTTPDelaysRoundTrip(t *testing.T) {
+	d := testDirector(t)
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if _, err := c.Join("alice", 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A uniform row keeps the expectation exact: every contact choice
+	// yields a direct 42 ms attach, well inside the 250 ms bound.
+	rtts := []float64{42, 42, 42, 42}
+	info, err := c.UpdateDelays("alice", rtts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DelayMs != 42 || !info.QoS {
+		t.Fatalf("after refresh: %+v, want direct 42 ms in bound", info)
+	}
+	got, err := c.Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Fatalf("lookup disagrees with update response: %+v vs %+v", got, info)
+	}
+
+	after, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.DelayUpdates != before.DelayUpdates+1 {
+		t.Fatalf("delay_updates %d → %d, want +1", before.DelayUpdates, after.DelayUpdates)
+	}
+	if after.FullSolves != before.FullSolves {
+		t.Fatalf("delay refresh triggered a full re-solve (%d → %d)", before.FullSolves, after.FullSolves)
+	}
+}
+
+func TestJoinDuplicateIsSentinel(t *testing.T) {
+	d := testDirector(t)
+	if _, err := d.Join("alice", 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Join("alice", 13, 3); !errors.Is(err, ErrDuplicateClient) {
+		t.Fatalf("duplicate join: err = %v, want ErrDuplicateClient", err)
 	}
 }

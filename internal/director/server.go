@@ -2,6 +2,7 @@ package director
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -19,9 +20,14 @@ type apiError struct {
 //	GET    /v1/clients/{id}         → ClientInfo
 //	DELETE /v1/clients/{id}         → 204
 //	POST   /v1/clients/{id}/move    {"zone"} → ClientInfo
+//	POST   /v1/clients/{id}/delays  {"rtts_ms": [...]} → ClientInfo
 //	POST   /v1/reassign             → ReassignResult
 //	GET    /v1/stats                → Stats
 //	GET    /v1/healthz              → 200 "ok"
+//
+// Status codes follow the usual discipline: 404 for unknown clients
+// (errors.Is ErrUnknownClient) and unknown routes, 405 for a known route
+// with the wrong method, 400 for malformed or invalid request bodies.
 func Handler(d *Director) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -95,20 +101,29 @@ func Handler(d *Director) http.Handler {
 			return
 		}
 		switch {
-		case len(parts) == 1 && r.Method == http.MethodGet:
-			info, err := d.Lookup(id)
-			if err != nil {
-				writeErr(w, http.StatusNotFound, err.Error())
+		case len(parts) == 1:
+			switch r.Method {
+			case http.MethodGet:
+				info, err := d.Lookup(id)
+				if err != nil {
+					writeClientErr(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, info)
+			case http.MethodDelete:
+				if err := d.Leave(id); err != nil {
+					writeClientErr(w, err)
+					return
+				}
+				w.WriteHeader(http.StatusNoContent)
+			default:
+				writeErr(w, http.StatusMethodNotAllowed, "GET or DELETE")
+			}
+		case len(parts) == 2 && parts[1] == "move":
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, "POST only")
 				return
 			}
-			writeJSON(w, http.StatusOK, info)
-		case len(parts) == 1 && r.Method == http.MethodDelete:
-			if err := d.Leave(id); err != nil {
-				writeErr(w, http.StatusNotFound, err.Error())
-				return
-			}
-			w.WriteHeader(http.StatusNoContent)
-		case len(parts) == 2 && parts[1] == "move" && r.Method == http.MethodPost:
 			var req struct {
 				Zone int `json:"zone"`
 			}
@@ -118,11 +133,25 @@ func Handler(d *Director) http.Handler {
 			}
 			info, err := d.Move(id, req.Zone)
 			if err != nil {
-				status := http.StatusBadRequest
-				if strings.Contains(err.Error(), "unknown client") {
-					status = http.StatusNotFound
-				}
-				writeErr(w, status, err.Error())
+				writeClientErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case len(parts) == 2 && parts[1] == "delays":
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			var req struct {
+				RTTsMs []float64 `json:"rtts_ms"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			info, err := d.UpdateDelays(id, req.RTTsMs)
+			if err != nil {
+				writeClientErr(w, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, info)
@@ -141,4 +170,15 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeErr(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, apiError{Error: msg})
+}
+
+// writeClientErr maps a client-keyed operation's error onto a status:
+// 404 when the client is unknown (errors.Is, not message sniffing),
+// 400 for everything else (invalid zone, malformed delay row, …).
+func writeClientErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrUnknownClient) {
+		status = http.StatusNotFound
+	}
+	writeErr(w, status, err.Error())
 }

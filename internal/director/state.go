@@ -23,6 +23,17 @@ import (
 	"dvecap/internal/xrand"
 )
 
+// Sentinel errors shared with the repair subsystem's ID binding (and
+// re-exported by the public dvecap package), so errors.Is works across
+// every layer. The HTTP handler maps ErrUnknownClient to 404.
+var (
+	// ErrUnknownClient reports an operation on a client ID that is not
+	// (or no longer) registered.
+	ErrUnknownClient = repair.ErrUnknownClient
+	// ErrDuplicateClient reports a join under an ID already registered.
+	ErrDuplicateClient = repair.ErrDuplicateClient
+)
+
 // Config configures a director instance.
 type Config struct {
 	// ServerNodes and ServerCaps place the deployment's servers on the
@@ -86,26 +97,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// clientRec is one registered client.
+// clientRec holds the identity-layer state of one registered client (its
+// planner-side state lives behind the ID binding).
 type clientRec struct {
-	id     string
-	node   int
-	zone   int
-	handle int // the client's stable handle in the repair planner
+	node int
+	zone int
 }
 
 // Director is the thread-safe assignment service state. The repair planner
-// is the single source of truth for zone hosting and client contacts; the
-// director layers identity (string IDs, registration order), the topology
-// delay oracle and the bandwidth model on top of it.
+// is the single source of truth for zone hosting and client contacts —
+// reached through the same ID binding the public Cluster API uses — and
+// the director layers identity (string IDs, registration order), the
+// topology delay oracle and the bandwidth model on top of it.
 type Director struct {
 	cfg  Config
 	algo core.TwoPhase
 
 	mu      sync.RWMutex
 	clients map[string]*clientRec
-	order   []string // registration order, the canonical indexing
-	planner *repair.Planner
+	binding *repair.IDBinding // ID ↔ planner handle map + registration order
 	zonePop []int
 	csBuf   []float64
 	rng     *xrand.RNG
@@ -150,9 +160,15 @@ func New(cfg Config) (*Director, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.planner = pl
+	d.binding, err = repair.NewIDBinding(pl, nil)
+	if err != nil {
+		return nil, err
+	}
 	return d, nil
 }
+
+// planner returns the repair planner behind the binding.
+func (d *Director) planner() *repair.Planner { return d.binding.Planner() }
 
 // emptyProblem snapshots the deployment's static side (servers, capacities,
 // inter-server delays, the bound) with zero clients — the planner's seed.
@@ -207,7 +223,7 @@ func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
 		id = fmt.Sprintf("c%06d", d.seq)
 	}
 	if _, exists := d.clients[id]; exists {
-		return ClientInfo{}, fmt.Errorf("director: client %q already registered", id)
+		return ClientInfo{}, fmt.Errorf("director: %w %q", ErrDuplicateClient, id)
 	}
 	for i := range d.csBuf {
 		d.csBuf[i] = d.clientServerRTT(node, i)
@@ -218,16 +234,14 @@ func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
 	d.zonePop[zone]++
 	d.refreshZoneRTLocked(zone)
 	rt := d.zoneClientRT(zone)
-	h, err := d.planner.Join(zone, rt, d.csBuf)
-	if err != nil {
+	if err := d.binding.Join(id, zone, rt, d.csBuf); err != nil {
 		d.zonePop[zone]--
 		d.refreshZoneRTLocked(zone)
 		return ClientInfo{}, err
 	}
-	rec := &clientRec{id: id, node: node, zone: zone, handle: h}
+	rec := &clientRec{node: node, zone: zone}
 	d.clients[id] = rec
-	d.order = append(d.order, id)
-	return d.infoLocked(rec), nil
+	return d.infoLocked(id, rec), nil
 }
 
 // Leave removes a client, repairing around the zone it vacated.
@@ -236,25 +250,19 @@ func (d *Director) Leave(id string) error {
 	defer d.mu.Unlock()
 	rec, ok := d.clients[id]
 	if !ok {
-		return fmt.Errorf("director: unknown client %q", id)
+		return fmt.Errorf("director: %w %q", ErrUnknownClient, id)
 	}
 	// Refresh to the post-departure population before the event (the
 	// departing client's smaller RT is subtracted consistently), so the
 	// repair pass inside Leave sees up-to-date loads.
 	d.zonePop[rec.zone]--
 	d.refreshZoneRTLocked(rec.zone)
-	if err := d.planner.Leave(rec.handle); err != nil {
+	if err := d.binding.Leave(id); err != nil {
 		d.zonePop[rec.zone]++
 		d.refreshZoneRTLocked(rec.zone)
 		return err
 	}
 	delete(d.clients, id)
-	for i, oid := range d.order {
-		if oid == id {
-			d.order = append(d.order[:i], d.order[i+1:]...)
-			break
-		}
-	}
 	return nil
 }
 
@@ -265,7 +273,7 @@ func (d *Director) Move(id string, zone int) (ClientInfo, error) {
 	defer d.mu.Unlock()
 	rec, ok := d.clients[id]
 	if !ok {
-		return ClientInfo{}, fmt.Errorf("director: unknown client %q", id)
+		return ClientInfo{}, fmt.Errorf("director: %w %q", ErrUnknownClient, id)
 	}
 	if zone < 0 || zone >= d.cfg.Zones {
 		return ClientInfo{}, fmt.Errorf("director: zone %d outside [0,%d)", zone, d.cfg.Zones)
@@ -280,20 +288,47 @@ func (d *Director) Move(id string, zone int) (ClientInfo, error) {
 		d.zonePop[zone]++
 		d.refreshZoneRTLocked(old)
 		d.refreshZoneRTLocked(zone)
-		_ = d.planner.SetRT(rec.handle, d.zoneClientRT(zone))
+		_ = d.binding.SetRT(id, d.zoneClientRT(zone))
 	}
-	if err := d.planner.Move(rec.handle, zone); err != nil {
+	if err := d.binding.Move(id, zone); err != nil {
 		if zone != old {
 			d.zonePop[old]++
 			d.zonePop[zone]--
 			d.refreshZoneRTLocked(old)
 			d.refreshZoneRTLocked(zone)
-			_ = d.planner.SetRT(rec.handle, d.zoneClientRT(old))
+			_ = d.binding.SetRT(id, d.zoneClientRT(old))
 		}
 		return ClientInfo{}, err
 	}
 	rec.zone = zone
-	return d.infoLocked(rec), nil
+	return d.infoLocked(id, rec), nil
+}
+
+// UpdateDelays replaces a client's measured delay row with freshly probed
+// RTTs (one entry per server, in server order; ms) and streams the refresh
+// into the repair planner: the client is re-attached if the new delays
+// pushed it out of bound, and a localized repair pass runs around its zone
+// — no full re-solve. This is the mouth for measurement-estimator refresh
+// streams (King/IDMaps re-probes).
+func (d *Director) UpdateDelays(id string, rtts []float64) (ClientInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, ok := d.clients[id]
+	if !ok {
+		return ClientInfo{}, fmt.Errorf("director: %w %q", ErrUnknownClient, id)
+	}
+	if len(rtts) != len(d.cfg.ServerNodes) {
+		return ClientInfo{}, fmt.Errorf("director: delay row has %d entries, want %d", len(rtts), len(d.cfg.ServerNodes))
+	}
+	for i, rtt := range rtts {
+		if rtt < 0 {
+			return ClientInfo{}, fmt.Errorf("director: RTT to server %d is %v ms, want >= 0", i, rtt)
+		}
+	}
+	if err := d.binding.UpdateDelays(id, rtts); err != nil {
+		return ClientInfo{}, err
+	}
+	return d.infoLocked(id, rec), nil
 }
 
 // zoneClientRT is the bandwidth requirement of one client of the zone at
@@ -313,7 +348,7 @@ func (d *Director) refreshZoneRTLocked(zone int) {
 	if d.zonePop[zone] <= 0 {
 		return
 	}
-	_ = d.planner.RefreshZoneRT(zone, d.zoneClientRT(zone))
+	_ = d.planner().RefreshZoneRT(zone, d.zoneClientRT(zone))
 }
 
 // Lookup returns a client's current assignment.
@@ -322,25 +357,25 @@ func (d *Director) Lookup(id string) (ClientInfo, error) {
 	defer d.mu.RUnlock()
 	rec, ok := d.clients[id]
 	if !ok {
-		return ClientInfo{}, fmt.Errorf("director: unknown client %q", id)
+		return ClientInfo{}, fmt.Errorf("director: %w %q", ErrUnknownClient, id)
 	}
-	return d.infoLocked(rec), nil
+	return d.infoLocked(id, rec), nil
 }
 
 // infoLocked renders a record from the planner's maintained solution.
-func (d *Director) infoLocked(rec *clientRec) ClientInfo {
-	contact, err := d.planner.Contact(rec.handle)
+func (d *Director) infoLocked(id string, rec *clientRec) ClientInfo {
+	contact, err := d.binding.Contact(id)
 	if err != nil {
 		// A live record always has a live handle; this is unreachable.
 		contact = -1
 	}
-	delay, _ := d.planner.ClientDelay(rec.handle)
+	delay, _ := d.binding.Delay(id)
 	return ClientInfo{
-		ID:      rec.id,
+		ID:      id,
 		Node:    rec.node,
 		Zone:    rec.zone,
 		Contact: contact,
-		Target:  d.planner.ZoneHost(rec.zone),
+		Target:  d.planner().ZoneHost(rec.zone),
 		DelayMs: delay,
 		QoS:     delay <= d.cfg.DelayBoundMs,
 	}
@@ -355,10 +390,15 @@ func (d *Director) serverServerRTT(a, b int) float64 {
 }
 
 // problemLocked snapshots the current population as a core.Problem, with
-// clients in registration order.
+// clients in registration order. Delay rows come from the planner's live
+// state, so measured updates (UpdateDelays) are reflected rather than
+// re-derived from the topology oracle.
 func (d *Director) problemLocked() *core.Problem {
-	k := len(d.order)
+	order := d.binding.IDs()
+	k := len(order)
 	m := len(d.cfg.ServerNodes)
+	pl := d.planner()
+	live := pl.Problem()
 	p := &core.Problem{
 		ServerCaps:  append([]float64(nil), d.cfg.ServerCaps...),
 		ClientZones: make([]int, k),
@@ -369,15 +409,24 @@ func (d *Director) problemLocked() *core.Problem {
 		D:           d.cfg.DelayBoundMs,
 	}
 	pop := make([]int, d.cfg.Zones)
-	for _, id := range d.order {
+	for _, id := range order {
 		pop[d.clients[id].zone]++
 	}
-	for j, id := range d.order {
+	for j, id := range order {
 		rec := d.clients[id]
 		p.ClientZones[j] = rec.zone
 		zp := pop[rec.zone]
 		p.ClientRT[j] = d.cfg.FrameRate * (d.cfg.MessageBytes + float64(zp)*d.cfg.MessageBytes) * 8 / 1e6
 		p.CS[j] = make([]float64, m)
+		if h, err := d.binding.Handle(id); err == nil {
+			if idx, err := pl.Index(h); err == nil {
+				copy(p.CS[j], live.CS[idx])
+				continue
+			}
+		}
+		// A registered client always has a live handle; if that invariant
+		// ever breaks, re-derive the row from the topology oracle rather
+		// than exporting silent zeros (which would fake perfect QoS).
 		for i := 0; i < m; i++ {
 			p.CS[j][i] = d.clientServerRTT(rec.node, i)
 		}
@@ -399,11 +448,13 @@ type Stats struct {
 	PQoS        float64 `json:"pqos"`
 	Utilization float64 `json:"utilization"`
 	Algorithm   string  `json:"algorithm"`
-	// Repair-subsystem counters: incremental events handled, full
-	// two-phase re-solves, zones rehosted (localized repairs plus
-	// full-solve diffs), contact re-placements made by the repair path,
-	// and the current pQoS drift below the last full solve's level.
+	// Repair-subsystem counters: incremental events handled (including
+	// measured-delay refreshes), full two-phase re-solves, zones rehosted
+	// (localized repairs plus full-solve diffs), contact re-placements
+	// made by the repair path, and the current pQoS drift below the last
+	// full solve's level.
 	RepairEvents    int     `json:"repair_events"`
+	DelayUpdates    int     `json:"delay_updates"`
 	FullSolves      int     `json:"full_solves"`
 	ZoneHandoffs    int     `json:"zone_handoffs"`
 	ContactSwitches int     `json:"contact_switches"`
@@ -422,30 +473,32 @@ func (d *Director) Stats() Stats {
 }
 
 func (d *Director) statsLocked() Stats {
-	s := Stats{Clients: len(d.order), Algorithm: d.algo.Name}
-	st := d.planner.Stats()
+	s := Stats{Clients: d.binding.Len(), Algorithm: d.algo.Name}
+	st := d.planner().Stats()
 	s.RepairEvents = st.Events
+	s.DelayUpdates = st.DelayUpdates
 	s.FullSolves = st.FullSolves
 	s.ZoneHandoffs = st.ZoneHandoffs
 	s.ContactSwitches = st.ContactSwitches
 	s.LastDriftPQoS = st.LastDriftPQoS
 	s.LastSolveError = st.LastSolveError
-	if len(d.order) == 0 {
+	if s.Clients == 0 {
 		return s
 	}
-	s.WithQoS = d.planner.WithQoS()
-	s.PQoS = d.planner.PQoS()
-	s.Utilization = d.planner.Utilization()
+	s.WithQoS = d.planner().WithQoS()
+	s.PQoS = d.planner().PQoS()
+	s.Utilization = d.planner().Utilization()
 	return s
 }
 
 func (d *Director) assignmentLocked() *core.Assignment {
+	order := d.binding.IDs()
 	a := &core.Assignment{
-		ZoneServer:    d.planner.ZoneServers(),
-		ClientContact: make([]int, len(d.order)),
+		ZoneServer:    d.planner().ZoneServers(),
+		ClientContact: make([]int, len(order)),
 	}
-	for j, id := range d.order {
-		a.ClientContact[j], _ = d.planner.Contact(d.clients[id].handle)
+	for j, id := range order {
+		a.ClientContact[j], _ = d.binding.Contact(id)
 	}
 	return a
 }
@@ -462,19 +515,20 @@ type ReassignResult struct {
 func (d *Director) Reassign() (ReassignResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.order) == 0 {
+	order := d.binding.IDs()
+	if len(order) == 0 {
 		return ReassignResult{Stats: d.statsLocked()}, nil
 	}
-	before := make([]int, len(d.order))
-	for j, id := range d.order {
-		before[j], _ = d.planner.Contact(d.clients[id].handle)
+	before := make([]int, len(order))
+	for j, id := range order {
+		before[j], _ = d.binding.Contact(id)
 	}
-	if err := d.planner.FullSolve(); err != nil {
+	if err := d.planner().FullSolve(); err != nil {
 		return ReassignResult{}, err
 	}
 	moved := 0
-	for j, id := range d.order {
-		if after, _ := d.planner.Contact(d.clients[id].handle); after != before[j] {
+	for j, id := range order {
+		if after, _ := d.binding.Contact(id); after != before[j] {
 			moved++
 		}
 	}
@@ -493,9 +547,10 @@ func (d *Director) ProblemSnapshot() *core.Problem {
 func (d *Director) Snapshot() []ClientInfo {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]ClientInfo, 0, len(d.order))
-	for _, id := range d.order {
-		out = append(out, d.infoLocked(d.clients[id]))
+	order := d.binding.IDs()
+	out := make([]ClientInfo, 0, len(order))
+	for _, id := range order {
+		out = append(out, d.infoLocked(id, d.clients[id]))
 	}
 	return out
 }

@@ -1,0 +1,188 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for ID-keyed client lookups. The public layers that
+// build on IDBinding — the dvecap Cluster API and the director service —
+// re-export or wrap these, so errors.Is works across every layer.
+var (
+	// ErrUnknownClient reports an operation on a client ID that is not
+	// (or no longer) registered.
+	ErrUnknownClient = errors.New("unknown client")
+	// ErrDuplicateClient reports a join under an ID that is already
+	// registered.
+	ErrDuplicateClient = errors.New("duplicate client")
+)
+
+// IDBinding feeds string-keyed clients into a Planner: the generic binding
+// for callers that address clients by external IDs — the public Cluster
+// API and the director's HTTP surface — rather than by a dve.World's
+// dense indices (WorldBinding). It owns the ID ↔ handle map and the
+// registration order, and guarantees both stay consistent with the
+// planner: an ID is present exactly while its planner handle is live.
+//
+// Errors wrap the sentinel values above without a package prefix, so the
+// public layers can pass them through verbatim.
+type IDBinding struct {
+	pl      *Planner
+	handles map[string]int
+	order   []string // registration order
+}
+
+// NewIDBinding pairs a planner with the IDs of the clients it already
+// holds: ids[j] names the client behind handle j, exactly how New and
+// NewWithAssignment issue handles (0..NumClients-1 in problem order).
+// Pass nil for an empty planner.
+func NewIDBinding(pl *Planner, ids []string) (*IDBinding, error) {
+	if got, want := len(ids), pl.NumClients(); got != want {
+		return nil, fmt.Errorf("repair: %d ids for %d planner clients", got, want)
+	}
+	b := &IDBinding{
+		pl:      pl,
+		handles: make(map[string]int, len(ids)),
+		order:   append([]string(nil), ids...),
+	}
+	for h, id := range ids {
+		if _, dup := b.handles[id]; dup {
+			return nil, fmt.Errorf("%w %q", ErrDuplicateClient, id)
+		}
+		b.handles[id] = h
+	}
+	return b, nil
+}
+
+// Planner returns the bound planner.
+func (b *IDBinding) Planner() *Planner { return b.pl }
+
+// Len returns the current population.
+func (b *IDBinding) Len() int { return len(b.order) }
+
+// IDs returns the registered client IDs in registration order. The slice
+// is the binding's own state — read-only for callers, invalidated by the
+// next Join or Leave.
+func (b *IDBinding) IDs() []string { return b.order }
+
+// Handle resolves an ID to its stable planner handle.
+func (b *IDBinding) Handle(id string) (int, error) {
+	h, ok := b.handles[id]
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownClient, id)
+	}
+	return h, nil
+}
+
+// Join admits a client under a fresh ID (see Planner.Join for the zone,
+// rt and cs semantics).
+func (b *IDBinding) Join(id string, zone int, rt float64, cs []float64) error {
+	if _, dup := b.handles[id]; dup {
+		return fmt.Errorf("%w %q", ErrDuplicateClient, id)
+	}
+	h, err := b.pl.Join(zone, rt, cs)
+	if err != nil {
+		return err
+	}
+	b.handles[id] = h
+	b.order = append(b.order, id)
+	return nil
+}
+
+// Leave removes the client behind id. The ID becomes available for reuse.
+func (b *IDBinding) Leave(id string) error {
+	h, err := b.Handle(id)
+	if err != nil {
+		return err
+	}
+	if err := b.pl.Leave(h); err != nil {
+		return err
+	}
+	delete(b.handles, id)
+	for i, oid := range b.order {
+		if oid == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Move migrates the client's avatar to newZone (see Planner.Move).
+func (b *IDBinding) Move(id string, newZone int) error {
+	h, err := b.Handle(id)
+	if err != nil {
+		return err
+	}
+	return b.pl.Move(h, newZone)
+}
+
+// UpdateDelays replaces the client's measured delay row (copied; see
+// Planner.UpdateDelays).
+func (b *IDBinding) UpdateDelays(id string, cs []float64) error {
+	h, err := b.Handle(id)
+	if err != nil {
+		return err
+	}
+	return b.pl.UpdateDelays(h, cs)
+}
+
+// SetRT updates the client's bandwidth requirement (see Planner.SetRT).
+func (b *IDBinding) SetRT(id string, rt float64) error {
+	h, err := b.Handle(id)
+	if err != nil {
+		return err
+	}
+	return b.pl.SetRT(h, rt)
+}
+
+// Contact returns the client's current contact server.
+func (b *IDBinding) Contact(id string) (int, error) {
+	h, err := b.Handle(id)
+	if err != nil {
+		return 0, err
+	}
+	return b.pl.Contact(h)
+}
+
+// Delay returns the client's current effective delay (ms).
+func (b *IDBinding) Delay(id string) (float64, error) {
+	h, err := b.Handle(id)
+	if err != nil {
+		return 0, err
+	}
+	return b.pl.ClientDelay(h)
+}
+
+// Zone returns the client's current zone index.
+func (b *IDBinding) Zone(id string) (int, error) {
+	h, err := b.Handle(id)
+	if err != nil {
+		return 0, err
+	}
+	j, err := b.pl.Index(h)
+	if err != nil {
+		return 0, err
+	}
+	return b.pl.Problem().ClientZones[j], nil
+}
+
+// CopyDelays writes the client's current delay row into dst (which must
+// have NumServers entries) — the read side of UpdateDelays, used for
+// partial refreshes that overlay a few re-measured servers.
+func (b *IDBinding) CopyDelays(id string, dst []float64) error {
+	h, err := b.Handle(id)
+	if err != nil {
+		return err
+	}
+	j, err := b.pl.Index(h)
+	if err != nil {
+		return err
+	}
+	p := b.pl.Problem()
+	if len(dst) != p.NumServers() {
+		return fmt.Errorf("repair: delay buffer has %d entries, want %d", len(dst), p.NumServers())
+	}
+	copy(dst, p.CS[j])
+	return nil
+}

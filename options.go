@@ -1,0 +1,141 @@
+package dvecap
+
+import (
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/xrand"
+)
+
+// OverflowPolicy controls what the assignment algorithms do when no server
+// has residual capacity for an item. It mirrors the engine's internal
+// policy without exposing it.
+type OverflowPolicy int
+
+const (
+	// SpillLargestResidual places the unplaceable item on the server with
+	// the largest residual capacity, accepting a capacity violation so the
+	// run always completes (the default everywhere in this package).
+	SpillLargestResidual OverflowPolicy = iota
+	// ErrorOnOverflow aborts the solve with an error instead.
+	ErrorOnOverflow
+)
+
+// Option configures a Solve or Open call (and, where noted, NewScenario).
+// Options follow the functional-options style: pass any number, later ones
+// win. Inapplicable options are ignored — e.g. WithDriftGuard does nothing
+// in Solve, WithEstimationError nothing in Open, and only WithCorrelation
+// and WithSeed apply to NewScenario.
+type Option func(*config)
+
+// config is the resolved option set. It stays unexported so the exported
+// surface carries no engine types.
+type config struct {
+	workers  int
+	overflow OverflowPolicy
+	lsRounds int
+	drift    float64
+	estErr   float64
+	estSet   bool
+	seed     uint64
+	seedSet  bool
+	corr     float64
+	corrSet  bool
+	// rng lets the Scenario adapters thread their own stream through the
+	// engine, preserving bit-identical results with the legacy paths.
+	rng *xrand.RNG
+}
+
+func resolveOptions(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// coreOptions maps the public knobs onto the engine's option struct.
+func (c config) coreOptions() (core.Options, error) {
+	opt := core.Options{Workers: c.workers}
+	switch c.overflow {
+	case SpillLargestResidual:
+		opt.Overflow = core.SpillLargestResidual
+	case ErrorOnOverflow:
+		opt.Overflow = core.ErrorOnOverflow
+	default:
+		return opt, fmt.Errorf("dvecap: unknown overflow policy %d", c.overflow)
+	}
+	return opt, nil
+}
+
+// rngFor returns the configured random stream: the adapter-supplied one
+// when set, otherwise a fresh stream seeded by WithSeed (default 0).
+func (c config) rngFor() *xrand.RNG {
+	if c.rng != nil {
+		return c.rng
+	}
+	return xrand.New(c.seed)
+}
+
+// WithWorkers shards the engine's parallelisable scans — the zone-move
+// search and the greedy phase's cost-matrix build — across n goroutines.
+// 0 or 1 run sequentially, negative uses all CPUs. Results are
+// bit-identical for every setting (DESIGN.md §8).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithOverflow selects the capacity-overflow policy (default
+// SpillLargestResidual).
+func WithOverflow(p OverflowPolicy) Option {
+	return func(c *config) { c.overflow = p }
+}
+
+// WithLocalSearchRounds layers up to n rounds of the best-improvement
+// local search (zone moves + contact switches, DESIGN.md §5) on top of the
+// two-phase result. 0 (the default) disables it.
+func WithLocalSearchRounds(n int) Option {
+	return func(c *config) { c.lsRounds = n }
+}
+
+// WithDriftGuard arms the session's quality guard at p: once the repaired
+// solution's pQoS decays more than p below the last full solve's level, an
+// amortized full two-phase re-solve fires automatically (DESIGN.md §7).
+// 0 (the default for Open) disables the guard — full solves then happen
+// only through explicit Resolve calls. Solve ignores this option.
+func WithDriftGuard(p float64) Option {
+	return func(c *config) { c.drift = p }
+}
+
+// WithEstimationError solves against delays perturbed by a multiplicative
+// error factor e ≥ 1 (estimates uniform in [d/e, d·e], the King/IDMaps
+// model) while evaluating the outcome against the supplied delays — the
+// noisy-measurement ablation. Factors below 1 fail the solve. When the
+// option is absent the solve runs on the supplied delays directly. Open
+// ignores this option.
+func WithEstimationError(e float64) Option {
+	return func(c *config) { c.estErr = e; c.estSet = true }
+}
+
+// WithSeed seeds the engine's randomised choices (RanZ's shuffle,
+// tie-breaks). Two runs over the same cluster with the same seed are
+// identical. In NewScenario it overrides ScenarioParams.Seed.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed; c.seedSet = true }
+}
+
+// WithCorrelation sets the physical↔virtual correlation δ ∈ [0,1] for
+// NewScenario, replacing the deprecated ScenarioParams.Correlation field
+// whose zero value silently meant δ = 0. With this option the paper
+// default (δ = 0.5) applies unless explicitly overridden. Solve and Open
+// ignore this option.
+func WithCorrelation(delta float64) Option {
+	return func(c *config) { c.corr = delta; c.corrSet = true }
+}
+
+// withRNG threads an existing random stream through the engine — the
+// Scenario adapters use it so the Cluster-backed paths replay the exact
+// stream the legacy implementations consumed.
+func withRNG(r *xrand.RNG) Option {
+	return func(c *config) { c.rng = r }
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dvecap/internal/core"
+	"dvecap/internal/dve"
 	"dvecap/internal/repair"
 )
 
@@ -13,16 +14,34 @@ import (
 // re-running the full two-phase algorithm after every change. A session
 // owns the scenario's dynamics while open — interleaving Scenario.Churn
 // with session events is not supported.
+//
+// Session is a thin adapter binding the scenario's generated world to a
+// ClusterSession: world churn draws become ID-keyed cluster events, and
+// the population-dependent bandwidth model is replayed through
+// SetZoneBandwidth before each event, exactly as a real deployment would
+// drive the public API.
 type Session struct {
-	scn     *Scenario
-	binding *repair.WorldBinding
-	algo    string
+	scn  *Scenario
+	cs   *ClusterSession
+	algo string
+	// ids[j] is the cluster ID of the world's j-th client, compacted in
+	// lockstep with the world's own arrays on leaves.
+	ids  []string
+	next int // next fresh client number
+	// zonePop mirrors the world's per-zone population for the bandwidth
+	// model (one state update per frame covers the whole zone).
+	zonePop []int
+	rowBuf  []float64
 }
 
 // SessionStats mirrors the repair subsystem's counters.
 type SessionStats struct {
 	// Joins, Leaves and Moves count the churn events applied.
 	Joins, Leaves, Moves int
+	// DelayUpdates counts measured-delay refreshes streamed into the
+	// planner (ClusterSession.UpdateDelays; always 0 for world-backed
+	// sessions, whose delays are ground truth).
+	DelayUpdates int
 	// FullSolves counts full two-phase re-solves (the initial one, drift-
 	// triggered ones, and explicit Resolve calls).
 	FullSolves int
@@ -36,106 +55,206 @@ type SessionStats struct {
 	LastSolveError string
 }
 
-// StartSession solves the scenario's current state with the named
-// algorithm and returns a session that repairs the solution incrementally
-// as clients join, leave and move. The drift guard is armed at driftPQoS
-// (≤ 0 takes the default 0.02): quality decay past it triggers one
-// amortized full re-solve.
-func (s *Scenario) StartSession(algorithm string, driftPQoS float64) (*Session, error) {
-	tp, ok := core.ByName(algorithm)
-	if !ok {
-		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
-	}
-	if driftPQoS <= 0 {
-		driftPQoS = 0.02
-	}
-	pl, err := repair.New(repair.Config{
-		Algo:      tp,
-		Opt:       core.Options{Overflow: core.SpillLargestResidual},
-		DriftPQoS: driftPQoS,
-	}, s.world.Problem(), s.rng.Split())
-	if err != nil {
-		return nil, err
-	}
-	return &Session{
-		scn:     s,
-		binding: repair.BindWorld(pl, s.world),
-		algo:    algorithm,
-	}, nil
-}
-
-// Join admits n clients drawn from the scenario's placement models,
-// repairing around each zone they land in.
-func (sess *Session) Join(n int) error {
-	return sess.binding.Join(sess.scn.world.Join(sess.scn.rng.Split(), n))
-}
-
-// Leave removes n uniformly chosen clients.
-func (sess *Session) Leave(n int) error {
-	removed, err := sess.scn.world.Leave(sess.scn.rng.Split(), n)
-	if err != nil {
-		return err
-	}
-	return sess.binding.Leave(removed)
-}
-
-// Move migrates n uniformly chosen clients to newly drawn zones.
-func (sess *Session) Move(n int) error {
-	moved, err := sess.scn.world.Move(sess.scn.rng.Split(), n)
-	if err != nil {
-		return err
-	}
-	return sess.binding.Move(moved)
-}
-
-// Resolve forces one full two-phase re-solve, re-anchoring the drift
-// baseline — the session equivalent of POST /v1/reassign.
-func (sess *Session) Resolve() error { return sess.binding.Planner().FullSolve() }
-
-// NumClients returns the current population.
-func (sess *Session) NumClients() int { return sess.binding.Planner().NumClients() }
-
-// Result evaluates the maintained solution against the scenario's ground
-// truth, in the same shape Assign returns.
-func (sess *Session) Result() (*Result, error) {
-	pl := sess.binding.Planner()
-	truth := sess.scn.world.Problem()
-	handles := sess.binding.Handles()
-	a := &core.Assignment{
-		ZoneServer:    pl.ZoneServers(),
-		ClientContact: make([]int, len(handles)),
-	}
-	for j, h := range handles {
-		c, err := pl.Contact(h)
-		if err != nil {
-			return nil, err
-		}
-		a.ClientContact[j] = c
-	}
-	m := core.Evaluate(truth, a)
-	return &Result{
-		Algorithm:     sess.algo,
-		PQoS:          m.PQoS,
-		Utilization:   m.Utilization,
-		WithQoS:       m.WithQoS,
-		Clients:       truth.NumClients(),
-		Delays:        m.Delays,
-		ZoneServer:    a.ZoneServer,
-		ClientContact: a.ClientContact,
-	}, nil
-}
-
-// Stats returns the session's repair counters.
-func (sess *Session) Stats() SessionStats {
-	st := sess.binding.Planner().Stats()
+// sessionStatsFrom maps the repair planner's counters into the public
+// shape — the one construction shared by Session and ClusterSession.
+func sessionStatsFrom(st repair.Stats) SessionStats {
 	return SessionStats{
 		Joins:           st.Joins,
 		Leaves:          st.Leaves,
 		Moves:           st.Moves,
+		DelayUpdates:    st.DelayUpdates,
 		FullSolves:      st.FullSolves,
 		ZoneHandoffs:    st.ZoneHandoffs,
 		ContactSwitches: st.ContactSwitches,
 		LastDriftPQoS:   st.LastDriftPQoS,
 		LastSolveError:  st.LastSolveError,
 	}
+}
+
+// StartSession solves the scenario's current state with the named
+// algorithm and returns a session that repairs the solution incrementally
+// as clients join, leave and move. The drift guard is armed at driftPQoS
+// (≤ 0 takes the default 0.02): quality decay past it triggers one
+// amortized full re-solve.
+func (s *Scenario) StartSession(algorithm string, driftPQoS float64) (*Session, error) {
+	if driftPQoS <= 0 {
+		driftPQoS = 0.02
+	}
+	view := s.clusterView()
+	cs, err := view.Open(algorithm, withRNG(s.rng), WithDriftGuard(driftPQoS))
+	if err != nil {
+		return nil, err
+	}
+	k := s.world.NumClients()
+	ids := make([]string, k)
+	for j := range ids {
+		ids[j] = fmt.Sprintf("c%d", j)
+	}
+	return &Session{
+		scn:     s,
+		cs:      cs,
+		algo:    algorithm,
+		ids:     ids,
+		next:    k,
+		zonePop: s.world.ZonePopulations(),
+		rowBuf:  make([]float64, s.world.Cfg.Servers),
+	}, nil
+}
+
+// zoneID maps a world zone index to its cluster-view zone ID.
+func (sess *Session) zoneID(z int) string { return sess.cs.zoneIDs[z] }
+
+// freshID mints a session-unique cluster ID for a newly joined client.
+func (sess *Session) freshID() string {
+	id := fmt.Sprintf("c%d", sess.next)
+	sess.next++
+	return id
+}
+
+// Join admits n clients drawn from the scenario's placement models,
+// repairing around each zone they land in. The zone's incumbents are
+// re-priced to the new population's bandwidth before each event, so the
+// repair pass judges feasibility against up-to-date loads.
+func (sess *Session) Join(n int) error {
+	w := sess.scn.world
+	for _, j := range w.Join(sess.scn.rng.Split(), n) {
+		zone := w.ClientZones[j]
+		cn := w.ClientNodes[j]
+		for i := range sess.rowBuf {
+			sess.rowBuf[i] = w.Delays.RTT(cn, w.ServerNodes[i])
+		}
+		sess.zonePop[zone]++
+		rt := w.Cfg.ClientRTMbps(sess.zonePop[zone])
+		if err := sess.cs.SetZoneBandwidth(sess.zoneID(zone), rt); err != nil {
+			return err
+		}
+		id := sess.freshID()
+		if err := sess.cs.Join(id, ClientSpec{
+			Zone:          sess.zoneID(zone),
+			BandwidthMbps: rt,
+			RTTRow:        sess.rowBuf,
+		}); err != nil {
+			return err
+		}
+		sess.ids = append(sess.ids, id)
+	}
+	return nil
+}
+
+// Leave removes n uniformly chosen clients. The ID map is compacted even
+// when a removal errors, so the session stays aligned with the world —
+// which has already forgotten these clients.
+func (sess *Session) Leave(n int) error {
+	removed, err := sess.scn.world.Leave(sess.scn.rng.Split(), n)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, r := range removed {
+		if err := sess.leaveOne(sess.ids[r]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	sess.ids = dve.Compact(sess.ids, removed)
+	return firstErr
+}
+
+func (sess *Session) leaveOne(id string) error {
+	cl, err := sess.cs.Client(id)
+	if err != nil {
+		return err
+	}
+	zone, err := sess.cs.zone(cl.Zone)
+	if err != nil {
+		return err
+	}
+	// Re-price to the post-departure population before the event (the
+	// departing client is re-priced too — its smaller requirement is
+	// subtracted consistently), so Leave's repair pass sees exact loads.
+	sess.zonePop[zone]--
+	if sess.zonePop[zone] > 0 {
+		rt := sess.scn.world.Cfg.ClientRTMbps(sess.zonePop[zone])
+		if err := sess.cs.SetZoneBandwidth(cl.Zone, rt); err != nil {
+			return err
+		}
+	}
+	return sess.cs.Leave(id)
+}
+
+// Move migrates n uniformly chosen clients to newly drawn zones. Both
+// zones' bandwidth is brought up to date before each event — the vacated
+// zone's incumbents to the shrunk population's requirement, the entered
+// zone's incumbents and the mover itself to the grown one's.
+func (sess *Session) Move(n int) error {
+	w := sess.scn.world
+	moved, err := w.Move(sess.scn.rng.Split(), n)
+	if err != nil {
+		return err
+	}
+	for _, j := range moved {
+		id := sess.ids[j]
+		cl, err := sess.cs.Client(id)
+		if err != nil {
+			return err
+		}
+		oldZone, err := sess.cs.zone(cl.Zone)
+		if err != nil {
+			return err
+		}
+		newZone := w.ClientZones[j]
+		if newZone == oldZone {
+			continue
+		}
+		sess.zonePop[oldZone]--
+		sess.zonePop[newZone]++
+		if sess.zonePop[oldZone] > 0 {
+			rt := w.Cfg.ClientRTMbps(sess.zonePop[oldZone])
+			if err := sess.cs.SetZoneBandwidth(sess.zoneID(oldZone), rt); err != nil {
+				return err
+			}
+		}
+		newRT := w.Cfg.ClientRTMbps(sess.zonePop[newZone])
+		if err := sess.cs.SetZoneBandwidth(sess.zoneID(newZone), newRT); err != nil {
+			return err
+		}
+		if err := sess.cs.SetBandwidth(id, newRT); err != nil {
+			return err
+		}
+		if err := sess.cs.Move(id, sess.zoneID(newZone)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resolve forces one full two-phase re-solve, re-anchoring the drift
+// baseline — the session equivalent of POST /v1/reassign.
+func (sess *Session) Resolve() error { return sess.cs.Resolve() }
+
+// NumClients returns the current population.
+func (sess *Session) NumClients() int { return sess.cs.NumClients() }
+
+// Result evaluates the maintained solution against the scenario's ground
+// truth, in the same shape Assign returns (clients in world order).
+func (sess *Session) Result() (*Result, error) {
+	truth := sess.scn.world.Problem()
+	pl := sess.cs.planner()
+	a := &core.Assignment{
+		ZoneServer:    pl.ZoneServers(),
+		ClientContact: make([]int, len(sess.ids)),
+	}
+	for j, id := range sess.ids {
+		c, err := sess.cs.contactIndex(id)
+		if err != nil {
+			return nil, err
+		}
+		a.ClientContact[j] = c
+	}
+	m := core.Evaluate(truth, a)
+	return newResult(sess.algo, truth, a, m, nil), nil
+}
+
+// Stats returns the session's repair counters.
+func (sess *Session) Stats() SessionStats {
+	return sess.cs.Stats()
 }
