@@ -267,7 +267,23 @@ func BenchmarkEvaluate(b *testing.B) {
 // zone's centre.
 func largeProblem(b *testing.B) *core.Problem {
 	b.Helper()
-	const m, n, k = 50, 500, 100_000
+	return planeProblem(b, 50, 500, 100_000)
+}
+
+// fleetProblem is the plane-embedded instance at elastic-fleet scale —
+// twice largeProblem's fleet (100 servers, 1000 zones), same 100 000
+// clients — the shape the live-topology benchmarks run on: capacity
+// add/drain/remove events matter most on fleets large enough that a
+// stop-the-world re-solve is expensive.
+func fleetProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	return planeProblem(b, 100, 1000, 100_000)
+}
+
+// planeProblem embeds m servers, n zone centres and k clients in the unit
+// square (seed 271) and derives all delays from squared plane distance.
+func planeProblem(b *testing.B, m, n, k int) *core.Problem {
+	b.Helper()
 	rng := xrand.New(271)
 	sx := make([]float64, m)
 	sy := make([]float64, m)
@@ -603,5 +619,166 @@ func BenchmarkFlowCheck(b *testing.B) {
 		if len(res.Rows) != 4 {
 			b.Fatal("wrong row count")
 		}
+	}
+}
+
+// --- live topology ----------------------------------------------------------
+
+// topoTemplate snapshots server 0's profile — capacity, inter-server
+// delay row, per-client delay column — from the planner's live problem.
+// The capacity cycle clones server 0, drains the original and removes it;
+// the swap-remove renumbers the clone into index 0 with an identical
+// profile, so ONE template prepared up front serves every iteration (the
+// template is the event's input: a real deployment gets it from probes,
+// so its construction is not part of the event cost).
+func topoTemplate(pl *repair.Planner) (cap0 float64, ss, col []float64) {
+	p := pl.Problem()
+	ss = append([]float64(nil), p.SS[0]...)
+	col = make([]float64, p.NumClients())
+	for j := range col {
+		col[j] = p.CS[j][0]
+	}
+	return p.ServerCaps[0], ss, col
+}
+
+// topoCycle applies one add+drain+remove capacity cycle on the live
+// planner, in steady state: a clone of server 0 (identical delay profile,
+// identical capacity) joins the fleet, server 0 drains — its ~n/m zones
+// evacuate, mostly onto the fresh clone — and is removed; the swap-remove
+// renumbers the clone into index 0, so every iteration sees the same
+// topology.
+func topoCycle(b *testing.B, pl *repair.Planner, cap0 float64, ss, col []float64) {
+	b.Helper()
+	if _, err := pl.AddServer(cap0, ss, col); err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.DrainServer(0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pl.RemoveServer(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTopologyChurn measures one full capacity-churn cycle — server
+// add, drain (zone evacuation + contact re-greedy + seeded repair) and
+// remove — on the elastic-fleet scenario (100 servers / 1000 zones / 100k
+// clients). Per-event cost is ns/op ÷ 3; the server add and remove are
+// memory-bandwidth-bound at O(clients) (every client's delay row gains or
+// compacts one column — the event input itself is a 100k-entry column),
+// the drain is O(zones-and-clients-of-the-server). Compare
+// BenchmarkTopologyChurnFullResolve, which answers each of the three
+// topology events with a full two-phase re-solve (§3.4's prescription);
+// BENCH_topology.json records the measured gap.
+func BenchmarkTopologyChurn(b *testing.B) {
+	pl, _ := benchRepairPlanner(b, fleetProblem(b))
+	cap0, ss, col := topoTemplate(pl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topoCycle(b, pl, cap0, ss, col)
+	}
+}
+
+// BenchmarkTopologyChurnFullResolve applies the identical capacity cycle
+// but re-runs the full two-phase algorithm after each of the three
+// topology events — the stop-the-world baseline live topology replaces.
+func BenchmarkTopologyChurnFullResolve(b *testing.B) {
+	pl, _ := benchRepairPlanner(b, fleetProblem(b))
+	cap0, ss, col := topoTemplate(pl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.AddServer(cap0, ss, col); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.FullSolve(); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.DrainServer(0); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.FullSolve(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pl.RemoveServer(0); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.FullSolve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// batchCrowd drafts a 100-client flash crowd pouring into ONE hot zone
+// (the flash-crowd shape: an event draws everyone to the same shard),
+// cloning placement data from random incumbents.
+func batchCrowd(p *core.Problem) (zones []int, rts []float64, css [][]float64) {
+	const crowd = 100
+	rng := xrand.New(37)
+	hot := p.ClientZones[0]
+	zones = make([]int, crowd)
+	rts = make([]float64, crowd)
+	css = make([][]float64, crowd)
+	for x := 0; x < crowd; x++ {
+		tpl := rng.IntN(p.NumClients())
+		zones[x], rts[x], css[x] = hot, p.ClientRT[tpl], p.CS[tpl]
+	}
+	return zones, rts, css
+}
+
+// BenchmarkBatchJoin measures a 100-client flash crowd into one hot zone
+// admitted as ONE JoinBatch event: memberships first, then a single
+// seeded scan over the touched zone, instead of one scan per client.
+// Compare BenchmarkBatchJoinAsSingles — the identical crowd as 100
+// separate Join events, each with its own repair pass. (The leaves that
+// restore steady state run outside the timer in both.)
+func BenchmarkBatchJoin(b *testing.B) {
+	p := largeProblem(b)
+	pl, _ := benchRepairPlanner(b, p)
+	zones, rts, css := batchCrowd(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles, err := pl.JoinBatch(zones, rts, css)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The leaves only restore steady state; they cost the same in
+		// both batch benchmarks and are excluded from the measurement.
+		b.StopTimer()
+		for _, h := range handles {
+			if err := pl.Leave(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkBatchJoinAsSingles is the same flash crowd as 100 single Join
+// events — the per-client repair passes JoinBatch coalesces.
+func BenchmarkBatchJoinAsSingles(b *testing.B) {
+	p := largeProblem(b)
+	pl, _ := benchRepairPlanner(b, p)
+	zones, rts, css := batchCrowd(p)
+	handles := make([]int, len(zones))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for x := range zones {
+			h, err := pl.Join(zones[x], rts[x], css[x])
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles[x] = h
+		}
+		b.StopTimer()
+		for _, h := range handles {
+			if err := pl.Leave(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
 	}
 }

@@ -1,7 +1,6 @@
 package dvecap
 
 import (
-	"errors"
 	"fmt"
 
 	"dvecap/internal/core"
@@ -10,17 +9,29 @@ import (
 )
 
 // Sentinel errors of the Cluster API. Test with errors.Is; the director
-// service shares the client sentinels, so discrimination works across
-// layers.
+// service shares the sentinels, so discrimination works across layers.
 var (
 	// ErrUnknownClient reports an operation on an unregistered client ID.
 	ErrUnknownClient error = repair.ErrUnknownClient
 	// ErrDuplicateClient reports a join under an ID already registered.
 	ErrDuplicateClient error = repair.ErrDuplicateClient
-	// ErrUnknownZone reports a reference to a zone ID never added.
-	ErrUnknownZone = errors.New("unknown zone")
-	// ErrUnknownServer reports a reference to a server ID never added.
-	ErrUnknownServer = errors.New("unknown server")
+	// ErrUnknownZone reports a reference to a zone ID never added (or
+	// already retired).
+	ErrUnknownZone error = repair.ErrUnknownZone
+	// ErrUnknownServer reports a reference to a server ID never added (or
+	// already removed).
+	ErrUnknownServer error = repair.ErrUnknownServer
+	// ErrServerNotEmpty reports a ClusterSession.RemoveServer while the
+	// server still hosts zones or serves contacts — DrainServer first.
+	ErrServerNotEmpty error = repair.ErrServerNotEmpty
+	// ErrZoneNotEmpty reports a ClusterSession.RetireZone while clients
+	// are still in the zone — Move or Leave them first.
+	ErrZoneNotEmpty error = repair.ErrZoneNotEmpty
+	// ErrLastServer reports an operation that would leave the session
+	// without an available server (removing or draining the last one).
+	ErrLastServer error = repair.ErrLastServer
+	// ErrLastZone reports retiring the session's only zone.
+	ErrLastZone error = repair.ErrLastZone
 )
 
 // ServerSpec describes one server of a Cluster.
@@ -33,8 +44,16 @@ type ServerSpec struct {
 	// cluster is solved, unless SetServerRTTs supplies the full matrix.
 	// Servers referenced here may be added later. Inter-server links are
 	// assumed well-provisioned — supply discounted RTTs if your deployment
-	// models that (the paper uses 50%).
+	// models that (the paper uses 50%). For ClusterSession.AddServer the
+	// map must cover every server the session currently has.
 	RTTs map[string]float64
+	// ClientRTTs maps client IDs to measured client↔server RTTs (ms)
+	// toward THIS server. Only ClusterSession.AddServer reads it — it
+	// seeds existing clients' delay columns for the new server; clients
+	// absent from the map start at UnmeasuredRTTMs until a delay update
+	// supplies a measurement. The Cluster builder ignores it (clients
+	// supply full rows there).
+	ClientRTTs map[string]float64
 }
 
 // ClientSpec describes one client: its zone, its bandwidth requirement on
@@ -193,7 +212,14 @@ func (c *Cluster) NumServers() int { return len(c.serverIDs) }
 func (c *Cluster) NumZones() int { return len(c.zoneIDs) }
 
 // NumClients returns the number of clients added so far.
-func (c *Cluster) NumClients() int { return len(c.clientIDs) }
+func (c *Cluster) NumClients() int {
+	if c.pre != nil {
+		// Problem-wrapped clusters (Scenario adapters,
+		// NewClusterFromProblemJSON) carry anonymous clients.
+		return c.pre.NumClients()
+	}
+	return len(c.clientIDs)
+}
 
 // ServerIDs returns the server IDs in dense index order.
 func (c *Cluster) ServerIDs() []string { return append([]string(nil), c.serverIDs...) }
@@ -203,6 +229,13 @@ func (c *Cluster) ZoneIDs() []string { return append([]string(nil), c.zoneIDs...
 
 // ClientIDs returns the client IDs in dense index order.
 func (c *Cluster) ClientIDs() []string { return append([]string(nil), c.clientIDs...) }
+
+// lookupServer resolves a server ID without error construction — the
+// builder's form of the lookup resolveRTTRow takes.
+func (c *Cluster) lookupServer(id string) (int, bool) {
+	i, ok := c.serverIdx[id]
+	return i, ok
+}
 
 // serverIndex resolves a server ID.
 func (c *Cluster) serverIndex(id string) (int, error) {
@@ -304,7 +337,7 @@ func (c *Cluster) problem() (*core.Problem, error) {
 		}
 		p.ClientZones[j] = z
 		p.ClientRT[j] = spec.BandwidthMbps
-		row, err := resolveRTTRow(c.clientIDs[j], spec, c.serverIDs, c.serverIdx, nil)
+		row, err := resolveRTTRow(c.clientIDs[j], spec, c.serverIDs, c.lookupServer, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -400,24 +433,15 @@ func (c *Cluster) Open(algorithm string, opts ...Option) (*ClusterSession, error
 	if err != nil {
 		return nil, err
 	}
+	if err := binding.NameTopology(c.serverIDs, c.zoneIDs); err != nil {
+		return nil, err
+	}
 	return &ClusterSession{
 		binding:    binding,
 		algo:       algorithm,
 		delayBound: p.D,
-		serverIDs:  append([]string(nil), c.serverIDs...),
-		serverIdx:  copyIndex(c.serverIdx),
-		zoneIDs:    append([]string(nil), c.zoneIDs...),
-		zoneIdx:    copyIndex(c.zoneIdx),
 		rowBuf:     make([]float64, p.NumServers()),
 	}, nil
-}
-
-func copyIndex(m map[string]int) map[string]int {
-	out := make(map[string]int, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
 }
 
 // clusterFromProblem wraps an already-validated problem (a Scenario

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"dvecap/internal/core"
 )
 
 // clusterJSON is the interchange form of a Cluster spec: the contract
@@ -86,5 +88,64 @@ func ReadClusterJSON(r io.Reader) (*Cluster, error) {
 	if _, err := c.problem(); err != nil {
 		return nil, err
 	}
+	return c, nil
+}
+
+// WriteClusterJSON writes the cluster's validated spec as JSON,
+// round-trippable by ReadClusterJSON: the inter-server matrix is emitted
+// in full (server_rtts_ms) and every client carries its dense rtt_row_ms,
+// so the output is the normalized form of whatever mix of per-pair and
+// map-form RTTs built the cluster. Clusters wrapped from an anonymous
+// problem (a Scenario world, a /v1/problem snapshot loaded through
+// NewClusterFromProblemJSON) export synthetic IDs: servers "s0"…, zones
+// "z0"…, clients "c0"….
+func (c *Cluster) WriteClusterJSON(w io.Writer) error {
+	p, err := c.problem()
+	if err != nil {
+		return err
+	}
+	cj := clusterJSON{
+		DelayBoundMs: p.D,
+		Servers:      make([]serverJSON, p.NumServers()),
+		ServerRTTsMs: p.SS,
+		Zones:        append([]string(nil), c.zoneIDs...),
+		Clients:      make([]clientJSON, p.NumClients()),
+	}
+	for i := range cj.Servers {
+		cj.Servers[i] = serverJSON{ID: c.serverIDs[i], CapacityMbps: p.ServerCaps[i]}
+	}
+	for j := range cj.Clients {
+		id := fmt.Sprintf("c%d", j)
+		if j < len(c.clientIDs) {
+			id = c.clientIDs[j]
+		}
+		cj.Clients[j] = clientJSON{
+			ID:            id,
+			Zone:          c.zoneIDs[p.ClientZones[j]],
+			BandwidthMbps: p.ClientRT[j],
+			RTTRowMs:      p.CS[j],
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(cj); err != nil {
+		return fmt.Errorf("dvecap: encoding cluster spec: %w", err)
+	}
+	return nil
+}
+
+// NewClusterFromProblemJSON wraps an anonymous problem JSON — the format
+// of core problem dumps and the director's GET /v1/problem snapshot — as
+// a Cluster with synthetic IDs (servers "s0"…, zones "z0"…, clients
+// "c0"…), so operators can normalize live-state snapshots into
+// round-trippable cluster specs:
+//
+//	curl …/v1/problem | capassign -in /dev/stdin -dump cluster.json
+func NewClusterFromProblemJSON(r io.Reader) (*Cluster, error) {
+	p, err := core.ReadProblemJSON(r)
+	if err != nil {
+		return nil, fmt.Errorf("dvecap: %w", err)
+	}
+	c := clusterFromProblem(p)
 	return c, nil
 }

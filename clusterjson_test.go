@@ -1,6 +1,8 @@
 package dvecap
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -84,5 +86,87 @@ func TestReadClusterJSONErrors(t *testing.T) {
 				t.Fatalf("invalid spec accepted")
 			}
 		})
+	}
+}
+
+// TestWriteClusterJSONRoundTrip proves export ∘ import is the identity on
+// the validated instance: re-reading a written spec yields the same IDs
+// and a bit-identical core problem, and even a second write round-trips
+// byte-identically (the export is already in normalized form).
+func TestWriteClusterJSONRoundTrip(t *testing.T) {
+	orig, err := ReadClusterJSON(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteClusterJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := ReadClusterJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading written spec: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(reread.ServerIDs(), orig.ServerIDs()) ||
+		!reflect.DeepEqual(reread.ZoneIDs(), orig.ZoneIDs()) ||
+		!reflect.DeepEqual(reread.ClientIDs(), orig.ClientIDs()) {
+		t.Fatal("IDs changed across the round trip")
+	}
+	po, err := orig.problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := reread.problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(po, pr) {
+		t.Fatal("problem changed across the round trip")
+	}
+	var buf2 bytes.Buffer
+	if err := reread.WriteClusterJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("second write is not byte-identical (export not normalized)")
+	}
+}
+
+// TestClusterFromProblemJSON wraps an anonymous problem dump (the
+// /v1/problem shape) as a cluster with synthetic IDs and round-trips it
+// through the cluster-spec form.
+func TestClusterFromProblemJSON(t *testing.T) {
+	orig, err := ReadClusterJSON(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := orig.problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probJSON bytes.Buffer
+	if err := po.WriteJSON(&probJSON); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterFromProblemJSON(&probJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.ServerIDs(), []string{"s0", "s1"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("synthetic server IDs = %v, want %v", got, want)
+	}
+	var spec bytes.Buffer
+	if err := c.WriteClusterJSON(&spec); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := ReadClusterJSON(bytes.NewReader(spec.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading problem-derived spec: %v", err)
+	}
+	pr, err := reread.problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(po, pr) {
+		t.Fatal("problem changed across the problem→cluster→spec round trip")
 	}
 }

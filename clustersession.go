@@ -7,19 +7,28 @@ import (
 	"dvecap/internal/repair"
 )
 
+// UnmeasuredRTTMs is the delay assigned to a (client, server) pair no
+// measurement has covered yet — far beyond any interactivity bound, so an
+// unmeasured path is never chosen while a measured one exists. It appears
+// when ClusterSession.AddServer admits a server whose spec.ClientRTTs does
+// not cover every current client; UpdateServerDelays (or per-client
+// UpdateDelays) replaces it as probes complete.
+const UnmeasuredRTTMs = 1e6
+
 // ClusterSession is the churn-time surface of a Cluster: the solution from
 // Open is kept repaired in O(affected) per event through the churn-repair
-// subsystem, with every client addressed by its string ID. A session is
-// not safe for concurrent use (the director service wraps one planner with
-// locking for that).
+// subsystem, with clients, servers and zones all addressed by string ID.
+// Beyond client churn (Join/Leave/Move/UpdateDelays), the TOPOLOGY itself
+// is live: AddServer grows capacity under load, DrainServer evacuates a
+// server for a rolling deploy (RemoveServer retires it, UncordonServer
+// returns it), and AddZone/RetireZone grow and shrink the virtual world —
+// every event in O(affected), never a stop-the-world re-solve (DESIGN.md
+// §10). A session is not safe for concurrent use (the director service
+// wraps one planner with locking for that).
 type ClusterSession struct {
 	binding    *repair.IDBinding
 	algo       string
 	delayBound float64
-	serverIDs  []string
-	serverIdx  map[string]int
-	zoneIDs    []string
-	zoneIdx    map[string]int
 	rowBuf     []float64
 }
 
@@ -41,25 +50,76 @@ type ClusterClient struct {
 	BandwidthMbps float64
 }
 
+// ClientJoin names one client of a JoinBatch.
+type ClientJoin struct {
+	// ID is the client's cluster ID (unique, non-empty).
+	ID string
+	// Spec is the client's zone, bandwidth and measured RTTs, exactly as
+	// a single Join takes it.
+	Spec ClientSpec
+}
+
+// ZoneSpec describes a zone added to a live session.
+type ZoneSpec struct {
+	// Host optionally pins the new zone's initial hosting server by ID.
+	// Empty auto-places on the least-loaded available server; later churn
+	// rehosts the zone freely either way.
+	Host string
+}
+
+// ServerStatus is one row of the session's server inventory.
+type ServerStatus struct {
+	// ID is the server's cluster ID.
+	ID string
+	// CapacityMbps is the server's nominal bandwidth capacity. While the
+	// server drains, that capacity is out of the fleet — nothing new is
+	// placed on the server and Utilization's denominator shrinks by it —
+	// until UncordonServer returns it.
+	CapacityMbps float64
+	// LoadMbps is the server's current bandwidth load.
+	LoadMbps float64
+	// Zones is the number of zones the server currently hosts.
+	Zones int
+	// Draining reports an in-flight drain: the server is evacuated and
+	// cordoned, awaiting RemoveServer or UncordonServer.
+	Draining bool
+}
+
 // planner exposes the underlying repair planner to the package's adapters
 // and tests.
 func (s *ClusterSession) planner() *repair.Planner { return s.binding.Planner() }
 
 // zone resolves a zone ID.
-func (s *ClusterSession) zone(id string) (int, error) {
-	z, ok := s.zoneIdx[id]
-	if !ok {
-		return 0, fmt.Errorf("dvecap: %w %q", ErrUnknownZone, id)
-	}
-	return z, nil
-}
+func (s *ClusterSession) zone(id string) (int, error) { return s.binding.ZoneIndex(id) }
+
+// zoneIDAt names the zone behind a dense index — the Session adapter's
+// bridge from world order to cluster IDs.
+func (s *ClusterSession) zoneIDAt(z int) string { return s.binding.ZoneID(z) }
 
 // NumClients returns the current population.
 func (s *ClusterSession) NumClients() int { return s.binding.Len() }
 
+// NumServers returns the current server count.
+func (s *ClusterSession) NumServers() int { return s.planner().NumServers() }
+
+// NumZones returns the current zone count.
+func (s *ClusterSession) NumZones() int { return s.planner().NumZones() }
+
 // ClientIDs returns the registered client IDs in registration order.
 func (s *ClusterSession) ClientIDs() []string {
 	return append([]string(nil), s.binding.IDs()...)
+}
+
+// ServerIDs returns the server IDs in dense index order. Removing a
+// server renumbers: the last server takes the removed one's index.
+func (s *ClusterSession) ServerIDs() []string {
+	return append([]string(nil), s.binding.ServerNames()...)
+}
+
+// ZoneIDs returns the zone IDs in dense index order. Retiring a zone
+// renumbers: the last zone takes the retired one's index.
+func (s *ClusterSession) ZoneIDs() []string {
+	return append([]string(nil), s.binding.ZoneNames()...)
 }
 
 // Join admits a new client by ID: it is attached greedily (directly to its
@@ -68,21 +128,58 @@ func (s *ClusterSession) ClientIDs() []string {
 // around the zone it entered. The spec's zone must be one of the cluster's
 // zones; its RTTs must cover every server.
 func (s *ClusterSession) Join(id string, spec ClientSpec) error {
+	z, rt, row, err := s.resolveJoin(id, spec)
+	if err != nil {
+		return err
+	}
+	return s.binding.Join(id, z, rt, row)
+}
+
+// resolveJoin validates one client admission against the current topology
+// and resolves its delay row — shared by Join and JoinBatch. The returned
+// row may alias s.rowBuf or spec.RTTRow.
+func (s *ClusterSession) resolveJoin(id string, spec ClientSpec) (zone int, rt float64, row []float64, err error) {
 	if id == "" {
-		return fmt.Errorf("dvecap: empty client ID")
+		return 0, 0, nil, fmt.Errorf("dvecap: empty client ID")
 	}
 	z, err := s.zone(spec.Zone)
 	if err != nil {
-		return err
+		return 0, 0, nil, err
 	}
 	if !(spec.BandwidthMbps > 0) { // rejects NaN too
-		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, spec.BandwidthMbps)
+		return 0, 0, nil, fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, spec.BandwidthMbps)
 	}
-	row, err := resolveRTTRow(id, spec, s.serverIDs, s.serverIdx, s.rowBuf)
+	row, err = resolveRTTRow(id, spec, s.binding.ServerNames(), s.binding.ServerIndexOf, s.rowBuf)
 	if err != nil {
-		return err
+		return 0, 0, nil, err
 	}
-	return s.binding.Join(id, z, spec.BandwidthMbps, row)
+	return z, spec.BandwidthMbps, row, nil
+}
+
+// JoinBatch admits many clients in ONE repair event — the flash-crowd
+// path. All memberships are applied first (each client attached greedily,
+// exactly like a single Join), then one seeded repair scan runs over the
+// union of the zones the batch touched, instead of one scan per client.
+// The batch is validated before anything is applied: an error means no
+// client was admitted.
+func (s *ClusterSession) JoinBatch(joins []ClientJoin) error {
+	ids := make([]string, len(joins))
+	zones := make([]int, len(joins))
+	rts := make([]float64, len(joins))
+	css := make([][]float64, len(joins))
+	for x, cj := range joins {
+		z, rt, row, err := s.resolveJoin(cj.ID, cj.Spec)
+		if err != nil {
+			return err
+		}
+		ids[x] = cj.ID
+		zones[x] = z
+		rts[x] = rt
+		// resolveJoin may hand back s.rowBuf; every row must survive the
+		// whole batch.
+		css[x] = append([]float64(nil), row...)
+	}
+	return s.binding.JoinBatch(ids, zones, rts, css)
 }
 
 // Leave removes the client, repairing around the zone it vacated. The ID
@@ -101,6 +198,117 @@ func (s *ClusterSession) Move(id, zone string) error {
 	return s.binding.Move(id, z)
 }
 
+// AddServer grows the live topology by one server. spec.RTTs must cover
+// every CURRENT server (per-pair form; the session has no deferred
+// coverage, unlike the builder); spec.ClientRTTs optionally supplies
+// measured RTTs from existing clients to the new server — clients absent
+// from it start at UnmeasuredRTTMs, keeping the unmeasured server
+// unattractive until UpdateServerDelays streams real values in. The new
+// server participates in every subsequent placement decision immediately.
+func (s *ClusterSession) AddServer(id string, spec ServerSpec) error {
+	if id == "" {
+		return fmt.Errorf("dvecap: empty server ID")
+	}
+	if !(spec.CapacityMbps > 0) { // rejects NaN too
+		return fmt.Errorf("dvecap: server %q capacity %v, want > 0", id, spec.CapacityMbps)
+	}
+	names := s.binding.ServerNames()
+	ss := make([]float64, len(names))
+	for i, sid := range names {
+		d, ok := spec.RTTs[sid]
+		if !ok {
+			return fmt.Errorf("dvecap: server %q missing RTT to server %q", id, sid)
+		}
+		if !(d >= 0) {
+			return fmt.Errorf("dvecap: server %q RTT to %q is %v ms, want >= 0", id, sid, d)
+		}
+		ss[i] = d
+	}
+	for sid, d := range spec.RTTs {
+		if _, ok := s.binding.ServerIndexOf(sid); ok {
+			continue
+		}
+		if sid == id {
+			if d != 0 {
+				return fmt.Errorf("dvecap: server %q self-RTT %v, want 0", id, d)
+			}
+			continue
+		}
+		return fmt.Errorf("dvecap: server %q RTT: %w %q", id, ErrUnknownServer, sid)
+	}
+	if err := s.binding.AddServer(id, spec.CapacityMbps, ss, spec.ClientRTTs, UnmeasuredRTTMs); err != nil {
+		return err
+	}
+	s.rowBuf = append(s.rowBuf, 0)
+	return nil
+}
+
+// RemoveServer retires the server from the topology. The server must be
+// empty — hosting no zones and serving no contacts (ErrServerNotEmpty
+// otherwise; DrainServer evacuates both) — and not the last one. Dense
+// indices renumber (the last server takes the vacated index); IDs are
+// stable.
+func (s *ClusterSession) RemoveServer(id string) error {
+	if err := s.binding.RemoveServer(id); err != nil {
+		return err
+	}
+	s.rowBuf = s.rowBuf[:len(s.rowBuf)-1]
+	return nil
+}
+
+// DrainServer evacuates the server for a rolling deploy: its capacity
+// leaves the fleet, every zone it hosts is force-moved to the best
+// available destination (with contact repair for clients the move pushed
+// out of bound), contacts forwarding through it re-attach elsewhere, and
+// one seeded repair pass runs over the affected zones — all in
+// O(affected), no full re-solve. Afterwards the server holds nothing:
+// RemoveServer retires it, or UncordonServer returns it to service.
+func (s *ClusterSession) DrainServer(id string) error {
+	return s.binding.DrainServer(id)
+}
+
+// UncordonServer returns a drained server to service with its nominal
+// capacity restored — the tail end of a rolling deploy. A no-op when the
+// server is not draining.
+func (s *ClusterSession) UncordonServer(id string) error {
+	return s.binding.UncordonServer(id)
+}
+
+// AddZone grows the virtual world by one (empty) zone, hosted per spec.
+func (s *ClusterSession) AddZone(id string, spec ZoneSpec) error {
+	if id == "" {
+		return fmt.Errorf("dvecap: empty zone ID")
+	}
+	return s.binding.AddZone(id, spec.Host)
+}
+
+// RetireZone removes an empty zone from the virtual world
+// (ErrZoneNotEmpty while clients remain — Move or Leave them first).
+// Dense indices renumber (the last zone takes the vacated index); IDs are
+// stable.
+func (s *ClusterSession) RetireZone(id string) error {
+	return s.binding.RetireZone(id)
+}
+
+// Servers returns the live server inventory in dense index order: nominal
+// capacity, current load, hosted zone count and drain status per server.
+func (s *ClusterSession) Servers() []ServerStatus {
+	pl := s.planner()
+	names := s.binding.ServerNames()
+	counts := pl.ServerZoneCounts()
+	out := make([]ServerStatus, len(names))
+	for i, id := range names {
+		out[i] = ServerStatus{
+			ID:           id,
+			CapacityMbps: pl.ServerCapacity(i),
+			LoadMbps:     pl.ServerLoad(i),
+			Zones:        counts[i],
+			Draining:     pl.Draining(i),
+		}
+	}
+	return out
+}
+
 // UpdateDelays overlays freshly measured RTTs (by server ID; ms) onto the
 // client's delay row and streams the refresh into the repair planner: the
 // client is re-attached if the new delays pushed it out of bound, and a
@@ -112,7 +320,7 @@ func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) error 
 		return err
 	}
 	for sid, d := range rtts {
-		i, ok := s.serverIdx[sid]
+		i, ok := s.binding.ServerIndexOf(sid)
 		if !ok {
 			return fmt.Errorf("dvecap: client %q RTT: %w %q", id, ErrUnknownServer, sid)
 		}
@@ -130,12 +338,27 @@ func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) error 
 // UpdateDelayRow is UpdateDelays with a full dense row in ServerIDs order
 // — the matrix-supplied form, replacing every measurement at once.
 func (s *ClusterSession) UpdateDelayRow(id string, rtts []float64) error {
-	if len(rtts) == len(s.serverIDs) {
+	if len(rtts) == len(s.rowBuf) {
 		if err := validateRTTRow(id, rtts); err != nil {
 			return err
 		}
 	}
 	return s.binding.UpdateDelays(id, rtts)
+}
+
+// UpdateServerDelays is the server-column form of UpdateDelays: freshly
+// measured RTTs from many clients (by client ID; ms) toward ONE server —
+// the natural shape when a just-added server's probes stream in. All
+// entries are applied, each refreshed client is re-attached greedily, and
+// one seeded repair pass covers the union of touched zones; the whole
+// column counts as a single repair event.
+func (s *ClusterSession) UpdateServerDelays(server string, rtts map[string]float64) error {
+	for cid, d := range rtts {
+		if !(d >= 0) {
+			return fmt.Errorf("dvecap: client %q RTT to server %q is %v ms, want >= 0", cid, server, d)
+		}
+	}
+	return s.binding.UpdateServerDelays(server, rtts)
 }
 
 // SetBandwidth updates the client's bandwidth requirement (Mbps) —
@@ -170,7 +393,7 @@ func (s *ClusterSession) ZoneHost(zone string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return s.serverIDs[s.binding.Planner().ZoneHost(z)], nil
+	return s.binding.ServerID(s.binding.Planner().ZoneHost(z)), nil
 }
 
 // Client returns the client's current assignment.
@@ -189,9 +412,9 @@ func (s *ClusterSession) Client(id string) (ClusterClient, error) {
 	delay := pl.Evaluator().ClientDelay(j)
 	return ClusterClient{
 		ID:            id,
-		Zone:          s.zoneIDs[z],
-		Contact:       s.serverIDs[pl.Evaluator().Contact(j)],
-		Target:        s.serverIDs[pl.ZoneHost(z)],
+		Zone:          s.binding.ZoneID(z),
+		Contact:       s.binding.ServerID(pl.Evaluator().Contact(j)),
+		Target:        s.binding.ServerID(pl.ZoneHost(z)),
 		DelayMs:       delay,
 		QoS:           delay <= s.delayBound,
 		BandwidthMbps: p.ClientRT[j],
@@ -212,12 +435,17 @@ func (s *ClusterSession) Stats() SessionStats {
 // PQoS returns the maintained solution's fraction of clients in bound.
 func (s *ClusterSession) PQoS() float64 { return s.binding.Planner().PQoS() }
 
-// Utilization returns total server load over total capacity.
+// Utilization returns total server load over total LIVE capacity — a
+// draining server's capacity has left the fleet until UncordonServer
+// restores it, so utilization rises during a rolling deploy exactly as a
+// real fleet's does.
 func (s *ClusterSession) Utilization() float64 { return s.binding.Planner().Utilization() }
 
 // Result evaluates the maintained solution against the session's current
 // truth (the measured delays it has been fed), in the same shape Solve
-// returns. Result.ClientIDs names the client behind each dense index.
+// returns. Result.ClientIDs names the client behind each dense index;
+// zone and server indices follow the session's CURRENT ZoneIDs and
+// ServerIDs order (topology events renumber).
 func (s *ClusterSession) Result() (*Result, error) {
 	pl := s.binding.Planner()
 	p := pl.Problem()
@@ -251,10 +479,11 @@ func validateRTTRow(owner string, row []float64) error {
 }
 
 // resolveRTTRow turns a ClientSpec's RTTs (map or dense row) into a dense
-// row in server order, writing into buf when it has capacity. The returned
-// slice may alias spec.RTTRow or buf — callers must copy to retain (the
-// planner always copies).
-func resolveRTTRow(owner string, spec ClientSpec, serverIDs []string, serverIdx map[string]int, buf []float64) ([]float64, error) {
+// row in server order, writing into buf when it has capacity. lookup
+// resolves a server ID to its dense index. The returned slice may alias
+// spec.RTTRow or buf — callers must copy to retain (the planner always
+// copies).
+func resolveRTTRow(owner string, spec ClientSpec, serverIDs []string, lookup func(string) (int, bool), buf []float64) ([]float64, error) {
 	m := len(serverIDs)
 	if (spec.RTTs == nil) == (spec.RTTRow == nil) {
 		return nil, fmt.Errorf("dvecap: client %q: set exactly one of RTTs and RTTRow", owner)
@@ -274,7 +503,7 @@ func resolveRTTRow(owner string, spec ClientSpec, serverIDs []string, serverIdx 
 	buf = buf[:m]
 	if len(spec.RTTs) != m {
 		for sid := range spec.RTTs {
-			if _, ok := serverIdx[sid]; !ok {
+			if _, ok := lookup(sid); !ok {
 				return nil, fmt.Errorf("dvecap: client %q RTT: %w %q", owner, ErrUnknownServer, sid)
 			}
 		}
@@ -285,7 +514,7 @@ func resolveRTTRow(owner string, spec ClientSpec, serverIDs []string, serverIdx 
 		}
 	}
 	for sid, d := range spec.RTTs {
-		i, ok := serverIdx[sid]
+		i, ok := lookup(sid)
 		if !ok {
 			return nil, fmt.Errorf("dvecap: client %q RTT: %w %q", owner, ErrUnknownServer, sid)
 		}

@@ -10,10 +10,17 @@
 //	capassign -in problem.json -exact -deadline 60s
 //	capassign -scenario 5s-15z-200c-100cp -dump-problem problem.json
 //	capassign -cluster cluster.json -algorithm GreZ-GreC
+//	capassign -cluster cluster.json -dump normalized.json
+//	curl host/v1/problem | capassign -in /dev/stdin -dump cluster.json
 //
 // With -cluster the instance comes from a bring-your-own-infrastructure
 // spec (string IDs, measured RTTs; see dvecap.ReadClusterJSON) and the
-// solution is reported against those IDs.
+// solution is reported against those IDs. -dump writes the instance back
+// out as a normalized, round-trippable cluster spec instead of solving:
+// with -cluster it normalizes the spec (full RTT matrix, dense client
+// rows), with -in it lifts an anonymous problem JSON — e.g. a director's
+// GET /v1/problem snapshot — into the cluster-spec form under synthetic
+// IDs (servers "s0"…, zones "z0"…, clients "c0"…).
 package main
 
 import (
@@ -41,6 +48,7 @@ func main() {
 		outFile   = flag.String("out", "", "write the assignment JSON here (default stdout)")
 		dumpProb  = flag.String("dump-problem", "", "write the generated problem JSON here and exit")
 		dumpWorld = flag.String("dump-world", "", "write the generated world JSON here and exit")
+		dump      = flag.String("dump", "", "write the instance as a normalized cluster-spec JSON here and exit (with -cluster or -in)")
 		algorithm = flag.String("algorithm", "GreZ-GreC", "two-phase algorithm (see -list)")
 		exact     = flag.Bool("exact", false, "use the exact branch-and-bound solver instead")
 		deadline  = flag.Duration("deadline", 60*time.Second, "exact-solver deadline")
@@ -52,6 +60,13 @@ func main() {
 	if *list {
 		for _, n := range core.AlgorithmNames() {
 			fmt.Println(n)
+		}
+		return
+	}
+
+	if *dump != "" {
+		if err := dumpCluster(*cluster, *inFile, *dump); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -148,6 +163,50 @@ type clusterResultJSON struct {
 	ZoneServers map[string]string  `json:"zone_servers"`
 	Contacts    map[string]string  `json:"contacts"`
 	DelaysMs    map[string]float64 `json:"delays_ms,omitempty"`
+}
+
+// dumpCluster writes a normalized, round-trippable cluster spec for the
+// instance behind -cluster (a spec to normalize) or -in (an anonymous
+// problem JSON to lift into the cluster-spec form).
+func dumpCluster(clusterPath, inPath, outPath string) error {
+	var c *dvecap.Cluster
+	switch {
+	case clusterPath != "" && inPath != "":
+		return fmt.Errorf("-dump takes exactly one of -cluster and -in, not both")
+	case clusterPath != "":
+		f, err := os.Open(clusterPath)
+		if err != nil {
+			return err
+		}
+		c, err = dvecap.ReadClusterJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		c, err = dvecap.NewClusterFromProblemJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-dump requires -cluster or -in")
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := c.WriteClusterJSON(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "capassign: wrote cluster spec (%d servers, %d zones, %d clients) to %s\n",
+		c.NumServers(), c.NumZones(), c.NumClients(), outPath)
+	return nil
 }
 
 func solveCluster(path, algorithm string, seed uint64, outFile string, withDelays bool) error {

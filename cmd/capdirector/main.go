@@ -20,6 +20,18 @@
 //	curl -s localhost:8080/v1/stats
 //	curl -s -X POST localhost:8080/v1/reassign
 //
+// The topology is live too (DESIGN.md §10) — capacity scales and servers
+// roll through deploys with O(affected) evacuation, never a
+// stop-the-world re-solve:
+//
+//	curl -s localhost:8080/v1/servers                      # inventory: load, capacity, zones, drain status
+//	curl -s -X POST localhost:8080/v1/servers -d '{"node":31,"capacity_mbps":500}'
+//	curl -s -X POST localhost:8080/v1/servers/0/drain      # evacuate for a rolling deploy
+//	curl -s -X POST localhost:8080/v1/servers/0/uncordon   # machine is back
+//	curl -s -X DELETE localhost:8080/v1/servers/0          # retire (must be drained/empty; renumbers)
+//	curl -s -X POST localhost:8080/v1/zones                # grow the virtual world
+//	curl -s -X DELETE localhost:8080/v1/zones/7            # retire an empty zone (renumbers)
+//
 // GET /v1/stats reports, besides the paper's quality measures (pqos,
 // utilization, with_qos), the repair subsystem's counters:
 //

@@ -37,9 +37,28 @@
 // WithLocalSearchRounds, WithDriftGuard, WithEstimationError, WithSeed).
 // Open returns a ClusterSession whose Join/Leave/Move/UpdateDelays —
 // all by string ID — stream into the incremental repair planner, and
-// ReadClusterJSON loads the same instance from a JSON spec (capassign
-// -cluster). No internal package type appears in any exported signature;
-// ExampleCluster and examples/byoi show the full workflow.
+// ReadClusterJSON/WriteClusterJSON round-trip the same instance through
+// a JSON spec (capassign -cluster, -dump). No internal package type
+// appears in any exported signature; ExampleCluster and examples/byoi
+// show the full workflow.
+//
+// # Live topology
+//
+// The topology itself is mutable on an open session (DESIGN.md §10):
+// AddServer grows capacity under load (spec.ClientRTTs seeds measured
+// delay columns; absent clients start at UnmeasuredRTTMs until
+// UpdateServerDelays streams probes in column form), DrainServer
+// evacuates a server for a rolling deploy — zones force-move to the
+// best available destinations, forwarding contacts re-attach, all in
+// O(affected) with no full re-solve, and an in-flight drain survives
+// even drift-guard full solves — then RemoveServer retires it or
+// UncordonServer returns it; AddZone/RetireZone grow and shrink the
+// virtual world, and JoinBatch admits a flash crowd as ONE repair event
+// (memberships first, one seeded scan over the touched zones). Dense
+// indices renumber on removal (the last server/zone takes the vacated
+// index); IDs are stable. A session grown this way is bit-identical to
+// an equivalently built static cluster, at every worker count; see
+// examples/rollingdeploy and BENCH_topology.json.
 //
 // # Synthetic scenarios
 //

@@ -35,6 +35,11 @@ type Evaluator struct {
 	delay  []float64 // effective delay per client
 	loads  []float64 // bandwidth load per server
 
+	// cordoned[i] excludes server i as a placement destination (drain;
+	// evaluator_topo.go). Preserved across Reset while the server count
+	// matches, cleared when the dimension changes.
+	cordoned []bool
+
 	withQoS   int
 	rapCost   float64
 	totalLoad float64
@@ -89,6 +94,9 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 	ev.loads = grow(ev.loads, m)
 	for i := range ev.loads {
 		ev.loads[i] = 0
+	}
+	if len(ev.cordoned) != m {
+		ev.cordoned = make([]bool, m)
 	}
 
 	ev.withQoS, ev.rapCost, ev.totalLoad = 0, 0, 0
@@ -297,7 +305,7 @@ func (ev *Evaluator) contactSwitchPass() bool {
 			if s == t {
 				d = p.CS[j][t]
 			} else {
-				if !almostLE(ev.loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
+				if ev.cordoned[s] || !almostLE(ev.loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
 					continue
 				}
 				d = p.CS[j][s] + p.SS[s][t]

@@ -250,6 +250,9 @@ func (ev *Evaluator) GreedyContact(j int) bool {
 			if s == t {
 				continue
 			}
+			if ev.cordoned[s] {
+				continue
+			}
 			// Switching to s adds 2×RT of forwarding unless j already
 			// forwards through s.
 			add := rt2
@@ -297,7 +300,7 @@ func (ev *Evaluator) ImproveZone(z int) bool {
 		bestScore := cur
 		best = -1
 		for s := 0; s < p.NumServers(); s++ {
-			if s == old {
+			if s == old || ev.cordoned[s] {
 				continue
 			}
 			if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {

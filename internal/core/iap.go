@@ -44,6 +44,18 @@ type Options struct {
 	// bit-identical for every setting — parallelism changes scheduling,
 	// never outcomes (DESIGN.md §8).
 	Workers int
+	// Cordoned, when non-nil, marks servers excluded as placement
+	// destinations (Cordoned[i] true = server i takes no zones and no
+	// forwarding contacts, not even as spill) — how a full re-solve
+	// honours an in-flight drain (DESIGN.md §10). The mask must cover
+	// every server and leave at least one server available. nil means no
+	// server is cordoned.
+	Cordoned []bool
+}
+
+// cordoned reports whether server i is excluded by the options' mask.
+func (o Options) cordoned(i int) bool {
+	return o.Cordoned != nil && o.Cordoned[i]
 }
 
 // scratch returns the options' workspace, or a fresh one when unset.
@@ -98,7 +110,7 @@ func RanZ(rng *xrand.RNG, p *Problem, opt Options) ([]int, error) {
 	for _, z := range order {
 		candidates = candidates[:0]
 		for i, c := range p.ServerCaps {
-			if almostLE(loads[i]+zoneRT[z], c) {
+			if !opt.cordoned(i) && almostLE(loads[i]+zoneRT[z], c) {
 				candidates = append(candidates, i)
 			}
 		}
@@ -185,6 +197,9 @@ func greZBiased(_ *xrand.RNG, p *Problem, opt Options, bias func(server, zone in
 		z := dl.item
 		placed := false
 		for _, s := range dl.servers {
+			if opt.cordoned(s) {
+				continue
+			}
 			if almostLE(loads[s]+zoneRT[z], p.ServerCaps[s]) {
 				target[z] = s
 				loads[s] += zoneRT[z]
@@ -235,7 +250,7 @@ func GreZDynamic(_ *xrand.RNG, p *Problem, opt Options) ([]int, error) {
 			// helper guards against float drift in biased µ values.
 			best, second, bestSrv := negInf, negInf, -1
 			for i := 0; i < m; i++ {
-				if !almostLE(loads[i]+zoneRT[z], p.ServerCaps[i]) {
+				if opt.cordoned(i) || !almostLE(loads[i]+zoneRT[z], p.ServerCaps[i]) {
 					continue
 				}
 				v := -float64(ci[i][z])
@@ -308,15 +323,23 @@ func zonesBySizeDescInto(size []int, buf []int) []int {
 }
 
 // spill resolves a placement with no feasible server according to policy.
+// Cordoned servers are never spill targets (a drained server takes nothing
+// new); the mask always leaves at least one server available.
 func spill(loads, caps []float64, opt Options) (int, error) {
 	if opt.Overflow == ErrorOnOverflow {
 		return 0, ErrInfeasible
 	}
-	best, bestResidual := 0, caps[0]-loads[0]
-	for i := 1; i < len(caps); i++ {
-		if r := caps[i] - loads[i]; r > bestResidual {
+	best, bestResidual := -1, 0.0
+	for i := 0; i < len(caps); i++ {
+		if opt.cordoned(i) {
+			continue
+		}
+		if r := caps[i] - loads[i]; best < 0 || r > bestResidual {
 			best, bestResidual = i, r
 		}
+	}
+	if best < 0 {
+		return 0, ErrInfeasible
 	}
 	return best, nil
 }

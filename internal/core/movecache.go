@@ -84,6 +84,63 @@ func (c *moveCache) invalidateAll() {
 	}
 }
 
+// growZones extends the cache to n zones without invalidating existing
+// rows — a cached row is a pure function of zone-local state, which adding
+// another zone does not touch. New rows start dirty. A no-op before the
+// cache is first sized (ensure builds it all-dirty anyway).
+func (c *moveCache) growZones(n int) {
+	if c.servers == 0 || len(c.dirty) >= n {
+		return
+	}
+	m := c.servers
+	c.dQoS = growCopy(c.dQoS, n*m)
+	c.dRap = growCopy(c.dRap, n*m)
+	c.dLoad = growCopy(c.dLoad, n*m)
+	old := len(c.dirty)
+	c.dirty = growCopy(c.dirty, n)
+	for z := old; z < n; z++ {
+		c.dirty[z] = true
+	}
+	c.bestSrv = grow(c.bestSrv, n)
+	c.bestCand = grow(c.bestCand, n)
+}
+
+// shrinkZones removes zone z's row after the evaluator swap-removed the
+// zone: the last zone's row (contents and dirty bit) is relocated to slot
+// z — renumbering does not change zone-local state, so the row stays
+// exact — and the cache is truncated to l rows. A no-op before the cache
+// is first sized.
+func (c *moveCache) shrinkZones(z, l int) {
+	if c.servers == 0 || len(c.dirty) == 0 {
+		return
+	}
+	m := c.servers
+	if z != l {
+		copy(c.dQoS[z*m:(z+1)*m], c.dQoS[l*m:(l+1)*m])
+		copy(c.dRap[z*m:(z+1)*m], c.dRap[l*m:(l+1)*m])
+		copy(c.dLoad[z*m:(z+1)*m], c.dLoad[l*m:(l+1)*m])
+		c.dirty[z] = c.dirty[l]
+	}
+	c.dQoS = c.dQoS[:l*m]
+	c.dRap = c.dRap[:l*m]
+	c.dLoad = c.dLoad[:l*m]
+	c.dirty = c.dirty[:l]
+	c.bestSrv = c.bestSrv[:l]
+	c.bestCand = c.bestCand[:l]
+}
+
+// growCopy is grow preserving contents across a reallocation (grow's
+// contents are unspecified when it reallocates, which is fine for scratch
+// buffers but not for cached rows).
+func growCopy[T any](s []T, n int) []T {
+	if cap(s) < n {
+		ns := make([]T, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
 // touchZone marks zone z's cached row stale. Called by every mutation that
 // changes the zone's local state (membership, delays, contacts, bandwidth,
 // host). A no-op before the cache is first built — rows start dirty.
@@ -306,13 +363,14 @@ func (ev *Evaluator) bestInRow(z int, base score, qualityOnly bool) (int, score)
 	row := z * m
 	bestSrv, best := -1, base
 	for s := 0; s < m; s++ {
-		if s == old {
+		if s == old || ev.cordoned[s] {
 			continue
 		}
 		// Feasibility on the destination: it gains the zone's target load
 		// (forwarding loads of followed clients stay zero because they land
 		// on the new target itself). Always judged against live loads —
-		// cached deltas are load-free by construction.
+		// cached deltas are load-free by construction, and cordon state is
+		// a live feasibility input just like loads.
 		if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
 			continue
 		}
@@ -398,7 +456,7 @@ func (ev *Evaluator) bestZoneMoveRescan() bool {
 		old := ev.zoneServer[z]
 		rt := ev.zoneRT[z]
 		for s := 0; s < m; s++ {
-			if s == old {
+			if s == old || ev.cordoned[s] {
 				continue
 			}
 			if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {

@@ -79,6 +79,9 @@ func GreC(_ *xrand.RNG, p *Problem, zoneServer []int, opt Options) ([]int, error
 				contact[j] = t
 				break
 			}
+			if opt.cordoned(s) {
+				continue
+			}
 			if almostLE(loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
 				contact[j] = s
 				loads[s] += 2 * p.ClientRT[j]

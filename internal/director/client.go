@@ -64,6 +64,64 @@ func (c *Client) Lookup(id string) (ClientInfo, error) {
 	return out, err
 }
 
+// Servers lists the deployment's servers with load, capacity, hosted
+// zone count and drain status.
+func (c *Client) Servers() ([]ServerInfo, error) {
+	var out []ServerInfo
+	err := c.do(http.MethodGet, "/v1/servers", nil, &out)
+	return out, err
+}
+
+// AddServer brings a new server online at a topology node.
+func (c *Client) AddServer(node int, capacityMbps float64) (ServerInfo, error) {
+	var out ServerInfo
+	err := c.do(http.MethodPost, "/v1/servers", map[string]interface{}{
+		"node": node, "capacity_mbps": capacityMbps,
+	}, &out)
+	return out, err
+}
+
+// RemoveServer retires an empty server (drain it first). Indices
+// renumber: the last server takes the removed one's index.
+func (c *Client) RemoveServer(i int) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/v1/servers/%d", i), nil, nil)
+}
+
+// DrainServer evacuates a server for a rolling deploy.
+func (c *Client) DrainServer(i int) (ServerInfo, error) {
+	var out ServerInfo
+	err := c.do(http.MethodPost, fmt.Sprintf("/v1/servers/%d/drain", i), nil, &out)
+	return out, err
+}
+
+// UncordonServer returns a drained server to service.
+func (c *Client) UncordonServer(i int) (ServerInfo, error) {
+	var out ServerInfo
+	err := c.do(http.MethodPost, fmt.Sprintf("/v1/servers/%d/uncordon", i), nil, &out)
+	return out, err
+}
+
+// Zones lists the virtual world's zones with hosting server and
+// population.
+func (c *Client) Zones() ([]ZoneInfo, error) {
+	var out []ZoneInfo
+	err := c.do(http.MethodGet, "/v1/zones", nil, &out)
+	return out, err
+}
+
+// AddZone grows the virtual world by one empty zone.
+func (c *Client) AddZone() (ZoneInfo, error) {
+	var out ZoneInfo
+	err := c.do(http.MethodPost, "/v1/zones", nil, &out)
+	return out, err
+}
+
+// RetireZone removes an empty zone. Indices renumber: the last zone takes
+// the retired one's index.
+func (c *Client) RetireZone(z int) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/v1/zones/%d", z), nil, nil)
+}
+
 // Reassign triggers a full re-execution of the assignment algorithm.
 func (c *Client) Reassign() (ReassignResult, error) {
 	var out ReassignResult

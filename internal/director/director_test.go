@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"dvecap/internal/core"
@@ -494,6 +495,25 @@ func TestHTTPStatusCodes(t *testing.T) {
 		{"delays wrong method", http.MethodGet, "/v1/clients/alice/delays", "", http.StatusMethodNotAllowed},
 		{"unknown client subroute", http.MethodGet, "/v1/clients/alice/bogus", "", http.StatusNotFound},
 		{"unknown route", http.MethodGet, "/v1/bogus", "", http.StatusNotFound},
+		{"servers list ok", http.MethodGet, "/v1/servers", "", http.StatusOK},
+		{"servers wrong method", http.MethodPut, "/v1/servers", "", http.StatusMethodNotAllowed},
+		{"add server malformed json", http.MethodPost, "/v1/servers", "{", http.StatusBadRequest},
+		{"add server bad node", http.MethodPost, "/v1/servers", `{"node":-1,"capacity_mbps":10}`, http.StatusBadRequest},
+		{"add server bad capacity", http.MethodPost, "/v1/servers", `{"node":0,"capacity_mbps":0}`, http.StatusBadRequest},
+		{"delete server non-integer", http.MethodDelete, "/v1/servers/abc", "", http.StatusBadRequest},
+		{"delete unknown server", http.MethodDelete, "/v1/servers/99", "", http.StatusNotFound},
+		{"delete loaded server", http.MethodDelete, "/v1/servers/0", "", http.StatusConflict},
+		{"delete server wrong method", http.MethodGet, "/v1/servers/0", "", http.StatusMethodNotAllowed},
+		{"drain unknown server", http.MethodPost, "/v1/servers/99/drain", "", http.StatusNotFound},
+		{"drain wrong method", http.MethodGet, "/v1/servers/0/drain", "", http.StatusMethodNotAllowed},
+		{"uncordon unknown server", http.MethodPost, "/v1/servers/99/uncordon", "", http.StatusNotFound},
+		{"unknown server subroute", http.MethodPost, "/v1/servers/0/bogus", "", http.StatusNotFound},
+		{"zones list ok", http.MethodGet, "/v1/zones", "", http.StatusOK},
+		{"zones wrong method", http.MethodDelete, "/v1/zones", "", http.StatusMethodNotAllowed},
+		{"delete zone non-integer", http.MethodDelete, "/v1/zones/abc", "", http.StatusBadRequest},
+		{"delete unknown zone", http.MethodDelete, "/v1/zones/99", "", http.StatusNotFound},
+		{"delete populated zone", http.MethodDelete, "/v1/zones/2", "", http.StatusConflict},
+		{"delete zone wrong method", http.MethodGet, "/v1/zones/2", "", http.StatusMethodNotAllowed},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -585,5 +605,200 @@ func TestJoinDuplicateIsSentinel(t *testing.T) {
 	}
 	if _, err := d.Join("alice", 13, 3); !errors.Is(err, ErrDuplicateClient) {
 		t.Fatalf("duplicate join: err = %v, want ErrDuplicateClient", err)
+	}
+}
+
+// TestHTTPTopologyRoundTrip drives the full rolling-deploy protocol over
+// the HTTP surface through the Go client binding: grow the fleet, grow
+// the world, drain a server (asserting evacuation without a full
+// re-solve), uncordon it, drain again, and retire it.
+func TestHTTPTopologyRoundTrip(t *testing.T) {
+	d := testDirector(t)
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	for i := 0; i < 12; i++ {
+		if _, err := cl.Join("", i%40, i%8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	servers, err := cl.Servers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 4 {
+		t.Fatalf("%d servers, want 4", len(servers))
+	}
+	added, err := cl.AddServer(35, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.Server != 4 || added.Node != 35 || added.CapacityMbps != 80 {
+		t.Fatalf("added server = %+v", added)
+	}
+	zone, err := cl.AddZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zone.Zone != 8 {
+		t.Fatalf("added zone = %+v, want index 8", zone)
+	}
+	if _, err := cl.Join("newcomer", 17, zone.Zone); err != nil {
+		t.Fatal(err)
+	}
+
+	statsBefore, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsBefore.Servers != 5 || statsBefore.Zones != 9 {
+		t.Fatalf("stats topology = %d servers / %d zones, want 5/9", statsBefore.Servers, statsBefore.Zones)
+	}
+
+	drained, err := cl.DrainServer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental load maintenance leaves float dust on an emptied server,
+	// so the load check is a tolerance, not equality.
+	if !drained.Draining || drained.Zones != 0 || drained.LoadMbps > 1e-9 || drained.LoadMbps < -1e-9 {
+		t.Fatalf("drained server = %+v, want empty and draining", drained)
+	}
+	statsAfter, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsAfter.FullSolves != statsBefore.FullSolves {
+		t.Fatalf("drain triggered a full re-solve (%d → %d)", statsBefore.FullSolves, statsAfter.FullSolves)
+	}
+	if statsAfter.Draining != 1 {
+		t.Fatalf("stats draining = %d, want 1", statsAfter.Draining)
+	}
+	// Every client is off the drained server.
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range snap {
+		if ci.Contact == 0 || ci.Target == 0 {
+			t.Fatalf("client %s still touches drained server 0: %+v", ci.ID, ci)
+		}
+	}
+
+	if _, err := cl.UncordonServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.DrainServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveServer(0); err != nil {
+		t.Fatal(err)
+	}
+	servers, err = cl.Servers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 4 {
+		t.Fatalf("%d servers after removal, want 4", len(servers))
+	}
+	// The old last server (node 35) was renumbered to index 0.
+	if servers[0].Node != 35 {
+		t.Fatalf("renumbered server 0 on node %d, want 35", servers[0].Node)
+	}
+
+	// Retire an empty zone: empty the added zone first by moving its one
+	// client out, then delete it.
+	if _, err := cl.Move("newcomer", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RetireZone(zone.Zone); err != nil {
+		t.Fatal(err)
+	}
+	zones, err := cl.Zones()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 8 {
+		t.Fatalf("%d zones after retire, want 8", len(zones))
+	}
+
+	// The mutated deployment still serves the ordinary churn surface.
+	if _, err := cl.Join("after-topo", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Reassign(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopologyChurnRaceStress hammers the director with concurrent stats,
+// snapshot and inventory reads while a writer cycles server add / drain /
+// uncordon / remove, zone add / retire and client churn — the -race CI
+// job turns any locking gap into a failure.
+func TestTopologyChurnRaceStress(t *testing.T) {
+	d := testDirector(t)
+	for i := 0; i < 20; i++ {
+		if _, err := d.Join("", i%40, i%8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r % 4 {
+				case 0:
+					d.Stats()
+				case 1:
+					d.Servers()
+				case 2:
+					d.Zones()
+				default:
+					d.Snapshot()
+				}
+			}
+		}(r)
+	}
+	for cycle := 0; cycle < 25; cycle++ {
+		info, err := d.AddServer(cycle%40, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Join("", (cycle*7)%40, cycle%8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.AddZone(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.DrainServer(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.UncordonServer(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.DrainServer(info.Server); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RemoveServer(info.Server); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RetireZone(d.Stats().Zones - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := d.Stats(); st.Servers != 4 || st.Zones != 8 {
+		t.Fatalf("topology did not return to 4 servers / 8 zones: %+v", st)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -21,13 +22,23 @@ type apiError struct {
 //	DELETE /v1/clients/{id}         → 204
 //	POST   /v1/clients/{id}/move    {"zone"} → ClientInfo
 //	POST   /v1/clients/{id}/delays  {"rtts_ms": [...]} → ClientInfo
+//	GET    /v1/servers              → []ServerInfo
+//	POST   /v1/servers              {"node", "capacity_mbps"} → ServerInfo
+//	DELETE /v1/servers/{i}          → 204 (must be empty; renumbers)
+//	POST   /v1/servers/{i}/drain    → ServerInfo (evacuate + cordon)
+//	POST   /v1/servers/{i}/uncordon → ServerInfo (restore capacity)
+//	GET    /v1/zones                → []ZoneInfo
+//	POST   /v1/zones                → ZoneInfo (new empty zone)
+//	DELETE /v1/zones/{z}            → 204 (must be empty; renumbers)
 //	POST   /v1/reassign             → ReassignResult
 //	GET    /v1/stats                → Stats
 //	GET    /v1/healthz              → 200 "ok"
 //
-// Status codes follow the usual discipline: 404 for unknown clients
-// (errors.Is ErrUnknownClient) and unknown routes, 405 for a known route
-// with the wrong method, 400 for malformed or invalid request bodies.
+// Status codes follow the usual discipline: 404 for unknown clients,
+// servers and zones (errors.Is on the sentinels) and unknown routes, 405
+// for a known route with the wrong method, 400 for malformed or invalid
+// request bodies, and 409 for topology conflicts — removing a non-empty
+// server or zone, draining or removing the last available server.
 func Handler(d *Director) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -91,6 +102,105 @@ func Handler(d *Director) http.Handler {
 		default:
 			writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
 		}
+	})
+	mux.HandleFunc("/v1/servers", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, d.Servers())
+		case http.MethodPost:
+			var req struct {
+				Node         int     `json:"node"`
+				CapacityMbps float64 `json:"capacity_mbps"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			info, err := d.AddServer(req.Node, req.CapacityMbps)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusCreated, info)
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+		}
+	})
+	mux.HandleFunc("/v1/servers/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/servers/")
+		parts := strings.Split(rest, "/")
+		i, err := strconv.Atoi(parts[0])
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "server index must be an integer")
+			return
+		}
+		switch {
+		case len(parts) == 1:
+			if r.Method != http.MethodDelete {
+				writeErr(w, http.StatusMethodNotAllowed, "DELETE only")
+				return
+			}
+			if err := d.RemoveServer(i); err != nil {
+				writeTopoErr(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case len(parts) == 2 && parts[1] == "drain":
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			info, err := d.DrainServer(i)
+			if err != nil {
+				writeTopoErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case len(parts) == 2 && parts[1] == "uncordon":
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			info, err := d.UncordonServer(i)
+			if err != nil {
+				writeTopoErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		default:
+			writeErr(w, http.StatusNotFound, "unknown route")
+		}
+	})
+	mux.HandleFunc("/v1/zones", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, d.Zones())
+		case http.MethodPost:
+			info, err := d.AddZone()
+			if err != nil {
+				writeTopoErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, info)
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+		}
+	})
+	mux.HandleFunc("/v1/zones/", func(w http.ResponseWriter, r *http.Request) {
+		z, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/v1/zones/"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "zone index must be an integer")
+			return
+		}
+		if r.Method != http.MethodDelete {
+			writeErr(w, http.StatusMethodNotAllowed, "DELETE only")
+			return
+		}
+		if err := d.RetireZone(z); err != nil {
+			writeTopoErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("/v1/clients/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/clients/")
@@ -179,6 +289,22 @@ func writeClientErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	if errors.Is(err, ErrUnknownClient) {
 		status = http.StatusNotFound
+	}
+	writeErr(w, status, err.Error())
+}
+
+// writeTopoErr maps a topology operation's error onto a status — all by
+// sentinel, never by message: 404 for unknown servers/zones, 409 for
+// conflicts (non-empty server or zone, last available server, last
+// zone), 400 for the rest.
+func writeTopoErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrUnknownServer) || errors.Is(err, ErrUnknownZone):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrServerNotEmpty) || errors.Is(err, ErrZoneNotEmpty) ||
+		errors.Is(err, ErrLastServer) || errors.Is(err, ErrLastZone):
+		status = http.StatusConflict
 	}
 	writeErr(w, status, err.Error())
 }

@@ -443,7 +443,12 @@ func (d *Director) problemLocked() *core.Problem {
 // Stats summarises the current system state, including the repair
 // subsystem's counters.
 type Stats struct {
-	Clients     int     `json:"clients"`
+	Clients int `json:"clients"`
+	// Servers and Zones track the live topology (server add/drain/remove
+	// and zone add/retire mutate both); Draining counts servers mid-drain.
+	Servers     int     `json:"servers"`
+	Zones       int     `json:"zones"`
+	Draining    int     `json:"draining"`
 	WithQoS     int     `json:"with_qos"`
 	PQoS        float64 `json:"pqos"`
 	Utilization float64 `json:"utilization"`
@@ -474,6 +479,13 @@ func (d *Director) Stats() Stats {
 
 func (d *Director) statsLocked() Stats {
 	s := Stats{Clients: d.binding.Len(), Algorithm: d.algo.Name}
+	s.Servers = len(d.cfg.ServerNodes)
+	s.Zones = d.cfg.Zones
+	for i := 0; i < s.Servers; i++ {
+		if d.planner().Draining(i) {
+			s.Draining++
+		}
+	}
 	st := d.planner().Stats()
 	s.RepairEvents = st.Events
 	s.DelayUpdates = st.DelayUpdates

@@ -3,6 +3,7 @@ package repair
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Sentinel errors for ID-keyed client lookups. The public layers that
@@ -24,12 +25,24 @@ var (
 // registration order, and guarantees both stay consistent with the
 // planner: an ID is present exactly while its planner handle is live.
 //
+// Beyond clients, the binding generalizes to server and zone handles:
+// NameTopology registers string IDs for the planner's servers and zones,
+// after which the topology events (AddServer, RemoveServer, DrainServer,
+// UncordonServer, AddZone, RetireZone) are addressable by ID — the
+// binding tracks the planner's swap-remove renumbering so IDs stay stable
+// while dense indices shift.
+//
 // Errors wrap the sentinel values above without a package prefix, so the
 // public layers can pass them through verbatim.
 type IDBinding struct {
 	pl      *Planner
 	handles map[string]int
 	order   []string // registration order
+
+	serverIDs []string // dense server order; nil until NameTopology
+	serverIdx map[string]int
+	zoneIDs   []string // dense zone order; nil until NameTopology
+	zoneIdx   map[string]int
 }
 
 // NewIDBinding pairs a planner with the IDs of the clients it already
@@ -165,6 +178,278 @@ func (b *IDBinding) Zone(id string) (int, error) {
 		return 0, err
 	}
 	return b.pl.Problem().ClientZones[j], nil
+}
+
+// NameTopology registers server and zone IDs for the planner's current
+// topology: serverIDs[i] names dense server index i, zoneIDs[z] dense
+// zone index z. Required before any of the ID-keyed topology methods;
+// the binding keeps the maps consistent across the planner's swap-remove
+// renumbering from then on.
+func (b *IDBinding) NameTopology(serverIDs, zoneIDs []string) error {
+	if got, want := len(serverIDs), b.pl.NumServers(); got != want {
+		return fmt.Errorf("repair: %d server ids for %d servers", got, want)
+	}
+	if got, want := len(zoneIDs), b.pl.NumZones(); got != want {
+		return fmt.Errorf("repair: %d zone ids for %d zones", got, want)
+	}
+	sidx := make(map[string]int, len(serverIDs))
+	for i, id := range serverIDs {
+		if _, dup := sidx[id]; dup {
+			return fmt.Errorf("%w %q", ErrDuplicateServer, id)
+		}
+		sidx[id] = i
+	}
+	zidx := make(map[string]int, len(zoneIDs))
+	for z, id := range zoneIDs {
+		if _, dup := zidx[id]; dup {
+			return fmt.Errorf("%w %q", ErrDuplicateZone, id)
+		}
+		zidx[id] = z
+	}
+	b.serverIDs = append([]string(nil), serverIDs...)
+	b.serverIdx = sidx
+	b.zoneIDs = append([]string(nil), zoneIDs...)
+	b.zoneIdx = zidx
+	return nil
+}
+
+// ServerIndex resolves a server ID to its current dense index.
+func (b *IDBinding) ServerIndex(id string) (int, error) {
+	i, ok := b.serverIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownServer, id)
+	}
+	return i, nil
+}
+
+// ZoneIndex resolves a zone ID to its current dense index.
+func (b *IDBinding) ZoneIndex(id string) (int, error) {
+	z, ok := b.zoneIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownZone, id)
+	}
+	return z, nil
+}
+
+// ServerIndexOf is ServerIndex without error construction — the lookup
+// form hot paths (row resolution) use.
+func (b *IDBinding) ServerIndexOf(id string) (int, bool) {
+	i, ok := b.serverIdx[id]
+	return i, ok
+}
+
+// ServerID names the server at dense index i.
+func (b *IDBinding) ServerID(i int) string { return b.serverIDs[i] }
+
+// ZoneID names the zone at dense index z.
+func (b *IDBinding) ZoneID(z int) string { return b.zoneIDs[z] }
+
+// ServerNames returns the server IDs in dense order — the binding's own
+// slice, read-only for callers, invalidated by the next topology event.
+func (b *IDBinding) ServerNames() []string { return b.serverIDs }
+
+// ZoneNames returns the zone IDs in dense order — the binding's own
+// slice, read-only for callers, invalidated by the next topology event.
+func (b *IDBinding) ZoneNames() []string { return b.zoneIDs }
+
+// AddServer registers a server under a fresh ID. clientRTTs supplies
+// measured RTTs by client ID for the new server's delay column; clients
+// absent from it receive defaultRTT (a far-out-of-bound sentinel keeps an
+// unmeasured server unattractive until UpdateServerDelays supplies real
+// values). See Planner.AddServer for the capacity and ss semantics.
+func (b *IDBinding) AddServer(id string, capacity float64, ss []float64, clientRTTs map[string]float64, defaultRTT float64) error {
+	if _, dup := b.serverIdx[id]; dup {
+		return fmt.Errorf("%w %q", ErrDuplicateServer, id)
+	}
+	for cid, d := range clientRTTs {
+		if _, ok := b.handles[cid]; !ok {
+			return fmt.Errorf("server %q RTT: %w %q", id, ErrUnknownClient, cid)
+		}
+		if d < 0 {
+			return fmt.Errorf("server %q RTT to client %q is %v ms, want >= 0", id, cid, d)
+		}
+	}
+	col := make([]float64, b.pl.NumClients())
+	for i := range col {
+		col[i] = defaultRTT
+	}
+	for cid, d := range clientRTTs {
+		j, err := b.denseIndex(cid)
+		if err != nil {
+			return err
+		}
+		col[j] = d
+	}
+	i, err := b.pl.AddServer(capacity, ss, col)
+	if err != nil {
+		return err
+	}
+	b.serverIdx[id] = i
+	b.serverIDs = append(b.serverIDs, id)
+	return nil
+}
+
+// RemoveServer deletes the server behind id (see Planner.RemoveServer for
+// the emptiness requirements). The binding follows the planner's
+// swap-remove: the last server's ID takes over the vacated dense index.
+func (b *IDBinding) RemoveServer(id string) error {
+	i, err := b.ServerIndex(id)
+	if err != nil {
+		return err
+	}
+	moved, err := b.pl.RemoveServer(i)
+	if err != nil {
+		return err
+	}
+	last := len(b.serverIDs) - 1
+	delete(b.serverIdx, id)
+	if moved >= 0 {
+		movedID := b.serverIDs[moved]
+		b.serverIDs[i] = movedID
+		b.serverIdx[movedID] = i
+	}
+	b.serverIDs = b.serverIDs[:last]
+	return nil
+}
+
+// DrainServer evacuates and cordons the server behind id (see
+// Planner.DrainServer).
+func (b *IDBinding) DrainServer(id string) error {
+	i, err := b.ServerIndex(id)
+	if err != nil {
+		return err
+	}
+	return b.pl.DrainServer(i)
+}
+
+// UncordonServer returns the drained server behind id to service (see
+// Planner.UncordonServer).
+func (b *IDBinding) UncordonServer(id string) error {
+	i, err := b.ServerIndex(id)
+	if err != nil {
+		return err
+	}
+	return b.pl.UncordonServer(i)
+}
+
+// Draining reports whether the server behind id is currently draining.
+func (b *IDBinding) Draining(id string) (bool, error) {
+	i, err := b.ServerIndex(id)
+	if err != nil {
+		return false, err
+	}
+	return b.pl.Draining(i), nil
+}
+
+// AddZone registers a zone under a fresh ID. hostID picks the initial
+// hosting server; empty auto-places on the least-loaded available server.
+func (b *IDBinding) AddZone(id, hostID string) error {
+	if _, dup := b.zoneIdx[id]; dup {
+		return fmt.Errorf("%w %q", ErrDuplicateZone, id)
+	}
+	host := -1
+	if hostID != "" {
+		var err error
+		if host, err = b.ServerIndex(hostID); err != nil {
+			return err
+		}
+	}
+	z, err := b.pl.AddZone(host)
+	if err != nil {
+		return err
+	}
+	b.zoneIdx[id] = z
+	b.zoneIDs = append(b.zoneIDs, id)
+	return nil
+}
+
+// RetireZone deletes the empty zone behind id (see Planner.RetireZone).
+// The binding follows the planner's swap-remove: the last zone's ID takes
+// over the vacated dense index.
+func (b *IDBinding) RetireZone(id string) error {
+	z, err := b.ZoneIndex(id)
+	if err != nil {
+		return err
+	}
+	moved, err := b.pl.RetireZone(z)
+	if err != nil {
+		return err
+	}
+	last := len(b.zoneIDs) - 1
+	delete(b.zoneIdx, id)
+	if moved >= 0 {
+		movedID := b.zoneIDs[moved]
+		b.zoneIDs[z] = movedID
+		b.zoneIdx[movedID] = z
+	}
+	b.zoneIDs = b.zoneIDs[:last]
+	return nil
+}
+
+// JoinBatch admits many clients in one event (see Planner.JoinBatch):
+// memberships apply first, then one seeded repair scan covers the union
+// of touched zones. The batch is validated before anything is applied —
+// an error means no client was admitted.
+func (b *IDBinding) JoinBatch(ids []string, zones []int, rts []float64, css [][]float64) error {
+	if len(ids) != len(zones) {
+		return fmt.Errorf("repair: batch of %d ids, %d zones", len(ids), len(zones))
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, dup := b.handles[id]; dup || seen[id] {
+			return fmt.Errorf("%w %q", ErrDuplicateClient, id)
+		}
+		seen[id] = true
+	}
+	handles, err := b.pl.JoinBatch(zones, rts, css)
+	if err != nil {
+		return err
+	}
+	for x, id := range ids {
+		b.handles[id] = handles[x]
+		b.order = append(b.order, id)
+	}
+	return nil
+}
+
+// UpdateServerDelays overlays freshly measured client→server RTTs for one
+// server (by client ID, ms) — the column form of UpdateDelays (see
+// Planner.UpdateServerDelayColumn). Clients are applied in sorted-ID
+// order, so the repair outcome is independent of map iteration order.
+func (b *IDBinding) UpdateServerDelays(server string, rtts map[string]float64) error {
+	i, err := b.ServerIndex(server)
+	if err != nil {
+		return err
+	}
+	if len(rtts) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(rtts))
+	for cid := range rtts {
+		ids = append(ids, cid)
+	}
+	sort.Strings(ids)
+	handles := make([]int, len(ids))
+	ds := make([]float64, len(ids))
+	for x, cid := range ids {
+		h, err := b.Handle(cid)
+		if err != nil {
+			return err
+		}
+		handles[x] = h
+		ds[x] = rtts[cid]
+	}
+	return b.pl.UpdateServerDelayColumn(i, handles, ds)
+}
+
+// denseIndex resolves an ID straight to the planner's current dense
+// client index.
+func (b *IDBinding) denseIndex(id string) (int, error) {
+	h, err := b.Handle(id)
+	if err != nil {
+		return 0, err
+	}
+	return b.pl.Index(h)
 }
 
 // CopyDelays writes the client's current delay row into dst (which must

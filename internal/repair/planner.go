@@ -57,7 +57,16 @@ type Stats struct {
 	Leaves       int `json:"leaves"`
 	Moves        int `json:"moves"`
 	DelayUpdates int `json:"delay_updates"`
-	// Events is the total event count (sum of the four above).
+	// Topology events (topology.go): servers added, drained and removed,
+	// zones added and retired on the live planner.
+	ServerAdds    int `json:"server_adds"`
+	ServerDrains  int `json:"server_drains"`
+	ServerRemoves int `json:"server_removes"`
+	ZoneAdds      int `json:"zone_adds"`
+	ZoneRetires   int `json:"zone_retires"`
+	// Events is the total event count: client churn (the four client
+	// counters above; a JoinBatch counts one event per admitted client)
+	// plus topology events.
 	Events int `json:"events"`
 	// FullSolves counts full two-phase re-solves, including the initial
 	// one and explicit FullSolve calls.
@@ -89,6 +98,12 @@ type Planner struct {
 	idx  []int // handle → dense client index, -1 when released
 	hnd  []int // dense client index → handle
 	free []int // released handles available for reuse
+
+	// drained[i] marks server i as draining: evacuated and cordoned, so
+	// neither the repair scans (via the evaluator's cordon flags) nor full
+	// re-solves (via Options.Cordoned) place anything on it. Maintained in
+	// lockstep with the problem's server dimension (topology.go).
+	drained []bool
 
 	eventsSinceFull int
 	failBackoff     int // events to wait after a failed guard solve; doubles per failure
@@ -143,13 +158,18 @@ func prepare(cfg Config, p *core.Problem, rng *xrand.RNG) (*Planner, error) {
 	if cfg.MinEventsBetweenFullSolves < 1 {
 		cfg.MinEventsBetweenFullSolves = 1
 	}
-	pl := &Planner{cfg: cfg, rng: rng, prob: p.Clone()}
+	// The padded clone leaves per-row capacity for a handful of extra
+	// servers, so the column-wise writes of AddServer/RemoveServer stream
+	// through one arena instead of chasing 100k row allocations
+	// (core.Problem.ClonePadded).
+	pl := &Planner{cfg: cfg, rng: rng, prob: p.ClonePadded(8 + p.NumServers()/4)}
 	k := pl.prob.NumClients()
 	pl.idx = make([]int, k)
 	pl.hnd = make([]int, k)
 	for j := 0; j < k; j++ {
 		pl.idx[j], pl.hnd[j] = j, j
 	}
+	pl.drained = make([]bool, pl.prob.NumServers())
 	return pl, nil
 }
 
@@ -178,6 +198,16 @@ func (pl *Planner) Join(zone int, rt float64, cs []float64) (int, error) {
 	if pl.ev.GreedyContact(j) {
 		pl.stats.ContactSwitches++
 	}
+	h := pl.attachHandle(j)
+	pl.stats.Joins++
+	pl.repairZones(zone)
+	pl.afterEvent()
+	return h, nil
+}
+
+// attachHandle issues a stable handle for the freshly added dense client
+// index j, reusing a released handle when one is free.
+func (pl *Planner) attachHandle(j int) int {
 	var h int
 	if n := len(pl.free); n > 0 {
 		h = pl.free[n-1]
@@ -188,10 +218,7 @@ func (pl *Planner) Join(zone int, rt float64, cs []float64) (int, error) {
 		pl.idx = append(pl.idx, j)
 	}
 	pl.hnd = append(pl.hnd, h)
-	pl.stats.Joins++
-	pl.repairZones(zone)
-	pl.afterEvent()
-	return h, nil
+	return h
 }
 
 // Leave removes the client behind handle and repairs around the zone it
@@ -319,9 +346,13 @@ func (pl *Planner) repairZones(zones ...int) {
 // Stats.LastSolveError — and retried with exponential event backoff so
 // the O(affected) path never degrades into one failing full solve per
 // event.
-func (pl *Planner) afterEvent() {
-	pl.stats.Events++
-	pl.eventsSinceFull++
+func (pl *Planner) afterEvent() { pl.afterEventN(1) }
+
+// afterEventN is afterEvent for batched events: n events are accounted,
+// the guard runs once.
+func (pl *Planner) afterEventN(n int) {
+	pl.stats.Events += n
+	pl.eventsSinceFull += n
 	minGap := pl.cfg.MinEventsBetweenFullSolves
 	if pl.failBackoff > minGap {
 		minGap = pl.failBackoff
@@ -363,7 +394,13 @@ func (pl *Planner) FullSolve() error {
 	if pl.cfg.StickyBonus > 0 && pl.ev != nil {
 		algo = algo.WithSticky(pl.ZoneServers(), pl.cfg.StickyBonus)
 	}
-	a, err := algo.Solve(pl.rng.Split(), pl.prob, pl.cfg.Opt)
+	opt := pl.cfg.Opt
+	if pl.availableServers() < len(pl.drained) {
+		// An in-flight drain survives the full solve: cordoned servers
+		// take no zones and no contacts, not even as spill.
+		opt.Cordoned = pl.drained
+	}
+	a, err := algo.Solve(pl.rng.Split(), pl.prob, opt)
 	if err != nil {
 		return fmt.Errorf("repair: full solve: %w", err)
 	}
@@ -430,9 +467,18 @@ func (pl *Planner) PQoS() float64 { return pl.ev.PQoS() }
 // WithQoS returns the absolute count of clients in bound.
 func (pl *Planner) WithQoS() int { return pl.ev.WithQoS() }
 
-// Utilization returns total server load over total capacity.
+// Utilization returns total server load over total AVAILABLE capacity: a
+// draining server's capacity has left the fleet until it is uncordoned,
+// so utilization rises during a rolling deploy exactly as a real fleet's
+// does.
 func (pl *Planner) Utilization() float64 {
-	if c := pl.prob.TotalCapacity(); c > 0 {
+	c := pl.prob.TotalCapacity()
+	for i, d := range pl.drained {
+		if d {
+			c -= pl.prob.ServerCaps[i]
+		}
+	}
+	if c > 0 {
 		return pl.ev.TotalLoad() / c
 	}
 	return 0

@@ -49,6 +49,20 @@ type ChurnConfig struct {
 	// full re-solve runs once pQoS falls more than this far below the last
 	// full solve's level. 0 means the default 0.02.
 	RepairDriftPQoS float64
+	// RollingDeployEverySec arms the capacity-churn schedule (repair mode
+	// only): every period, the next server in round-robin order is DRAINED
+	// through the planner's topology events — its capacity leaves the
+	// fleet, hosted zones evacuate in O(affected), forwarding contacts
+	// re-attach — and DrainDowntimeSec later it is uncordoned with its
+	// capacity restored. One server is down at a time (a deploy slot is
+	// skipped while the previous server is still down), which is exactly a
+	// rolling deploy; experiments measure pQoS straight through it. 0
+	// disables capacity churn.
+	RollingDeployEverySec float64
+	// DrainDowntimeSec is how long a drained server stays down before it
+	// is uncordoned. Required (> 0, < RollingDeployEverySec) when
+	// RollingDeployEverySec is set.
+	DrainDowntimeSec float64
 }
 
 // repairDrift resolves the configured drift threshold.
@@ -78,6 +92,19 @@ func (c ChurnConfig) Validate() error {
 		return fmt.Errorf("sim: StickyBonus = %v, want >= 0", c.StickyBonus)
 	case c.RepairDriftPQoS < 0:
 		return fmt.Errorf("sim: RepairDriftPQoS = %v, want >= 0", c.RepairDriftPQoS)
+	case c.RollingDeployEverySec < 0:
+		return fmt.Errorf("sim: RollingDeployEverySec = %v, want >= 0", c.RollingDeployEverySec)
+	}
+	if c.RollingDeployEverySec > 0 {
+		switch {
+		case !c.Repair:
+			return fmt.Errorf("sim: RollingDeployEverySec requires Repair mode (capacity churn runs through the planner's topology events)")
+		case c.DrainDowntimeSec <= 0:
+			return fmt.Errorf("sim: DrainDowntimeSec = %v, want > 0 with a rolling-deploy schedule", c.DrainDowntimeSec)
+		case c.DrainDowntimeSec >= c.RollingDeployEverySec:
+			return fmt.Errorf("sim: DrainDowntimeSec %v >= RollingDeployEverySec %v (server would never return before the next drain)",
+				c.DrainDowntimeSec, c.RollingDeployEverySec)
+		}
 	}
 	return nil
 }
@@ -123,6 +150,11 @@ type Driver struct {
 	planner *repair.Planner
 	binding *repair.WorldBinding
 
+	// Rolling-deploy state: the next server to drain (round-robin) and
+	// the one currently down (-1 when the fleet is whole).
+	deployNext int
+	deployDown int
+
 	// Reused buffers: the problem snapshot (its k×m delay matrix dominates
 	// per-cycle allocation), the algorithms' scratch workspace, and the
 	// evaluation metrics. Rebuilt in place every reassignment and sample.
@@ -140,7 +172,7 @@ func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Optio
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Driver{eng: eng, world: world, algo: algo, opt: opt, cfg: cfg, rng: rng, ws: core.NewWorkspace()}
+	d := &Driver{eng: eng, world: world, algo: algo, opt: opt, cfg: cfg, rng: rng, ws: core.NewWorkspace(), deployDown: -1}
 	d.opt.Scratch = d.ws
 	if err := d.reassign("initial"); err != nil {
 		return nil, err
@@ -178,6 +210,39 @@ func (d *Driver) Start() {
 	if d.cfg.SampleEverySec > 0 {
 		d.eng.Schedule(d.cfg.SampleEverySec, d.tickEvent)
 	}
+	if d.cfg.RollingDeployEverySec > 0 {
+		d.eng.Schedule(d.cfg.RollingDeployEverySec, d.deployEvent)
+	}
+}
+
+// deployEvent drains the next server in the rolling deploy. A slot is
+// skipped (deploy paused) while the previous server is still down —
+// exactly one server is ever out of the fleet.
+func (d *Driver) deployEvent() {
+	if d.deployDown < 0 {
+		victim := d.deployNext
+		if err := d.planner.DrainServer(victim); err != nil {
+			d.errs = append(d.errs, err)
+		} else {
+			d.deployDown = victim
+			d.sample("drain")
+			d.eng.Schedule(d.cfg.DrainDowntimeSec, d.restoreEvent)
+		}
+		d.deployNext = (victim + 1) % d.world.Cfg.Servers
+	}
+	d.eng.Schedule(d.cfg.RollingDeployEverySec, d.deployEvent)
+}
+
+// restoreEvent uncordons the server the deploy took down.
+func (d *Driver) restoreEvent() {
+	if d.deployDown < 0 {
+		return
+	}
+	if err := d.planner.UncordonServer(d.deployDown); err != nil {
+		d.errs = append(d.errs, err)
+	}
+	d.deployDown = -1
+	d.sample("uncordon")
 }
 
 func (d *Driver) tickEvent() {

@@ -36,12 +36,19 @@ type Session struct {
 
 // SessionStats mirrors the repair subsystem's counters.
 type SessionStats struct {
-	// Joins, Leaves and Moves count the churn events applied.
+	// Joins, Leaves and Moves count the churn events applied (a JoinBatch
+	// counts one join per admitted client).
 	Joins, Leaves, Moves int
 	// DelayUpdates counts measured-delay refreshes streamed into the
-	// planner (ClusterSession.UpdateDelays; always 0 for world-backed
-	// sessions, whose delays are ground truth).
+	// planner (ClusterSession.UpdateDelays, or one per UpdateServerDelays
+	// column; always 0 for world-backed sessions, whose delays are ground
+	// truth).
 	DelayUpdates int
+	// Topology counters: servers added, drained and removed, zones added
+	// and retired on the live session (always 0 for world-backed
+	// sessions, whose topology is frozen).
+	ServerAdds, ServerDrains, ServerRemoves int
+	ZoneAdds, ZoneRetires                   int
 	// FullSolves counts full two-phase re-solves (the initial one, drift-
 	// triggered ones, and explicit Resolve calls).
 	FullSolves int
@@ -63,6 +70,11 @@ func sessionStatsFrom(st repair.Stats) SessionStats {
 		Leaves:          st.Leaves,
 		Moves:           st.Moves,
 		DelayUpdates:    st.DelayUpdates,
+		ServerAdds:      st.ServerAdds,
+		ServerDrains:    st.ServerDrains,
+		ServerRemoves:   st.ServerRemoves,
+		ZoneAdds:        st.ZoneAdds,
+		ZoneRetires:     st.ZoneRetires,
 		FullSolves:      st.FullSolves,
 		ZoneHandoffs:    st.ZoneHandoffs,
 		ContactSwitches: st.ContactSwitches,
@@ -102,7 +114,7 @@ func (s *Scenario) StartSession(algorithm string, driftPQoS float64) (*Session, 
 }
 
 // zoneID maps a world zone index to its cluster-view zone ID.
-func (sess *Session) zoneID(z int) string { return sess.cs.zoneIDs[z] }
+func (sess *Session) zoneID(z int) string { return sess.cs.zoneIDAt(z) }
 
 // freshID mints a session-unique cluster ID for a newly joined client.
 func (sess *Session) freshID() string {
