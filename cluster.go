@@ -397,9 +397,20 @@ func (c *Cluster) Solve(algorithm string, opts ...Option) (*Result, error) {
 // joining, leaving, moving and refreshing their measured delays by ID —
 // instead of re-running the full algorithm after every change (DESIGN.md
 // §7). The session snapshots the cluster; mutating the builder afterwards
-// does not affect it. WithDriftGuard arms the automatic re-solve.
+// does not affect it. WithDriftGuard and WithImbalanceGuard arm the
+// automatic re-solve; WithDurability makes the session crash-recoverable
+// (and, when the directory already holds state, RECOVERS the stored
+// session instead of solving this cluster — see the option's doc).
 func (c *Cluster) Open(algorithm string, opts ...Option) (*ClusterSession, error) {
 	cfg := resolveOptions(opts)
+	if cfg.durDir != "" {
+		return c.openDurable(algorithm, cfg)
+	}
+	return c.openSession(algorithm, cfg)
+}
+
+// openSession is the non-durable (and fresh-durable) construction path.
+func (c *Cluster) openSession(algorithm string, cfg config) (*ClusterSession, error) {
 	tp, ok := core.ByName(algorithm)
 	if !ok {
 		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
@@ -413,9 +424,10 @@ func (c *Cluster) Open(algorithm string, opts ...Option) (*ClusterSession, error
 		return nil, err
 	}
 	pl, err := repair.New(repair.Config{
-		Algo:      tp,
-		Opt:       opt,
-		DriftPQoS: cfg.drift,
+		Algo:            tp,
+		Opt:             opt,
+		DriftPQoS:       cfg.drift,
+		DriftUtilSpread: cfg.spread,
 	}, p, cfg.rngFor().Split())
 	if err != nil {
 		return nil, err
@@ -437,10 +449,13 @@ func (c *Cluster) Open(algorithm string, opts ...Option) (*ClusterSession, error
 		return nil, err
 	}
 	return &ClusterSession{
-		binding:    binding,
-		algo:       algorithm,
-		delayBound: p.D,
-		rowBuf:     make([]float64, p.NumServers()),
+		binding:     binding,
+		algo:        algorithm,
+		delayBound:  p.D,
+		rowBuf:      make([]float64, p.NumServers()),
+		overflow:    cfg.overflow,
+		driftPQoS:   cfg.drift,
+		driftSpread: cfg.spread,
 	}, nil
 }
 

@@ -57,6 +57,13 @@ func ReadClusterJSON(r io.Reader) (*Cluster, error) {
 	if err := json.NewDecoder(r).Decode(&cj); err != nil {
 		return nil, fmt.Errorf("dvecap: decoding cluster spec: %w", err)
 	}
+	return clusterFromJSON(&cj)
+}
+
+// clusterFromJSON replays a decoded spec through the builder calls it maps
+// to — shared by ReadClusterJSON and durable-session recovery (whose
+// snapshots embed a clusterJSON).
+func clusterFromJSON(cj *clusterJSON) (*Cluster, error) {
 	c := NewCluster(cj.DelayBoundMs)
 	for _, s := range cj.Servers {
 		if err := c.AddServer(s.ID, ServerSpec{CapacityMbps: s.CapacityMbps, RTTs: s.RTTsMs}); err != nil {

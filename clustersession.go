@@ -30,6 +30,14 @@ type ClusterSession struct {
 	algo       string
 	delayBound float64
 	rowBuf     []float64
+
+	// overflow, driftPQoS and driftSpread record the trajectory-shaping
+	// config so durable snapshots can restore it; dur is non-nil on
+	// sessions opened WithDurability (DESIGN.md §11).
+	overflow    OverflowPolicy
+	driftPQoS   float64
+	driftSpread float64
+	dur         *durable
 }
 
 // ClusterClient is the externally visible state of one session client.
@@ -132,7 +140,16 @@ func (s *ClusterSession) Join(id string, spec ClientSpec) error {
 	if err != nil {
 		return err
 	}
-	return s.binding.Join(id, z, rt, row)
+	// The journal records the RESOLVED dense row (not the spec's map form):
+	// replay must see identical inputs regardless of which form the caller
+	// used. journal encodes immediately, so row aliasing rowBuf is fine.
+	if err := s.journal(&repair.Event{Op: repair.OpJoin, ID: id, Zone: spec.Zone, RT: rt, Row: row}); err != nil {
+		return err
+	}
+	if err := s.binding.Join(id, z, rt, row); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // resolveJoin validates one client admission against the current topology
@@ -179,13 +196,29 @@ func (s *ClusterSession) JoinBatch(joins []ClientJoin) error {
 		// whole batch.
 		css[x] = append([]float64(nil), row...)
 	}
-	return s.binding.JoinBatch(ids, zones, rts, css)
+	zoneIDs := make([]string, len(joins))
+	for x, cj := range joins {
+		zoneIDs[x] = cj.Spec.Zone
+	}
+	if err := s.journal(&repair.Event{Op: repair.OpJoinBatch, IDs: ids, Zones: zoneIDs, RTs: rts, Rows: css}); err != nil {
+		return err
+	}
+	if err := s.binding.JoinBatch(ids, zones, rts, css); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // Leave removes the client, repairing around the zone it vacated. The ID
 // becomes available for reuse.
 func (s *ClusterSession) Leave(id string) error {
-	return s.binding.Leave(id)
+	if err := s.journal(&repair.Event{Op: repair.OpLeave, ID: id}); err != nil {
+		return err
+	}
+	if err := s.binding.Leave(id); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // Move migrates the client's avatar to another zone, re-attaches it, and
@@ -195,7 +228,54 @@ func (s *ClusterSession) Move(id, zone string) error {
 	if err != nil {
 		return err
 	}
-	return s.binding.Move(id, z)
+	if err := s.journal(&repair.Event{Op: repair.OpMove, ID: id, Zone: zone}); err != nil {
+		return err
+	}
+	if err := s.binding.Move(id, z); err != nil {
+		return err
+	}
+	return s.afterApply()
+}
+
+// LeaveBatch removes many clients in ONE repair event — the mass-exodus
+// mirror of JoinBatch. All memberships are removed first, then one seeded
+// repair scan covers the union of the vacated zones. The batch is
+// validated before anything is applied: an error (unknown or duplicated
+// ID) means no client left.
+func (s *ClusterSession) LeaveBatch(ids []string) error {
+	if err := s.journal(&repair.Event{Op: repair.OpLeaveBatch, IDs: ids}); err != nil {
+		return err
+	}
+	if err := s.binding.LeaveBatch(ids); err != nil {
+		return err
+	}
+	return s.afterApply()
+}
+
+// MoveBatch migrates many clients in ONE repair event: ids[x] moves to
+// zones[x] (a zone ID; clients already in the named zone are allowed and
+// unchanged). All memberships move first, then one seeded repair scan
+// covers the union of vacated and entered zones. The batch is validated
+// before anything is applied: an error means no client moved.
+func (s *ClusterSession) MoveBatch(ids []string, zones []string) error {
+	if len(zones) != len(ids) {
+		return fmt.Errorf("dvecap: move batch has %d ids but %d zones", len(ids), len(zones))
+	}
+	zs := make([]int, len(zones))
+	for x, zid := range zones {
+		z, err := s.zone(zid)
+		if err != nil {
+			return err
+		}
+		zs[x] = z
+	}
+	if err := s.journal(&repair.Event{Op: repair.OpMoveBatch, IDs: ids, Zones: zones}); err != nil {
+		return err
+	}
+	if err := s.binding.MoveBatch(ids, zs); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // AddServer grows the live topology by one server. spec.RTTs must cover
@@ -236,11 +316,16 @@ func (s *ClusterSession) AddServer(id string, spec ServerSpec) error {
 		}
 		return fmt.Errorf("dvecap: server %q RTT: %w %q", id, ErrUnknownServer, sid)
 	}
+	// Journaled form: the resolved dense inter-server row (current server
+	// order) — replay rebuilds the map against the same order.
+	if err := s.journal(&repair.Event{Op: repair.OpAddServer, Server: id, Capacity: spec.CapacityMbps, Row: ss, ClientRTTs: spec.ClientRTTs}); err != nil {
+		return err
+	}
 	if err := s.binding.AddServer(id, spec.CapacityMbps, ss, spec.ClientRTTs, UnmeasuredRTTMs); err != nil {
 		return err
 	}
 	s.rowBuf = append(s.rowBuf, 0)
-	return nil
+	return s.afterApply()
 }
 
 // RemoveServer retires the server from the topology. The server must be
@@ -249,11 +334,14 @@ func (s *ClusterSession) AddServer(id string, spec ServerSpec) error {
 // indices renumber (the last server takes the vacated index); IDs are
 // stable.
 func (s *ClusterSession) RemoveServer(id string) error {
+	if err := s.journal(&repair.Event{Op: repair.OpRemoveServer, Server: id}); err != nil {
+		return err
+	}
 	if err := s.binding.RemoveServer(id); err != nil {
 		return err
 	}
 	s.rowBuf = s.rowBuf[:len(s.rowBuf)-1]
-	return nil
+	return s.afterApply()
 }
 
 // DrainServer evacuates the server for a rolling deploy: its capacity
@@ -264,14 +352,26 @@ func (s *ClusterSession) RemoveServer(id string) error {
 // O(affected), no full re-solve. Afterwards the server holds nothing:
 // RemoveServer retires it, or UncordonServer returns it to service.
 func (s *ClusterSession) DrainServer(id string) error {
-	return s.binding.DrainServer(id)
+	if err := s.journal(&repair.Event{Op: repair.OpDrainServer, Server: id}); err != nil {
+		return err
+	}
+	if err := s.binding.DrainServer(id); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // UncordonServer returns a drained server to service with its nominal
 // capacity restored — the tail end of a rolling deploy. A no-op when the
 // server is not draining.
 func (s *ClusterSession) UncordonServer(id string) error {
-	return s.binding.UncordonServer(id)
+	if err := s.journal(&repair.Event{Op: repair.OpUncordon, Server: id}); err != nil {
+		return err
+	}
+	if err := s.binding.UncordonServer(id); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // AddZone grows the virtual world by one (empty) zone, hosted per spec.
@@ -279,7 +379,13 @@ func (s *ClusterSession) AddZone(id string, spec ZoneSpec) error {
 	if id == "" {
 		return fmt.Errorf("dvecap: empty zone ID")
 	}
-	return s.binding.AddZone(id, spec.Host)
+	if err := s.journal(&repair.Event{Op: repair.OpAddZone, Zone: id, Host: spec.Host}); err != nil {
+		return err
+	}
+	if err := s.binding.AddZone(id, spec.Host); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // RetireZone removes an empty zone from the virtual world
@@ -287,7 +393,13 @@ func (s *ClusterSession) AddZone(id string, spec ZoneSpec) error {
 // Dense indices renumber (the last zone takes the vacated index); IDs are
 // stable.
 func (s *ClusterSession) RetireZone(id string) error {
-	return s.binding.RetireZone(id)
+	if err := s.journal(&repair.Event{Op: repair.OpRetireZone, Zone: id}); err != nil {
+		return err
+	}
+	if err := s.binding.RetireZone(id); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // Servers returns the live server inventory in dense index order: nominal
@@ -332,7 +444,15 @@ func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) error 
 	if err := validateRTTRow(id, s.rowBuf); err != nil {
 		return err
 	}
-	return s.binding.UpdateDelays(id, s.rowBuf)
+	// Journaled as the MERGED dense row: replay must not depend on what the
+	// row held before the crash-era partial refresh.
+	if err := s.journal(&repair.Event{Op: repair.OpDelayRow, ID: id, Row: s.rowBuf}); err != nil {
+		return err
+	}
+	if err := s.binding.UpdateDelays(id, s.rowBuf); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // UpdateDelayRow is UpdateDelays with a full dense row in ServerIDs order
@@ -343,7 +463,13 @@ func (s *ClusterSession) UpdateDelayRow(id string, rtts []float64) error {
 			return err
 		}
 	}
-	return s.binding.UpdateDelays(id, rtts)
+	if err := s.journal(&repair.Event{Op: repair.OpDelayRow, ID: id, Row: rtts}); err != nil {
+		return err
+	}
+	if err := s.binding.UpdateDelays(id, rtts); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // UpdateServerDelays is the server-column form of UpdateDelays: freshly
@@ -358,7 +484,17 @@ func (s *ClusterSession) UpdateServerDelays(server string, rtts map[string]float
 			return fmt.Errorf("dvecap: client %q RTT to server %q is %v ms, want >= 0", cid, server, d)
 		}
 	}
-	return s.binding.UpdateServerDelays(server, rtts)
+	if len(rtts) == 0 {
+		// Validates the server ID, applies nothing — not a journaled event.
+		return s.binding.UpdateServerDelays(server, rtts)
+	}
+	if err := s.journal(&repair.Event{Op: repair.OpServerDelays, Server: server, RTTs: rtts}); err != nil {
+		return err
+	}
+	if err := s.binding.UpdateServerDelays(server, rtts); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // SetBandwidth updates the client's bandwidth requirement (Mbps) —
@@ -368,7 +504,13 @@ func (s *ClusterSession) SetBandwidth(id string, mbps float64) error {
 	if !(mbps > 0) { // rejects NaN too
 		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, mbps)
 	}
-	return s.binding.SetRT(id, mbps)
+	if err := s.journal(&repair.Event{Op: repair.OpSetBandwidth, ID: id, RT: mbps}); err != nil {
+		return err
+	}
+	if err := s.binding.SetRT(id, mbps); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // SetZoneBandwidth sets the bandwidth requirement of every client
@@ -380,12 +522,26 @@ func (s *ClusterSession) SetZoneBandwidth(zone string, perClientMbps float64) er
 	if err != nil {
 		return err
 	}
-	return s.binding.Planner().RefreshZoneRT(z, perClientMbps)
+	if err := s.journal(&repair.Event{Op: repair.OpSetZoneBW, Zone: zone, RT: perClientMbps}); err != nil {
+		return err
+	}
+	if err := s.binding.Planner().RefreshZoneRT(z, perClientMbps); err != nil {
+		return err
+	}
+	return s.afterApply()
 }
 
 // Resolve forces one full two-phase re-solve, re-anchoring the drift
 // baseline.
-func (s *ClusterSession) Resolve() error { return s.binding.Planner().FullSolve() }
+func (s *ClusterSession) Resolve() error {
+	if err := s.journal(&repair.Event{Op: repair.OpResolve}); err != nil {
+		return err
+	}
+	if err := s.binding.Planner().FullSolve(); err != nil {
+		return err
+	}
+	return s.afterApply()
+}
 
 // ZoneHost returns the ID of the server currently hosting the zone.
 func (s *ClusterSession) ZoneHost(zone string) (string, error) {

@@ -37,9 +37,26 @@
 //
 //	repair_events    churn events handled incrementally (joins+leaves+moves)
 //	full_solves      full two-phase re-solves run so far
+//	imbalance_solves full solves fired by the -drift-spread imbalance guard
 //	zone_handoffs    zones rehosted (localized repair moves + full-solve diffs)
 //	contact_switches contact re-placements made by the repair path
 //	last_drift_pqos  current pQoS decay below the last full solve's level
+//	util_spread      current max−min per-server utilization spread
+//
+// With -data-dir the director is durable (DESIGN.md §11): every event is
+// journaled to a write-ahead log before it is applied, snapshots bound
+// replay (-snapshot-every, plus POST /v1/checkpoint on demand), and a
+// restart pointed at the same directory recovers the stored state
+// bit-identically — clients, topology changes, counters, even the
+// planner's RNG position. The topology flags (-topology, -seed, -servers
+// …) must not change across a recovery: the delay oracle is measurement
+// infrastructure, not journaled state, and the stored deployment
+// supersedes the generated server placement. SIGINT/SIGTERM shut down
+// gracefully: in-flight requests drain, then a final checkpoint is
+// written so the next start replays nothing:
+//
+//	capdirector -addr :8080 -data-dir /var/lib/capdirector -snapshot-every 5000
+//	curl -s -X POST localhost:8080/v1/checkpoint   # bound recovery before a deploy
 package main
 
 import (
@@ -49,6 +66,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dvecap/internal/director"
 	"dvecap/internal/topology"
@@ -68,7 +88,10 @@ func main() {
 		topoFile  = flag.String("topology", "", "topology JSON (default: generate the paper's 500-node hierarchy)")
 		reassign  = flag.Duration("reassign-every", 0, "re-execute the algorithm periodically (0 = only on POST /v1/reassign)")
 		drift     = flag.Float64("drift", 0, "arm the repair planner's quality guard: full re-solve when pQoS decays this far below the last full solve (0 = disabled)")
+		driftSprd = flag.Float64("drift-spread", 0, "arm the load-imbalance guard: full re-solve when the max-min per-server utilization spread grows this far above the last full solve's baseline (0 = disabled)")
 		workers   = flag.Int("workers", 0, "goroutines for the sharded assignment scans (0/1 = sequential, -1 = all CPUs); results are identical for every setting")
+		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead journal + snapshots, recovered on restart (empty = in-memory only)")
+		snapEvery = flag.Int("snapshot-every", 10000, "with -data-dir, checkpoint automatically every N journaled events (0 = only POST /v1/checkpoint)")
 	)
 	flag.Parse()
 
@@ -99,17 +122,20 @@ func main() {
 	caps := rng.Simplex(*servers, *capacity, *minCap)
 
 	d, err := director.New(director.Config{
-		ServerNodes:  nodes,
-		ServerCaps:   caps,
-		Zones:        *zones,
-		Delays:       dm,
-		DelayBoundMs: *bound,
-		FrameRate:    25,
-		MessageBytes: 100,
-		Algorithm:    *algorithm,
-		Seed:         *seed,
-		DriftPQoS:    *drift,
-		Workers:      *workers,
+		ServerNodes:     nodes,
+		ServerCaps:      caps,
+		Zones:           *zones,
+		Delays:          dm,
+		DelayBoundMs:    *bound,
+		FrameRate:       25,
+		MessageBytes:    100,
+		Algorithm:       *algorithm,
+		Seed:            *seed,
+		DriftPQoS:       *drift,
+		DriftUtilSpread: *driftSprd,
+		Workers:         *workers,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
 	})
 	if err != nil {
 		log.Fatalf("capdirector: %v", err)
@@ -124,12 +150,49 @@ func main() {
 	if *workers > 1 || *workers < 0 {
 		fmt.Printf("capdirector: sharded scans across %d workers\n", *workers)
 	}
+	if *driftSprd > 0 {
+		fmt.Printf("capdirector: imbalance guard armed at %.3f utilization spread\n", *driftSprd)
+	}
+	if *dataDir != "" {
+		fmt.Printf("capdirector: durable in %s (%d clients recovered, auto-checkpoint every %d events)\n",
+			*dataDir, d.Stats().Clients, *snapEvery)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *reassign > 0 {
-		go d.RunReassignLoop(context.Background(), *reassign, func(res director.ReassignResult) {
+		go d.RunReassignLoop(ctx, *reassign, func(res director.ReassignResult) {
 			log.Printf("reassign: %d clients, pQoS %.3f, R %.3f, %d contacts moved; totals: %d zone handoffs, %d full solves",
 				res.Clients, res.PQoS, res.Utilization, res.Moved, res.ZoneHandoffs, res.FullSolves)
 		})
 		fmt.Printf("capdirector: periodic reassignment every %s\n", *reassign)
 	}
-	log.Fatal(http.ListenAndServe(*addr, director.Handler(d)))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           director.Handler(d),
+		ReadTimeout:       15 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("capdirector: %v", err)
+	case <-ctx.Done():
+		// Graceful shutdown: stop taking requests, drain in-flight ones,
+		// then checkpoint-and-close the journal so the next start replays
+		// nothing.
+		stop()
+		log.Printf("capdirector: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("capdirector: shutdown: %v", err)
+		}
+		if err := d.Close(); err != nil {
+			log.Printf("capdirector: close: %v", err)
+		}
+	}
 }

@@ -1,0 +1,460 @@
+package dvecap
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/repair"
+	"dvecap/internal/wal"
+)
+
+// ErrSessionClosed reports an event on a durable session after Close.
+var ErrSessionClosed = errors.New("dvecap: session closed")
+
+const (
+	// snapshotVersion tags the sessionSnapshot schema; recovery rejects
+	// snapshots from a future schema rather than misreading them.
+	snapshotVersion = 1
+	// keepSnapshots is how many generations Checkpoint retains: the one it
+	// just wrote plus one predecessor, so a snapshot that turns out
+	// unreadable (torn by a crash-during-rename bug, bitrot) still leaves a
+	// recovery point with its log tail intact.
+	keepSnapshots = 2
+)
+
+// sessionSnapshot is one durable checkpoint of a ClusterSession: the full
+// cluster spec (the normalized WriteClusterJSON form), the planner sidecar
+// (assignment, evaluator accumulators, guard counters, RNG position) and
+// the trajectory-shaping config. Everything a placement decision depends
+// on is in here; knobs that only affect throughput (worker count) or
+// durability housekeeping (checkpoint cadence) stay with the caller.
+type sessionSnapshot struct {
+	Version         int            `json:"version"`
+	LSN             uint64         `json:"lsn"`
+	Algo            string         `json:"algo"`
+	Overflow        OverflowPolicy `json:"overflow"`
+	DriftPQoS       float64        `json:"drift_pqos,omitempty"`
+	DriftUtilSpread float64        `json:"drift_util_spread,omitempty"`
+	Cluster         clusterJSON    `json:"cluster"`
+	Planner         *repair.State  `json:"planner"`
+}
+
+// durable is a ClusterSession's write-ahead journal: every event is
+// encoded and appended (synced) BEFORE it is applied, so an event whose
+// apply the caller saw acknowledged is on disk, and recovery replaying
+// the log reaches the exact state the crash interrupted (DESIGN.md §11).
+type durable struct {
+	dir string
+	w   *wal.Writer
+	// snapEvery / sinceSnap drive auto-checkpointing; lastFullSolves
+	// detects planner epochs (full re-solves) so they get advisory markers.
+	snapEvery      int
+	sinceSnap      int
+	lastFullSolves int
+	// replaying suspends journaling while recovery re-applies the log
+	// through the live mutators.
+	replaying bool
+	closed    bool
+	// hook is the crash-injection point for the fault tests; it is threaded
+	// into the WAL's Options.CrashHook and the snapshot writer.
+	hook func(point string) error
+}
+
+// walHook adapts the session's crash-injection hook to the WAL layer. The
+// indirection matters: tests install s.dur.hook after Open returns.
+func (s *ClusterSession) walHook() func(string) error {
+	return func(point string) error {
+		if s.dur != nil && s.dur.hook != nil {
+			return s.dur.hook(point)
+		}
+		return nil
+	}
+}
+
+// journal appends the event's canonical encoding to the WAL and syncs it.
+// Nil when the session is not durable or is replaying its own log. Called
+// BEFORE the event is applied; a journaled event that the apply then
+// rejects replays as rejected too (same inputs, same validation), so the
+// log may legitimately hold events that changed nothing.
+func (s *ClusterSession) journal(e *repair.Event) error {
+	if s.dur == nil || s.dur.replaying {
+		return nil
+	}
+	if s.dur.closed {
+		return ErrSessionClosed
+	}
+	payload, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := s.dur.w.Append(payload); err != nil {
+		return fmt.Errorf("dvecap: journal %s: %w", e.Op, err)
+	}
+	return nil
+}
+
+// afterApply runs the durable bookkeeping once an event has been applied:
+// an advisory epoch marker when the planner ran a full re-solve, and the
+// auto-checkpoint cadence. During replay it only tracks the epoch counter
+// (the markers already in the log are verified by applyEvent).
+func (s *ClusterSession) afterApply() error {
+	if s.dur == nil {
+		return nil
+	}
+	if fs := s.planner().Stats().FullSolves; fs != s.dur.lastFullSolves {
+		s.dur.lastFullSolves = fs
+		if !s.dur.replaying {
+			payload, err := (&repair.Event{Op: repair.OpEpoch, FullSolves: fs}).Encode()
+			if err != nil {
+				return err
+			}
+			if _, err := s.dur.w.Append(payload); err != nil {
+				return fmt.Errorf("dvecap: journal epoch: %w", err)
+			}
+		}
+	}
+	if s.dur.replaying {
+		return nil
+	}
+	s.dur.sinceSnap++
+	if s.dur.snapEvery > 0 && s.dur.sinceSnap >= s.dur.snapEvery {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// snapshotPayload renders the session's full durable state as of lsn.
+func (s *ClusterSession) snapshotPayload(lsn uint64) ([]byte, error) {
+	pl := s.planner()
+	p := pl.Problem()
+	m := p.NumServers()
+	cj := clusterJSON{
+		DelayBoundMs: p.D,
+		Servers:      make([]serverJSON, m),
+		ServerRTTsMs: p.SS,
+		Zones:        append([]string(nil), s.binding.ZoneNames()...),
+		Clients:      make([]clientJSON, p.NumClients()),
+	}
+	for i, id := range s.binding.ServerNames() {
+		cj.Servers[i] = serverJSON{ID: id, CapacityMbps: p.ServerCaps[i]}
+	}
+	// Dense client order IS the planner's problem order; the snapshot's
+	// client list must follow it so NewFromState's renumbering (handles
+	// 0..k-1 in dense order) re-ties the same IDs to the same clients.
+	for _, id := range s.binding.IDs() {
+		h, err := s.binding.Handle(id)
+		if err != nil {
+			return nil, err
+		}
+		j, err := pl.Index(h)
+		if err != nil {
+			return nil, err
+		}
+		cj.Clients[j] = clientJSON{
+			ID:            id,
+			Zone:          s.binding.ZoneID(p.ClientZones[j]),
+			BandwidthMbps: p.ClientRT[j],
+			RTTRowMs:      p.CS[j],
+		}
+	}
+	st, err := pl.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sessionSnapshot{
+		Version:         snapshotVersion,
+		LSN:             lsn,
+		Algo:            s.algo,
+		Overflow:        s.overflow,
+		DriftPQoS:       s.driftPQoS,
+		DriftUtilSpread: s.driftSpread,
+		Cluster:         cj,
+		Planner:         st,
+	})
+}
+
+// Checkpoint writes a snapshot of the session's current state and
+// truncates the log segments it supersedes, bounding the next recovery's
+// replay to events journaled after this call. A no-op on non-durable
+// sessions. Auto-checkpointing (WithSnapshotEvery) calls this; call it
+// explicitly before planned downtime — e.g. checkpoint, then drain, then
+// stop, so a restart replays nothing.
+func (s *ClusterSession) Checkpoint() error {
+	if s.dur == nil {
+		return nil
+	}
+	if s.dur.closed {
+		return ErrSessionClosed
+	}
+	lsn := s.dur.w.NextLSN() - 1
+	payload, err := s.snapshotPayload(lsn)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteSnapshot(s.dur.dir, lsn, payload, s.walHook()); err != nil {
+		return err
+	}
+	if err := s.dur.w.TruncateThrough(lsn); err != nil {
+		return err
+	}
+	if err := wal.PruneSnapshots(s.dur.dir, keepSnapshots); err != nil {
+		return err
+	}
+	s.dur.sinceSnap = 0
+	return nil
+}
+
+// Close checkpoints a durable session and releases its log. Further events
+// fail with ErrSessionClosed; read paths keep working. A no-op on
+// non-durable sessions and on second call.
+func (s *ClusterSession) Close() error {
+	if s.dur == nil || s.dur.closed {
+		return nil
+	}
+	err := s.Checkpoint()
+	s.dur.closed = true
+	if cerr := s.dur.w.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openDurable is Open's durable branch: recover when dir already holds
+// state, otherwise solve fresh and establish the baseline snapshot before
+// the first log segment exists — a crash between the two leaves either
+// nothing (next Open solves fresh again) or a snapshot-only directory
+// (next Open recovers from it with an empty tail). There is no window
+// where a log exists without a snapshot under it.
+func (c *Cluster) openDurable(algorithm string, cfg config) (*ClusterSession, error) {
+	has, err := wal.HasState(cfg.durDir)
+	if err != nil {
+		return nil, err
+	}
+	if has {
+		return recoverSession(algorithm, cfg)
+	}
+	s, err := c.openSession(algorithm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.dur = &durable{
+		dir:            cfg.durDir,
+		snapEvery:      cfg.snapEvery,
+		lastFullSolves: s.planner().Stats().FullSolves,
+	}
+	base, err := s.snapshotPayload(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := wal.WriteSnapshot(cfg.durDir, 0, base, s.walHook()); err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(cfg.durDir, 0, wal.Options{CrashHook: s.walHook()})
+	if err != nil {
+		return nil, err
+	}
+	s.dur.w = w
+	return s, nil
+}
+
+// recoverSession rebuilds a session from the newest readable snapshot plus
+// the log tail after it, replayed through the SAME mutators live traffic
+// uses. The stored trajectory-shaping config (algorithm must match what
+// the caller asked for; overflow policy and guard thresholds are adopted
+// from the snapshot) wins over the caller's options — only the worker
+// count is taken from the caller, since results are worker-invariant
+// (DESIGN.md §8).
+func recoverSession(algorithm string, cfg config) (*ClusterSession, error) {
+	dir := cfg.durDir
+	lsns, err := wal.SnapshotLSNs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(lsns) == 0 {
+		return nil, fmt.Errorf("dvecap: %s holds log segments but no snapshot", dir)
+	}
+	var snap sessionSnapshot
+	var lastErr error
+	found := false
+	for x := len(lsns) - 1; x >= 0 && !found; x-- {
+		raw, err := wal.ReadSnapshot(dir, lsns[x])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var cand sessionSnapshot
+		if err := json.Unmarshal(raw, &cand); err != nil {
+			lastErr = fmt.Errorf("snapshot %d: %w", lsns[x], err)
+			continue
+		}
+		if cand.Version != snapshotVersion {
+			lastErr = fmt.Errorf("snapshot %d has version %d, this build reads %d", lsns[x], cand.Version, snapshotVersion)
+			continue
+		}
+		if cand.LSN != lsns[x] {
+			lastErr = fmt.Errorf("snapshot %d declares LSN %d", lsns[x], cand.LSN)
+			continue
+		}
+		snap, found = cand, true
+	}
+	if !found {
+		return nil, fmt.Errorf("dvecap: no usable snapshot in %s: %w", dir, lastErr)
+	}
+	if snap.Algo != algorithm {
+		return nil, fmt.Errorf("dvecap: stored session in %s uses algorithm %q, not %q", dir, snap.Algo, algorithm)
+	}
+	tp, ok := core.ByName(snap.Algo)
+	if !ok {
+		return nil, fmt.Errorf("dvecap: stored session uses unknown algorithm %q", snap.Algo)
+	}
+	rc, err := clusterFromJSON(&snap.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("dvecap: snapshot cluster: %w", err)
+	}
+	p, err := rc.problem()
+	if err != nil {
+		return nil, err
+	}
+	ocfg := cfg
+	ocfg.overflow = snap.Overflow
+	opt, err := ocfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := repair.NewFromState(repair.Config{
+		Algo:            tp,
+		Opt:             opt,
+		DriftPQoS:       snap.DriftPQoS,
+		DriftUtilSpread: snap.DriftUtilSpread,
+	}, p, snap.Planner)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(snap.Cluster.Clients))
+	for j, cl := range snap.Cluster.Clients {
+		ids[j] = cl.ID
+	}
+	serverIDs := make([]string, len(snap.Cluster.Servers))
+	for i, sv := range snap.Cluster.Servers {
+		serverIDs[i] = sv.ID
+	}
+	binding, err := repair.RestoreIDBinding(pl, ids, serverIDs, snap.Cluster.Zones)
+	if err != nil {
+		return nil, err
+	}
+	s := &ClusterSession{
+		binding:     binding,
+		algo:        snap.Algo,
+		delayBound:  p.D,
+		rowBuf:      make([]float64, p.NumServers()),
+		overflow:    snap.Overflow,
+		driftPQoS:   snap.DriftPQoS,
+		driftSpread: snap.DriftUtilSpread,
+	}
+	s.dur = &durable{
+		dir:            dir,
+		snapEvery:      cfg.snapEvery,
+		replaying:      true,
+		lastFullSolves: pl.Stats().FullSolves,
+	}
+	replayed := 0
+	if _, err := wal.Replay(dir, snap.LSN, func(lsn uint64, payload []byte) error {
+		e, err := repair.DecodeEvent(payload)
+		if err != nil {
+			return fmt.Errorf("dvecap: LSN %d: %w", lsn, err)
+		}
+		if e.Op != repair.OpEpoch {
+			replayed++
+		}
+		if err := s.applyEvent(e); err != nil {
+			return fmt.Errorf("dvecap: replaying LSN %d: %w", lsn, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(dir, snap.LSN, wal.Options{CrashHook: s.walHook()})
+	if err != nil {
+		return nil, err
+	}
+	s.dur.w = w
+	s.dur.replaying = false
+	s.dur.sinceSnap = replayed
+	return s, nil
+}
+
+// applyEvent replays one journaled event through the live mutator it was
+// journaled from. Apply-level rejections are swallowed: the live path
+// journals before applying, so an event the apply then rejected is in the
+// log too — and rejects again here, deterministically, changing nothing.
+// Only structural problems (unknown op, epoch divergence) are errors:
+// they mean the log and this build disagree about what the events MEAN,
+// and continuing would silently diverge from the pre-crash trajectory.
+func (s *ClusterSession) applyEvent(e *repair.Event) error {
+	switch e.Op {
+	case repair.OpJoin:
+		_ = s.Join(e.ID, ClientSpec{Zone: e.Zone, BandwidthMbps: e.RT, RTTRow: e.Row})
+	case repair.OpJoinBatch:
+		joins := make([]ClientJoin, len(e.IDs))
+		for x := range e.IDs {
+			joins[x] = ClientJoin{ID: e.IDs[x], Spec: ClientSpec{
+				Zone:          e.Zones[x],
+				BandwidthMbps: e.RTs[x],
+				RTTRow:        e.Rows[x],
+			}}
+		}
+		_ = s.JoinBatch(joins)
+	case repair.OpLeave:
+		_ = s.Leave(e.ID)
+	case repair.OpLeaveBatch:
+		_ = s.LeaveBatch(e.IDs)
+	case repair.OpMove:
+		_ = s.Move(e.ID, e.Zone)
+	case repair.OpMoveBatch:
+		_ = s.MoveBatch(e.IDs, e.Zones)
+	case repair.OpDelayRow:
+		_ = s.UpdateDelayRow(e.ID, e.Row)
+	case repair.OpServerDelays:
+		_ = s.UpdateServerDelays(e.Server, e.RTTs)
+	case repair.OpSetBandwidth:
+		_ = s.SetBandwidth(e.ID, e.RT)
+	case repair.OpSetZoneBW:
+		_ = s.SetZoneBandwidth(e.Zone, e.RT)
+	case repair.OpAddServer:
+		// The journaled Row is the resolved inter-server row in the server
+		// order AT THE EVENT'S LSN — which is exactly the current order
+		// during replay. Rebuild the map form AddServer takes.
+		rtts := make(map[string]float64, len(e.Row))
+		for i, sid := range s.binding.ServerNames() {
+			if i < len(e.Row) {
+				rtts[sid] = e.Row[i]
+			}
+		}
+		_ = s.AddServer(e.Server, ServerSpec{
+			CapacityMbps: e.Capacity,
+			RTTs:         rtts,
+			ClientRTTs:   e.ClientRTTs,
+		})
+	case repair.OpRemoveServer:
+		_ = s.RemoveServer(e.Server)
+	case repair.OpDrainServer:
+		_ = s.DrainServer(e.Server)
+	case repair.OpUncordon:
+		_ = s.UncordonServer(e.Server)
+	case repair.OpAddZone:
+		_ = s.AddZone(e.Zone, ZoneSpec{Host: e.Host})
+	case repair.OpRetireZone:
+		_ = s.RetireZone(e.Zone)
+	case repair.OpResolve:
+		_ = s.Resolve()
+	case repair.OpEpoch:
+		if fs := s.planner().Stats().FullSolves; fs != e.FullSolves {
+			return fmt.Errorf("replay diverged: %d full solves at epoch marker expecting %d", fs, e.FullSolves)
+		}
+	default:
+		return fmt.Errorf("unknown journal op %q", e.Op)
+	}
+	return nil
+}

@@ -93,6 +93,9 @@ func main() {
 	// --- 2. rolling deploy ------------------------------------------------
 	// One server at a time: drain (evacuate in O(affected), no full
 	// re-solve), deploy, uncordon. Players keep playing throughout.
+	// On a durable session (Open with WithDurability), checkpoint FIRST:
+	// sess.Checkpoint() bounds a mid-deploy crash's recovery to replaying
+	// the deploy's own events instead of the whole epoch (DESIGN.md §11).
 	for _, id := range []string{"srv-a", "srv-b", "srv-c", "srv-d"} {
 		check(sess.DrainServer(id))
 		report("deploy: " + id + " drained")

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+// churnEvaluator drives a deterministic mixed event sequence against ev —
+// the generic workload the persistence tests use to create history-
+// dependent state (bucket reorderings, accumulated float error).
+func churnEvaluator(t *testing.T, ev *Evaluator, rng *xrand.RNG, events int) {
+	t.Helper()
+	p := ev.p
+	for e := 0; e < events; e++ {
+		switch k := ev.NumClients(); {
+		case k == 0 || rng.Float64() < 0.4:
+			j := ev.AddClient(rng.IntN(p.NumZones), rng.Uniform(0.2, 2), randomDelayRow(rng, p.NumServers()))
+			ev.GreedyContact(j)
+		case rng.Float64() < 0.4:
+			ev.RemoveClient(rng.IntN(k))
+		case rng.Float64() < 0.5:
+			j := rng.IntN(k)
+			ev.MoveClient(j, rng.IntN(p.NumZones))
+			ev.GreedyContact(j)
+		default:
+			j := rng.IntN(k)
+			ev.SetClientDelays(j, randomDelayRow(rng, p.NumServers()))
+			ev.GreedyContact(j)
+		}
+		if rng.Float64() < 0.3 {
+			ev.ImproveZone(rng.IntN(p.NumZones))
+		}
+	}
+}
+
+// TestEvaluatorStateRoundTrip proves the snapshot contract: an evaluator
+// rebuilt from (Problem, Assignment, EvaluatorState) is indistinguishable
+// from the live one — same accumulators to the bit, same bucket order —
+// and stays indistinguishable over further churn.
+func TestEvaluatorStateRoundTrip(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng.Split(), trial%2 == 0)
+		a, err := GreZGreC.Solve(rng.Split(), p, Options{Overflow: SpillLargestResidual})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := NewEvaluator(p.Clone(), a)
+		churnEvaluator(t, live, rng.Split(), 120)
+
+		// Snapshot: problem + assignment + sidecar state, through JSON like
+		// the real durability path.
+		st := live.ExportState()
+		raw, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EvaluatorState
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		restored := NewEvaluator(live.p.Clone(), live.Assignment())
+		if err := restored.RestoreState(&back); err != nil {
+			t.Fatal(err)
+		}
+
+		requireSameEvaluator(t, live, restored)
+		// Further identical churn must stay bit-identical: decisions
+		// downstream of the restored accumulators and bucket order agree.
+		seed := rng.Split().Seed()
+		churnEvaluator(t, live, xrand.New(seed), 120)
+		churnEvaluator(t, restored, xrand.New(seed), 120)
+		requireSameEvaluator(t, live, restored)
+	}
+}
+
+func requireSameEvaluator(t *testing.T, a, b *Evaluator) {
+	t.Helper()
+	if a.NumClients() != b.NumClients() {
+		t.Fatalf("client counts differ: %d vs %d", a.NumClients(), b.NumClients())
+	}
+	if a.totalLoad != b.totalLoad || a.rapCost != b.rapCost || a.withQoS != b.withQoS {
+		t.Fatalf("accumulators differ: totalLoad %v vs %v, rapCost %v vs %v, withQoS %d vs %d",
+			a.totalLoad, b.totalLoad, a.rapCost, b.rapCost, a.withQoS, b.withQoS)
+	}
+	for i := range a.loads {
+		if a.loads[i] != b.loads[i] {
+			t.Fatalf("server %d load differs: %v vs %v", i, a.loads[i], b.loads[i])
+		}
+	}
+	for z := range a.zoneMembers {
+		if a.zoneRT[z] != b.zoneRT[z] {
+			t.Fatalf("zone %d RT differs: %v vs %v", z, a.zoneRT[z], b.zoneRT[z])
+		}
+		if a.zoneServer[z] != b.zoneServer[z] {
+			t.Fatalf("zone %d host differs: %d vs %d", z, a.zoneServer[z], b.zoneServer[z])
+		}
+		am, bm := a.zoneMembers[z], b.zoneMembers[z]
+		if len(am) != len(bm) {
+			t.Fatalf("zone %d bucket sizes differ: %d vs %d", z, len(am), len(bm))
+		}
+		for x := range am {
+			if am[x] != bm[x] {
+				t.Fatalf("zone %d bucket order differs at %d: %d vs %d", z, x, am[x], bm[x])
+			}
+		}
+	}
+	for j := 0; j < a.NumClients(); j++ {
+		if a.contact[j] != b.contact[j] {
+			t.Fatalf("client %d contact differs: %d vs %d", j, a.contact[j], b.contact[j])
+		}
+		if a.delay[j] != b.delay[j] {
+			t.Fatalf("client %d delay differs: %v vs %v", j, a.delay[j], b.delay[j])
+		}
+	}
+}
+
+// TestEvaluatorRestoreStateRejectsMismatch exercises the validation that
+// keeps a corrupt snapshot from silently installing impossible state.
+func TestEvaluatorRestoreStateRejectsMismatch(t *testing.T) {
+	p := tinyProblem()
+	a := &Assignment{ZoneServer: []int{0, 1}, ClientContact: []int{0, 0, 1}}
+	ev := NewEvaluator(p.Clone(), a)
+	good := ev.ExportState()
+
+	bad := *good
+	bad.Loads = good.Loads[:1]
+	if err := NewEvaluator(p.Clone(), a).RestoreState(&bad); err == nil {
+		t.Fatal("truncated loads accepted")
+	}
+
+	bad = *good
+	bad.ZoneMembers = [][]int{{0, 1, 2}, {}} // c2 belongs to zone 1
+	if err := NewEvaluator(p.Clone(), a).RestoreState(&bad); err == nil {
+		t.Fatal("wrong-zone bucket accepted")
+	}
+
+	bad = *good
+	bad.ZoneMembers = [][]int{{0, 0}, {2}} // duplicate, c1 missing
+	if err := NewEvaluator(p.Clone(), a).RestoreState(&bad); err == nil {
+		t.Fatal("duplicate bucket entry accepted")
+	}
+
+	if err := NewEvaluator(p.Clone(), a).RestoreState(good); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+}

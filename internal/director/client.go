@@ -129,6 +129,14 @@ func (c *Client) Reassign() (ReassignResult, error) {
 	return out, err
 }
 
+// Checkpoint snapshots a durable director's state and truncates its
+// journal, bounding the next recovery's replay.
+func (c *Client) Checkpoint() (CheckpointResult, error) {
+	var out CheckpointResult
+	err := c.do(http.MethodPost, "/v1/checkpoint", nil, &out)
+	return out, err
+}
+
 // Stats fetches current quality metrics.
 func (c *Client) Stats() (Stats, error) {
 	var out Stats

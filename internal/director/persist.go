@@ -1,0 +1,465 @@
+package director
+
+// Durable directors: the write-ahead event log, snapshots and recovery
+// for the online service (DESIGN.md §11). The discipline mirrors the
+// public ClusterSession's: every mutation is journaled (synced) BEFORE it
+// is applied, snapshots bound replay, and recovery re-applies the log
+// tail through the SAME mutators live traffic uses, so a director killed
+// mid-churn resumes bit-identical to one that was never interrupted.
+//
+// The director journals its OWN event vocabulary (the OpD* ops in
+// internal/repair/event.go): joins carry the serving node and the
+// materialized client ID, topology events carry dense indices, and the
+// oracle-derived delay rows are NOT journaled — replay re-derives them
+// from Config.Delays, which the recovering caller must supply unchanged
+// (it is measurement infrastructure, not mutable service state).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dvecap/internal/core"
+	"dvecap/internal/repair"
+	"dvecap/internal/wal"
+	"dvecap/internal/xrand"
+)
+
+// ErrDirectorClosed reports a mutation on a durable director after Close.
+var ErrDirectorClosed = errors.New("director: closed")
+
+const (
+	// dirSnapshotVersion tags the directorSnapshot schema; recovery rejects
+	// snapshots from a future schema rather than misreading them.
+	dirSnapshotVersion = 1
+	// dirKeepSnapshots is how many snapshot generations Checkpoint retains
+	// (the fresh one plus one fallback with its log tail intact).
+	dirKeepSnapshots = 2
+)
+
+// dirClientJSON is one registered client in a snapshot, in the planner's
+// dense order — recovery renumbers handles 0..k-1 in that order, so the
+// list order re-ties each ID to its planner-side client.
+type dirClientJSON struct {
+	ID   string `json:"id"`
+	Node int    `json:"node"`
+	Zone int    `json:"zone"`
+}
+
+// directorSnapshot is one durable checkpoint of a Director: the service
+// fingerprint (algorithm, bound, bandwidth model — recovery refuses a
+// caller whose config disagrees), the live deployment (server nodes, the
+// planner's exact problem), the client registry and the planner sidecar.
+// The delay oracle itself is NOT stored; the recovering caller supplies
+// it via Config.Delays and is responsible for it being the same matrix.
+type directorSnapshot struct {
+	Version         int             `json:"version"`
+	LSN             uint64          `json:"lsn"`
+	Algorithm       string          `json:"algorithm"`
+	DelayBoundMs    float64         `json:"delay_bound_ms"`
+	FrameRate       float64         `json:"frame_rate"`
+	MessageBytes    float64         `json:"message_bytes"`
+	DriftPQoS       float64         `json:"drift_pqos,omitempty"`
+	DriftUtilSpread float64         `json:"drift_util_spread,omitempty"`
+	Seq             uint64          `json:"seq"`
+	ServerNodes     []int           `json:"server_nodes"`
+	Clients         []dirClientJSON `json:"clients"`
+	Problem         *core.Problem   `json:"problem"`
+	Planner         *repair.State   `json:"planner"`
+}
+
+// dirDurable is a director's write-ahead journal state; all fields are
+// guarded by the director's mutex.
+type dirDurable struct {
+	dir string
+	w   *wal.Writer
+	// snapEvery / sinceSnap drive auto-checkpointing; lastFullSolves
+	// detects planner epochs so they get advisory markers.
+	snapEvery      int
+	sinceSnap      int
+	lastFullSolves int
+	// replaying suspends journaling while recovery re-applies the log
+	// through the live mutators.
+	replaying bool
+	closed    bool
+	// hook is the crash-injection point for the fault tests.
+	hook func(point string) error
+}
+
+// Durable reports whether the director journals to a data directory.
+func (d *Director) Durable() bool { return d.dur != nil }
+
+// Recovering reports whether the director is still replaying its journal.
+// The HTTP handler answers 503 with Retry-After while this is true, so a
+// server that binds its listener before recovery finishes sheds traffic
+// instead of serving half-replayed state.
+func (d *Director) Recovering() bool { return d.recovering.Load() }
+
+// dirHook adapts the crash-injection hook to the WAL layer; the
+// indirection lets tests install d.dur.hook after New returns.
+func (d *Director) dirHook() func(string) error {
+	return func(point string) error {
+		if d.dur != nil && d.dur.hook != nil {
+			return d.dur.hook(point)
+		}
+		return nil
+	}
+}
+
+// journalLocked appends the event's canonical encoding to the WAL and
+// syncs it. Nil when the director is not durable or is replaying its own
+// log. Called BEFORE the event is applied; an event the apply then
+// rejects replays as rejected too (same inputs, same validation).
+func (d *Director) journalLocked(e *repair.Event) error {
+	if d.dur == nil || d.dur.replaying {
+		return nil
+	}
+	if d.dur.closed {
+		return ErrDirectorClosed
+	}
+	payload, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := d.dur.w.Append(payload); err != nil {
+		return fmt.Errorf("director: journal %s: %w", e.Op, err)
+	}
+	return nil
+}
+
+// afterApplyLocked runs the durable bookkeeping once an event has been
+// applied: an advisory epoch marker when the planner ran a full re-solve,
+// and the auto-checkpoint cadence.
+func (d *Director) afterApplyLocked() error {
+	if d.dur == nil {
+		return nil
+	}
+	if fs := d.planner().Stats().FullSolves; fs != d.dur.lastFullSolves {
+		d.dur.lastFullSolves = fs
+		if !d.dur.replaying {
+			payload, err := (&repair.Event{Op: repair.OpEpoch, FullSolves: fs}).Encode()
+			if err != nil {
+				return err
+			}
+			if _, err := d.dur.w.Append(payload); err != nil {
+				return fmt.Errorf("director: journal epoch: %w", err)
+			}
+		}
+	}
+	if d.dur.replaying {
+		return nil
+	}
+	d.dur.sinceSnap++
+	if d.dur.snapEvery > 0 && d.dur.sinceSnap >= d.dur.snapEvery {
+		_, err := d.checkpointLocked()
+		return err
+	}
+	return nil
+}
+
+// snapshotPayloadLocked renders the director's full durable state as of lsn.
+func (d *Director) snapshotPayloadLocked(lsn uint64) ([]byte, error) {
+	pl := d.planner()
+	live := pl.Problem()
+	clients := make([]dirClientJSON, pl.NumClients())
+	for _, id := range d.binding.IDs() {
+		j, err := d.denseIndexLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		rec := d.clients[id]
+		clients[j] = dirClientJSON{ID: id, Node: rec.node, Zone: rec.zone}
+	}
+	st, err := pl.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(directorSnapshot{
+		Version:         dirSnapshotVersion,
+		LSN:             lsn,
+		Algorithm:       d.algo.Name,
+		DelayBoundMs:    d.cfg.DelayBoundMs,
+		FrameRate:       d.cfg.FrameRate,
+		MessageBytes:    d.cfg.MessageBytes,
+		DriftPQoS:       d.cfg.DriftPQoS,
+		DriftUtilSpread: d.cfg.DriftUtilSpread,
+		Seq:             d.seq,
+		ServerNodes:     append([]int(nil), d.cfg.ServerNodes...),
+		Clients:         clients,
+		Problem:         live,
+		Planner:         st,
+	})
+}
+
+func (d *Director) checkpointLocked() (uint64, error) {
+	lsn := d.dur.w.NextLSN() - 1
+	payload, err := d.snapshotPayloadLocked(lsn)
+	if err != nil {
+		return 0, err
+	}
+	if err := wal.WriteSnapshot(d.dur.dir, lsn, payload, d.dirHook()); err != nil {
+		return 0, err
+	}
+	if err := d.dur.w.TruncateThrough(lsn); err != nil {
+		return 0, err
+	}
+	if err := wal.PruneSnapshots(d.dur.dir, dirKeepSnapshots); err != nil {
+		return 0, err
+	}
+	d.dur.sinceSnap = 0
+	return lsn, nil
+}
+
+// Checkpoint writes a snapshot of the director's current state, truncates
+// the log segments it supersedes, and returns the snapshot's LSN —
+// bounding the next recovery's replay to events journaled after this
+// call. A no-op (0, nil) on non-durable directors. Auto-checkpointing
+// (Config.SnapshotEvery) calls this; POST /v1/checkpoint and the graceful
+// shutdown path call it explicitly — checkpoint, then drain, then stop,
+// so a restart replays nothing.
+func (d *Director) Checkpoint() (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dur == nil {
+		return 0, nil
+	}
+	if d.dur.closed {
+		return 0, ErrDirectorClosed
+	}
+	return d.checkpointLocked()
+}
+
+// Close checkpoints a durable director and releases its log. Further
+// mutations fail with ErrDirectorClosed; read paths keep working. A no-op
+// on non-durable directors and on second call.
+func (d *Director) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dur == nil || d.dur.closed {
+		return nil
+	}
+	_, err := d.checkpointLocked()
+	d.dur.closed = true
+	if cerr := d.dur.w.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// startDurable establishes the baseline snapshot and opens the log for a
+// freshly built director — snapshot first, so there is no window where a
+// log exists without a snapshot under it (a crash between the two leaves
+// either nothing or a snapshot-only directory, both recoverable).
+func (d *Director) startDurable() error {
+	d.dur = &dirDurable{
+		dir:            d.cfg.DataDir,
+		snapEvery:      d.cfg.SnapshotEvery,
+		lastFullSolves: d.planner().Stats().FullSolves,
+	}
+	base, err := d.snapshotPayloadLocked(0)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteSnapshot(d.cfg.DataDir, 0, base, d.dirHook()); err != nil {
+		return err
+	}
+	w, err := wal.Open(d.cfg.DataDir, 0, wal.Options{CrashHook: d.dirHook()})
+	if err != nil {
+		return err
+	}
+	d.dur.w = w
+	return nil
+}
+
+// recoverDirector rebuilds a director from the newest readable snapshot
+// in cfg.DataDir plus the log tail after it. The stored deployment wins
+// over the caller's: ServerNodes, ServerCaps, Zones and the guard
+// thresholds come from the snapshot, and the service fingerprint
+// (algorithm, delay bound, bandwidth model) must match the caller's
+// config exactly — a recovering operator may change only the worker
+// count (results are worker-invariant, DESIGN.md §8), the checkpoint
+// cadence and the delay oracle's backing store (which must still be the
+// same matrix; server and client nodes are bounds-checked against it).
+func recoverDirector(cfg Config) (*Director, error) {
+	dir := cfg.DataDir
+	lsns, err := wal.SnapshotLSNs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(lsns) == 0 {
+		return nil, fmt.Errorf("director: %s holds log segments but no snapshot", dir)
+	}
+	var snap directorSnapshot
+	var lastErr error
+	found := false
+	for x := len(lsns) - 1; x >= 0 && !found; x-- {
+		raw, err := wal.ReadSnapshot(dir, lsns[x])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var cand directorSnapshot
+		if err := json.Unmarshal(raw, &cand); err != nil {
+			lastErr = fmt.Errorf("snapshot %d: %w", lsns[x], err)
+			continue
+		}
+		if cand.Version != dirSnapshotVersion {
+			lastErr = fmt.Errorf("snapshot %d has version %d, this build reads %d", lsns[x], cand.Version, dirSnapshotVersion)
+			continue
+		}
+		if cand.LSN != lsns[x] {
+			lastErr = fmt.Errorf("snapshot %d declares LSN %d", lsns[x], cand.LSN)
+			continue
+		}
+		snap, found = cand, true
+	}
+	if !found {
+		return nil, fmt.Errorf("director: no usable snapshot in %s: %w", dir, lastErr)
+	}
+	if snap.Algorithm != cfg.Algorithm {
+		return nil, fmt.Errorf("director: stored state in %s uses algorithm %q, not %q", dir, snap.Algorithm, cfg.Algorithm)
+	}
+	if snap.DelayBoundMs != cfg.DelayBoundMs || snap.FrameRate != cfg.FrameRate || snap.MessageBytes != cfg.MessageBytes {
+		return nil, fmt.Errorf("director: stored state in %s has fingerprint D=%v/fr=%v/mb=%v, caller asks D=%v/fr=%v/mb=%v",
+			dir, snap.DelayBoundMs, snap.FrameRate, snap.MessageBytes,
+			cfg.DelayBoundMs, cfg.FrameRate, cfg.MessageBytes)
+	}
+	algo, ok := core.ByName(snap.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("director: stored state uses unknown algorithm %q", snap.Algorithm)
+	}
+	if snap.Problem == nil || snap.Planner == nil {
+		return nil, fmt.Errorf("director: snapshot in %s misses problem or planner state", dir)
+	}
+	if len(snap.ServerNodes) != len(snap.Problem.ServerCaps) {
+		return nil, fmt.Errorf("director: snapshot has %d server nodes for %d capacities", len(snap.ServerNodes), len(snap.Problem.ServerCaps))
+	}
+	cfg.ServerNodes = append([]int(nil), snap.ServerNodes...)
+	cfg.ServerCaps = append([]float64(nil), snap.Problem.ServerCaps...)
+	cfg.Zones = snap.Problem.NumZones
+	cfg.DriftPQoS = snap.DriftPQoS
+	cfg.DriftUtilSpread = snap.DriftUtilSpread
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if got, want := len(snap.Clients), snap.Problem.NumClients(); got != want {
+		return nil, fmt.Errorf("director: snapshot lists %d clients for a %d-client problem", got, want)
+	}
+	d := &Director{
+		cfg:     cfg,
+		algo:    algo,
+		clients: make(map[string]*clientRec, len(snap.Clients)),
+		rng:     xrand.New(cfg.Seed),
+		zonePop: make([]int, cfg.Zones),
+		csBuf:   make([]float64, len(cfg.ServerNodes)),
+		seq:     snap.Seq,
+	}
+	ids := make([]string, len(snap.Clients))
+	for j, cl := range snap.Clients {
+		if _, dup := d.clients[cl.ID]; dup {
+			return nil, fmt.Errorf("director: snapshot lists client %q twice", cl.ID)
+		}
+		if cl.Node < 0 || cl.Node >= cfg.Delays.N() {
+			return nil, fmt.Errorf("director: snapshot client %q on node %d outside delay matrix (%d nodes)", cl.ID, cl.Node, cfg.Delays.N())
+		}
+		if cl.Zone < 0 || cl.Zone >= cfg.Zones {
+			return nil, fmt.Errorf("director: snapshot client %q in zone %d outside [0,%d)", cl.ID, cl.Zone, cfg.Zones)
+		}
+		d.clients[cl.ID] = &clientRec{node: cl.Node, zone: cl.Zone}
+		d.zonePop[cl.Zone]++
+		ids[j] = cl.ID
+	}
+	pl, err := repair.NewFromState(repair.Config{
+		Algo:            algo,
+		Opt:             core.Options{Overflow: core.SpillLargestResidual, Workers: cfg.Workers},
+		DriftPQoS:       snap.DriftPQoS,
+		DriftUtilSpread: snap.DriftUtilSpread,
+	}, snap.Problem, snap.Planner)
+	if err != nil {
+		return nil, err
+	}
+	d.binding, err = repair.NewIDBinding(pl, ids)
+	if err != nil {
+		return nil, err
+	}
+	d.dur = &dirDurable{
+		dir:            dir,
+		snapEvery:      cfg.SnapshotEvery,
+		replaying:      true,
+		lastFullSolves: pl.Stats().FullSolves,
+	}
+	d.recovering.Store(true)
+	defer d.recovering.Store(false)
+	replayed := 0
+	if _, err := wal.Replay(dir, snap.LSN, func(lsn uint64, payload []byte) error {
+		e, err := repair.DecodeEvent(payload)
+		if err != nil {
+			return fmt.Errorf("director: LSN %d: %w", lsn, err)
+		}
+		if e.Op != repair.OpEpoch {
+			replayed++
+		}
+		if err := d.applyEvent(e); err != nil {
+			return fmt.Errorf("director: replaying LSN %d: %w", lsn, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(dir, snap.LSN, wal.Options{CrashHook: d.dirHook()})
+	if err != nil {
+		return nil, err
+	}
+	d.dur.w = w
+	d.dur.replaying = false
+	d.dur.sinceSnap = replayed
+	return d, nil
+}
+
+// applyEvent replays one journaled event through the live mutator it was
+// journaled from (the methods take the lock themselves; replay runs
+// before the director is shared). Apply-level rejections are swallowed —
+// the live path journals before applying, so a rejected event is in the
+// log too and rejects again here, deterministically. Only structural
+// problems (unknown op, epoch divergence) abort recovery.
+func (d *Director) applyEvent(e *repair.Event) error {
+	switch e.Op {
+	case repair.OpDJoin:
+		// The live path materializes auto IDs (seq++) before journaling;
+		// replay re-advances the sequence so post-recovery auto IDs
+		// continue where the pre-crash director left off.
+		if e.Auto {
+			d.mu.Lock()
+			d.seq++
+			d.mu.Unlock()
+		}
+		_, _ = d.Join(e.ID, e.Node, e.ZoneIdx)
+	case repair.OpDLeave:
+		_ = d.Leave(e.ID)
+	case repair.OpDMove:
+		_, _ = d.Move(e.ID, e.ZoneIdx)
+	case repair.OpDDelays:
+		_, _ = d.UpdateDelays(e.ID, e.Row)
+	case repair.OpDAddServer:
+		_, _ = d.AddServer(e.Node, e.Capacity)
+	case repair.OpDRemoveServer:
+		_ = d.RemoveServer(e.ServerIdx)
+	case repair.OpDDrain:
+		_, _ = d.DrainServer(e.ServerIdx)
+	case repair.OpDUncordon:
+		_, _ = d.UncordonServer(e.ServerIdx)
+	case repair.OpDAddZone:
+		_, _ = d.AddZone()
+	case repair.OpDRetireZone:
+		_ = d.RetireZone(e.ZoneIdx)
+	case repair.OpResolve:
+		_, _ = d.Reassign()
+	case repair.OpEpoch:
+		if fs := d.planner().Stats().FullSolves; fs != e.FullSolves {
+			return fmt.Errorf("replay diverged: %d full solves at epoch marker expecting %d", fs, e.FullSolves)
+		}
+	default:
+		return fmt.Errorf("unknown journal op %q", e.Op)
+	}
+	return nil
+}

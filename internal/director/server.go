@@ -31,6 +31,7 @@ type apiError struct {
 //	POST   /v1/zones                → ZoneInfo (new empty zone)
 //	DELETE /v1/zones/{z}            → 204 (must be empty; renumbers)
 //	POST   /v1/reassign             → ReassignResult
+//	POST   /v1/checkpoint           → CheckpointResult (snapshot + log truncation)
 //	GET    /v1/stats                → Stats
 //	GET    /v1/healthz              → 200 "ok"
 //
@@ -38,7 +39,9 @@ type apiError struct {
 // servers and zones (errors.Is on the sentinels) and unknown routes, 405
 // for a known route with the wrong method, 400 for malformed or invalid
 // request bodies, and 409 for topology conflicts — removing a non-empty
-// server or zone, draining or removing the last available server.
+// server or zone, draining or removing the last available server. While
+// a durable director is still replaying its journal, everything but
+// /v1/healthz answers 503 with a Retry-After header.
 func Handler(d *Director) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +69,18 @@ func Handler(d *Director) http.Handler {
 			// Headers already sent; nothing more to do than log-by-status.
 			return
 		}
+	})
+	mux.HandleFunc("/v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		lsn, err := d.Checkpoint()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, CheckpointResult{LSN: lsn, Durable: d.Durable()})
 	})
 	mux.HandleFunc("/v1/reassign", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -269,7 +284,26 @@ func Handler(d *Director) http.Handler {
 			writeErr(w, http.StatusNotFound, "unknown route")
 		}
 	})
-	return mux
+	// While the director is still replaying its journal (a server that
+	// binds its listener before recovery finishes), every request except
+	// the liveness probe sheds with 503 + Retry-After instead of being
+	// served half-replayed state.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d.Recovering() && r.URL.Path != "/v1/healthz" {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "recovering: replaying journal")
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// CheckpointResult reports POST /v1/checkpoint: the LSN the snapshot
+// covers, and whether the director is durable at all (a checkpoint on a
+// non-durable director is an LSN-0 no-op).
+type CheckpointResult struct {
+	LSN     uint64 `json:"lsn"`
+	Durable bool   `json:"durable"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -16,10 +16,12 @@ package director
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
 	"dvecap/internal/topology"
+	"dvecap/internal/wal"
 	"dvecap/internal/xrand"
 )
 
@@ -59,6 +61,22 @@ type Config struct {
 	// this far below the last full solve's level. 0 leaves full solves to
 	// Reassign calls and the reassign loop.
 	DriftPQoS float64
+	// DriftUtilSpread, when > 0, arms the load-imbalance guard: a full
+	// re-solve fires once the max−min per-server utilization spread (over
+	// non-drained servers) grows more than this far above the last full
+	// solve's baseline — catching hot spots that pQoS alone cannot see.
+	DriftUtilSpread float64
+	// DataDir, when set, makes the director durable (DESIGN.md §11): every
+	// mutation is journaled to a write-ahead log under this directory
+	// before it is applied, and New recovers the stored state — snapshot
+	// plus log-tail replay — when the directory already holds any. The
+	// recovering caller must pass the same Delays oracle, Algorithm,
+	// DelayBoundMs, FrameRate and MessageBytes; the stored deployment
+	// (servers, zones, guard thresholds) supersedes the config's.
+	DataDir string
+	// SnapshotEvery, with DataDir, checkpoints automatically every this
+	// many journaled events (0 = only explicit Checkpoint calls).
+	SnapshotEvery int
 	// Workers shards the assignment engine's parallelisable scans — the
 	// evaluator's zone-move search and full solves' cost-matrix build —
 	// across this many goroutines (0 or 1 sequential, negative all CPUs).
@@ -85,6 +103,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("director: MessageBytes = %v, want > 0", c.MessageBytes)
 	case c.DriftPQoS < 0:
 		return fmt.Errorf("director: DriftPQoS = %v, want >= 0", c.DriftPQoS)
+	case c.DriftUtilSpread < 0:
+		return fmt.Errorf("director: DriftUtilSpread = %v, want >= 0", c.DriftUtilSpread)
+	case c.SnapshotEvery < 0:
+		return fmt.Errorf("director: SnapshotEvery = %v, want >= 0", c.SnapshotEvery)
 	}
 	for i, n := range c.ServerNodes {
 		if n < 0 || n >= c.Delays.N() {
@@ -120,16 +142,33 @@ type Director struct {
 	csBuf   []float64
 	rng     *xrand.RNG
 	seq     uint64
+	dur     *dirDurable // write-ahead journal state; nil when not durable
+
+	// recovering is true while New replays the journal; the HTTP handler
+	// sheds traffic (503 + Retry-After) until it clears.
+	recovering atomic.Bool
 }
 
 // New builds a director and computes an initial (empty-world) zone
-// assignment.
+// assignment. With Config.DataDir set, the director is durable: a data
+// directory that already holds state is recovered (newest snapshot plus
+// log-tail replay, bit-identical to the pre-crash trajectory), otherwise
+// a baseline snapshot is established and the journal opened.
 func New(cfg Config) (*Director, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = "GreZ-GreC"
+	}
+	if cfg.DataDir != "" {
+		has, err := wal.HasState(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		if has {
+			return recoverDirector(cfg)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	algo, ok := core.ByName(cfg.Algorithm)
 	if !ok {
@@ -150,9 +189,10 @@ func New(cfg Config) (*Director, error) {
 		roundRobin[z] = z % len(cfg.ServerNodes)
 	}
 	pl, err := repair.NewWithAssignment(repair.Config{
-		Algo:      algo,
-		Opt:       core.Options{Overflow: core.SpillLargestResidual, Workers: cfg.Workers},
-		DriftPQoS: cfg.DriftPQoS,
+		Algo:            algo,
+		Opt:             core.Options{Overflow: core.SpillLargestResidual, Workers: cfg.Workers},
+		DriftPQoS:       cfg.DriftPQoS,
+		DriftUtilSpread: cfg.DriftUtilSpread,
 	}, d.emptyProblem(), &core.Assignment{
 		ZoneServer:    roundRobin,
 		ClientContact: []int{},
@@ -163,6 +203,11 @@ func New(cfg Config) (*Director, error) {
 	d.binding, err = repair.NewIDBinding(pl, nil)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DataDir != "" {
+		if err := d.startDurable(); err != nil {
+			return nil, err
+		}
 	}
 	return d, nil
 }
@@ -218,12 +263,21 @@ func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
 	if zone < 0 || zone >= d.cfg.Zones {
 		return ClientInfo{}, fmt.Errorf("director: zone %d outside [0,%d)", zone, d.cfg.Zones)
 	}
-	if id == "" {
+	auto := id == ""
+	if auto {
 		d.seq++
 		id = fmt.Sprintf("c%06d", d.seq)
 	}
 	if _, exists := d.clients[id]; exists {
 		return ClientInfo{}, fmt.Errorf("director: %w %q", ErrDuplicateClient, id)
+	}
+	// Journal with the MATERIALIZED id plus the auto flag, so replay
+	// re-advances the ID sequence exactly as the live path did.
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDJoin, ID: id, Node: node, ZoneIdx: zone, Auto: auto}); err != nil {
+		if auto {
+			d.seq--
+		}
+		return ClientInfo{}, err
 	}
 	for i := range d.csBuf {
 		d.csBuf[i] = d.clientServerRTT(node, i)
@@ -241,6 +295,9 @@ func (d *Director) Join(id string, node, zone int) (ClientInfo, error) {
 	}
 	rec := &clientRec{node: node, zone: zone}
 	d.clients[id] = rec
+	if err := d.afterApplyLocked(); err != nil {
+		return ClientInfo{}, err
+	}
 	return d.infoLocked(id, rec), nil
 }
 
@@ -251,6 +308,9 @@ func (d *Director) Leave(id string) error {
 	rec, ok := d.clients[id]
 	if !ok {
 		return fmt.Errorf("director: %w %q", ErrUnknownClient, id)
+	}
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDLeave, ID: id}); err != nil {
+		return err
 	}
 	// Refresh to the post-departure population before the event (the
 	// departing client's smaller RT is subtracted consistently), so the
@@ -263,7 +323,7 @@ func (d *Director) Leave(id string) error {
 		return err
 	}
 	delete(d.clients, id)
-	return nil
+	return d.afterApplyLocked()
 }
 
 // Move relocates a client's avatar to another zone and re-attaches it,
@@ -277,6 +337,9 @@ func (d *Director) Move(id string, zone int) (ClientInfo, error) {
 	}
 	if zone < 0 || zone >= d.cfg.Zones {
 		return ClientInfo{}, fmt.Errorf("director: zone %d outside [0,%d)", zone, d.cfg.Zones)
+	}
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDMove, ID: id, ZoneIdx: zone}); err != nil {
+		return ClientInfo{}, err
 	}
 	old := rec.zone
 	if zone != old {
@@ -301,6 +364,9 @@ func (d *Director) Move(id string, zone int) (ClientInfo, error) {
 		return ClientInfo{}, err
 	}
 	rec.zone = zone
+	if err := d.afterApplyLocked(); err != nil {
+		return ClientInfo{}, err
+	}
 	return d.infoLocked(id, rec), nil
 }
 
@@ -325,7 +391,13 @@ func (d *Director) UpdateDelays(id string, rtts []float64) (ClientInfo, error) {
 			return ClientInfo{}, fmt.Errorf("director: RTT to server %d is %v ms, want >= 0", i, rtt)
 		}
 	}
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDDelays, ID: id, Row: rtts}); err != nil {
+		return ClientInfo{}, err
+	}
 	if err := d.binding.UpdateDelays(id, rtts); err != nil {
+		return ClientInfo{}, err
+	}
+	if err := d.afterApplyLocked(); err != nil {
 		return ClientInfo{}, err
 	}
 	return d.infoLocked(id, rec), nil
@@ -461,9 +533,11 @@ type Stats struct {
 	RepairEvents    int     `json:"repair_events"`
 	DelayUpdates    int     `json:"delay_updates"`
 	FullSolves      int     `json:"full_solves"`
+	ImbalanceSolves int     `json:"imbalance_solves"`
 	ZoneHandoffs    int     `json:"zone_handoffs"`
 	ContactSwitches int     `json:"contact_switches"`
 	LastDriftPQoS   float64 `json:"last_drift_pqos"`
+	LastUtilSpread  float64 `json:"util_spread"`
 	// LastSolveError surfaces a failed drift-guard full solve (empty when
 	// the last one succeeded).
 	LastSolveError string `json:"last_solve_error,omitempty"`
@@ -490,9 +564,11 @@ func (d *Director) statsLocked() Stats {
 	s.RepairEvents = st.Events
 	s.DelayUpdates = st.DelayUpdates
 	s.FullSolves = st.FullSolves
+	s.ImbalanceSolves = st.ImbalanceSolves
 	s.ZoneHandoffs = st.ZoneHandoffs
 	s.ContactSwitches = st.ContactSwitches
 	s.LastDriftPQoS = st.LastDriftPQoS
+	s.LastUtilSpread = st.LastUtilSpread
 	s.LastSolveError = st.LastSolveError
 	if s.Clients == 0 {
 		return s
@@ -529,7 +605,12 @@ func (d *Director) Reassign() (ReassignResult, error) {
 	defer d.mu.Unlock()
 	order := d.binding.IDs()
 	if len(order) == 0 {
+		// Nothing to solve — and nothing journaled, so empty reassigns
+		// (e.g. a timer firing on an idle service) don't grow the log.
 		return ReassignResult{Stats: d.statsLocked()}, nil
+	}
+	if err := d.journalLocked(&repair.Event{Op: repair.OpResolve}); err != nil {
+		return ReassignResult{}, err
 	}
 	before := make([]int, len(order))
 	for j, id := range order {
@@ -543,6 +624,9 @@ func (d *Director) Reassign() (ReassignResult, error) {
 		if after, _ := d.binding.Contact(id); after != before[j] {
 			moved++
 		}
+	}
+	if err := d.afterApplyLocked(); err != nil {
+		return ReassignResult{}, err
 	}
 	return ReassignResult{Stats: d.statsLocked(), Moved: moved}, nil
 }

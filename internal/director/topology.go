@@ -108,6 +108,11 @@ func (d *Director) AddServer(node int, capacityMbps float64) (ServerInfo, error)
 	if capacityMbps <= 0 {
 		return ServerInfo{}, fmt.Errorf("director: capacity %v, want > 0", capacityMbps)
 	}
+	// Only the node and capacity are journaled: the delay rows are
+	// oracle-derived, and replay re-derives them identically.
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDAddServer, Node: node, Capacity: capacityMbps}); err != nil {
+		return ServerInfo{}, err
+	}
 	m := len(d.cfg.ServerNodes)
 	ss := make([]float64, m)
 	for l := 0; l < m; l++ {
@@ -129,6 +134,9 @@ func (d *Director) AddServer(node int, capacityMbps float64) (ServerInfo, error)
 	d.cfg.ServerNodes = append(d.cfg.ServerNodes, node)
 	d.cfg.ServerCaps = append(d.cfg.ServerCaps, capacityMbps)
 	d.csBuf = append(d.csBuf, 0)
+	if err := d.afterApplyLocked(); err != nil {
+		return ServerInfo{}, err
+	}
 	return d.serversLocked()[i], nil
 }
 
@@ -138,6 +146,9 @@ func (d *Director) AddServer(node int, capacityMbps float64) (ServerInfo, error)
 func (d *Director) RemoveServer(i int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDRemoveServer, ServerIdx: i}); err != nil {
+		return err
+	}
 	moved, err := d.planner().RemoveServer(i)
 	if err != nil {
 		return err
@@ -150,7 +161,7 @@ func (d *Director) RemoveServer(i int) error {
 	d.cfg.ServerNodes = d.cfg.ServerNodes[:last]
 	d.cfg.ServerCaps = d.cfg.ServerCaps[:last]
 	d.csBuf = d.csBuf[:last]
-	return nil
+	return d.afterApplyLocked()
 }
 
 // DrainServer evacuates server i for a rolling deploy: its capacity
@@ -161,7 +172,13 @@ func (d *Director) RemoveServer(i int) error {
 func (d *Director) DrainServer(i int) (ServerInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDDrain, ServerIdx: i}); err != nil {
+		return ServerInfo{}, err
+	}
 	if err := d.planner().DrainServer(i); err != nil {
+		return ServerInfo{}, err
+	}
+	if err := d.afterApplyLocked(); err != nil {
 		return ServerInfo{}, err
 	}
 	return d.serversLocked()[i], nil
@@ -172,7 +189,13 @@ func (d *Director) DrainServer(i int) (ServerInfo, error) {
 func (d *Director) UncordonServer(i int) (ServerInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDUncordon, ServerIdx: i}); err != nil {
+		return ServerInfo{}, err
+	}
 	if err := d.planner().UncordonServer(i); err != nil {
+		return ServerInfo{}, err
+	}
+	if err := d.afterApplyLocked(); err != nil {
 		return ServerInfo{}, err
 	}
 	return d.serversLocked()[i], nil
@@ -183,12 +206,18 @@ func (d *Director) UncordonServer(i int) (ServerInfo, error) {
 func (d *Director) AddZone() (ZoneInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDAddZone}); err != nil {
+		return ZoneInfo{}, err
+	}
 	z, err := d.planner().AddZone(-1)
 	if err != nil {
 		return ZoneInfo{}, err
 	}
 	d.cfg.Zones++
 	d.zonePop = append(d.zonePop, 0)
+	if err := d.afterApplyLocked(); err != nil {
+		return ZoneInfo{}, err
+	}
 	return ZoneInfo{Zone: z, Server: d.planner().ZoneHost(z), Clients: 0}, nil
 }
 
@@ -199,6 +228,9 @@ func (d *Director) AddZone() (ZoneInfo, error) {
 func (d *Director) RetireZone(z int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDRetireZone, ZoneIdx: z}); err != nil {
+		return err
+	}
 	moved, err := d.planner().RetireZone(z)
 	if err != nil {
 		return err
@@ -214,7 +246,7 @@ func (d *Director) RetireZone(z int) error {
 	}
 	d.zonePop = d.zonePop[:last]
 	d.cfg.Zones = last
-	return nil
+	return d.afterApplyLocked()
 }
 
 // denseIndexLocked resolves a registered client ID to the planner's

@@ -412,6 +412,63 @@ func (b *IDBinding) JoinBatch(ids []string, zones []int, rts []float64, css [][]
 	return nil
 }
 
+// LeaveBatch removes many clients in one event (see Planner.LeaveBatch):
+// removals apply first, then one seeded repair scan covers the union of
+// vacated zones. Validated before anything is applied — an error means no
+// client left.
+func (b *IDBinding) LeaveBatch(ids []string) error {
+	seen := make(map[string]bool, len(ids))
+	handles := make([]int, len(ids))
+	for x, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("%w %q in batch", ErrDuplicateClient, id)
+		}
+		seen[id] = true
+		h, err := b.Handle(id)
+		if err != nil {
+			return err
+		}
+		handles[x] = h
+	}
+	if err := b.pl.LeaveBatch(handles); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		delete(b.handles, id)
+	}
+	kept := b.order[:0]
+	for _, oid := range b.order {
+		if !seen[oid] {
+			kept = append(kept, oid)
+		}
+	}
+	b.order = kept
+	return nil
+}
+
+// MoveBatch migrates many clients in one event (see Planner.MoveBatch):
+// migrations apply first, then one seeded repair scan covers the union of
+// touched zones. Validated before anything is applied.
+func (b *IDBinding) MoveBatch(ids []string, zones []int) error {
+	if len(zones) != len(ids) {
+		return fmt.Errorf("repair: batch of %d ids, %d zones", len(ids), len(zones))
+	}
+	seen := make(map[string]bool, len(ids))
+	handles := make([]int, len(ids))
+	for x, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("%w %q in batch", ErrDuplicateClient, id)
+		}
+		seen[id] = true
+		h, err := b.Handle(id)
+		if err != nil {
+			return err
+		}
+		handles[x] = h
+	}
+	return b.pl.MoveBatch(handles, zones)
+}
+
 // UpdateServerDelays overlays freshly measured client→server RTTs for one
 // server (by client ID, ms) — the column form of UpdateDelays (see
 // Planner.UpdateServerDelayColumn). Clients are applied in sorted-ID

@@ -42,6 +42,14 @@ type Config struct {
 	// algorithm. 0 disables the guard — full solves then happen only
 	// through explicit FullSolve calls (e.g. a fallback cadence).
 	DriftPQoS float64
+	// DriftUtilSpread, when > 0, arms the imbalance guard: a full re-solve
+	// fires when the max−min per-server utilization spread (load/capacity
+	// over non-draining servers) rises more than this far above the spread
+	// the last full solve left behind. Relative-to-baseline, like the pQoS
+	// guard, so a fleet whose best achievable balance is inherently lopsided
+	// does not thrash. pQoS can hold steady while churn piles load onto a
+	// few servers; this trigger catches that hot-spot drift.
+	DriftUtilSpread float64
 	// MinEventsBetweenFullSolves amortizes drift-triggered full solves: at
 	// least this many events must separate two of them (default 1).
 	MinEventsBetweenFullSolves int
@@ -81,6 +89,13 @@ type Stats struct {
 	// is how far below it the maintained solution currently sits.
 	BaselinePQoS  float64 `json:"baseline_pqos"`
 	LastDriftPQoS float64 `json:"last_drift_pqos"`
+	// ImbalanceSolves counts full solves fired by the utilization-spread
+	// guard alone (pQoS guard quiet at the time). BaselineUtilSpread is the
+	// spread the last full solve left behind; LastUtilSpread the current
+	// one.
+	ImbalanceSolves    int     `json:"imbalance_solves"`
+	BaselineUtilSpread float64 `json:"baseline_util_spread"`
+	LastUtilSpread     float64 `json:"last_util_spread"`
 	// LastSolveError is the message of the most recent failed drift-guard
 	// full solve (empty when the last one succeeded). Possible only under
 	// restrictive overflow policies; failed solves back off exponentially.
@@ -358,9 +373,14 @@ func (pl *Planner) afterEventN(n int) {
 		minGap = pl.failBackoff
 	}
 	pl.stats.LastDriftPQoS = pl.stats.BaselinePQoS - pl.ev.PQoS()
-	if pl.cfg.DriftPQoS > 0 &&
-		pl.stats.LastDriftPQoS > pl.cfg.DriftPQoS &&
-		pl.eventsSinceFull >= minGap {
+	pl.stats.LastUtilSpread = pl.utilSpread()
+	pqosTrip := pl.cfg.DriftPQoS > 0 && pl.stats.LastDriftPQoS > pl.cfg.DriftPQoS
+	spreadTrip := pl.cfg.DriftUtilSpread > 0 &&
+		pl.stats.LastUtilSpread-pl.stats.BaselineUtilSpread > pl.cfg.DriftUtilSpread
+	if (pqosTrip || spreadTrip) && pl.eventsSinceFull >= minGap {
+		if spreadTrip && !pqosTrip {
+			pl.stats.ImbalanceSolves++
+		}
 		if err := pl.FullSolve(); err != nil {
 			pl.solveErr = err
 			pl.stats.LastSolveError = err.Error()
@@ -418,6 +438,10 @@ func (pl *Planner) FullSolve() error {
 	pl.stats.FullSolves++
 	pl.stats.BaselinePQoS = pl.ev.PQoS()
 	pl.stats.LastDriftPQoS = 0
+	// The solve's own spread re-anchors the imbalance guard: drift is
+	// measured against what a full solve can actually achieve.
+	pl.stats.BaselineUtilSpread = pl.utilSpread()
+	pl.stats.LastUtilSpread = pl.stats.BaselineUtilSpread
 	pl.stats.LastSolveError = ""
 	pl.eventsSinceFull = 0
 	pl.failBackoff = 0
@@ -482,6 +506,30 @@ func (pl *Planner) Utilization() float64 {
 		return pl.ev.TotalLoad() / c
 	}
 	return 0
+}
+
+// utilSpread returns max−min per-server utilization (load/capacity) over
+// the non-draining fleet — the imbalance the spread guard watches. 0 with
+// fewer than two available servers.
+func (pl *Planner) utilSpread() float64 {
+	lo, hi, n := 0.0, 0.0, 0
+	for i, d := range pl.drained {
+		if d {
+			continue
+		}
+		u := pl.ev.ServerLoad(i) / pl.prob.ServerCaps[i]
+		if n == 0 || u < lo {
+			lo = u
+		}
+		if n == 0 || u > hi {
+			hi = u
+		}
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	return hi - lo
 }
 
 // Stats returns the planner's counters.

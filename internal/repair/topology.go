@@ -343,6 +343,86 @@ func (pl *Planner) JoinBatch(zones []int, rts []float64, css [][]float64) ([]int
 	return handles, nil
 }
 
+// LeaveBatch removes many clients in one event — the mass-exodus form of
+// Leave. All removals apply first, then ONE seeded repair scan runs over
+// the union of vacated zones. The whole batch is validated (every handle
+// live, no duplicates) before anything is applied, so an error means no
+// client left. The drift guard runs once for the whole batch.
+func (pl *Planner) LeaveBatch(handles []int) error {
+	seen := make(map[int]bool, len(handles))
+	for x, h := range handles {
+		if _, err := pl.index(h); err != nil {
+			return fmt.Errorf("repair: batch client %d: %w", x, err)
+		}
+		if seen[h] {
+			return fmt.Errorf("repair: batch client %d: handle %d repeated", x, h)
+		}
+		seen[h] = true
+	}
+	touched := make([]int, 0, len(handles))
+	for _, h := range handles {
+		// Re-resolve per removal: earlier removals swap-shift dense
+		// indices, handles do not move.
+		j := pl.idx[h]
+		touched = append(touched, pl.prob.ClientZones[j])
+		moved := pl.ev.RemoveClient(j)
+		if moved >= 0 {
+			hm := pl.hnd[moved]
+			pl.hnd[j] = hm
+			pl.idx[hm] = j
+		}
+		pl.hnd = pl.hnd[:len(pl.hnd)-1]
+		pl.idx[h] = -1
+		pl.free = append(pl.free, h)
+	}
+	pl.stats.Leaves += len(handles)
+	pl.repairZones(dedupZones(touched)...)
+	pl.afterEventN(len(handles))
+	return nil
+}
+
+// MoveBatch migrates many clients in one event — the flash-migration form
+// of Move (a portal event pulling a crowd into one zone). All migrations
+// apply first (each client re-attached greedily, exactly like a single
+// Move), then ONE seeded repair scan covers the union of vacated and
+// entered zones. The whole batch is validated before anything is applied.
+// Same-zone entries count as events but move nothing, matching Move.
+func (pl *Planner) MoveBatch(handles []int, zones []int) error {
+	if len(zones) != len(handles) {
+		return fmt.Errorf("repair: batch of %d handles, %d zones", len(handles), len(zones))
+	}
+	seen := make(map[int]bool, len(handles))
+	for x, h := range handles {
+		if _, err := pl.index(h); err != nil {
+			return fmt.Errorf("repair: batch client %d: %w", x, err)
+		}
+		if seen[h] {
+			return fmt.Errorf("repair: batch client %d: handle %d repeated", x, h)
+		}
+		seen[h] = true
+		if zones[x] < 0 || zones[x] >= pl.prob.NumZones {
+			return fmt.Errorf("repair: batch client %d: zone %d outside [0,%d)", x, zones[x], pl.prob.NumZones)
+		}
+	}
+	touched := make([]int, 0, 2*len(handles))
+	for x, h := range handles {
+		j := pl.idx[h]
+		old := pl.prob.ClientZones[j]
+		if zones[x] == old {
+			continue
+		}
+		pl.ev.MoveClient(j, zones[x])
+		if pl.ev.GreedyContact(j) {
+			pl.stats.ContactSwitches++
+		}
+		touched = append(touched, old, zones[x])
+	}
+	pl.stats.Moves += len(handles)
+	pl.repairZones(dedupZones(touched)...)
+	pl.afterEventN(len(handles))
+	return nil
+}
+
 // UpdateServerDelayColumn overlays freshly measured client→server RTTs
 // for ONE server across many clients — the column form of UpdateDelays,
 // the natural shape when a just-added server's measurements stream in.

@@ -19,6 +19,9 @@ import (
 // concurrent use; derive one per goroutine with Split.
 type RNG struct {
 	src *rand.Rand
+	// pcg retains the underlying source so State can marshal the stream
+	// position (rand.Rand hides it).
+	pcg *rand.PCG
 	// seq tracks how many child generators have been split off, so that
 	// repeated Split calls yield independent, reproducible streams.
 	seq uint64
@@ -29,11 +32,47 @@ type RNG struct {
 // New returns an RNG seeded with the given value. Two RNGs constructed with
 // the same seed produce identical streams.
 func New(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed: seed}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: rand.New(pcg), pcg: pcg, seed: seed}
 }
 
 // Seed reports the seed this RNG was constructed with.
 func (r *RNG) Seed() uint64 { return r.seed }
+
+// State is the serializable form of an RNG: the construction seed, the
+// split counter and the marshalled PCG stream position. Restore rebuilds a
+// generator that continues both the value stream and the Split derivation
+// sequence exactly where State captured them — the foundation of durable
+// sessions, whose snapshots must resume bit-identical trajectories.
+type State struct {
+	Seed uint64 `json:"seed"`
+	Seq  uint64 `json:"seq"`
+	// Src is the PCG source's binary marshalling (encoding/json emits it
+	// base64-encoded).
+	Src []byte `json:"src"`
+}
+
+// State captures the RNG's current position.
+func (r *RNG) State() (State, error) {
+	b, err := r.pcg.MarshalBinary()
+	if err != nil {
+		return State{}, err
+	}
+	return State{Seed: r.seed, Seq: r.seq, Src: b}, nil
+}
+
+// Restore rebuilds the RNG a State captured: same seed, same split
+// counter, same stream position.
+func Restore(st State) (*RNG, error) {
+	r := New(st.Seed)
+	r.seq = st.Seq
+	if len(st.Src) > 0 {
+		if err := r.pcg.UnmarshalBinary(st.Src); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
 
 // Split derives an independent child generator. The child's stream is a
 // pure function of the parent's seed and the number of prior splits, so a

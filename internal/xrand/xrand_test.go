@@ -1,6 +1,7 @@
 package xrand
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -277,5 +278,64 @@ func TestNormMoments(t *testing.T) {
 	std := math.Sqrt(sq/float64(n) - mean*mean)
 	if math.Abs(mean-5) > 0.05 || math.Abs(std-2) > 0.05 {
 		t.Fatalf("Norm(5,2): mean %v std %v", mean, std)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(99)
+	// Consume values and derive children so the captured state is mid-stream.
+	for i := 0; i < 57; i++ {
+		r.Float64()
+	}
+	r.Split().IntN(10)
+	r.Split()
+	st, err := r.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Seed() != r.Seed() {
+		t.Fatalf("restored seed %d, want %d", q.Seed(), r.Seed())
+	}
+	for i := 0; i < 500; i++ {
+		if a, b := r.Float64(), q.Float64(); a != b {
+			t.Fatalf("value stream diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+	// The split derivation sequence must continue identically too.
+	ca, cb := r.Split(), q.Split()
+	for i := 0; i < 100; i++ {
+		if a, b := ca.IntN(1 << 20), cb.IntN(1 << 20); a != b {
+			t.Fatalf("child stream diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestStateRoundTripJSON(t *testing.T) {
+	r := New(7)
+	r.Float64()
+	st, err := r.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Restore(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := r.Float64(), q.Float64(); a != b {
+			t.Fatalf("value stream diverges after JSON round-trip at %d", i)
+		}
 	}
 }

@@ -41,6 +41,11 @@ type config struct {
 	seedSet  bool
 	corr     float64
 	corrSet  bool
+	// durability (Open only): data directory, auto-checkpoint cadence and
+	// the imbalance-guard threshold.
+	durDir    string
+	snapEvery int
+	spread    float64
 	// rng lets the Scenario adapters thread their own stream through the
 	// engine, preserving bit-identical results with the legacy paths.
 	rng *xrand.RNG
@@ -105,6 +110,38 @@ func WithLocalSearchRounds(n int) Option {
 // only through explicit Resolve calls. Solve ignores this option.
 func WithDriftGuard(p float64) Option {
 	return func(c *config) { c.drift = p }
+}
+
+// WithDurability makes the session returned by Open durable: every event
+// is journaled to a write-ahead log under dir BEFORE it is applied, and
+// periodic snapshots (see WithSnapshotEvery, ClusterSession.Checkpoint)
+// bound recovery to the log tail. When dir already holds session state,
+// Open RECOVERS instead of solving fresh: the newest valid snapshot is
+// loaded, the log tail replayed through the live event path, and the
+// resumed trajectory is bit-identical to one that never crashed — the
+// caller's cluster spec is then ignored and the stored algorithm must
+// match the requested one (DESIGN.md §11). Solve ignores this option.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durDir = dir }
+}
+
+// WithSnapshotEvery sets a durable session's auto-checkpoint cadence: a
+// snapshot is written (and old log segments truncated) every n journaled
+// events. 0 (the default) disables auto-checkpointing — snapshots then
+// happen only through explicit Checkpoint calls. Ignored without
+// WithDurability.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) { c.snapEvery = n }
+}
+
+// WithImbalanceGuard arms the session's load-imbalance guard at spread:
+// once the max−min per-server utilization spread rises more than this far
+// above the level the last full solve achieved, an amortized full re-solve
+// fires — catching hot-spot drift that leaves pQoS untouched (the pQoS
+// guard, WithDriftGuard, watches quality; this one watches balance). 0
+// (the default) disables it. Solve ignores this option.
+func WithImbalanceGuard(spread float64) Option {
+	return func(c *config) { c.spread = spread }
 }
 
 // WithEstimationError solves against delays perturbed by a multiplicative

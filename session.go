@@ -50,13 +50,19 @@ type SessionStats struct {
 	ServerAdds, ServerDrains, ServerRemoves int
 	ZoneAdds, ZoneRetires                   int
 	// FullSolves counts full two-phase re-solves (the initial one, drift-
-	// triggered ones, and explicit Resolve calls).
-	FullSolves int
+	// triggered ones, and explicit Resolve calls). ImbalanceSolves counts
+	// the subset triggered by the load-imbalance guard alone
+	// (WithImbalanceGuard) — utilization spread drifted while pQoS held.
+	FullSolves      int
+	ImbalanceSolves int
 	// ZoneHandoffs counts zone rehostings; ContactSwitches counts contact
 	// re-placements made by the repair path.
 	ZoneHandoffs, ContactSwitches int
-	// LastDriftPQoS is the current pQoS decay below the last full solve.
-	LastDriftPQoS float64
+	// LastDriftPQoS is the current pQoS decay below the last full solve;
+	// LastUtilSpread the current max−min per-server utilization spread over
+	// non-drained servers.
+	LastDriftPQoS  float64
+	LastUtilSpread float64
 	// LastSolveError reports a failed drift-guard full solve (empty when
 	// the last one succeeded).
 	LastSolveError string
@@ -76,9 +82,11 @@ func sessionStatsFrom(st repair.Stats) SessionStats {
 		ZoneAdds:        st.ZoneAdds,
 		ZoneRetires:     st.ZoneRetires,
 		FullSolves:      st.FullSolves,
+		ImbalanceSolves: st.ImbalanceSolves,
 		ZoneHandoffs:    st.ZoneHandoffs,
 		ContactSwitches: st.ContactSwitches,
 		LastDriftPQoS:   st.LastDriftPQoS,
+		LastUtilSpread:  st.LastUtilSpread,
 		LastSolveError:  st.LastSolveError,
 	}
 }
