@@ -20,6 +20,7 @@ import (
 	"dvecap/internal/repair"
 	"dvecap/internal/topology"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 func benchSetup(reps int) experiments.Setup {
@@ -462,6 +463,34 @@ func BenchmarkRepair(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		repairEvent(b, pl, &live, p, rng, i)
+	}
+}
+
+// BenchmarkRepairTelemetry measures the instrumentation tax on the hot
+// repair path: the identical churn-event stream with telemetry detached
+// ("off") and with a live registry attached ("on" — per-event counters,
+// latency histograms and quality gauges all recording). The budget is 2%:
+// BENCH_observability.json records the measured gap, and DESIGN.md §12
+// commits to keeping it there.
+func BenchmarkRepairTelemetry(b *testing.B) {
+	p := largeProblem(b)
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run("telemetry="+name, func(b *testing.B) {
+			pl, live := benchRepairPlanner(b, p)
+			if on {
+				pl.SetTelemetry(telemetry.NewRegistry())
+			}
+			rng := xrand.New(23)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				repairEvent(b, pl, &live, p, rng, i)
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"dvecap/internal/core"
 	"dvecap/internal/estimator"
 	"dvecap/internal/repair"
+	"dvecap/telemetry"
 )
 
 // Sentinel errors of the Cluster API. Test with errors.Is; the director
@@ -448,6 +449,9 @@ func (c *Cluster) openSession(algorithm string, cfg config) (*ClusterSession, er
 	if err := binding.NameTopology(c.serverIDs, c.zoneIDs); err != nil {
 		return nil, err
 	}
+	if cfg.tele != nil {
+		pl.SetTelemetry(cfg.tele)
+	}
 	return &ClusterSession{
 		binding:     binding,
 		algo:        algorithm,
@@ -456,6 +460,8 @@ func (c *Cluster) openSession(algorithm string, cfg config) (*ClusterSession, er
 		overflow:    cfg.overflow,
 		driftPQoS:   cfg.drift,
 		driftSpread: cfg.spread,
+		tracer:      telemetry.NewTracer(cfg.traceW),
+		tele:        cfg.tele,
 	}, nil
 }
 

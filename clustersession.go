@@ -5,6 +5,7 @@ import (
 
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
+	"dvecap/telemetry"
 )
 
 // UnmeasuredRTTMs is the delay assigned to a (client, server) pair no
@@ -38,7 +39,32 @@ type ClusterSession struct {
 	driftPQoS   float64
 	driftSpread float64
 	dur         *durable
+
+	// tracer streams one JSON line per mutation when the session was opened
+	// WithTraceLog; nil otherwise. On recovered sessions it attaches only
+	// AFTER the log tail has replayed, so a restart does not re-trace
+	// pre-crash events; tele is the WithTelemetry registry, kept for the
+	// durability layer's checkpoint/recovery series.
+	tracer *telemetry.Tracer
+	tele   *telemetry.Registry
 }
+
+// span opens a trace span around one session mutation. Defer the returned
+// finish with a pointer to the named error result — `defer s.span(...)(&err)`
+// evaluates span (sampling the start time) and &err immediately but runs
+// the finish at return, emitting the event with the final outcome. On
+// sessions without a trace log both halves are no-ops.
+func (s *ClusterSession) span(op string, attrs ...any) func(*error) {
+	if s.tracer == nil {
+		return nopFinish
+	}
+	finish := s.tracer.Span(op, attrs...)
+	return func(errp *error) { finish(*errp) }
+}
+
+// nopFinish is the shared finish for untraced sessions — one allocation
+// for the whole package instead of one per call.
+var nopFinish = func(*error) {}
 
 // ClusterClient is the externally visible state of one session client.
 type ClusterClient struct {
@@ -135,7 +161,8 @@ func (s *ClusterSession) ZoneIDs() []string {
 // contact minimising its effective delay) and a localized repair pass runs
 // around the zone it entered. The spec's zone must be one of the cluster's
 // zones; its RTTs must cover every server.
-func (s *ClusterSession) Join(id string, spec ClientSpec) error {
+func (s *ClusterSession) Join(id string, spec ClientSpec) (err error) {
+	defer s.span("join", "id", id, "zone", spec.Zone)(&err)
 	z, rt, row, err := s.resolveJoin(id, spec)
 	if err != nil {
 		return err
@@ -179,7 +206,8 @@ func (s *ClusterSession) resolveJoin(id string, spec ClientSpec) (zone int, rt f
 // union of the zones the batch touched, instead of one scan per client.
 // The batch is validated before anything is applied: an error means no
 // client was admitted.
-func (s *ClusterSession) JoinBatch(joins []ClientJoin) error {
+func (s *ClusterSession) JoinBatch(joins []ClientJoin) (err error) {
+	defer s.span("join_batch", "n", len(joins))(&err)
 	ids := make([]string, len(joins))
 	zones := make([]int, len(joins))
 	rts := make([]float64, len(joins))
@@ -211,7 +239,8 @@ func (s *ClusterSession) JoinBatch(joins []ClientJoin) error {
 
 // Leave removes the client, repairing around the zone it vacated. The ID
 // becomes available for reuse.
-func (s *ClusterSession) Leave(id string) error {
+func (s *ClusterSession) Leave(id string) (err error) {
+	defer s.span("leave", "id", id)(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpLeave, ID: id}); err != nil {
 		return err
 	}
@@ -223,7 +252,8 @@ func (s *ClusterSession) Leave(id string) error {
 
 // Move migrates the client's avatar to another zone, re-attaches it, and
 // repairs around both the vacated and the entered zone.
-func (s *ClusterSession) Move(id, zone string) error {
+func (s *ClusterSession) Move(id, zone string) (err error) {
+	defer s.span("move", "id", id, "zone", zone)(&err)
 	z, err := s.zone(zone)
 	if err != nil {
 		return err
@@ -242,7 +272,8 @@ func (s *ClusterSession) Move(id, zone string) error {
 // repair scan covers the union of the vacated zones. The batch is
 // validated before anything is applied: an error (unknown or duplicated
 // ID) means no client left.
-func (s *ClusterSession) LeaveBatch(ids []string) error {
+func (s *ClusterSession) LeaveBatch(ids []string) (err error) {
+	defer s.span("leave_batch", "n", len(ids))(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpLeaveBatch, IDs: ids}); err != nil {
 		return err
 	}
@@ -257,7 +288,8 @@ func (s *ClusterSession) LeaveBatch(ids []string) error {
 // unchanged). All memberships move first, then one seeded repair scan
 // covers the union of vacated and entered zones. The batch is validated
 // before anything is applied: an error means no client moved.
-func (s *ClusterSession) MoveBatch(ids []string, zones []string) error {
+func (s *ClusterSession) MoveBatch(ids []string, zones []string) (err error) {
+	defer s.span("move_batch", "n", len(ids))(&err)
 	if len(zones) != len(ids) {
 		return fmt.Errorf("dvecap: move batch has %d ids but %d zones", len(ids), len(zones))
 	}
@@ -285,7 +317,8 @@ func (s *ClusterSession) MoveBatch(ids []string, zones []string) error {
 // from it start at UnmeasuredRTTMs, keeping the unmeasured server
 // unattractive until UpdateServerDelays streams real values in. The new
 // server participates in every subsequent placement decision immediately.
-func (s *ClusterSession) AddServer(id string, spec ServerSpec) error {
+func (s *ClusterSession) AddServer(id string, spec ServerSpec) (err error) {
+	defer s.span("server_add", "server", id)(&err)
 	if id == "" {
 		return fmt.Errorf("dvecap: empty server ID")
 	}
@@ -333,7 +366,8 @@ func (s *ClusterSession) AddServer(id string, spec ServerSpec) error {
 // otherwise; DrainServer evacuates both) — and not the last one. Dense
 // indices renumber (the last server takes the vacated index); IDs are
 // stable.
-func (s *ClusterSession) RemoveServer(id string) error {
+func (s *ClusterSession) RemoveServer(id string) (err error) {
+	defer s.span("server_remove", "server", id)(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpRemoveServer, Server: id}); err != nil {
 		return err
 	}
@@ -351,7 +385,8 @@ func (s *ClusterSession) RemoveServer(id string) error {
 // one seeded repair pass runs over the affected zones — all in
 // O(affected), no full re-solve. Afterwards the server holds nothing:
 // RemoveServer retires it, or UncordonServer returns it to service.
-func (s *ClusterSession) DrainServer(id string) error {
+func (s *ClusterSession) DrainServer(id string) (err error) {
+	defer s.span("server_drain", "server", id)(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpDrainServer, Server: id}); err != nil {
 		return err
 	}
@@ -364,7 +399,8 @@ func (s *ClusterSession) DrainServer(id string) error {
 // UncordonServer returns a drained server to service with its nominal
 // capacity restored — the tail end of a rolling deploy. A no-op when the
 // server is not draining.
-func (s *ClusterSession) UncordonServer(id string) error {
+func (s *ClusterSession) UncordonServer(id string) (err error) {
+	defer s.span("server_uncordon", "server", id)(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpUncordon, Server: id}); err != nil {
 		return err
 	}
@@ -375,7 +411,8 @@ func (s *ClusterSession) UncordonServer(id string) error {
 }
 
 // AddZone grows the virtual world by one (empty) zone, hosted per spec.
-func (s *ClusterSession) AddZone(id string, spec ZoneSpec) error {
+func (s *ClusterSession) AddZone(id string, spec ZoneSpec) (err error) {
+	defer s.span("zone_add", "zone", id)(&err)
 	if id == "" {
 		return fmt.Errorf("dvecap: empty zone ID")
 	}
@@ -392,7 +429,8 @@ func (s *ClusterSession) AddZone(id string, spec ZoneSpec) error {
 // (ErrZoneNotEmpty while clients remain — Move or Leave them first).
 // Dense indices renumber (the last zone takes the vacated index); IDs are
 // stable.
-func (s *ClusterSession) RetireZone(id string) error {
+func (s *ClusterSession) RetireZone(id string) (err error) {
+	defer s.span("zone_retire", "zone", id)(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpRetireZone, Zone: id}); err != nil {
 		return err
 	}
@@ -427,7 +465,8 @@ func (s *ClusterSession) Servers() []ServerStatus {
 // localized repair pass runs around its zone. Servers absent from rtts
 // keep their previous measurement — partial refreshes are the norm when
 // only a few paths were re-probed.
-func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) error {
+func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) (err error) {
+	defer s.span("delay_update", "id", id, "n", len(rtts))(&err)
 	if err := s.binding.CopyDelays(id, s.rowBuf); err != nil {
 		return err
 	}
@@ -457,7 +496,8 @@ func (s *ClusterSession) UpdateDelays(id string, rtts map[string]float64) error 
 
 // UpdateDelayRow is UpdateDelays with a full dense row in ServerIDs order
 // — the matrix-supplied form, replacing every measurement at once.
-func (s *ClusterSession) UpdateDelayRow(id string, rtts []float64) error {
+func (s *ClusterSession) UpdateDelayRow(id string, rtts []float64) (err error) {
+	defer s.span("delay_row", "id", id)(&err)
 	if len(rtts) == len(s.rowBuf) {
 		if err := validateRTTRow(id, rtts); err != nil {
 			return err
@@ -478,7 +518,8 @@ func (s *ClusterSession) UpdateDelayRow(id string, rtts []float64) error {
 // entries are applied, each refreshed client is re-attached greedily, and
 // one seeded repair pass covers the union of touched zones; the whole
 // column counts as a single repair event.
-func (s *ClusterSession) UpdateServerDelays(server string, rtts map[string]float64) error {
+func (s *ClusterSession) UpdateServerDelays(server string, rtts map[string]float64) (err error) {
+	defer s.span("delay_column", "server", server, "n", len(rtts))(&err)
 	for cid, d := range rtts {
 		if !(d >= 0) {
 			return fmt.Errorf("dvecap: client %q RTT to server %q is %v ms, want >= 0", cid, server, d)
@@ -500,7 +541,8 @@ func (s *ClusterSession) UpdateServerDelays(server string, rtts map[string]float
 // SetBandwidth updates the client's bandwidth requirement (Mbps) —
 // bookkeeping for population- or activity-dependent bandwidth models, not
 // a churn event (no repair pass).
-func (s *ClusterSession) SetBandwidth(id string, mbps float64) error {
+func (s *ClusterSession) SetBandwidth(id string, mbps float64) (err error) {
+	defer s.span("set_bandwidth", "id", id)(&err)
 	if !(mbps > 0) { // rejects NaN too
 		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, mbps)
 	}
@@ -517,7 +559,8 @@ func (s *ClusterSession) SetBandwidth(id string, mbps float64) error {
 // currently in the zone to perClientMbps — one state update per frame
 // covers the zone's whole population, so a membership change re-prices
 // every member (see the bandwidth model in DESIGN.md §4).
-func (s *ClusterSession) SetZoneBandwidth(zone string, perClientMbps float64) error {
+func (s *ClusterSession) SetZoneBandwidth(zone string, perClientMbps float64) (err error) {
+	defer s.span("set_zone_bandwidth", "zone", zone)(&err)
 	z, err := s.zone(zone)
 	if err != nil {
 		return err
@@ -533,7 +576,8 @@ func (s *ClusterSession) SetZoneBandwidth(zone string, perClientMbps float64) er
 
 // Resolve forces one full two-phase re-solve, re-anchoring the drift
 // baseline.
-func (s *ClusterSession) Resolve() error {
+func (s *ClusterSession) Resolve() (err error) {
+	defer s.span("resolve")(&err)
 	if err := s.journal(&repair.Event{Op: repair.OpResolve}); err != nil {
 		return err
 	}

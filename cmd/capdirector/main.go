@@ -57,6 +57,20 @@
 //
 //	capdirector -addr :8080 -data-dir /var/lib/capdirector -snapshot-every 5000
 //	curl -s -X POST localhost:8080/v1/checkpoint   # bound recovery before a deploy
+//
+// Observability (DESIGN.md §12): the main listener always serves
+// GET /v1/healthz (liveness), GET /v1/readyz (readiness — 503 while a
+// durable director replays its journal) and GET /metrics (Prometheus text
+// format: repair-event latency histograms by type, full-solve counters by
+// trigger, live pQoS/utilization gauges, WAL append+fsync+snapshot
+// latencies, per-route HTTP metrics). -debug-addr opens a SECOND listener
+// serving /metrics plus net/http/pprof under /debug/pprof/ — keep it off
+// the public network. -trace-log streams one JSON line per mutation
+// (operation, duration, outcome) for incident forensics:
+//
+//	capdirector -addr :8080 -debug-addr localhost:6060 -trace-log /var/log/capdirector.trace
+//	curl -s localhost:8080/metrics | grep dvecap_pqos
+//	go tool pprof http://localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -64,7 +78,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,6 +89,7 @@ import (
 	"dvecap/internal/director"
 	"dvecap/internal/topology"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 func main() {
@@ -92,8 +109,22 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines for the sharded assignment scans (0/1 = sequential, -1 = all CPUs); results are identical for every setting")
 		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead journal + snapshots, recovered on restart (empty = in-memory only)")
 		snapEvery = flag.Int("snapshot-every", 10000, "with -data-dir, checkpoint automatically every N journaled events (0 = only POST /v1/checkpoint)")
+		debugAddr = flag.String("debug-addr", "", "second listener serving /metrics and net/http/pprof under /debug/pprof/ (keep it off the public network; empty = disabled)")
+		traceLog  = flag.String("trace-log", "", "append one JSON trace event per API request to this file (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *traceLog != "" {
+		tf, terr := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if terr != nil {
+			log.Fatalf("capdirector: %v", terr)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf)
+	}
 
 	rng := xrand.New(*seed)
 	var g *topology.Graph
@@ -136,6 +167,9 @@ func main() {
 		Workers:         *workers,
 		DataDir:         *dataDir,
 		SnapshotEvery:   *snapEvery,
+		Telemetry:       reg,
+		Logger:          logger,
+		Trace:           tracer,
 	})
 	if err != nil {
 		log.Fatalf("capdirector: %v", err)
@@ -157,6 +191,30 @@ func main() {
 		fmt.Printf("capdirector: durable in %s (%d clients recovered, auto-checkpoint every %d events)\n",
 			*dataDir, d.Stats().Clients, *snapEvery)
 	}
+	if *debugAddr != "" {
+		// Diagnostics listener: /metrics for scrapers that should not touch
+		// the API port, and the full pprof suite for live profiling. It has
+		// no auth — bind it to localhost or a management network.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", telemetry.ContentType)
+			if err := reg.WritePrometheus(w); err != nil {
+				logger.Warn("metrics render failed", "err", err)
+			}
+		})
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Warn("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		fmt.Printf("capdirector: debug listener (metrics + pprof) on %s\n", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *reassign > 0 {

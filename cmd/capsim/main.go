@@ -11,8 +11,14 @@
 //	capsim -exp table3
 //	capsim -exp table4
 //	capsim -exp ablation
+//	capsim -exp repair -reps 5 -metrics-log ticks.prom
 //	capsim -exp runtime -lp
 //	capsim -exp all -reps 20
+//
+// -exp repair compares incremental churn repair against periodic full
+// re-solves (DESIGN.md §7); with -metrics-log it also streams one
+// Prometheus-text snapshot of the repair planner's telemetry per simulated
+// tick (DESIGN.md §12) — a scrape series over virtual time.
 //
 // Every run is deterministic in -seed. -topology usbackbone swaps the
 // BRITE-style hierarchical topology for the embedded US backbone.
@@ -25,19 +31,33 @@ import (
 	"time"
 
 	"dvecap/internal/experiments"
+	"dvecap/telemetry"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|runtime|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|repair|runtime|all")
 		seed     = flag.Uint64("seed", 2006, "base random seed")
 		reps     = flag.Int("reps", 50, "replications per data point (paper: 50)")
 		topo     = flag.String("topology", "hier", "topology substrate: hier|usbackbone")
 		lp       = flag.Bool("lp", false, "include the exact branch-and-bound baseline (small configs only)")
 		lpReps   = flag.Int("lpreps", 0, "replications for the exact baseline (0 = min(reps,10))")
 		deadline = flag.Duration("lpdeadline", 60*time.Second, "per-solve deadline for the exact baseline")
+		metrics  = flag.String("metrics-log", "", "with -exp repair: stream one Prometheus snapshot per simulated tick of the first replication's repair driver to this file")
 	)
 	flag.Parse()
+
+	var repairOpts experiments.RepairOptions
+	if *metrics != "" {
+		mf, merr := os.Create(*metrics)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "capsim:", merr)
+			os.Exit(1)
+		}
+		defer mf.Close()
+		repairOpts.Telemetry = telemetry.NewRegistry()
+		repairOpts.MetricsLog = mf
+	}
 
 	setup := experiments.DefaultSetup()
 	setup.Seed = *seed
@@ -73,6 +93,8 @@ func main() {
 			out, err = experiments.Robustness(setup, experiments.RobustnessOptions{})
 		case "flowcheck":
 			out, err = experiments.FlowCheck(setup, experiments.FlowCheckOptions{})
+		case "repair":
+			out, err = experiments.Repair(setup, repairOpts)
 		case "runtime":
 			out, err = experiments.Runtime(setup, experiments.RuntimeOptions{IncludeLP: *lp, LPDeadline: *deadline})
 		default:

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
 	"dvecap/internal/wal"
+	"dvecap/telemetry"
 )
 
 // ErrSessionClosed reports an event on a durable session after Close.
@@ -60,6 +62,22 @@ type durable struct {
 	// hook is the crash-injection point for the fault tests; it is threaded
 	// into the WAL's Options.CrashHook and the snapshot writer.
 	hook func(point string) error
+	// snapDur/snapBytes/snaps are the checkpoint series; nil (disabled)
+	// unless the session was opened WithTelemetry.
+	snapDur   *telemetry.Histogram
+	snapBytes *telemetry.Counter
+	snaps     *telemetry.Counter
+}
+
+// attachTelemetry registers the durability layer's checkpoint series. A
+// nil registry leaves the handles nil, which every record site checks.
+func (d *durable) attachTelemetry(reg *telemetry.Registry) {
+	d.snapDur = reg.Histogram("dvecap_snapshot_write_duration_seconds",
+		"Wall time to render and durably write one session snapshot.", nil)
+	d.snapBytes = reg.Counter("dvecap_snapshot_bytes_total",
+		"Snapshot payload bytes written by checkpoints.")
+	d.snaps = reg.Counter("dvecap_snapshots_total",
+		"Session snapshots written (explicit and auto checkpoints).")
 }
 
 // walHook adapts the session's crash-injection hook to the WAL layer. The
@@ -181,12 +199,17 @@ func (s *ClusterSession) snapshotPayload(lsn uint64) ([]byte, error) {
 // sessions. Auto-checkpointing (WithSnapshotEvery) calls this; call it
 // explicitly before planned downtime — e.g. checkpoint, then drain, then
 // stop, so a restart replays nothing.
-func (s *ClusterSession) Checkpoint() error {
+func (s *ClusterSession) Checkpoint() (err error) {
 	if s.dur == nil {
 		return nil
 	}
 	if s.dur.closed {
 		return ErrSessionClosed
+	}
+	defer s.span("checkpoint")(&err)
+	var start time.Time
+	if s.dur.snapDur != nil {
+		start = time.Now()
 	}
 	lsn := s.dur.w.NextLSN() - 1
 	payload, err := s.snapshotPayload(lsn)
@@ -195,6 +218,14 @@ func (s *ClusterSession) Checkpoint() error {
 	}
 	if err := wal.WriteSnapshot(s.dur.dir, lsn, payload, s.walHook()); err != nil {
 		return err
+	}
+	if s.dur.snapDur != nil {
+		// The observation covers render + durable write; the log truncation
+		// and snapshot pruning below are cleanup, not the checkpoint cost a
+		// recovery-time budget cares about.
+		s.dur.snapDur.Observe(time.Since(start).Seconds())
+		s.dur.snapBytes.Add(uint64(len(payload)))
+		s.dur.snaps.Inc()
 	}
 	if err := s.dur.w.TruncateThrough(lsn); err != nil {
 		return err
@@ -244,6 +275,7 @@ func (c *Cluster) openDurable(algorithm string, cfg config) (*ClusterSession, er
 		snapEvery:      cfg.snapEvery,
 		lastFullSolves: s.planner().Stats().FullSolves,
 	}
+	s.dur.attachTelemetry(cfg.tele)
 	base, err := s.snapshotPayload(0)
 	if err != nil {
 		return nil, err
@@ -251,7 +283,7 @@ func (c *Cluster) openDurable(algorithm string, cfg config) (*ClusterSession, er
 	if err := wal.WriteSnapshot(cfg.durDir, 0, base, s.walHook()); err != nil {
 		return nil, err
 	}
-	w, err := wal.Open(cfg.durDir, 0, wal.Options{CrashHook: s.walHook()})
+	w, err := wal.Open(cfg.durDir, 0, wal.Options{CrashHook: s.walHook(), Telemetry: cfg.tele})
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +391,8 @@ func recoverSession(algorithm string, cfg config) (*ClusterSession, error) {
 		replaying:      true,
 		lastFullSolves: pl.Stats().FullSolves,
 	}
+	s.dur.attachTelemetry(cfg.tele)
+	recStart := time.Now()
 	replayed := 0
 	if _, err := wal.Replay(dir, snap.LSN, func(lsn uint64, payload []byte) error {
 		e, err := repair.DecodeEvent(payload)
@@ -375,13 +409,27 @@ func recoverSession(algorithm string, cfg config) (*ClusterSession, error) {
 	}); err != nil {
 		return nil, err
 	}
-	w, err := wal.Open(dir, snap.LSN, wal.Options{CrashHook: s.walHook()})
+	w, err := wal.Open(dir, snap.LSN, wal.Options{CrashHook: s.walHook(), Telemetry: cfg.tele})
 	if err != nil {
 		return nil, err
 	}
 	s.dur.w = w
 	s.dur.replaying = false
 	s.dur.sinceSnap = replayed
+	// Observability attaches only now, with the tail replayed: the repair
+	// and trace series reflect live traffic, not a re-run of pre-crash
+	// events, and the one-shot recovery gauges record what the replay cost.
+	if cfg.tele != nil {
+		pl.SetTelemetry(cfg.tele)
+		cfg.tele.Gauge("dvecap_recovery_duration_seconds",
+			"Wall time of the last crash recovery (snapshot load excluded, log replay included).").
+			Set(time.Since(recStart).Seconds())
+		cfg.tele.Gauge("dvecap_recovery_events_replayed",
+			"Log-tail events the last crash recovery replayed.").
+			Set(float64(replayed))
+	}
+	s.tracer = telemetry.NewTracer(cfg.traceW)
+	s.tele = cfg.tele
 	return s, nil
 }
 

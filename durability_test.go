@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
 	"dvecap/internal/wal"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // durTestCluster builds the fixed fleet the durability tests churn: four
@@ -288,7 +290,11 @@ func requireSameSession(t *testing.T, want, got *ClusterSession) {
 // the snapshot and log, ignoring the caller's builder.
 func reopenDurable(t *testing.T, dir, algo string, workers int) *ClusterSession {
 	t.Helper()
-	s, err := NewCluster(1).Open(algo, WithDurability(dir), WithWorkers(workers), WithSnapshotEvery(17))
+	// Recovery runs fully instrumented (metrics + trace sink): DESIGN.md §12
+	// promises telemetry is observation-only, so the bit-identical
+	// comparison below doubles as that proof for the recovery path.
+	s, err := NewCluster(1).Open(algo, WithDurability(dir), WithWorkers(workers), WithSnapshotEvery(17),
+		WithTelemetry(telemetry.NewRegistry()), WithTraceLog(io.Discard))
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
@@ -314,8 +320,12 @@ func TestDurableKillRecoverBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			dir := t.TempDir()
+			// The durable session runs with telemetry and tracing attached;
+			// the control runs bare. Equality at the end proves the
+			// instrumentation never perturbs the computation.
 			durable, err := durTestCluster(t, 11).Open("GreZ-GreC",
-				append([]Option{WithDurability(dir), WithSnapshotEvery(17)}, opts...)...)
+				append([]Option{WithDurability(dir), WithSnapshotEvery(17),
+					WithTelemetry(telemetry.NewRegistry()), WithTraceLog(io.Discard)}, opts...)...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // benchSyntheticCAP builds a plane-embedded CAP instance of the given shape
@@ -189,6 +190,36 @@ func BenchmarkParallelLocalSearch(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkLocalSearchTelemetry measures the instrumentation tax on the
+// evaluator's sharded zone-move search (churn-scale scenario, 4 workers,
+// cache-cold per iteration): telemetry detached ("off") against a live
+// registry recording cache-row and scan-round series ("on"). The budget is
+// 2%; BENCH_observability.json records the measured gap.
+func BenchmarkLocalSearchTelemetry(b *testing.B) {
+	p := benchSyntheticCAPProvisioned(271, 50, 500, 100_000, 3)
+	a := benchStart(b, p)
+	const rounds = 8
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run("telemetry="+name, func(b *testing.B) {
+			ev := NewEvaluator(p, a)
+			ev.SetWorkers(4)
+			if on {
+				ev.SetTelemetry(telemetry.NewRegistry())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.Reset(p, a)
+				ev.LocalSearch(rounds)
+			}
+		})
 	}
 }
 

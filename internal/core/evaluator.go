@@ -48,6 +48,9 @@ type Evaluator struct {
 	// ≤ 1 scans sequentially; results are identical for every setting.
 	cache   moveCache
 	workers int
+
+	// Metric handles (telemetry.go); the zero value is fully disabled.
+	tele evTele
 }
 
 // NewEvaluator returns an evaluator bound to p with a's solution loaded.

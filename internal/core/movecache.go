@@ -146,6 +146,9 @@ func growCopy[T any](s []T, n int) []T {
 // host). A no-op before the cache is first built — rows start dirty.
 func (ev *Evaluator) touchZone(z int) {
 	if z < len(ev.cache.dirty) {
+		if !ev.cache.dirty[z] {
+			ev.tele.invalidations.Inc()
+		}
 		ev.cache.dirty[z] = true
 	}
 }
@@ -392,6 +395,7 @@ func (ev *Evaluator) bestInRow(z int, base score, qualityOnly bool) (int, score)
 func (ev *Evaluator) bestZoneMove() bool {
 	n := ev.p.NumZones
 	ev.cache.ensure(n, ev.p.NumServers())
+	defer ev.scanEnd(ev.scanStart(n))
 	base := ev.score()
 	workers := ev.workers
 	if workers > n {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"time"
+
+	"dvecap/telemetry"
+)
+
+// evTele holds the evaluator's pre-registered metric handles. The zero
+// value (all nil) is the disabled state: every record call is a nil-method
+// no-op, so the hot paths carry only a nil check when telemetry is off.
+//
+// Telemetry is observation only — nothing here feeds back into scoring or
+// move selection, so attaching a registry cannot change an outcome.
+type evTele struct {
+	invalidations *telemetry.Counter   // cache rows marked dirty
+	rowRefreshes  *telemetry.Counter   // cache rows recomputed by a scan
+	rowHits       *telemetry.Counter   // cache rows served clean by a scan
+	scanRounds    *telemetry.Counter   // zone-move scans run
+	scanDur       *telemetry.Histogram // zone-move scan wall time, seconds
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a metrics registry. The
+// counters cover the candidate-delta cache — invalidations from mutations,
+// and per scan how many rows were recomputed versus served clean — plus a
+// wall-time histogram per zone-move scan. Safe to call at any time; the
+// registry's instruments are shared if several evaluators attach to one.
+func (ev *Evaluator) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		ev.tele = evTele{}
+		return
+	}
+	ev.tele = evTele{
+		invalidations: reg.Counter("dvecap_cache_invalidations_total",
+			"Candidate-delta cache rows marked dirty by evaluator mutations."),
+		rowRefreshes: reg.Counter("dvecap_cache_row_refreshes_total",
+			"Candidate-delta cache rows recomputed during zone-move scans."),
+		rowHits: reg.Counter("dvecap_cache_row_hits_total",
+			"Candidate-delta cache rows served without recomputation during zone-move scans."),
+		scanRounds: reg.Counter("dvecap_scan_rounds_total",
+			"Zone-move candidate scans executed."),
+		scanDur: reg.Histogram("dvecap_scan_duration_seconds",
+			"Wall time of one zone-move candidate scan.", nil),
+	}
+}
+
+// scanStart begins per-scan accounting: it counts the round, samples the
+// clock only when a duration histogram is attached (time.Now is not free
+// on the scan path), and pre-counts the dirty rows serially — the scan
+// itself may refresh rows from worker goroutines, and counting beforehand
+// keeps atomics (and any telemetry work at all) out of the sharded loop.
+func (ev *Evaluator) scanStart(n int) (start time.Time) {
+	ev.tele.scanRounds.Inc()
+	if ev.tele.rowRefreshes != nil {
+		var dirty uint64
+		for z := 0; z < n; z++ {
+			if ev.cache.dirty[z] {
+				dirty++
+			}
+		}
+		ev.tele.rowRefreshes.Add(dirty)
+		ev.tele.rowHits.Add(uint64(n) - dirty)
+	}
+	if ev.tele.scanDur != nil {
+		start = time.Now()
+	}
+	return start
+}
+
+// scanEnd completes the accounting scanStart opened.
+func (ev *Evaluator) scanEnd(start time.Time) {
+	if ev.tele.scanDur != nil {
+		ev.tele.scanDur.Observe(time.Since(start).Seconds())
+	}
+}

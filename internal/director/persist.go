@@ -18,11 +18,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
 	"dvecap/internal/wal"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // ErrDirectorClosed reports a mutation on a durable director after Close.
@@ -84,6 +86,22 @@ type dirDurable struct {
 	closed    bool
 	// hook is the crash-injection point for the fault tests.
 	hook func(point string) error
+	// snapDur/snapBytes/snaps are the checkpoint series; nil (disabled)
+	// without Config.Telemetry.
+	snapDur   *telemetry.Histogram
+	snapBytes *telemetry.Counter
+	snaps     *telemetry.Counter
+}
+
+// attachTelemetry registers the checkpoint series; a nil registry leaves
+// the handles nil, which every record site checks.
+func (dd *dirDurable) attachTelemetry(reg *telemetry.Registry) {
+	dd.snapDur = reg.Histogram("dvecap_snapshot_write_duration_seconds",
+		"Wall time to render and durably write one session snapshot.", nil)
+	dd.snapBytes = reg.Counter("dvecap_snapshot_bytes_total",
+		"Snapshot payload bytes written by checkpoints.")
+	dd.snaps = reg.Counter("dvecap_snapshots_total",
+		"Session snapshots written (explicit and auto checkpoints).")
 }
 
 // Durable reports whether the director journals to a data directory.
@@ -192,6 +210,10 @@ func (d *Director) snapshotPayloadLocked(lsn uint64) ([]byte, error) {
 }
 
 func (d *Director) checkpointLocked() (uint64, error) {
+	var start time.Time
+	if d.dur.snapDur != nil {
+		start = time.Now()
+	}
 	lsn := d.dur.w.NextLSN() - 1
 	payload, err := d.snapshotPayloadLocked(lsn)
 	if err != nil {
@@ -200,6 +222,11 @@ func (d *Director) checkpointLocked() (uint64, error) {
 	if err := wal.WriteSnapshot(d.dur.dir, lsn, payload, d.dirHook()); err != nil {
 		return 0, err
 	}
+	if d.dur.snapDur != nil {
+		d.dur.snapDur.Observe(time.Since(start).Seconds())
+		d.dur.snapBytes.Add(uint64(len(payload)))
+		d.dur.snaps.Inc()
+	}
 	if err := d.dur.w.TruncateThrough(lsn); err != nil {
 		return 0, err
 	}
@@ -207,6 +234,7 @@ func (d *Director) checkpointLocked() (uint64, error) {
 		return 0, err
 	}
 	d.dur.sinceSnap = 0
+	d.log.Debug("checkpoint written", "lsn", lsn, "bytes", len(payload))
 	return lsn, nil
 }
 
@@ -256,6 +284,7 @@ func (d *Director) startDurable() error {
 		snapEvery:      d.cfg.SnapshotEvery,
 		lastFullSolves: d.planner().Stats().FullSolves,
 	}
+	d.dur.attachTelemetry(d.cfg.Telemetry)
 	base, err := d.snapshotPayloadLocked(0)
 	if err != nil {
 		return err
@@ -263,7 +292,7 @@ func (d *Director) startDurable() error {
 	if err := wal.WriteSnapshot(d.cfg.DataDir, 0, base, d.dirHook()); err != nil {
 		return err
 	}
-	w, err := wal.Open(d.cfg.DataDir, 0, wal.Options{CrashHook: d.dirHook()})
+	w, err := wal.Open(d.cfg.DataDir, 0, wal.Options{CrashHook: d.dirHook(), Telemetry: d.cfg.Telemetry})
 	if err != nil {
 		return err
 	}
@@ -353,6 +382,9 @@ func recoverDirector(cfg Config) (*Director, error) {
 		zonePop: make([]int, cfg.Zones),
 		csBuf:   make([]float64, len(cfg.ServerNodes)),
 		seq:     snap.Seq,
+		log:     cfg.logger(),
+		tele:    cfg.Telemetry,
+		trace:   cfg.Trace,
 	}
 	ids := make([]string, len(snap.Clients))
 	for j, cl := range snap.Clients {
@@ -388,8 +420,10 @@ func recoverDirector(cfg Config) (*Director, error) {
 		replaying:      true,
 		lastFullSolves: pl.Stats().FullSolves,
 	}
+	d.dur.attachTelemetry(cfg.Telemetry)
 	d.recovering.Store(true)
 	defer d.recovering.Store(false)
+	recStart := time.Now()
 	replayed := 0
 	if _, err := wal.Replay(dir, snap.LSN, func(lsn uint64, payload []byte) error {
 		e, err := repair.DecodeEvent(payload)
@@ -406,13 +440,29 @@ func recoverDirector(cfg Config) (*Director, error) {
 	}); err != nil {
 		return nil, err
 	}
-	w, err := wal.Open(dir, snap.LSN, wal.Options{CrashHook: d.dirHook()})
+	w, err := wal.Open(dir, snap.LSN, wal.Options{CrashHook: d.dirHook(), Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}
 	d.dur.w = w
 	d.dur.replaying = false
 	d.dur.sinceSnap = replayed
+	recDur := time.Since(recStart)
+	// Live-traffic telemetry attaches only now, with the tail replayed:
+	// the repair series reflect post-recovery events, and the one-shot
+	// gauges record what the replay itself cost.
+	if cfg.Telemetry != nil {
+		pl.SetTelemetry(cfg.Telemetry)
+		cfg.Telemetry.Gauge("dvecap_recovery_duration_seconds",
+			"Wall time of the last crash recovery (snapshot load excluded, log replay included).").
+			Set(recDur.Seconds())
+		cfg.Telemetry.Gauge("dvecap_recovery_events_replayed",
+			"Log-tail events the last crash recovery replayed.").
+			Set(float64(replayed))
+	}
+	d.log.Info("recovered from journal",
+		"dir", dir, "snapshot_lsn", snap.LSN, "events_replayed", replayed,
+		"clients", d.binding.Len(), "replay", recDur)
 	return d, nil
 }
 

@@ -33,7 +33,9 @@ type apiError struct {
 //	POST   /v1/reassign             → ReassignResult
 //	POST   /v1/checkpoint           → CheckpointResult (snapshot + log truncation)
 //	GET    /v1/stats                → Stats
-//	GET    /v1/healthz              → 200 "ok"
+//	GET    /v1/healthz              → 200 "ok" (pure liveness: the process serves)
+//	GET    /v1/readyz               → 200 "ok" once serving; 503 while replaying
+//	GET    /metrics                 → Prometheus text format (404 without Config.Telemetry)
 //
 // Status codes follow the usual discipline: 404 for unknown clients,
 // servers and zones (errors.Is on the sentinels) and unknown routes, 405
@@ -41,13 +43,32 @@ type apiError struct {
 // request bodies, and 409 for topology conflicts — removing a non-empty
 // server or zone, draining or removing the last available server. While
 // a durable director is still replaying its journal, everything but
-// /v1/healthz answers 503 with a Retry-After header.
+// /v1/healthz, /v1/readyz and /metrics answers 503 with a Retry-After
+// header; point load balancers at /v1/readyz and restart policies at
+// /v1/healthz.
+//
+// With Config.Telemetry set, every request is additionally recorded into
+// per-route counters and latency histograms (label cardinality bounded by
+// route PATTERNS, see routePattern) and an in-flight gauge.
 func Handler(d *Director) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness, as distinct from /v1/healthz's liveness: a recovering
+		// director is alive (don't restart it — that restarts the replay)
+		// but not ready (don't route traffic to it yet).
+		if d.Recovering() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "recovering: replaying journal")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", metricsHandler(d))
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, "GET only")
@@ -66,7 +87,11 @@ func Handler(d *Director) http.Handler {
 		p := d.ProblemSnapshot()
 		w.Header().Set("Content-Type", "application/json")
 		if err := p.WriteJSON(w); err != nil {
-			// Headers already sent; nothing more to do than log-by-status.
+			// Headers (and part of the body) are already on the wire, so the
+			// client sees a torn 200 — all we can do is make the failure
+			// visible on the server side instead of swallowing it.
+			d.log.Warn("problem snapshot write failed",
+				"remote", r.RemoteAddr, "err", err)
 			return
 		}
 	})
@@ -286,16 +311,21 @@ func Handler(d *Director) http.Handler {
 	})
 	// While the director is still replaying its journal (a server that
 	// binds its listener before recovery finishes), every request except
-	// the liveness probe sheds with 503 + Retry-After instead of being
-	// served half-replayed state.
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if d.Recovering() && r.URL.Path != "/v1/healthz" {
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusServiceUnavailable, "recovering: replaying journal")
-			return
+	// the probes and the scrape endpoint sheds with 503 + Retry-After
+	// instead of being served half-replayed state.
+	shed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/healthz", "/v1/readyz", "/metrics":
+		default:
+			if d.Recovering() {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, "recovering: replaying journal")
+				return
+			}
 		}
 		mux.ServeHTTP(w, r)
 	})
+	return instrument(newHTTPMetrics(d.tele), d.trace, shed)
 }
 
 // CheckpointResult reports POST /v1/checkpoint: the LSN the snapshot

@@ -15,6 +15,7 @@ package director
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +24,7 @@ import (
 	"dvecap/internal/topology"
 	"dvecap/internal/wal"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // Sentinel errors shared with the repair subsystem's ID binding (and
@@ -82,6 +84,20 @@ type Config struct {
 	// across this many goroutines (0 or 1 sequential, negative all CPUs).
 	// Assignments are bit-identical for every setting; see DESIGN.md §8.
 	Workers int
+	// Telemetry, when set, attaches a metrics registry: the repair planner,
+	// evaluator cache and (with DataDir) the write-ahead log register their
+	// series there, the HTTP handler records per-route request metrics, and
+	// GET /metrics renders everything in Prometheus text format. Telemetry
+	// is observation only — it never changes an assignment decision
+	// (DESIGN.md §12). Nil disables all of it.
+	Telemetry *telemetry.Registry
+	// Logger receives structured operational logs (recovery progress,
+	// checkpoint results, response-write failures). Nil discards them.
+	Logger *slog.Logger
+	// Trace, when set, emits one JSON trace event per API request
+	// (operation "METHOD route", raw path, duration, HTTP outcome) through
+	// the handler middleware. Nil disables tracing.
+	Trace *telemetry.Tracer
 }
 
 // Validate reports the first invalid field.
@@ -147,6 +163,20 @@ type Director struct {
 	// recovering is true while New replays the journal; the HTTP handler
 	// sheds traffic (503 + Retry-After) until it clears.
 	recovering atomic.Bool
+
+	// log is never nil (defaults to discard); tele and trace are
+	// Config.Telemetry/Config.Trace and may be nil (instrumentation off).
+	log   *slog.Logger
+	tele  *telemetry.Registry
+	trace *telemetry.Tracer
+}
+
+// logger resolves Config.Logger to a non-nil handle.
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // New builds a director and computes an initial (empty-world) zone
@@ -181,6 +211,9 @@ func New(cfg Config) (*Director, error) {
 		rng:     xrand.New(cfg.Seed),
 		zonePop: make([]int, cfg.Zones),
 		csBuf:   make([]float64, len(cfg.ServerNodes)),
+		log:     cfg.logger(),
+		tele:    cfg.Telemetry,
+		trace:   cfg.Trace,
 	}
 	// With no clients every zone is cost-free everywhere; spread zones
 	// round-robin so early joins have sane targets.
@@ -203,6 +236,9 @@ func New(cfg Config) (*Director, error) {
 	d.binding, err = repair.NewIDBinding(pl, nil)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil {
+		pl.SetTelemetry(cfg.Telemetry)
 	}
 	if cfg.DataDir != "" {
 		if err := d.startDurable(); err != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"dvecap/internal/core"
@@ -10,6 +11,7 @@ import (
 	"dvecap/internal/runner"
 	"dvecap/internal/sim"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // RepairOptions tunes the repair-vs-full-resolve comparison (an extension
@@ -27,6 +29,14 @@ type RepairOptions struct {
 	Churn *sim.ChurnConfig
 	// Scenario defaults to 20s-80z-1000c-500cp.
 	Scenario string
+	// Telemetry and MetricsLog, when set, are attached to the FIRST
+	// replication's repair-mode driver only (replications run in parallel;
+	// one driver keeps the gauge stream coherent): live dvecap_sim_* and
+	// repair-planner series update, and MetricsLog receives one
+	// Prometheus-text snapshot per simulated tick. Observation only — the
+	// comparison's results are identical with or without them.
+	Telemetry  *telemetry.Registry
+	MetricsLog io.Writer
 }
 
 // RepairMode is one mode's aggregate outcome.
@@ -87,6 +97,10 @@ func Repair(setup Setup, opt RepairOptions) (*RepairResult, error) {
 			}
 			churnM := churn
 			churnM.Repair = mode == 1
+			if rep == 0 && mode == 1 {
+				churnM.Telemetry = opt.Telemetry
+				churnM.MetricsLog = opt.MetricsLog
+			}
 			eng := sim.NewEngine()
 			driver, err := sim.NewDriver(eng, world, core.GreZGreC, solveOpts, churnM, xrand.New(churnSeed))
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"dvecap/internal/core"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // driveChurn applies a deterministic random event stream (joins, leaves,
@@ -83,6 +84,10 @@ func TestPlannerWorkersDeterministic(t *testing.T) {
 		wantStats := ref.Stats()
 		for _, workers := range []int{4, 8} {
 			pl := build(workers)
+			// The sharded planners run fully instrumented against the bare
+			// sequential reference: equality below also proves telemetry is
+			// observation-only (DESIGN.md §12).
+			pl.SetTelemetry(telemetry.NewRegistry())
 			driveChurn(t, pl, p, seed, 400)
 			got := pl.Assignment()
 			for z := range want.ZoneServer {

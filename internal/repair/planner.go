@@ -124,6 +124,9 @@ type Planner struct {
 	failBackoff     int // events to wait after a failed guard solve; doubles per failure
 	stats           Stats
 	solveErr        error
+
+	// Metric handles (telemetry.go); the zero value is fully disabled.
+	tele plTele
 }
 
 // New builds a planner over a clone of p (the planner owns its copy
@@ -209,6 +212,7 @@ func (pl *Planner) Join(zone int, rt float64, cs []float64) (int, error) {
 	if len(cs) != pl.prob.NumServers() {
 		return 0, fmt.Errorf("repair: delay row has %d entries, want %d", len(cs), pl.prob.NumServers())
 	}
+	start := pl.teleStart()
 	j := pl.ev.AddClient(zone, rt, cs)
 	if pl.ev.GreedyContact(j) {
 		pl.stats.ContactSwitches++
@@ -217,6 +221,7 @@ func (pl *Planner) Join(zone int, rt float64, cs []float64) (int, error) {
 	pl.stats.Joins++
 	pl.repairZones(zone)
 	pl.afterEvent()
+	pl.teleEvent(evJoin, 1, start)
 	return h, nil
 }
 
@@ -243,6 +248,7 @@ func (pl *Planner) Leave(handle int) error {
 	if err != nil {
 		return err
 	}
+	start := pl.teleStart()
 	zone := pl.prob.ClientZones[j]
 	moved := pl.ev.RemoveClient(j)
 	if moved >= 0 {
@@ -256,6 +262,7 @@ func (pl *Planner) Leave(handle int) error {
 	pl.stats.Leaves++
 	pl.repairZones(zone)
 	pl.afterEvent()
+	pl.teleEvent(evLeave, 1, start)
 	return nil
 }
 
@@ -269,6 +276,7 @@ func (pl *Planner) Move(handle, newZone int) error {
 	if newZone < 0 || newZone >= pl.prob.NumZones {
 		return fmt.Errorf("repair: zone %d outside [0,%d)", newZone, pl.prob.NumZones)
 	}
+	start := pl.teleStart()
 	old := pl.prob.ClientZones[j]
 	pl.stats.Moves++
 	if newZone != old {
@@ -279,6 +287,7 @@ func (pl *Planner) Move(handle, newZone int) error {
 		pl.repairZones(old, newZone)
 	}
 	pl.afterEvent()
+	pl.teleEvent(evMove, 1, start)
 	return nil
 }
 
@@ -292,6 +301,7 @@ func (pl *Planner) UpdateDelays(handle int, cs []float64) error {
 	if len(cs) != pl.prob.NumServers() {
 		return fmt.Errorf("repair: delay row has %d entries, want %d", len(cs), pl.prob.NumServers())
 	}
+	start := pl.teleStart()
 	pl.ev.SetClientDelays(j, cs)
 	if pl.ev.GreedyContact(j) {
 		pl.stats.ContactSwitches++
@@ -299,6 +309,7 @@ func (pl *Planner) UpdateDelays(handle int, cs []float64) error {
 	pl.stats.DelayUpdates++
 	pl.repairZones(pl.prob.ClientZones[j])
 	pl.afterEvent()
+	pl.teleEvent(evDelayUpdate, 1, start)
 	return nil
 }
 
@@ -378,10 +389,12 @@ func (pl *Planner) afterEventN(n int) {
 	spreadTrip := pl.cfg.DriftUtilSpread > 0 &&
 		pl.stats.LastUtilSpread-pl.stats.BaselineUtilSpread > pl.cfg.DriftUtilSpread
 	if (pqosTrip || spreadTrip) && pl.eventsSinceFull >= minGap {
+		trigger := triggerDrift
 		if spreadTrip && !pqosTrip {
 			pl.stats.ImbalanceSolves++
+			trigger = triggerImbalance
 		}
-		if err := pl.FullSolve(); err != nil {
+		if err := pl.fullSolve(trigger); err != nil {
 			pl.solveErr = err
 			pl.stats.LastSolveError = err.Error()
 			pl.eventsSinceFull = 0
@@ -392,6 +405,7 @@ func (pl *Planner) afterEventN(n int) {
 			}
 		}
 	}
+	pl.syncTele()
 }
 
 // TakeSolveErr drains the most recent drift-guard full-solve failure, if
@@ -405,11 +419,24 @@ func (pl *Planner) TakeSolveErr() error {
 	return err
 }
 
+// Full-solve trigger labels (the dvecap_full_solves_total counter):
+// triggerDrift is the pQoS quality guard, triggerImbalance the
+// utilization-spread guard, triggerEpoch every explicit FullSolve call —
+// the initial solve, fallback cadences, POST /v1/reassign.
+const (
+	triggerDrift     = "drift"
+	triggerImbalance = "imbalance"
+	triggerEpoch     = "epoch"
+)
+
 // FullSolve re-runs the configured two-phase algorithm over the planner's
 // whole problem and adopts the result as the new drift baseline. Callers
 // running a fallback cadence invoke this on their timer; the drift guard
 // invokes it automatically when armed.
-func (pl *Planner) FullSolve() error {
+func (pl *Planner) FullSolve() error { return pl.fullSolve(triggerEpoch) }
+
+func (pl *Planner) fullSolve(trigger string) error {
+	start := pl.teleStart()
 	algo := pl.cfg.Algo
 	if pl.cfg.StickyBonus > 0 && pl.ev != nil {
 		algo = algo.WithSticky(pl.ZoneServers(), pl.cfg.StickyBonus)
@@ -434,6 +461,9 @@ func (pl *Planner) FullSolve() error {
 	} else {
 		pl.ev = core.NewEvaluator(pl.prob, a)
 		pl.ev.SetWorkers(pl.cfg.Opt.Workers)
+		if pl.tele.on {
+			pl.ev.SetTelemetry(pl.tele.reg)
+		}
 	}
 	pl.stats.FullSolves++
 	pl.stats.BaselinePQoS = pl.ev.PQoS()
@@ -445,6 +475,8 @@ func (pl *Planner) FullSolve() error {
 	pl.stats.LastSolveError = ""
 	pl.eventsSinceFull = 0
 	pl.failBackoff = 0
+	pl.teleFullSolve(trigger, start)
+	pl.syncTele()
 	return nil
 }
 

@@ -122,10 +122,12 @@ func (pl *Planner) AddServer(capacity float64, ss, csCol []float64) (int, error)
 			return 0, fmt.Errorf("repair: client %d delay %v ms, want >= 0", j, d)
 		}
 	}
+	start := pl.teleStart()
 	i := pl.ev.AddServer(capacity, ss, csCol)
 	pl.drained = append(pl.drained, false)
 	pl.stats.ServerAdds++
 	pl.afterEvent()
+	pl.teleEvent(evServerAdd, 1, start)
 	return i, nil
 }
 
@@ -153,12 +155,14 @@ func (pl *Planner) RemoveServer(i int) (moved int, err error) {
 			return -1, fmt.Errorf("repair: %w: server %d is a contact for client %d (drain it first)", ErrServerNotEmpty, i, j)
 		}
 	}
+	start := pl.teleStart()
 	moved = pl.ev.RemoveServer(i)
 	l := len(pl.drained) - 1
 	pl.drained[i] = pl.drained[l]
 	pl.drained = pl.drained[:l]
 	pl.stats.ServerRemoves++
 	pl.afterEvent()
+	pl.teleEvent(evServerRemove, 1, start)
 	return moved, nil
 }
 
@@ -188,6 +192,7 @@ func (pl *Planner) DrainServer(i int) error {
 	if pl.availableServers() == 1 {
 		return fmt.Errorf("repair: cannot drain server %d: %w", i, ErrLastServer)
 	}
+	start := pl.teleStart()
 	pl.drained[i] = true
 	pl.ev.SetCordon(i, true)
 
@@ -232,6 +237,7 @@ func (pl *Planner) DrainServer(i int) error {
 	pl.repairZones(dedupZones(touched)...)
 	pl.stats.ServerDrains++
 	pl.afterEvent()
+	pl.teleEvent(evServerDrain, 1, start)
 	return nil
 }
 
@@ -246,9 +252,11 @@ func (pl *Planner) UncordonServer(i int) error {
 	if !pl.drained[i] {
 		return nil
 	}
+	start := pl.teleStart()
 	pl.drained[i] = false
 	pl.ev.SetCordon(i, false)
 	pl.afterEvent()
+	pl.teleEvent(evServerUncordon, 1, start)
 	return nil
 }
 
@@ -279,9 +287,11 @@ func (pl *Planner) AddZone(host int) (int, error) {
 			return 0, fmt.Errorf("repair: cannot place zone: %w", ErrLastServer)
 		}
 	}
+	start := pl.teleStart()
 	z := pl.ev.AddZone(host)
 	pl.stats.ZoneAdds++
 	pl.afterEvent()
+	pl.teleEvent(evZoneAdd, 1, start)
 	return z, nil
 }
 
@@ -300,9 +310,11 @@ func (pl *Planner) RetireZone(z int) (moved int, err error) {
 	if n := len(pl.ev.ZoneClients(z)); n > 0 {
 		return -1, fmt.Errorf("repair: %w: zone %d still has %d clients", ErrZoneNotEmpty, z, n)
 	}
+	start := pl.teleStart()
 	moved = pl.ev.RemoveZone(z)
 	pl.stats.ZoneRetires++
 	pl.afterEvent()
+	pl.teleEvent(evZoneRetire, 1, start)
 	return moved, nil
 }
 
@@ -329,6 +341,7 @@ func (pl *Planner) JoinBatch(zones []int, rts []float64, css [][]float64) ([]int
 			return nil, fmt.Errorf("repair: batch client %d: delay row has %d entries, want %d", x, len(css[x]), p.NumServers())
 		}
 	}
+	start := pl.teleStart()
 	handles := make([]int, len(zones))
 	for x, zone := range zones {
 		j := pl.ev.AddClient(zone, rts[x], css[x])
@@ -340,6 +353,7 @@ func (pl *Planner) JoinBatch(zones []int, rts []float64, css [][]float64) ([]int
 	pl.stats.Joins += len(zones)
 	pl.repairZones(dedupZones(append([]int(nil), zones...))...)
 	pl.afterEventN(len(zones))
+	pl.teleEvent(evJoinBatch, len(zones), start)
 	return handles, nil
 }
 
@@ -359,6 +373,7 @@ func (pl *Planner) LeaveBatch(handles []int) error {
 		}
 		seen[h] = true
 	}
+	start := pl.teleStart()
 	touched := make([]int, 0, len(handles))
 	for _, h := range handles {
 		// Re-resolve per removal: earlier removals swap-shift dense
@@ -378,6 +393,7 @@ func (pl *Planner) LeaveBatch(handles []int) error {
 	pl.stats.Leaves += len(handles)
 	pl.repairZones(dedupZones(touched)...)
 	pl.afterEventN(len(handles))
+	pl.teleEvent(evLeaveBatch, len(handles), start)
 	return nil
 }
 
@@ -404,6 +420,7 @@ func (pl *Planner) MoveBatch(handles []int, zones []int) error {
 			return fmt.Errorf("repair: batch client %d: zone %d outside [0,%d)", x, zones[x], pl.prob.NumZones)
 		}
 	}
+	start := pl.teleStart()
 	touched := make([]int, 0, 2*len(handles))
 	for x, h := range handles {
 		j := pl.idx[h]
@@ -420,6 +437,7 @@ func (pl *Planner) MoveBatch(handles []int, zones []int) error {
 	pl.stats.Moves += len(handles)
 	pl.repairZones(dedupZones(touched)...)
 	pl.afterEventN(len(handles))
+	pl.teleEvent(evMoveBatch, len(handles), start)
 	return nil
 }
 
@@ -448,6 +466,7 @@ func (pl *Planner) UpdateServerDelayColumn(i int, handles []int, ds []float64) e
 		}
 		idx[x] = j
 	}
+	start := pl.teleStart()
 	touched := make([]int, 0, len(idx))
 	for x, j := range idx {
 		pl.ev.SetClientServerDelay(j, i, ds[x])
@@ -459,6 +478,7 @@ func (pl *Planner) UpdateServerDelayColumn(i int, handles []int, ds []float64) e
 	pl.stats.DelayUpdates++
 	pl.repairZones(dedupZones(touched)...)
 	pl.afterEvent()
+	pl.teleEvent(evDelayColumn, 1, start)
 	return nil
 }
 

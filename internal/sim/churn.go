@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"dvecap/internal/core"
 	"dvecap/internal/dve"
 	"dvecap/internal/repair"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // ChurnConfig parameterises the churn driver's stochastic processes.
@@ -63,6 +65,16 @@ type ChurnConfig struct {
 	// is uncordoned. Required (> 0, < RollingDeployEverySec) when
 	// RollingDeployEverySec is set.
 	DrainDowntimeSec float64
+	// Telemetry, when set, is attached to the repair planner (repair mode)
+	// and fed live dvecap_sim_* gauges — virtual time, population, pQoS,
+	// utilization — refreshed at every quality sample. Observation only:
+	// results are bit-identical with or without it.
+	Telemetry *telemetry.Registry
+	// MetricsLog, when set (with Telemetry), streams one Prometheus-text
+	// snapshot of the registry per periodic tick, each preceded by a
+	// "# tick t=<virtual seconds>" comment line — a scrape series over
+	// virtual time for offline analysis.
+	MetricsLog io.Writer
 }
 
 // repairDrift resolves the configured drift threshold.
@@ -191,6 +203,9 @@ func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Optio
 			return nil, err
 		}
 		d.planner = pl
+		if cfg.Telemetry != nil {
+			pl.SetTelemetry(cfg.Telemetry)
+		}
 		d.binding = repair.BindWorld(pl, world)
 		if cfg.HandoffFreezeSec > 0 && d.zoneFrozenUntil == nil {
 			d.zoneFrozenUntil = make([]float64, world.Cfg.Zones)
@@ -247,6 +262,16 @@ func (d *Driver) restoreEvent() {
 
 func (d *Driver) tickEvent() {
 	d.sample("tick")
+	if d.cfg.MetricsLog != nil && d.cfg.Telemetry != nil {
+		// One Prometheus-text snapshot per tick, stamped with virtual time.
+		// Failures are absorbed like other non-fatal driver errors: a broken
+		// metrics sink must not abort a simulation.
+		if _, err := fmt.Fprintf(d.cfg.MetricsLog, "# tick t=%.3f\n", d.eng.Now()); err != nil {
+			d.errs = append(d.errs, fmt.Errorf("sim: metrics log: %w", err))
+		} else if err := d.cfg.Telemetry.WritePrometheus(d.cfg.MetricsLog); err != nil {
+			d.errs = append(d.errs, fmt.Errorf("sim: metrics log: %w", err))
+		}
+	}
 	d.eng.Schedule(d.cfg.SampleEverySec, d.tickEvent)
 }
 
@@ -558,4 +583,11 @@ func (d *Driver) sampleWith(p *core.Problem, label string) {
 		PQoS:        pqos,
 		Utilization: m.Utilization,
 	})
+	if reg := d.cfg.Telemetry; reg != nil {
+		reg.Gauge("dvecap_sim_time_seconds", "Virtual time of the latest quality sample.").Set(d.eng.Now())
+		reg.Gauge("dvecap_sim_clients", "Client population at the latest quality sample.").Set(float64(p.NumClients()))
+		reg.Gauge("dvecap_sim_pqos", "pQoS at the latest quality sample (handoff freezes included).").Set(pqos)
+		reg.Gauge("dvecap_sim_utilization", "Resource utilization R at the latest quality sample.").Set(m.Utilization)
+		reg.Counter("dvecap_sim_samples_total", "Quality samples recorded, by trigger.", "event", label).Inc()
+	}
 }

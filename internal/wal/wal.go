@@ -30,6 +30,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"dvecap/telemetry"
 )
 
 const (
@@ -69,6 +72,37 @@ type Options struct {
 	// mid-write power cut) and the error propagates. Fault-injection
 	// harness only.
 	CrashHook func(point string) error
+	// Telemetry, when set, registers the log's metrics there: append and
+	// fsync latency histograms, appended bytes/records, and segment
+	// rotations. Nil disables all instrumentation at zero cost.
+	Telemetry *telemetry.Registry
+}
+
+// walTele holds the writer's metric handles; zero value disabled.
+type walTele struct {
+	appendDur *telemetry.Histogram
+	fsyncDur  *telemetry.Histogram
+	bytes     *telemetry.Counter
+	records   *telemetry.Counter
+	rotations *telemetry.Counter
+}
+
+func newWALTele(reg *telemetry.Registry) walTele {
+	if reg == nil {
+		return walTele{}
+	}
+	return walTele{
+		appendDur: reg.Histogram("dvecap_wal_append_duration_seconds",
+			"Wall time of one WAL append, including the durability fsync.", nil),
+		fsyncDur: reg.Histogram("dvecap_wal_fsync_duration_seconds",
+			"Wall time of the per-append fsync alone.", nil),
+		bytes: reg.Counter("dvecap_wal_appended_bytes_total",
+			"Framed bytes appended to the WAL."),
+		records: reg.Counter("dvecap_wal_records_total",
+			"Records appended to the WAL."),
+		rotations: reg.Counter("dvecap_wal_segment_rotations_total",
+			"WAL segment rotations."),
+	}
 }
 
 // Writer appends records to the log. Not safe for concurrent use.
@@ -79,6 +113,7 @@ type Writer struct {
 	size    int64  // current segment size
 	nextLSN uint64 // LSN the next Append receives
 	closed  bool
+	tele    walTele
 }
 
 // segmentName formats the segment holding records from lsn on.
@@ -206,7 +241,7 @@ func Open(dir string, base uint64, opt Options) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Writer{dir: dir, opt: opt}
+	w := &Writer{dir: dir, opt: opt, tele: newWALTele(opt.Telemetry)}
 	if len(segs) == 0 {
 		w.nextLSN = base + 1
 		if err := w.rotate(); err != nil {
@@ -300,6 +335,7 @@ func (w *Writer) rotate() error {
 	}
 	w.f = f
 	w.size = int64(len(magic))
+	w.tele.rotations.Inc()
 	return nil
 }
 
@@ -329,6 +365,10 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 	if err := w.hook("append:start"); err != nil {
 		return 0, err
 	}
+	var start time.Time
+	if w.tele.appendDur != nil {
+		start = time.Now()
+	}
 	frame := make([]byte, frameHeader+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
@@ -346,13 +386,25 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	if !w.opt.NoSync {
+		var syncStart time.Time
+		if w.tele.fsyncDur != nil {
+			syncStart = time.Now()
+		}
 		if err := w.f.Sync(); err != nil {
 			return 0, err
+		}
+		if w.tele.fsyncDur != nil {
+			w.tele.fsyncDur.Observe(time.Since(syncStart).Seconds())
 		}
 	}
 	lsn := w.nextLSN
 	w.nextLSN++
 	w.size += int64(len(frame))
+	if w.tele.appendDur != nil {
+		w.tele.appendDur.Observe(time.Since(start).Seconds())
+		w.tele.bytes.Add(uint64(len(frame)))
+		w.tele.records.Inc()
+	}
 	return lsn, nil
 }
 

@@ -2,9 +2,11 @@ package dvecap
 
 import (
 	"fmt"
+	"io"
 
 	"dvecap/internal/core"
 	"dvecap/internal/xrand"
+	"dvecap/telemetry"
 )
 
 // OverflowPolicy controls what the assignment algorithms do when no server
@@ -46,6 +48,9 @@ type config struct {
 	durDir    string
 	snapEvery int
 	spread    float64
+	// observability (Open only): metrics registry and trace-log sink.
+	tele   *telemetry.Registry
+	traceW io.Writer
 	// rng lets the Scenario adapters thread their own stream through the
 	// engine, preserving bit-identical results with the legacy paths.
 	rng *xrand.RNG
@@ -142,6 +147,28 @@ func WithSnapshotEvery(n int) Option {
 // (the default) disables it. Solve ignores this option.
 func WithImbalanceGuard(spread float64) Option {
 	return func(c *config) { c.spread = spread }
+}
+
+// WithTelemetry attaches a metrics registry to the session returned by
+// Open: the repair planner, evaluator cache, and (with WithDurability) the
+// write-ahead log register their counters, gauges and latency histograms
+// there, and the registry renders them in Prometheus text exposition
+// format (telemetry.Registry.WritePrometheus). Telemetry is observation
+// only — an instrumented session's decisions are bit-identical to an
+// uninstrumented one's (DESIGN.md §12). Nil (the default) disables all
+// instrumentation at zero cost. Solve ignores this option.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.tele = reg }
+}
+
+// WithTraceLog streams structured trace events — one JSON line per session
+// mutation, with operation, start time, duration and outcome — to w. The
+// session serializes writes; w need not be safe for concurrent use. Nil
+// (the default) disables tracing. During crash recovery the replayed
+// events are NOT re-traced; tracing resumes with the first live event.
+// Solve ignores this option.
+func WithTraceLog(w io.Writer) Option {
+	return func(c *config) { c.traceW = w }
 }
 
 // WithEstimationError solves against delays perturbed by a multiplicative

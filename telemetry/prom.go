@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE headers per family,
+// one sample line per series, histograms expanded into cumulative
+// `_bucket{le=...}` samples plus `_sum` and `_count`. Families are sorted
+// by name and series by label signature, so the output is stable across
+// calls. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(s.labels, "", 0), s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(s.labels, "", 0), formatFloat(s.g.Value()))
+			case kindHistogram:
+				upper, cum := s.h.Buckets()
+				for i, le := range upper {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, "le", le), cum[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, "le", math.Inf(1)), s.h.Count())
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, renderLabels(s.labels, "", 0), formatFloat(s.h.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, renderLabels(s.labels, "", 0), s.h.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// renderLabels renders {k="v",...}; leName (if non-empty) appends the
+// histogram le label, kept in sorted position with the rest.
+func renderLabels(ls labelSet, leName string, le float64) string {
+	if len(ls) == 0 && leName == "" {
+		return ""
+	}
+	pairs := make([]labelPair, 0, len(ls)+1)
+	pairs = append(pairs, ls...)
+	if leName != "" {
+		pairs = append(pairs, labelPair{k: leName, v: formatFloat(le)})
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float64 the way the exposition format expects:
+// +Inf/-Inf/NaN spelled out, shortest round-trippable decimal otherwise.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ---------------------------------------------------------------------------
+// Strict parser for the exposition format. Exists so tests (and the CI
+// metrics smoke) can verify the renderer against an independent reading of
+// the spec rather than against itself; it rejects anything malformed
+// instead of guessing.
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string            // sample name as written (includes _bucket/_sum/_count suffixes)
+	Labels map[string]string // nil when the line has no label braces
+	Value  float64
+}
+
+// ParsedMetrics is the result of ParsePrometheus.
+type ParsedMetrics struct {
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+	Help    map[string]string // family name -> help text (unescaped)
+	Samples []Sample
+}
+
+// Sample returns the unique sample with the given name and exact label
+// set, or an error if it is absent or ambiguous.
+func (p *ParsedMetrics) Sample(name string, labels map[string]string) (Sample, error) {
+	var found []Sample
+	for _, s := range p.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = append(found, s)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Sample{}, fmt.Errorf("no sample %s%v", name, labels)
+	case 1:
+		return found[0], nil
+	default:
+		return Sample{}, fmt.Errorf("%d samples match %s%v", len(found), name, labels)
+	}
+}
+
+// ParsePrometheus parses text exposition format strictly: every line must
+// be a well-formed # HELP, # TYPE, or sample line; unknown comment
+// directives and blank lines are permitted (per spec), anything else is
+// an error with its line number.
+func ParsePrometheus(r io.Reader) (*ParsedMetrics, error) {
+	out := &ParsedMetrics{Types: map[string]string{}, Help: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, out); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseComment(line string, out *ParsedMetrics) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, dup := out.Types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s (was %s)", name, prev)
+		}
+		out.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		out.Help[name] = strings.NewReplacer(`\n`, "\n", `\\`, `\`).Replace(help)
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return Sample{}, fmt.Errorf("no value on sample line %q", line)
+	}
+	s := Sample{Name: rest[:i]}
+	if !validName(s.Name) {
+		return Sample{}, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return Sample{}, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Value, optionally followed by a timestamp (which we reject: the
+	// renderer never emits one, so seeing one means the input is not ours).
+	if strings.ContainsAny(rest, " \t") {
+		return Sample{}, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes a {k="v",...} block and returns the remainder.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	s = s[1:] // consume '{'
+	for {
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", s)
+		}
+		name := s[:eq]
+		if !validName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '"', '\\':
+					val.WriteByte(s[0])
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %q", s[0], name)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels[name] = val.String()
+		if s != "" && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// Handler-style convenience: ServeHTTP-compatible function for mounting
+// the registry on a mux without importing net/http here would drag the
+// dependency anyway; instead callers write:
+//
+//	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+//	    w.Header().Set("Content-Type", telemetry.ContentType)
+//	    reg.WritePrometheus(w)
+//	})
+
+// ContentType is the exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,361 @@
+// Package telemetry is dvecap's dependency-free runtime metrics and
+// tracing substrate (DESIGN.md §12). A Registry holds counters, gauges and
+// fixed-bucket histograms addressed by (name, label set); the record path
+// is a handful of atomic operations with zero allocations, so the solver's
+// hot loops can be instrumented without perturbing their performance — and
+// every instrument is nil-safe, so code built against a metric handle runs
+// unchanged (and unmeasured) when no registry is attached.
+//
+// Instrumentation is observation only: nothing in this package feeds back
+// into placement decisions, touches the engine's RNG streams, or orders
+// any computation, so runs with telemetry attached stay bit-identical to
+// runs without (proven by the worker-determinism and durability
+// equivalence suites running under an attached registry).
+//
+// The registry renders the Prometheus text exposition format (prom.go);
+// Tracer (trace.go) is the companion JSON-lines span log.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (CAS loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: observation counts per bucket
+// plus a running sum. Buckets are cumulative only at render time; the
+// record path increments exactly one bucket counter, the total count and
+// the sum — zero allocations, safe for concurrent use, no-op on nil.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket slices are small (≤ ~20) and the branch pattern
+	// is friendlier than binary search at that size.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Buckets returns the upper bounds and their CUMULATIVE counts, excluding
+// the implicit +Inf bucket (whose cumulative count is Count()).
+func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = append([]float64(nil), h.upper...)
+	cumulative = make([]uint64, len(h.upper))
+	var c uint64
+	for i := range h.upper {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	return upper, cumulative
+}
+
+// DefLatencyBuckets is the default latency histogram layout, in seconds:
+// 10µs to ~40s in ×4 steps — wide enough to cover a contact switch and a
+// 100k-client full re-solve on one scale.
+var DefLatencyBuckets = []float64{
+	10e-6, 40e-6, 160e-6, 640e-6, 2.56e-3, 10.24e-3, 40.96e-3, 163.84e-3, 655.36e-3, 2.62144, 10.48576, 41.94304,
+}
+
+// metricKind discriminates a family's instrument type.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (label set, instrument) pair of a family.
+type series struct {
+	labels labelSet
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name (and therefore a kind).
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []*series
+}
+
+// Registry is a set of metric families. Registration methods are safe for
+// concurrent use and idempotent: asking again for the same name and label
+// set returns the same instrument, so instrumented layers can be composed
+// without coordinating ownership. All methods are nil-safe — a nil
+// registry hands out nil instruments, whose record methods are no-ops.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// labelSet is a sorted list of label pairs.
+type labelSet []labelPair
+
+type labelPair struct{ k, v string }
+
+// newLabelSet validates and sorts alternating key/value pairs.
+func newLabelSet(kv []string) (labelSet, error) {
+	if len(kv)%2 != 0 {
+		return nil, fmt.Errorf("telemetry: odd label list (%d entries)", len(kv))
+	}
+	ls := make(labelSet, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) {
+			return nil, fmt.Errorf("telemetry: invalid label name %q", kv[i])
+		}
+		ls = append(ls, labelPair{k: kv[i], v: kv[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].k < ls[j].k })
+	for i := 1; i < len(ls); i++ {
+		if ls[i].k == ls[i-1].k {
+			return nil, fmt.Errorf("telemetry: duplicate label %q", ls[i].k)
+		}
+	}
+	return ls, nil
+}
+
+func (a labelSet) equal(b labelSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName reports whether s is a legal metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons legal in metric names; we accept them
+// for labels too and never emit them there).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds or creates the family and the series for (name, labels).
+// make is called to build the instrument when the series is new.
+func (r *Registry) lookup(name, help string, kind metricKind, kv []string, mk func() *series) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	ls, err := newLabelSet(kv)
+	if err != nil {
+		panic(err.Error() + " on " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	for _, s := range f.series {
+		if s.labels.equal(ls) {
+			return s
+		}
+	}
+	s := mk()
+	s.labels = ls
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. labels are alternating key/value pairs. Nil registry → nil counter.
+// Panics on an invalid name, a malformed label list, or a kind conflict
+// with an existing family — all programmer errors.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, labels, func() *series {
+		return &series{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, labels, func() *series {
+		return &series{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use with the given ascending bucket upper bounds (nil takes
+// DefLatencyBuckets). The bucket layout is fixed at first registration;
+// later calls for the same name ignore the argument.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("telemetry: %s buckets not strictly ascending at %d", name, i))
+		}
+	}
+	return r.lookup(name, help, kindHistogram, labels, func() *series {
+		h := &Histogram{upper: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Uint64, len(buckets)+1)
+		return &series{h: h}
+	}).h
+}
+
+// snapshot returns the families sorted by name, each with its series
+// sorted by label signature — the stable render order.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, f := range out {
+		sort.Slice(f.series, func(i, j int) bool {
+			return labelKey(f.series[i].labels) < labelKey(f.series[j].labels)
+		})
+	}
+	return out
+}
+
+// labelKey is a series' sort key.
+func labelKey(ls labelSet) string {
+	s := ""
+	for _, p := range ls {
+		s += p.k + "\x00" + p.v + "\x00"
+	}
+	return s
+}
