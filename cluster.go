@@ -58,8 +58,10 @@ type ServerSpec struct {
 }
 
 // ClientSpec describes one client: its zone, its bandwidth requirement on
-// the zone's server, and its measured RTT to every server. Exactly one of
-// RTTs and RTTRow must be set.
+// the zone's server, and its measured delays. Without Coord, exactly one
+// of RTTs and RTTRow must be set and must cover every server. With Coord
+// (usable only under WithDelayProvider(CoordDelays)), RTTs may be partial
+// — or absent entirely — and RTTRow must be nil.
 type ClientSpec struct {
 	// Zone is the ID of the zone the client's avatar is in. Required.
 	Zone string
@@ -67,12 +69,20 @@ type ClientSpec struct {
 	// server (the paper's R^T). Required, > 0.
 	BandwidthMbps float64
 	// RTTs maps server IDs to measured client↔server round-trip times in
-	// milliseconds. Every server must be covered.
+	// milliseconds. Every server must be covered — unless Coord is set, in
+	// which case the map may cover any subset (the measured candidates)
+	// and unmeasured servers read the coordinate prediction.
 	RTTs map[string]float64
 	// RTTRow is the same information as a dense row in ServerIDs order —
 	// the matrix-supplied form for callers that already hold one (e.g. a
 	// King/IDMaps estimator snapshot).
 	RTTRow []float64
+	// Coord is the client's network coordinate (length DelayModel
+	// dimensionality, core default 5) for CoordDelays clusters — the
+	// million-client join path: no per-server rows at all, delays beyond
+	// the RTTs subset are predicted from coordinate distance. Solving such
+	// a cluster under any other delay model fails.
+	Coord []float64
 }
 
 // Cluster assembles a client-assignment instance from real infrastructure:
@@ -106,8 +116,9 @@ type Cluster struct {
 	// hold a validated problem.
 	pre *core.Problem
 
-	built *core.Problem
-	dirty bool
+	built      *core.Problem
+	builtModel DelayModel
+	dirty      bool
 }
 
 // NewCluster starts an empty cluster with the given interactivity bound
@@ -176,7 +187,11 @@ func (c *Cluster) AddClient(id string, spec ClientSpec) error {
 	if !(spec.BandwidthMbps > 0) { // rejects NaN too
 		return fmt.Errorf("dvecap: client %q bandwidth %v Mbps, want > 0", id, spec.BandwidthMbps)
 	}
-	if (spec.RTTs == nil) == (spec.RTTRow == nil) {
+	if spec.Coord != nil {
+		if spec.RTTRow != nil {
+			return fmt.Errorf("dvecap: client %q: Coord and RTTRow are mutually exclusive (partial RTTs may accompany a coordinate)", id)
+		}
+	} else if (spec.RTTs == nil) == (spec.RTTRow == nil) {
 		return fmt.Errorf("dvecap: client %q: set exactly one of RTTs and RTTRow", id)
 	}
 	c.clientIdx[id] = len(c.clientIDs)
@@ -308,13 +323,21 @@ func (c *Cluster) buildSS() ([][]float64, error) {
 	return out, nil
 }
 
-// problem validates the cluster into a core problem, cached until the next
-// mutation.
+// problem validates the cluster into a dense core problem, cached until
+// the next mutation — the default (and legacy) build path.
 func (c *Cluster) problem() (*core.Problem, error) {
+	return c.problemFor(DenseDelays)
+}
+
+// problemFor validates the cluster into a core problem under the given
+// delay model. The dense model builds (and caches) the full CS matrix;
+// the provider models never materialize it — a CoordDelays build of a
+// coordinate-native million-client cluster allocates O(clients) state.
+func (c *Cluster) problemFor(model DelayModel) (*core.Problem, error) {
 	if c.pre != nil {
-		return c.pre, nil
+		return wrapProblemDelays(c.pre, model)
 	}
-	if c.built != nil && !c.dirty {
+	if c.built != nil && !c.dirty && c.builtModel == model {
 		return c.built, nil
 	}
 	k := len(c.clientIDs)
@@ -323,7 +346,6 @@ func (c *Cluster) problem() (*core.Problem, error) {
 		ClientZones: make([]int, k),
 		NumZones:    len(c.zoneIDs),
 		ClientRT:    make([]float64, k),
-		CS:          make([][]float64, k),
 		D:           c.delayBound,
 	}
 	ss, err := c.buildSS()
@@ -331,6 +353,24 @@ func (c *Cluster) problem() (*core.Problem, error) {
 		return nil, err
 	}
 	p.SS = ss
+
+	var coord *core.CoordProvider
+	var shared *core.SharedRowProvider
+	m := len(c.serverIDs)
+	switch model {
+	case DenseDelays:
+		p.CS = make([][]float64, k)
+	case CoordDelays:
+		coord = core.NewCoordProviderFromSS(ss, 0)
+		p.Delays = coord
+	case SharedRowDelays:
+		shared = core.NewSharedRowProvider(m)
+		p.Delays = shared
+	default:
+		return nil, fmt.Errorf("dvecap: unknown delay model %d", model)
+	}
+
+	rowBuf := make([]float64, m)
 	for j, spec := range c.clients {
 		z, err := c.zoneIndex(spec.Zone)
 		if err != nil {
@@ -338,17 +378,98 @@ func (c *Cluster) problem() (*core.Problem, error) {
 		}
 		p.ClientZones[j] = z
 		p.ClientRT[j] = spec.BandwidthMbps
-		row, err := resolveRTTRow(c.clientIDs[j], spec, c.serverIDs, c.lookupServer, nil)
+		if spec.Coord != nil {
+			if coord == nil {
+				return nil, fmt.Errorf("dvecap: client %q supplies a coordinate; open the cluster WithDelayProvider(CoordDelays)", c.clientIDs[j])
+			}
+			srvs, vals, err := c.resolveSparseRTTs(c.clientIDs[j], spec.RTTs)
+			if err != nil {
+				return nil, err
+			}
+			coord.AddClientAt(spec.Coord, srvs, vals)
+			continue
+		}
+		if coord != nil && spec.RTTRow == nil && len(spec.RTTs) < m {
+			// Coordinate mode admits partial maps even without an explicit
+			// coordinate: the coordinate is fitted from the measurements.
+			srvs, vals, err := c.resolveSparseRTTs(c.clientIDs[j], spec.RTTs)
+			if err != nil {
+				return nil, err
+			}
+			coord.AddClientFitted(srvs, vals)
+			continue
+		}
+		row, err := resolveRTTRow(c.clientIDs[j], spec, c.serverIDs, c.lookupServer, rowBuf)
 		if err != nil {
 			return nil, err
 		}
-		p.CS[j] = append([]float64(nil), row...)
+		switch {
+		case coord != nil:
+			coord.AppendClient(row)
+		case shared != nil:
+			shared.AppendClient(row)
+		default:
+			p.CS[j] = append([]float64(nil), row...)
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("dvecap: invalid cluster: %w", err)
 	}
-	c.built, c.dirty = p, false
+	c.built, c.builtModel, c.dirty = p, model, false
 	return p, nil
+}
+
+// resolveSparseRTTs turns a partial RTTs map into sorted-by-resolution
+// sparse (server index, delay) lists for the coordinate provider. Iteration
+// follows ServerIDs order so the result is deterministic.
+func (c *Cluster) resolveSparseRTTs(owner string, rtts map[string]float64) ([]int32, []float64, error) {
+	for sid, d := range rtts {
+		if _, ok := c.serverIdx[sid]; !ok {
+			return nil, nil, fmt.Errorf("dvecap: client %q RTT: %w %q", owner, ErrUnknownServer, sid)
+		}
+		if !(d >= 0) {
+			return nil, nil, fmt.Errorf("dvecap: client %q RTT to server %q is %v ms, want >= 0", owner, sid, d)
+		}
+	}
+	var srvs []int32
+	var vals []float64
+	for i, sid := range c.serverIDs {
+		if d, ok := rtts[sid]; ok {
+			srvs = append(srvs, int32(i))
+			vals = append(vals, d)
+		}
+	}
+	return srvs, vals, nil
+}
+
+// wrapProblemDelays adapts an already-dense problem (a Scenario world, a
+// problem-JSON load) to the requested delay model by streaming its rows
+// through the provider's row constructor. Dense stays as-is; the sparse
+// models hold every entry as an exact override/row, so results remain
+// bit-identical to the dense solve.
+func wrapProblemDelays(p *core.Problem, model DelayModel) (*core.Problem, error) {
+	if model == DenseDelays || p.Delays != nil {
+		return p, nil
+	}
+	q := *p
+	switch model {
+	case CoordDelays:
+		cp := core.NewCoordProviderFromSS(p.SS, 0)
+		for j := range p.CS {
+			cp.AppendClient(p.CS[j])
+		}
+		q.Delays = cp
+	case SharedRowDelays:
+		sp := core.NewSharedRowProvider(p.NumServers())
+		for j := range p.CS {
+			sp.AppendClient(p.CS[j])
+		}
+		q.Delays = sp
+	default:
+		return nil, fmt.Errorf("dvecap: unknown delay model %d", model)
+	}
+	q.CS = nil
+	return &q, nil
 }
 
 // Solve runs the named two-phase algorithm ("RanZ-VirC", "RanZ-GreC",
@@ -362,7 +483,7 @@ func (c *Cluster) Solve(algorithm string, opts ...Option) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
 	}
-	truth, err := c.problem()
+	truth, err := c.problemFor(cfg.delayModel)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +537,7 @@ func (c *Cluster) openSession(algorithm string, cfg config) (*ClusterSession, er
 	if !ok {
 		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
 	}
-	p, err := c.problem()
+	p, err := c.problemFor(cfg.delayModel)
 	if err != nil {
 		return nil, err
 	}

@@ -126,11 +126,18 @@ func (c *Cluster) WriteClusterJSON(w io.Writer) error {
 		if j < len(c.clientIDs) {
 			id = c.clientIDs[j]
 		}
+		row := p.CS[j]
+		if p.Delays != nil {
+			// Provider-backed problems materialize to the dense interchange
+			// form: the spec format carries full rows.
+			row = make([]float64, p.NumServers())
+			p.CopyCSRow(j, row)
+		}
 		cj.Clients[j] = clientJSON{
 			ID:            id,
 			Zone:          c.zoneIDs[p.ClientZones[j]],
 			BandwidthMbps: p.ClientRT[j],
-			RTTRowMs:      p.CS[j],
+			RTTRowMs:      row,
 		}
 	}
 	enc := json.NewEncoder(w)

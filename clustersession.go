@@ -2,6 +2,7 @@ package dvecap
 
 import (
 	"fmt"
+	"math"
 
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
@@ -13,8 +14,10 @@ import (
 // unmeasured path is never chosen while a measured one exists. It appears
 // when ClusterSession.AddServer admits a server whose spec.ClientRTTs does
 // not cover every current client; UpdateServerDelays (or per-client
-// UpdateDelays) replaces it as probes complete.
-const UnmeasuredRTTMs = 1e6
+// UpdateDelays) replaces it as probes complete. Sessions opened under a
+// sparse delay model (WithDelayProvider) substitute the model's prediction
+// instead of this sentinel.
+const UnmeasuredRTTMs = core.UnmeasuredDelayMs
 
 // ClusterSession is the churn-time surface of a Cluster: the solution from
 // Open is kept repaired in O(affected) per event through the churn-repair
@@ -354,7 +357,14 @@ func (s *ClusterSession) AddServer(id string, spec ServerSpec) (err error) {
 	if err := s.journal(&repair.Event{Op: repair.OpAddServer, Server: id, Capacity: spec.CapacityMbps, Row: ss, ClientRTTs: spec.ClientRTTs}); err != nil {
 		return err
 	}
-	if err := s.binding.AddServer(id, spec.CapacityMbps, ss, spec.ClientRTTs, UnmeasuredRTTMs); err != nil {
+	// Clients absent from ClientRTTs: dense sessions pin the unmeasured
+	// sentinel; provider-backed sessions hand the provider NaN so it
+	// substitutes its own prediction (coordinate distance, shared row).
+	fill := UnmeasuredRTTMs
+	if s.planner().Problem().Delays != nil {
+		fill = math.NaN()
+	}
+	if err := s.binding.AddServer(id, spec.CapacityMbps, ss, spec.ClientRTTs, fill); err != nil {
 		return err
 	}
 	s.rowBuf = append(s.rowBuf, 0)

@@ -107,6 +107,7 @@ func main() {
 		drift     = flag.Float64("drift", 0, "arm the repair planner's quality guard: full re-solve when pQoS decays this far below the last full solve (0 = disabled)")
 		driftSprd = flag.Float64("drift-spread", 0, "arm the load-imbalance guard: full re-solve when the max-min per-server utilization spread grows this far above the last full solve's baseline (0 = disabled)")
 		workers   = flag.Int("workers", 0, "goroutines for the sharded assignment scans (0/1 = sequential, -1 = all CPUs); results are identical for every setting")
+		delayProv = flag.String("delay-provider", "dense", "delay representation: dense (raw matrix), coord (coordinates + exact overrides) or shared (deduplicated rows — clients at the same node share one row); assignments are bit-identical across models")
 		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead journal + snapshots, recovered on restart (empty = in-memory only)")
 		snapEvery = flag.Int("snapshot-every", 10000, "with -data-dir, checkpoint automatically every N journaled events (0 = only POST /v1/checkpoint)")
 		debugAddr = flag.String("debug-addr", "", "second listener serving /metrics and net/http/pprof under /debug/pprof/ (keep it off the public network; empty = disabled)")
@@ -161,6 +162,7 @@ func main() {
 		FrameRate:       25,
 		MessageBytes:    100,
 		Algorithm:       *algorithm,
+		DelayModel:      *delayProv,
 		Seed:            *seed,
 		DriftPQoS:       *drift,
 		DriftUtilSpread: *driftSprd,
@@ -186,6 +188,9 @@ func main() {
 	}
 	if *driftSprd > 0 {
 		fmt.Printf("capdirector: imbalance guard armed at %.3f utilization spread\n", *driftSprd)
+	}
+	if *delayProv != "dense" && *delayProv != "" {
+		fmt.Printf("capdirector: %s delay provider\n", *delayProv)
 	}
 	if *dataDir != "" {
 		fmt.Printf("capdirector: durable in %s (%d clients recovered, auto-checkpoint every %d events)\n",

@@ -17,8 +17,11 @@ var ErrSessionClosed = errors.New("dvecap: session closed")
 
 const (
 	// snapshotVersion tags the sessionSnapshot schema; recovery rejects
-	// snapshots from a future schema rather than misreading them.
-	snapshotVersion = 1
+	// snapshots from a future schema rather than misreading them, and
+	// still reads every older version. Version 2 added the delay-provider
+	// state (version-1 snapshots are always dense and carry per-client
+	// rows instead).
+	snapshotVersion = 2
 	// keepSnapshots is how many generations Checkpoint retains: the one it
 	// just wrote plus one predecessor, so a snapshot that turns out
 	// unreadable (torn by a crash-during-rename bug, bitrot) still leaves a
@@ -41,6 +44,11 @@ type sessionSnapshot struct {
 	DriftUtilSpread float64        `json:"drift_util_spread,omitempty"`
 	Cluster         clusterJSON    `json:"cluster"`
 	Planner         *repair.State  `json:"planner"`
+	// Provider is the delay-provider state of sessions opened under a
+	// non-dense WithDelayProvider model (snapshot version >= 2). When set,
+	// the cluster's clients carry no rtt_row_ms — the provider state IS
+	// the delay store, and recovery reconstructs it bit-identically.
+	Provider *core.ProviderState `json:"provider,omitempty"`
 }
 
 // durable is a ClusterSession's write-ahead journal: every event is
@@ -174,8 +182,18 @@ func (s *ClusterSession) snapshotPayload(lsn uint64) ([]byte, error) {
 			ID:            id,
 			Zone:          s.binding.ZoneID(p.ClientZones[j]),
 			BandwidthMbps: p.ClientRT[j],
-			RTTRowMs:      p.CS[j],
 		}
+		if p.Delays == nil {
+			cj.Clients[j].RTTRowMs = p.CS[j]
+		}
+	}
+	// Provider-backed sessions serialise the provider's own state instead
+	// of per-client dense rows: smaller, and — crucially — recovery
+	// restores the provider's INTERNALS (coordinates, override lists, row
+	// sharing) bit-identically, not just the delays it would report.
+	var prov *core.ProviderState
+	if p.Delays != nil {
+		prov = p.Delays.State()
 	}
 	st, err := pl.ExportState()
 	if err != nil {
@@ -190,6 +208,7 @@ func (s *ClusterSession) snapshotPayload(lsn uint64) ([]byte, error) {
 		DriftUtilSpread: s.driftSpread,
 		Cluster:         cj,
 		Planner:         st,
+		Provider:        prov,
 	})
 }
 
@@ -321,8 +340,8 @@ func recoverSession(algorithm string, cfg config) (*ClusterSession, error) {
 			lastErr = fmt.Errorf("snapshot %d: %w", lsns[x], err)
 			continue
 		}
-		if cand.Version != snapshotVersion {
-			lastErr = fmt.Errorf("snapshot %d has version %d, this build reads %d", lsns[x], cand.Version, snapshotVersion)
+		if cand.Version < 1 || cand.Version > snapshotVersion {
+			lastErr = fmt.Errorf("snapshot %d has version %d, this build reads 1..%d", lsns[x], cand.Version, snapshotVersion)
 			continue
 		}
 		if cand.LSN != lsns[x] {
@@ -341,13 +360,21 @@ func recoverSession(algorithm string, cfg config) (*ClusterSession, error) {
 	if !ok {
 		return nil, fmt.Errorf("dvecap: stored session uses unknown algorithm %q", snap.Algo)
 	}
-	rc, err := clusterFromJSON(&snap.Cluster)
-	if err != nil {
-		return nil, fmt.Errorf("dvecap: snapshot cluster: %w", err)
-	}
-	p, err := rc.problem()
-	if err != nil {
-		return nil, err
+	var p *core.Problem
+	if snap.Provider != nil {
+		p, err = problemFromProviderSnapshot(&snap.Cluster, snap.Provider)
+		if err != nil {
+			return nil, fmt.Errorf("dvecap: snapshot cluster: %w", err)
+		}
+	} else {
+		rc, err := clusterFromJSON(&snap.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("dvecap: snapshot cluster: %w", err)
+		}
+		p, err = rc.problem()
+		if err != nil {
+			return nil, err
+		}
 	}
 	ocfg := cfg
 	ocfg.overflow = snap.Overflow
@@ -431,6 +458,47 @@ func recoverSession(algorithm string, cfg config) (*ClusterSession, error) {
 	s.tracer = telemetry.NewTracer(cfg.traceW)
 	s.tele = cfg.tele
 	return s, nil
+}
+
+// problemFromProviderSnapshot rebuilds a provider-backed session's problem
+// directly from the snapshot: topology and population from the cluster
+// spec, delays from the serialized provider state (reconstructed
+// bit-identically by core.NewProviderFromState). The dense builder path is
+// bypassed — provider snapshots carry no per-client rows to feed it.
+func problemFromProviderSnapshot(cj *clusterJSON, st *core.ProviderState) (*core.Problem, error) {
+	dp, err := core.NewProviderFromState(st)
+	if err != nil {
+		return nil, err
+	}
+	zoneIdx := make(map[string]int, len(cj.Zones))
+	for z, id := range cj.Zones {
+		zoneIdx[id] = z
+	}
+	k := len(cj.Clients)
+	p := &core.Problem{
+		ServerCaps:  make([]float64, len(cj.Servers)),
+		ClientZones: make([]int, k),
+		NumZones:    len(cj.Zones),
+		ClientRT:    make([]float64, k),
+		SS:          cj.ServerRTTsMs,
+		D:           cj.DelayBoundMs,
+		Delays:      dp,
+	}
+	for i, sv := range cj.Servers {
+		p.ServerCaps[i] = sv.CapacityMbps
+	}
+	for j, cl := range cj.Clients {
+		z, ok := zoneIdx[cl.Zone]
+		if !ok {
+			return nil, fmt.Errorf("client %q: unknown zone %q", cl.ID, cl.Zone)
+		}
+		p.ClientZones[j] = z
+		p.ClientRT[j] = cl.BandwidthMbps
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // applyEvent replays one journaled event through the live mutator it was

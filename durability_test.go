@@ -345,6 +345,73 @@ func TestDurableKillRecoverBitIdentical(t *testing.T) {
 	}
 }
 
+// providerStateJSON renders the session problem's delay-provider internals
+// (coordinates, override lists, shared-row group tables, free lists) for
+// bit-identity checks; empty for dense sessions.
+func providerStateJSON(t *testing.T, s *ClusterSession) string {
+	t.Helper()
+	p := s.planner().Problem()
+	if p.Delays == nil {
+		return ""
+	}
+	blob, err := json.Marshal(p.Delays.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestDurableKillRecoverBitIdenticalProviders is the provider dimension of
+// TestDurableKillRecoverBitIdentical: a session opened under CoordDelays or
+// SharedRowDelays, killed mid-churn-storm, must recover and continue
+// bit-identical to an uninterrupted control — including the provider's
+// INTERNAL state (coordinates, override maps, row-sharing tables), not just
+// the delays it reports, so every post-recovery mutation stays on the
+// uncrashed trajectory.
+func TestDurableKillRecoverBitIdenticalProviders(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		model DelayModel
+	}{{"coord", CoordDelays}, {"shared", SharedRowDelays}} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := []Option{
+				WithSeed(7), WithDelayProvider(tc.model),
+				WithDriftGuard(0.03), WithImbalanceGuard(0.2),
+			}
+			control, err := durTestCluster(t, 11).Open("GreZ-GreC", opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if control.planner().Problem().Delays == nil {
+				t.Fatal("WithDelayProvider did not bind a provider")
+			}
+			dir := t.TempDir()
+			durable, err := durTestCluster(t, 11).Open("GreZ-GreC",
+				append([]Option{WithDurability(dir), WithSnapshotEvery(17),
+					WithTelemetry(telemetry.NewRegistry()), WithTraceLog(io.Discard)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const churnSeed, killAt, total = 401, 60, 90
+			dc := newSessChurn(xrand.New(churnSeed))
+			dd := newSessChurn(xrand.New(churnSeed))
+			dc.run(t, control, total)
+			dd.run(t, durable, killAt)
+			// Kill mid-storm: the log is left open, no final checkpoint.
+			recovered := reopenDurable(t, dir, "GreZ-GreC", 0)
+			if recovered.planner().Problem().Delays == nil {
+				t.Fatal("recovery dropped the delay provider")
+			}
+			dd.run(t, recovered, total-killAt)
+			requireSameSession(t, control, recovered)
+			if a, b := providerStateJSON(t, control), providerStateJSON(t, recovered); a != b {
+				t.Fatalf("provider internals diverged after recovery:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
 // TestDurableTornTailRecovery crashes INSIDE an append — half a frame
 // reaches the disk, the event is never acknowledged — and verifies the
 // torn tail is truncated on recovery: the session resumes at exactly the

@@ -50,9 +50,9 @@ func (a *Assignment) ClientDelay(p *Problem, j int) float64 {
 	t := a.Target(p, j)
 	c := a.ClientContact[j]
 	if c == t {
-		return p.CS[j][t]
+		return p.CSAt(j, t)
 	}
-	return p.CS[j][c] + p.SS[c][t]
+	return p.CSAt(j, c) + p.SS[c][t]
 }
 
 // HasQoS reports whether client j's effective delay is within the bound.
@@ -180,7 +180,7 @@ func TotalCost(p *Problem, a *Assignment) int {
 func IAPCost(p *Problem, zoneServer []int) int {
 	cost := 0
 	for j, z := range p.ClientZones {
-		if p.CS[j][zoneServer[z]] > p.D {
+		if p.CSAt(j, zoneServer[z]) > p.D {
 			cost++
 		}
 	}

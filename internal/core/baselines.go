@@ -73,20 +73,22 @@ func NearC(_ *xrand.RNG, p *Problem, zoneServer []int, _ Options) ([]int, error)
 	for z, s := range zoneServer {
 		loads[s] += zoneRT[z]
 	}
+	rowBuf := make([]float64, m)
 	for j, z := range p.ClientZones {
 		t := zoneServer[z]
-		best, bestDelay := t, p.CS[j][t]
+		row := p.CSRow(j, rowBuf)
+		best, bestDelay := t, row[t]
 		for i := 0; i < m; i++ {
 			if i == t {
 				continue
 			}
-			if p.CS[j][i] >= bestDelay {
+			if row[i] >= bestDelay {
 				continue
 			}
 			if !almostLE(loads[i]+2*p.ClientRT[j], p.ServerCaps[i]) {
 				continue
 			}
-			best, bestDelay = i, p.CS[j][i]
+			best, bestDelay = i, row[i]
 		}
 		contact[j] = best
 		if best != t {

@@ -16,7 +16,7 @@ func InitialCosts(p *Problem) [][]int {
 // server i as the contact of client j whose target server is t:
 // how far the resulting effective delay overshoots the bound (0 if within).
 func RefinedCost(p *Problem, j, i, t int) float64 {
-	d := p.CS[j][i]
+	d := p.CSAt(j, i)
 	if i != t {
 		d += p.SS[i][t]
 	}

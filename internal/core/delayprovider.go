@@ -1,0 +1,199 @@
+package core
+
+// Pluggable client↔server delay storage (DESIGN.md §13). The dense k×m CS
+// matrix is the memory wall between 100k clients and the million-user
+// target: at 1M clients × 100 servers it costs ~800 MB, and every
+// server-dimension mutation walks all of it. A DelayProvider replaces the
+// mandatory dense rows with an interface the whole engine reads through —
+// Problem.Delays non-nil routes every CS access to the provider, nil keeps
+// the raw matrix path byte-for-byte as it has always been (and that raw
+// path stays the oracle every provider is proven against; see
+// provider_oracle_test.go and FuzzDelayProvider).
+//
+// Contract, shared by all implementations:
+//
+//   - Indices are the engine's dense indices: clients and servers are
+//     swap-removed and renumbered exactly like Evaluator.RemoveClient /
+//     RemoveServer, and the provider mirrors those renumberings through
+//     SwapRemoveClient / SwapRemoveServer.
+//   - Reads (ClientServer, Row) are safe to run concurrently with each
+//     other as long as each call uses its own dst buffer; mutations demand
+//     exclusive access, like every Evaluator mutation.
+//   - Writes copy their inputs; callers keep ownership of the slices they
+//     pass in.
+//   - NaN delay entries handed to a mutation mean "unmeasured": the
+//     provider resolves them to its own default — the dense provider stores
+//     UnmeasuredDelayMs, the coordinate provider falls back to its
+//     prediction, the shared-row provider stores UnmeasuredDelayMs.
+//     Non-NaN entries are stored verbatim, which is what makes a provider
+//     with full measured coverage bit-identical to the dense matrix.
+type DelayProvider interface {
+	// NumClients returns the current client count.
+	NumClients() int
+	// NumServers returns the current server count.
+	NumServers() int
+	// ClientServer returns the delay between client j and server i in
+	// milliseconds — the provider-backed CS[j][i].
+	ClientServer(j, i int) float64
+	// Row materializes client j's full delay row into dst (len NumServers)
+	// and returns it. Implementations backed by real rows may return an
+	// internal slice instead of filling dst; treat the result as read-only
+	// and valid only until the next mutation.
+	Row(j int, dst []float64) []float64
+	// SetClientDelays replaces client j's entire delay row — the
+	// DelayUpdate measurement-refresh hook.
+	SetClientDelays(j int, row []float64)
+	// SetClientServerDelay overlays one measured delay for client j and
+	// server i.
+	SetClientServerDelay(j, i int, d float64)
+	// AppendClient adds a new client with the given delay row (len
+	// NumServers) at index NumClients.
+	AppendClient(row []float64)
+	// SwapRemoveClient removes client j, renumbering the last client to j.
+	SwapRemoveClient(j int)
+	// AppendServer adds a new server column at index NumServers. col is
+	// either nil — every client unmeasured — or one entry per client,
+	// NaN meaning unmeasured.
+	AppendServer(col []float64)
+	// SwapRemoveServer removes server column i, renumbering the last
+	// server's column to i.
+	SwapRemoveServer(i int)
+	// Clone returns a deep copy sharing no mutable state.
+	Clone() DelayProvider
+	// MemoryBytes estimates the provider's resident size — the number the
+	// memory-budget regression test asserts on.
+	MemoryBytes() int
+	// State returns a serializable snapshot of the provider's full
+	// internal state; NewProviderFromState(State()) reconstructs a
+	// provider whose every future read and mutation is bit-identical, the
+	// property durable-session recovery leans on.
+	State() *ProviderState
+}
+
+// UnmeasuredDelayMs is the sentinel stored for unmeasured client↔server
+// pairs: far beyond any plausible bound, so placement avoids unmeasured
+// servers until a real measurement streams in. The public layer's
+// UnmeasuredRTTMs re-exports it.
+const UnmeasuredDelayMs = 1e6
+
+// resolveUnmeasured returns d with NaN mapped to UnmeasuredDelayMs.
+func resolveUnmeasured(d float64) float64 {
+	if d != d { // NaN
+		return UnmeasuredDelayMs
+	}
+	return d
+}
+
+// DenseProvider stores one real row per client — today's CS matrix behind
+// the provider interface, bit-for-bit. It buys no memory; it exists as the
+// bridge implementation the oracle equivalence suite drives against the
+// raw-matrix path, and as the provider you fall back to when neither
+// coordinates nor shared rows fit the deployment.
+type DenseProvider struct {
+	rows    [][]float64
+	servers int
+}
+
+// NewDenseProvider returns a dense provider over a deep copy of rows, each
+// of which must have `servers` entries (NaN entries resolve to
+// UnmeasuredDelayMs).
+func NewDenseProvider(rows [][]float64, servers int) *DenseProvider {
+	dp := &DenseProvider{rows: make([][]float64, 0, len(rows)), servers: servers}
+	for _, r := range rows {
+		dp.AppendClient(r)
+	}
+	return dp
+}
+
+// NumClients implements DelayProvider.
+func (dp *DenseProvider) NumClients() int { return len(dp.rows) }
+
+// NumServers implements DelayProvider.
+func (dp *DenseProvider) NumServers() int { return dp.servers }
+
+// ClientServer implements DelayProvider.
+func (dp *DenseProvider) ClientServer(j, i int) float64 { return dp.rows[j][i] }
+
+// Row implements DelayProvider: the internal row is returned without
+// copying, like the raw matrix path.
+func (dp *DenseProvider) Row(j int, _ []float64) []float64 { return dp.rows[j] }
+
+// SetClientDelays implements DelayProvider.
+func (dp *DenseProvider) SetClientDelays(j int, row []float64) {
+	for i, d := range row {
+		dp.rows[j][i] = resolveUnmeasured(d)
+	}
+}
+
+// SetClientServerDelay implements DelayProvider.
+func (dp *DenseProvider) SetClientServerDelay(j, i int, d float64) {
+	dp.rows[j][i] = resolveUnmeasured(d)
+}
+
+// AppendClient implements DelayProvider, reusing a spare row left behind by
+// SwapRemoveClient when one has capacity (mirroring Evaluator.AddClient's
+// dense row-reuse).
+func (dp *DenseProvider) AppendClient(row []float64) {
+	j := len(dp.rows)
+	if cap(dp.rows) > j && cap(dp.rows[:j+1][j]) >= dp.servers {
+		dp.rows = dp.rows[:j+1]
+		dp.rows[j] = dp.rows[j][:dp.servers]
+	} else {
+		dp.rows = append(dp.rows[:j], make([]float64, dp.servers))
+	}
+	dp.SetClientDelays(j, row)
+}
+
+// SwapRemoveClient implements DelayProvider. Rows are swapped rather than
+// overwritten so the vacated row's capacity is retained for the next
+// AppendClient.
+func (dp *DenseProvider) SwapRemoveClient(j int) {
+	l := len(dp.rows) - 1
+	dp.rows[j], dp.rows[l] = dp.rows[l], dp.rows[j]
+	dp.rows = dp.rows[:l]
+}
+
+// AppendServer implements DelayProvider.
+func (dp *DenseProvider) AppendServer(col []float64) {
+	for j := range dp.rows {
+		d := UnmeasuredDelayMs
+		if col != nil {
+			d = resolveUnmeasured(col[j])
+		}
+		dp.rows[j] = append(dp.rows[j], d)
+	}
+	dp.servers++
+}
+
+// SwapRemoveServer implements DelayProvider.
+func (dp *DenseProvider) SwapRemoveServer(i int) {
+	l := dp.servers - 1
+	for j := range dp.rows {
+		dp.rows[j][i] = dp.rows[j][l]
+		dp.rows[j] = dp.rows[j][:l]
+	}
+	dp.servers = l
+}
+
+// Clone implements DelayProvider.
+func (dp *DenseProvider) Clone() DelayProvider {
+	q := &DenseProvider{rows: make([][]float64, len(dp.rows)), servers: dp.servers}
+	for j, r := range dp.rows {
+		q.rows[j] = append([]float64(nil), r...)
+	}
+	return q
+}
+
+// MemoryBytes implements DelayProvider.
+func (dp *DenseProvider) MemoryBytes() int {
+	return len(dp.rows)*(8*dp.servers+24) + 24*cap(dp.rows)
+}
+
+// State implements DelayProvider.
+func (dp *DenseProvider) State() *ProviderState {
+	st := &DenseState{Servers: dp.servers, Rows: make([][]float64, len(dp.rows))}
+	for j, r := range dp.rows {
+		st.Rows[j] = append([]float64(nil), r...)
+	}
+	return &ProviderState{Kind: ProviderDense, Dense: st}
+}

@@ -49,6 +49,14 @@ type Evaluator struct {
 	cache   moveCache
 	workers int
 
+	// Row materialization scratch for provider-backed problems (nil CS).
+	// rowScratch serves the sequential row-streaming scans (csRow);
+	// adjScratch is dedicated to adjustRowForClient, which runs while a
+	// caller may still hold a csRow result. Parallel scans allocate
+	// per-worker scratch instead (bestZoneMove).
+	rowScratch []float64
+	adjScratch []float64
+
 	// Metric handles (telemetry.go); the zero value is fully disabled.
 	tele evTele
 }
@@ -111,9 +119,9 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 		c := ev.contact[j]
 		var d float64
 		if c == t {
-			d = p.CS[j][t]
+			d = ev.csAt(j, t)
 		} else {
-			d = p.CS[j][c] + p.SS[c][t]
+			d = ev.csAt(j, c) + p.SS[c][t]
 			ev.loads[c] += 2 * rt
 		}
 		ev.delay[j] = d
@@ -136,6 +144,33 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 // clientsOf returns the client IDs of zone z.
 func (ev *Evaluator) clientsOf(z int) []int {
 	return ev.zoneMembers[z]
+}
+
+// csAt reads CS[j][i] through the problem's delay representation — the
+// point-read form every incremental update uses. Dense problems compile to
+// the old direct indexing.
+func (ev *Evaluator) csAt(j, i int) float64 {
+	if dp := ev.p.Delays; dp != nil {
+		return dp.ClientServer(j, i)
+	}
+	return ev.p.CS[j][i]
+}
+
+// csRow returns client j's delay row for the sequential row-streaming
+// scans: dense problems return the internal row, provider-backed problems
+// materialize into the evaluator's scratch buffer. The result is read-only
+// and invalidated by the next csRow or mutation; never call from the
+// parallel shard workers (they carry their own scratch).
+func (ev *Evaluator) csRow(j int) []float64 {
+	p := ev.p
+	if p.Delays == nil {
+		return p.CS[j]
+	}
+	m := p.NumServers()
+	if cap(ev.rowScratch) < m {
+		ev.rowScratch = make([]float64, m)
+	}
+	return p.Delays.Row(j, ev.rowScratch[:m])
 }
 
 // WithQoS returns the number of clients whose effective delay meets the
@@ -195,13 +230,13 @@ func (ev *Evaluator) ApplyZoneMove(z, s int) {
 		switch {
 		case c == old:
 			ev.contact[j] = s
-			nd = p.CS[j][s]
+			nd = ev.csAt(j, s)
 		case c == s:
-			nd = p.CS[j][s]
+			nd = ev.csAt(j, s)
 			ev.loads[s] -= 2 * p.ClientRT[j]
 			ev.totalLoad -= 2 * p.ClientRT[j]
 		default:
-			nd = p.CS[j][c] + p.SS[c][s]
+			nd = ev.csAt(j, c) + p.SS[c][s]
 		}
 		od := ev.delay[j]
 		if od <= p.D {
@@ -244,9 +279,9 @@ func (ev *Evaluator) ApplyContactSwitch(j, s int) {
 	}
 	var nd float64
 	if s == t {
-		nd = p.CS[j][t]
+		nd = ev.csAt(j, t)
 	} else {
-		nd = p.CS[j][s] + p.SS[s][t]
+		nd = ev.csAt(j, s) + p.SS[s][t]
 	}
 	od := ev.delay[j]
 	if od <= p.D {
@@ -300,18 +335,19 @@ func (ev *Evaluator) contactSwitchPass() bool {
 		cur := ev.contact[j]
 		bestServer := -1
 		bestDelay := curDelay
+		row := ev.csRow(j)
 		for s := 0; s < m; s++ {
 			if s == cur {
 				continue
 			}
 			var d float64
 			if s == t {
-				d = p.CS[j][t]
+				d = row[t]
 			} else {
 				if ev.cordoned[s] || !almostLE(ev.loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
 					continue
 				}
-				d = p.CS[j][s] + p.SS[s][t]
+				d = row[s] + p.SS[s][t]
 			}
 			if d < bestDelay-1e-12 {
 				bestDelay, bestServer = d, s

@@ -47,18 +47,22 @@ func (ev *Evaluator) AddClient(zone int, rt float64, cs []float64) int {
 	j := len(p.ClientZones)
 	p.ClientZones = append(p.ClientZones, zone)
 	p.ClientRT = append(p.ClientRT, rt)
-	// Reuse a spare row left behind by RemoveClient when one has capacity.
-	if cap(p.CS) > j && cap(p.CS[:j+1][j]) >= len(cs) {
-		p.CS = p.CS[:j+1]
-		p.CS[j] = p.CS[j][:len(cs)]
+	if dp := p.Delays; dp != nil {
+		dp.AppendClient(cs)
 	} else {
-		p.CS = append(p.CS[:j], make([]float64, len(cs)))
+		// Reuse a spare row left behind by RemoveClient when one has capacity.
+		if cap(p.CS) > j && cap(p.CS[:j+1][j]) >= len(cs) {
+			p.CS = p.CS[:j+1]
+			p.CS[j] = p.CS[j][:len(cs)]
+		} else {
+			p.CS = append(p.CS[:j], make([]float64, len(cs)))
+		}
+		copy(p.CS[j], cs)
 	}
-	copy(p.CS[j], cs)
 
 	t := ev.zoneServer[zone]
 	ev.contact = append(ev.contact, t)
-	d := p.CS[j][t]
+	d := ev.csAt(j, t)
 	ev.delay = append(ev.delay, d)
 	ev.posInZone = append(ev.posInZone, len(ev.zoneMembers[zone]))
 	ev.zoneMembers[zone] = append(ev.zoneMembers[zone], j)
@@ -108,7 +112,9 @@ func (ev *Evaluator) RemoveClient(j int) int {
 		// retained for the next AddClient.
 		p.ClientZones[j] = p.ClientZones[l]
 		p.ClientRT[j] = p.ClientRT[l]
-		p.CS[j], p.CS[l] = p.CS[l], p.CS[j]
+		if p.Delays == nil {
+			p.CS[j], p.CS[l] = p.CS[l], p.CS[j]
+		}
 		ev.contact[j] = ev.contact[l]
 		ev.delay[j] = ev.delay[l]
 		pos := ev.posInZone[l]
@@ -118,7 +124,11 @@ func (ev *Evaluator) RemoveClient(j int) int {
 	}
 	p.ClientZones = p.ClientZones[:l]
 	p.ClientRT = p.ClientRT[:l]
-	p.CS = p.CS[:l]
+	if dp := p.Delays; dp != nil {
+		dp.SwapRemoveClient(j)
+	} else {
+		p.CS = p.CS[:l]
+	}
 	ev.contact = ev.contact[:l]
 	ev.delay = ev.delay[:l]
 	ev.posInZone = ev.posInZone[:l]
@@ -172,9 +182,9 @@ func (ev *Evaluator) MoveClient(j, newZone int) {
 	}
 	var nd float64
 	if c == newT {
-		nd = p.CS[j][c]
+		nd = ev.csAt(j, c)
 	} else {
-		nd = p.CS[j][c] + p.SS[c][newT]
+		nd = ev.csAt(j, c) + p.SS[c][newT]
 	}
 	ev.replaceDelay(j, nd)
 }
@@ -184,14 +194,18 @@ func (ev *Evaluator) MoveClient(j, newZone int) {
 // refresh. Loads are unaffected.
 func (ev *Evaluator) SetClientDelays(j int, cs []float64) {
 	p := ev.p
-	copy(p.CS[j], cs)
+	if dp := p.Delays; dp != nil {
+		dp.SetClientDelays(j, cs)
+	} else {
+		copy(p.CS[j], cs)
+	}
 	t := ev.zoneServer[p.ClientZones[j]]
 	c := ev.contact[j]
 	var nd float64
 	if c == t {
-		nd = p.CS[j][t]
+		nd = ev.csAt(j, t)
 	} else {
-		nd = p.CS[j][c] + p.SS[c][t]
+		nd = ev.csAt(j, c) + p.SS[c][t]
 	}
 	ev.replaceDelay(j, nd)
 	ev.touchZone(p.ClientZones[j])
@@ -243,7 +257,8 @@ func (ev *Evaluator) GreedyContact(j int) bool {
 	p := ev.p
 	t := ev.zoneServer[p.ClientZones[j]]
 	cur := ev.contact[j]
-	best, bestDelay := t, p.CS[j][t]
+	row := ev.csRow(j)
+	best, bestDelay := t, row[t]
 	if bestDelay > p.D {
 		rt2 := 2 * p.ClientRT[j]
 		for s := 0; s < p.NumServers(); s++ {
@@ -262,7 +277,7 @@ func (ev *Evaluator) GreedyContact(j int) bool {
 			if !almostLE(ev.loads[s]+add, p.ServerCaps[s]) {
 				continue
 			}
-			if d := p.CS[j][s] + p.SS[s][t]; d < bestDelay-1e-12 {
+			if d := row[s] + p.SS[s][t]; d < bestDelay-1e-12 {
 				best, bestDelay = s, d
 			}
 		}

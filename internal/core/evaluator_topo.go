@@ -21,9 +21,12 @@ package core
 // AddServer appends a server with the given bandwidth capacity,
 // inter-server delay row ss (one entry per existing server, in server
 // order; copied) and per-client delay column csCol (csCol[j] is client j's
-// measured RTT to the new server; copied). The new server starts empty —
-// no zones, no contacts, zero load — and is returned as the new dense
-// server index. O(clients + servers + zones).
+// measured RTT to the new server; copied). NaN entries — or a nil csCol —
+// mark clients as unmeasured: dense problems store the far-out-of-bound
+// sentinel UnmeasuredDelayMs, delay providers substitute their model's
+// prediction. The new server starts empty — no zones, no contacts, zero
+// load — and is returned as the new dense server index.
+// O(clients + servers + zones).
 func (ev *Evaluator) AddServer(capacity float64, ss, csCol []float64) int {
 	p := ev.p
 	m := len(p.ServerCaps)
@@ -34,8 +37,17 @@ func (ev *Evaluator) AddServer(capacity float64, ss, csCol []float64) int {
 	row := make([]float64, m+1)
 	copy(row, ss)
 	p.SS = append(p.SS, row)
-	for j := range p.CS {
-		p.CS[j] = append(p.CS[j], csCol[j])
+	switch {
+	case p.Delays != nil:
+		p.Delays.AppendServer(csCol)
+	case csCol == nil:
+		for j := range p.CS {
+			p.CS[j] = append(p.CS[j], UnmeasuredDelayMs)
+		}
+	default:
+		for j := range p.CS {
+			p.CS[j] = append(p.CS[j], resolveUnmeasured(csCol[j]))
+		}
 	}
 	ev.loads = append(ev.loads, 0)
 	ev.cordoned = append(ev.cordoned, false)
@@ -83,9 +95,13 @@ func (ev *Evaluator) RemoveServer(i int) int {
 		p.SS[x][i] = p.SS[x][l]
 		p.SS[x] = p.SS[x][:l]
 	}
-	for j := range p.CS {
-		p.CS[j][i] = p.CS[j][l]
-		p.CS[j] = p.CS[j][:l]
+	if dp := p.Delays; dp != nil {
+		dp.SwapRemoveServer(i)
+	} else {
+		for j := range p.CS {
+			p.CS[j][i] = p.CS[j][l]
+			p.CS[j] = p.CS[j][:l]
+		}
 	}
 	ev.cache.ensure(p.NumZones, l)
 	ev.cache.invalidateAll()
@@ -158,14 +174,18 @@ func (ev *Evaluator) Cordoned(i int) bool { return ev.cordoned[i] }
 // (a just-added server's delays arriving client by client). O(1).
 func (ev *Evaluator) SetClientServerDelay(j, i int, d float64) {
 	p := ev.p
-	p.CS[j][i] = d
+	if dp := p.Delays; dp != nil {
+		dp.SetClientServerDelay(j, i, d)
+	} else {
+		p.CS[j][i] = d
+	}
 	t := ev.zoneServer[p.ClientZones[j]]
 	c := ev.contact[j]
 	var nd float64
 	if c == t {
-		nd = p.CS[j][t]
+		nd = ev.csAt(j, t)
 	} else {
-		nd = p.CS[j][c] + p.SS[c][t]
+		nd = ev.csAt(j, c) + p.SS[c][t]
 	}
 	ev.replaceDelay(j, nd)
 	ev.touchZone(p.ClientZones[j])

@@ -106,12 +106,12 @@ func tryBestContactSwitchOracle(p *Problem, a *Assignment) bool {
 			}
 			var d float64
 			if s == t {
-				d = p.CS[j][t]
+				d = p.CSAt(j, t)
 			} else {
 				if !almostLE(loads[s]+2*p.ClientRT[j], p.ServerCaps[s]) {
 					continue
 				}
-				d = p.CS[j][s] + p.SS[s][t]
+				d = p.CSAt(j, s) + p.SS[s][t]
 			}
 			if d < bestDelay-1e-12 {
 				bestDelay, bestServer = d, s

@@ -184,12 +184,12 @@ func (ev *Evaluator) zoneMoveDelta(z, s int) (dQoS int32, dRap, dLoad float64) {
 		if c == old || c == s {
 			// Followers land on the new target; a contact that *is* the new
 			// target stops forwarding. Either way the delay is direct.
-			nd = p.CS[j][s]
+			nd = ev.csAt(j, s)
 			if c == s {
 				dLoad -= 2 * p.ClientRT[j]
 			}
 		} else {
-			nd = p.CS[j][c] + p.SS[c][s]
+			nd = ev.csAt(j, c) + p.SS[c][s]
 		}
 		od := ev.delay[j]
 		if od <= p.D {
@@ -220,8 +220,11 @@ func (s score) plus(dQoS int32, dRap, dLoad float64) score {
 // receive exactly the operands zoneMoveDelta would add, in the same
 // order, so each cache entry is bit-identical to a zoneMoveDelta call.
 // Safe to run concurrently for distinct zones: it writes only row z and
-// dirty[z].
-func (ev *Evaluator) refreshRow(z int) {
+// dirty[z]. scratch is the row-materialization buffer for provider-backed
+// problems (len = servers); concurrent callers MUST pass distinct
+// buffers — the shard workers of bestZoneMove allocate one each. May be
+// nil for dense problems.
+func (ev *Evaluator) refreshRow(z int, scratch []float64) {
 	p := ev.p
 	m := ev.cache.servers
 	row := z * m
@@ -234,7 +237,7 @@ func (ev *Evaluator) refreshRow(z int) {
 	}
 	for _, j := range ev.zoneMembers[z] {
 		c := ev.contact[j]
-		cs := p.CS[j]
+		cs := p.CSRow(j, scratch)
 		od := ev.delay[j]
 		inQoS := od <= p.D
 		var excess float64
@@ -312,7 +315,17 @@ func (ev *Evaluator) adjustRowForClient(j int, sign int32) {
 	dLoad := ev.cache.dLoad[row : row+m]
 	fsign := float64(sign)
 	c := ev.contact[j]
-	cs := p.CS[j]
+	var cs []float64
+	if p.Delays != nil {
+		// Dedicated scratch: callers (ApplyContactSwitch) may hold a csRow
+		// result in the shared rowScratch while this runs.
+		if cap(ev.adjScratch) < m {
+			ev.adjScratch = make([]float64, m)
+		}
+		cs = p.Delays.Row(j, ev.adjScratch[:m])
+	} else {
+		cs = p.CS[j]
+	}
 	od := ev.delay[j]
 	inQoS := od <= p.D
 	var excess float64
@@ -403,9 +416,16 @@ func (ev *Evaluator) bestZoneMove() bool {
 	}
 	srv, cand := ev.cache.bestSrv, ev.cache.bestCand
 	if workers <= 1 {
+		var scratch []float64
+		if ev.p.Delays != nil {
+			if cap(ev.rowScratch) < ev.cache.servers {
+				ev.rowScratch = make([]float64, ev.cache.servers)
+			}
+			scratch = ev.rowScratch[:ev.cache.servers]
+		}
 		for z := 0; z < n; z++ {
 			if ev.cache.dirty[z] {
-				ev.refreshRow(z)
+				ev.refreshRow(z, scratch)
 			}
 			srv[z], cand[z] = ev.bestInRow(z, base, false)
 		}
@@ -414,15 +434,20 @@ func (ev *Evaluator) bestZoneMove() bool {
 		// rows balance across shards), refresh their dirty rows and fold
 		// every row against the read-only evaluator state, writing each
 		// zone's winner into its own slot. No shared mutable state beyond
-		// disjoint slice elements.
+		// disjoint slice elements — provider-backed problems give every
+		// worker its own row-materialization scratch.
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var scratch []float64
+				if ev.p.Delays != nil {
+					scratch = make([]float64, ev.cache.servers)
+				}
 				for z := w; z < n; z += workers {
 					if ev.cache.dirty[z] {
-						ev.refreshRow(z)
+						ev.refreshRow(z, scratch)
 					}
 					srv[z], cand[z] = ev.bestInRow(z, base, false)
 				}

@@ -35,7 +35,16 @@ type Problem struct {
 	// (the paper's R^T_{c_j}), in Mbps. Strictly positive.
 	ClientRT []float64
 	// CS[j][i] is the round-trip delay between client j and server i.
+	// When Delays is non-nil, CS is nil and every access goes through the
+	// provider; use CSAt/CSRow/CopyCSRow to read either representation.
 	CS [][]float64
+	// Delays, when non-nil, replaces the dense CS matrix with a pluggable
+	// delay provider (delayprovider.go) — the memory-diet path for
+	// million-client populations. nil keeps the raw CS matrix, which
+	// remains the reference ("oracle") representation. Excluded from JSON:
+	// providers serialise through their typed State (ProviderState), which
+	// callers that marshal whole Problems must carry alongside.
+	Delays DelayProvider `json:"-"`
 	// SS[i][k] is the round-trip delay between servers i and k, already
 	// discounted for the well-provisioned inter-server mesh.
 	SS [][]float64
@@ -97,7 +106,17 @@ func (p *Problem) Validate() error {
 	if len(p.ClientRT) != k {
 		return fmt.Errorf("core: %d clients but %d RT entries", k, len(p.ClientRT))
 	}
-	if len(p.CS) != k {
+	if p.Delays != nil {
+		if p.CS != nil {
+			return fmt.Errorf("core: problem has both a dense CS matrix and a delay provider")
+		}
+		if kc := p.Delays.NumClients(); kc != k {
+			return fmt.Errorf("core: %d clients but delay provider holds %d", k, kc)
+		}
+		if mc := p.Delays.NumServers(); mc != m {
+			return fmt.Errorf("core: %d servers but delay provider holds %d", m, mc)
+		}
+	} else if len(p.CS) != k {
 		return fmt.Errorf("core: %d clients but %d CS rows", k, len(p.CS))
 	}
 	for j := 0; j < k; j++ {
@@ -106,6 +125,12 @@ func (p *Problem) Validate() error {
 		}
 		if p.ClientRT[j] <= 0 || math.IsNaN(p.ClientRT[j]) {
 			return fmt.Errorf("core: client %d RT %v, want > 0", j, p.ClientRT[j])
+		}
+		if p.Delays != nil {
+			// Providers validate their own entries at construction time;
+			// walking k × m provider reads here would defeat the point of
+			// bounded-memory million-client opens.
+			continue
 		}
 		if len(p.CS[j]) != m {
 			return fmt.Errorf("core: CS row %d has %d entries, want %d", j, len(p.CS[j]), m)
@@ -142,15 +167,22 @@ func (p *Problem) Clone() *Problem {
 		ClientZones: append([]int(nil), p.ClientZones...),
 		NumZones:    p.NumZones,
 		ClientRT:    append([]float64(nil), p.ClientRT...),
-		CS:          make([][]float64, len(p.CS)),
 		SS:          make([][]float64, len(p.SS)),
 		D:           p.D,
+	}
+	// CS stays nil for provider-backed problems (Validate rejects a problem
+	// carrying both representations).
+	if p.CS != nil {
+		q.CS = make([][]float64, len(p.CS))
 	}
 	for j := range p.CS {
 		q.CS[j] = append([]float64(nil), p.CS[j]...)
 	}
 	for i := range p.SS {
 		q.SS[i] = append([]float64(nil), p.SS[i]...)
+	}
+	if p.Delays != nil {
+		q.Delays = p.Delays.Clone()
 	}
 	return q
 }
@@ -161,8 +193,12 @@ func (p *Problem) Clone() *Problem {
 // fixed-stride streaming pattern instead of chasing per-row allocations —
 // the difference between memory bandwidth and a cache miss per client at
 // 100k clients. Rows whose growth outruns the slack fall back to ordinary
-// per-row appends; correctness never depends on the layout.
+// per-row appends; correctness never depends on the layout. Provider-backed
+// problems have no rows to pad: the provider is Clone()d instead.
 func (p *Problem) ClonePadded(slack int) *Problem {
+	if p.Delays != nil {
+		return p.Clone()
+	}
 	if slack < 0 {
 		slack = 0
 	}
@@ -189,12 +225,67 @@ func (p *Problem) ClonePadded(slack int) *Problem {
 	return q
 }
 
-// WithDelays returns a shallow copy of the problem whose CS and SS matrices
-// are replaced — used to evaluate an assignment computed from estimated
-// delays against the ground truth.
+// CSAt returns the client↔server delay CS[j][i], reading through the
+// bound delay provider when one is set. Every algorithm and evaluator path
+// reads delays through CSAt/CSRow, so dense and provider-backed problems
+// run the identical arithmetic.
+func (p *Problem) CSAt(j, i int) float64 {
+	if p.Delays != nil {
+		return p.Delays.ClientServer(j, i)
+	}
+	return p.CS[j][i]
+}
+
+// CSRow returns client j's full delay row. Dense problems (and providers
+// backed by real rows) return an internal slice without copying; otherwise
+// the row is materialized into buf, which must have NumServers entries.
+// Treat the result as read-only, valid only until the next mutation; for
+// concurrent readers give each its own buf.
+func (p *Problem) CSRow(j int, buf []float64) []float64 {
+	if p.Delays != nil {
+		return p.Delays.Row(j, buf)
+	}
+	return p.CS[j]
+}
+
+// CopyCSRow copies client j's delay row into dst (len NumServers).
+func (p *Problem) CopyCSRow(j int, dst []float64) {
+	if p.Delays != nil {
+		p.Delays.Row(j, dst)
+		return
+	}
+	copy(dst, p.CS[j])
+}
+
+// WithDelays returns a copy of the problem whose CS and SS matrices are
+// replaced by DEEP COPIES of cs and ss — used to evaluate an assignment
+// computed from estimated delays against the ground truth. The caller
+// keeps ownership of cs and ss; mutating them later never reaches the
+// returned problem (the shallow aliasing this method used to do let
+// callers alias mutable rows into a live evaluator unnoticed). Callers
+// handing over freshly built matrices they will not touch again can use
+// WithDelaysOwned to skip the copy. Any bound delay provider is dropped:
+// the explicit matrices win.
 func (p *Problem) WithDelays(cs, ss [][]float64) *Problem {
+	ccs := make([][]float64, len(cs))
+	for j := range cs {
+		ccs[j] = append([]float64(nil), cs[j]...)
+	}
+	css := make([][]float64, len(ss))
+	for i := range ss {
+		css[i] = append([]float64(nil), ss[i]...)
+	}
+	return p.WithDelaysOwned(ccs, css)
+}
+
+// WithDelaysOwned is WithDelays transferring ownership instead of copying:
+// the returned problem aliases cs and ss directly, so the caller must not
+// mutate them afterwards. The zero-copy path for estimator pipelines that
+// build a fresh matrix per call.
+func (p *Problem) WithDelaysOwned(cs, ss [][]float64) *Problem {
 	q := *p
 	q.CS = cs
 	q.SS = ss
+	q.Delays = nil
 	return &q
 }

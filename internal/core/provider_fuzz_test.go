@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvecap/internal/xrand"
+)
+
+// checkAgainstShadow compares every provider read against the from-scratch
+// dense shadow. Shadow NaN marks an unmeasured pair: dense and shared-row
+// providers must report UnmeasuredDelayMs there, the coordinate provider
+// reports its prediction — any finite non-negative value, but the SAME
+// value from ClientServer and Row (and, by the round-trip tests, from a
+// restored copy).
+func checkAgainstShadow(t *testing.T, kind string, dp DelayProvider, shadow [][]float64, m int) {
+	t.Helper()
+	if dp.NumClients() != len(shadow) || dp.NumServers() != m {
+		t.Fatalf("%s: provider is %dx%d, shadow %dx%d", kind, dp.NumClients(), dp.NumServers(), len(shadow), m)
+	}
+	buf := make([]float64, m)
+	for j := range shadow {
+		row := dp.Row(j, buf)
+		for i := 0; i < m; i++ {
+			got := dp.ClientServer(j, i)
+			if row[i] != got {
+				t.Fatalf("%s: Row[%d][%d] = %v but ClientServer = %v", kind, j, i, row[i], got)
+			}
+			sh := shadow[j][i]
+			if !math.IsNaN(sh) {
+				if got != sh {
+					t.Fatalf("%s: CS[%d][%d] = %v, shadow has %v", kind, j, i, got, sh)
+				}
+				continue
+			}
+			switch kind {
+			case ProviderCoord:
+				if math.IsNaN(got) || got < 0 || math.IsInf(got, 0) {
+					t.Fatalf("%s: unmeasured CS[%d][%d] predicted as %v, want finite >= 0", kind, j, i, got)
+				}
+			default:
+				if got != UnmeasuredDelayMs {
+					t.Fatalf("%s: unmeasured CS[%d][%d] = %v, want %v", kind, j, i, got, UnmeasuredDelayMs)
+				}
+			}
+		}
+	}
+}
+
+// driveProviderFuzz decodes ops into provider mutations, mirrors each one
+// into a plain dense shadow matrix (NaN = unmeasured), and cross-checks all
+// reads after every op. Every few ops the provider is snapshot through
+// State/NewProviderFromState and Clone, and all three copies must agree.
+func driveProviderFuzz(t *testing.T, kind string, seed uint64, ops []byte) {
+	rng := xrand.New(seed)
+	m := 2 + int(seed%3)
+	ss := make([][]float64, m)
+	for i := range ss {
+		ss[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for l := i + 1; l < m; l++ {
+			d := rng.Uniform(5, 200)
+			ss[i][l], ss[l][i] = d, d
+		}
+	}
+	var dp DelayProvider
+	switch kind {
+	case ProviderDense:
+		dp = NewDenseProvider(nil, m)
+	case ProviderCoord:
+		dp = NewCoordProviderFromSS(ss, 0)
+	case ProviderSharedRow:
+		dp = NewSharedRowProvider(m)
+	}
+	var shadow [][]float64
+	sample := func() float64 {
+		if rng.IntN(4) == 0 {
+			return math.NaN() // unmeasured
+		}
+		return rng.Uniform(0, 500)
+	}
+	for step, op := range ops {
+		k := len(shadow)
+		switch int(op) % 6 {
+		case 0: // append a client (possibly partially measured)
+			if k >= 48 {
+				continue
+			}
+			row := make([]float64, m)
+			for i := range row {
+				row[i] = sample()
+			}
+			dp.AppendClient(row)
+			shadow = append(shadow, append([]float64(nil), row...))
+		case 1: // swap-remove a client
+			if k == 0 {
+				continue
+			}
+			j := rng.IntN(k)
+			dp.SwapRemoveClient(j)
+			shadow[j] = shadow[k-1]
+			shadow = shadow[:k-1]
+		case 2: // replace a full delay row
+			if k == 0 {
+				continue
+			}
+			j := rng.IntN(k)
+			row := make([]float64, m)
+			for i := range row {
+				row[i] = sample()
+			}
+			dp.SetClientDelays(j, row)
+			shadow[j] = append(shadow[j][:0], row...)
+		case 3: // overlay (or un-measure) one pair
+			if k == 0 {
+				continue
+			}
+			j, i := rng.IntN(k), rng.IntN(m)
+			d := sample()
+			dp.SetClientServerDelay(j, i, d)
+			shadow[j][i] = d
+		case 4: // append a server column (sometimes wholly unmeasured)
+			if m >= 10 {
+				continue
+			}
+			var col []float64
+			if rng.IntN(3) > 0 {
+				col = make([]float64, k)
+				for j := range col {
+					col[j] = sample()
+				}
+			}
+			dp.AppendServer(col)
+			for j := range shadow {
+				d := math.NaN()
+				if col != nil {
+					d = col[j]
+				}
+				shadow[j] = append(shadow[j], d)
+			}
+			m++
+		case 5: // swap-remove a server column
+			if m <= 1 {
+				continue
+			}
+			i := rng.IntN(m)
+			dp.SwapRemoveServer(i)
+			for j := range shadow {
+				shadow[j][i] = shadow[j][m-1]
+				shadow[j] = shadow[j][:m-1]
+			}
+			m--
+		}
+		checkAgainstShadow(t, kind, dp, shadow, m)
+		if step%8 == 7 {
+			restored, err := NewProviderFromState(dp.State())
+			if err != nil {
+				t.Fatalf("%s: state round trip: %v", kind, err)
+			}
+			cl := dp.Clone()
+			buf := make([]float64, m)
+			buf2 := make([]float64, m)
+			for j := range shadow {
+				want := append([]float64(nil), dp.Row(j, buf)...)
+				for _, other := range [][]float64{restored.Row(j, buf), cl.Row(j, buf2)} {
+					for i := range want {
+						if other[i] != want[i] {
+							t.Fatalf("%s: copy disagrees at CS[%d][%d]: %v vs %v", kind, j, i, other[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzDelayProvider feeds arbitrary mutation op-streams — client append and
+// swap-remove, row replacement, single-pair overlays, server column
+// add/remove — through every DelayProvider implementation against a
+// from-scratch dense shadow, the fuzz form of TestProviderMatchesDenseOracle
+// extended to partial (NaN) measurements. Seed corpus lives in
+// testdata/fuzz/FuzzDelayProvider.
+func FuzzDelayProvider(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 0, 2, 3, 4, 1, 5, 0, 3, 3, 2, 4})
+	f.Add(uint64(7), []byte{0, 4, 4, 5, 5, 1, 0, 0, 2, 3})
+	f.Add(uint64(1e6), []byte{0, 1, 0, 1, 4, 0, 5, 2, 2, 3, 3, 3, 4, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		for _, kind := range providerKinds {
+			driveProviderFuzz(t, kind, seed, ops)
+		}
+	})
+}

@@ -47,7 +47,7 @@ func GreC(_ *xrand.RNG, p *Problem, zoneServer []int, opt Options) ([]int, error
 	late := w.late // the paper's list L_E
 	for j, z := range p.ClientZones {
 		t := zoneServer[z]
-		if p.CS[j][t] <= p.D {
+		if p.CSAt(j, t) <= p.D {
 			contact[j] = t
 		} else {
 			contact[j] = -1

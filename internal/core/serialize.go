@@ -19,8 +19,20 @@ type problemJSON struct {
 	D           float64     `json:"delay_bound_ms"`
 }
 
-// WriteJSON serialises the problem.
+// WriteJSON serialises the problem. Provider-backed problems are
+// materialised to the dense interchange form — the format carries the full
+// client×server matrix, so round-tripping a sparse provider through JSON
+// preserves its observable delays but not its compressed representation.
 func (p *Problem) WriteJSON(w io.Writer) error {
+	cs := p.CS
+	if p.Delays != nil {
+		k, m := p.NumClients(), p.NumServers()
+		cs = make([][]float64, k)
+		flat := make([]float64, k*m)
+		for j := range cs {
+			cs[j] = p.Delays.Row(j, flat[j*m:(j+1)*m])
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(problemJSON{
@@ -28,7 +40,7 @@ func (p *Problem) WriteJSON(w io.Writer) error {
 		ClientZones: p.ClientZones,
 		NumZones:    p.NumZones,
 		ClientRT:    p.ClientRT,
-		CS:          p.CS,
+		CS:          cs,
 		SS:          p.SS,
 		D:           p.D,
 	})

@@ -1,0 +1,349 @@
+package core
+
+import "math"
+
+// SharedRowProvider is the landmark/cluster DelayProvider: clients behind
+// the same access network (same campus, same ISP POP, same landmark
+// cluster) see near-identical delays to every server, so their rows are
+// stored ONCE as a refcounted group row and each client carries only a
+// 4-byte group id. Divergence is copy-on-write: the first client-specific
+// measurement detaches the client onto its own row.
+//
+// Group identity is content-based — AppendClient deduplicates against a
+// hash index of the live rows, so feeding a million clients whose rows
+// repeat across a few thousand access networks stores a few thousand rows.
+// Rows that later become equal again (e.g. after a column removal) are NOT
+// re-merged; dedup happens at insertion and the memory cost of missed
+// merges is bounded by the mutation count.
+//
+// Reads are exact row lookups — never approximations — so any population
+// whose per-client rows equal the dense matrix's reads bit-identically to
+// it, regardless of how the rows are grouped. Determinism: group ids are
+// allocated from a LIFO free list in mutation order and the hash index
+// resolves collisions in ascending group order, so the same mutation
+// stream always produces the same internal state (the property
+// durable-session recovery leans on; the free list and group table are
+// part of State for that reason).
+type SharedRowProvider struct {
+	servers int
+	group   []int32     // per client → group id
+	rows    [][]float64 // group id → shared row (len servers); nil in free slots is NOT used — free slots keep capacity
+	refs    []int32     // group id → member count; 0 marks a free slot
+	free    []int32     // freed group ids, LIFO
+	byHash  map[uint64][]int32
+}
+
+// NewSharedRowProvider returns an empty provider for `servers` servers.
+func NewSharedRowProvider(servers int) *SharedRowProvider {
+	return &SharedRowProvider{servers: servers, byHash: make(map[uint64][]int32)}
+}
+
+// Groups returns the number of live (referenced) group rows.
+func (sp *SharedRowProvider) Groups() int { return len(sp.rows) - len(sp.free) }
+
+// GroupOf returns client j's group id — equal ids mean one shared row.
+func (sp *SharedRowProvider) GroupOf(j int) int32 { return sp.group[j] }
+
+// NumClients implements DelayProvider.
+func (sp *SharedRowProvider) NumClients() int { return len(sp.group) }
+
+// NumServers implements DelayProvider.
+func (sp *SharedRowProvider) NumServers() int { return sp.servers }
+
+// ClientServer implements DelayProvider.
+func (sp *SharedRowProvider) ClientServer(j, i int) float64 {
+	return sp.rows[sp.group[j]][i]
+}
+
+// Row implements DelayProvider: the internal group row is returned without
+// copying (read-only, valid until the next mutation).
+func (sp *SharedRowProvider) Row(j int, _ []float64) []float64 {
+	return sp.rows[sp.group[j]]
+}
+
+// hashRow returns the FNV-1a hash of a row's float bits.
+func hashRow(row []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range row {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func rowsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for x := range a {
+		if math.Float64bits(a[x]) != math.Float64bits(b[x]) {
+			return false
+		}
+	}
+	return true
+}
+
+// findOrAdd returns the id of a live group whose row equals row
+// (bit-wise), creating one (copying row) when none exists. Candidates are
+// scanned in ascending group order; new ids come from the free list first.
+func (sp *SharedRowProvider) findOrAdd(row []float64) int32 {
+	h := hashRow(row)
+	for _, g := range sp.byHash[h] {
+		if sp.refs[g] > 0 && rowsEqual(sp.rows[g], row) {
+			sp.refs[g]++
+			return g
+		}
+	}
+	var g int32
+	if n := len(sp.free); n > 0 {
+		g = sp.free[n-1]
+		sp.free = sp.free[:n-1]
+		sp.rows[g] = append(sp.rows[g][:0], row...)
+		sp.refs[g] = 1
+	} else {
+		g = int32(len(sp.rows))
+		sp.rows = append(sp.rows, append([]float64(nil), row...))
+		sp.refs = append(sp.refs, 1)
+	}
+	sp.indexGroup(h, g)
+	return g
+}
+
+// indexGroup inserts g into the hash bucket for h, keeping the bucket
+// sorted ascending (deterministic candidate order).
+func (sp *SharedRowProvider) indexGroup(h uint64, g int32) {
+	bucket := sp.byHash[h]
+	x := len(bucket)
+	bucket = append(bucket, g)
+	for x > 0 && bucket[x-1] > g {
+		bucket[x] = bucket[x-1]
+		x--
+	}
+	bucket[x] = g
+	sp.byHash[h] = bucket
+}
+
+// unindexGroup removes g from the hash bucket of its current row.
+func (sp *SharedRowProvider) unindexGroup(g int32) {
+	h := hashRow(sp.rows[g])
+	bucket := sp.byHash[h]
+	for x, c := range bucket {
+		if c == g {
+			bucket = append(bucket[:x], bucket[x+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(sp.byHash, h)
+	} else {
+		sp.byHash[h] = bucket
+	}
+}
+
+// unref drops one reference from group g, freeing the slot at zero.
+func (sp *SharedRowProvider) unref(g int32) {
+	sp.refs[g]--
+	if sp.refs[g] == 0 {
+		sp.unindexGroup(g)
+		sp.free = append(sp.free, g)
+	}
+}
+
+// resolveRow copies row into scratch with NaN entries resolved.
+func resolveRowInto(dst, row []float64) []float64 {
+	dst = dst[:0]
+	for _, d := range row {
+		dst = append(dst, resolveUnmeasured(d))
+	}
+	return dst
+}
+
+// SetClientDelays implements DelayProvider: the client leaves its old
+// group (copy-on-write) and joins — or founds — the group matching the new
+// row.
+func (sp *SharedRowProvider) SetClientDelays(j int, row []float64) {
+	var scratch [64]float64
+	buf := scratch[:0]
+	if len(row) > len(scratch) {
+		buf = make([]float64, 0, len(row))
+	}
+	resolved := resolveRowInto(buf, row)
+	sp.unref(sp.group[j])
+	sp.group[j] = sp.findOrAdd(resolved)
+}
+
+// SetClientServerDelay implements DelayProvider: copy-on-write divergence —
+// the client's row with entry i replaced is re-grouped.
+func (sp *SharedRowProvider) SetClientServerDelay(j, i int, d float64) {
+	old := sp.rows[sp.group[j]]
+	var scratch [64]float64
+	buf := scratch[:0]
+	if len(old) > len(scratch) {
+		buf = make([]float64, 0, len(old))
+	}
+	buf = append(buf, old...)
+	buf[i] = resolveUnmeasured(d)
+	sp.unref(sp.group[j])
+	sp.group[j] = sp.findOrAdd(buf)
+}
+
+// AppendClient implements DelayProvider, deduplicating against the live
+// group rows.
+func (sp *SharedRowProvider) AppendClient(row []float64) {
+	var scratch [64]float64
+	buf := scratch[:0]
+	if len(row) > len(scratch) {
+		buf = make([]float64, 0, len(row))
+	}
+	resolved := resolveRowInto(buf, row)
+	sp.group = append(sp.group, sp.findOrAdd(resolved))
+}
+
+// SwapRemoveClient implements DelayProvider.
+func (sp *SharedRowProvider) SwapRemoveClient(j int) {
+	l := len(sp.group) - 1
+	sp.unref(sp.group[j])
+	sp.group[j] = sp.group[l]
+	sp.group = sp.group[:l]
+}
+
+// AppendServer implements DelayProvider. Members of one group may measure
+// different delays to the new server, so the group splits: the first
+// member (lowest client index) claims the shared row's new entry and every
+// member that disagrees detaches onto a fresh group. The hash index is
+// rebuilt afterwards (every live row changed length).
+func (sp *SharedRowProvider) AppendServer(col []float64) {
+	m := sp.servers
+	// Phase 1: extend every live row with a "not yet claimed" marker.
+	for g := range sp.rows {
+		if sp.refs[g] > 0 {
+			sp.rows[g] = append(sp.rows[g], math.NaN())
+		}
+	}
+	// Phase 2: members claim or detach, in client order (deterministic).
+	for j := range sp.group {
+		v := UnmeasuredDelayMs
+		if col != nil {
+			v = resolveUnmeasured(col[j])
+		}
+		g := sp.group[j]
+		cur := sp.rows[g][m]
+		if cur != cur { // unclaimed: first member sets the group's value
+			sp.rows[g][m] = v
+			continue
+		}
+		if math.Float64bits(cur) == math.Float64bits(v) {
+			continue
+		}
+		// Disagreement: detach onto a fresh group (no dedup here — the
+		// index is stale mid-append; the rebuild below restores it).
+		sp.refs[g]--
+		var ng int32
+		if n := len(sp.free); n > 0 {
+			ng = sp.free[n-1]
+			sp.free = sp.free[:n-1]
+			sp.rows[ng] = append(sp.rows[ng][:0], sp.rows[g]...)
+			sp.refs[ng] = 1
+		} else {
+			ng = int32(len(sp.rows))
+			sp.rows = append(sp.rows, append([]float64(nil), sp.rows[g]...))
+			sp.refs = append(sp.refs, 1)
+		}
+		sp.rows[ng][m] = v
+		sp.group[j] = ng
+		if sp.refs[g] == 0 {
+			sp.free = append(sp.free, g)
+		}
+	}
+	// A group that lost every member before any claim keeps its NaN marker;
+	// scrub it so free-slot rows never leak NaN (harmless, but tidy).
+	for g := range sp.rows {
+		if sp.refs[g] > 0 || len(sp.rows[g]) != m+1 {
+			continue
+		}
+		if v := sp.rows[g][m]; v != v {
+			sp.rows[g][m] = UnmeasuredDelayMs
+		}
+	}
+	sp.servers = m + 1
+	sp.rebuildIndex()
+}
+
+// SwapRemoveServer implements DelayProvider: column compaction on every
+// live row, then an index rebuild. Rows that become equal are not merged.
+func (sp *SharedRowProvider) SwapRemoveServer(i int) {
+	l := sp.servers - 1
+	for g := range sp.rows {
+		row := sp.rows[g]
+		if len(row) != sp.servers {
+			continue // free slot from an earlier dimension; capacity only
+		}
+		row[i] = row[l]
+		sp.rows[g] = row[:l]
+	}
+	sp.servers = l
+	sp.rebuildIndex()
+}
+
+// rebuildIndex reconstructs the content-hash index over live groups in
+// ascending group order — the same bucket order insertion maintains.
+func (sp *SharedRowProvider) rebuildIndex() {
+	sp.byHash = make(map[uint64][]int32, len(sp.rows)-len(sp.free))
+	for g := range sp.rows {
+		if sp.refs[g] > 0 {
+			h := hashRow(sp.rows[g])
+			sp.byHash[h] = append(sp.byHash[h], int32(g))
+		}
+	}
+}
+
+// Clone implements DelayProvider.
+func (sp *SharedRowProvider) Clone() DelayProvider {
+	q := &SharedRowProvider{
+		servers: sp.servers,
+		group:   append([]int32(nil), sp.group...),
+		rows:    make([][]float64, len(sp.rows)),
+		refs:    append([]int32(nil), sp.refs...),
+		free:    append([]int32(nil), sp.free...),
+	}
+	for g, r := range sp.rows {
+		q.rows[g] = append([]float64(nil), r...)
+	}
+	q.rebuildIndex()
+	return q
+}
+
+// MemoryBytes implements DelayProvider.
+func (sp *SharedRowProvider) MemoryBytes() int {
+	n := 4*cap(sp.group) + 4*cap(sp.refs) + 4*cap(sp.free) + 24*cap(sp.rows)
+	for _, r := range sp.rows {
+		n += 8 * cap(r)
+	}
+	for _, b := range sp.byHash {
+		n += 16 + 4*cap(b)
+	}
+	return n
+}
+
+// State implements DelayProvider. The free list is serialized too: group
+// id allocation order is part of the deterministic-replay contract.
+func (sp *SharedRowProvider) State() *ProviderState {
+	st := &SharedRowState{
+		Servers: sp.servers,
+		Group:   append([]int32(nil), sp.group...),
+		Refs:    append([]int32(nil), sp.refs...),
+		Free:    append([]int32(nil), sp.free...),
+		Rows:    make([][]float64, len(sp.rows)),
+	}
+	for g, r := range sp.rows {
+		if sp.refs[g] > 0 {
+			st.Rows[g] = append([]float64(nil), r...)
+		} else {
+			st.Rows[g] = []float64{} // free slot: contents are scratch
+		}
+	}
+	return &ProviderState{Kind: ProviderSharedRow, Shared: st}
+}

@@ -111,11 +111,17 @@ func (w *Workspace) initialCostsParallel(p *Problem, workers int) [][]int {
 }
 
 // countInitialCosts accumulates the IAP cost counts of clients [lo, hi)
-// into ci (an m × n matrix).
+// into ci (an m × n matrix). Each call materializes provider-backed rows
+// into its own buffer, so the parallel shards of initialCostsParallel can
+// run it concurrently.
 func countInitialCosts(p *Problem, ci [][]int, lo, hi int) {
 	m := p.NumServers()
+	var rowBuf []float64
+	if p.Delays != nil {
+		rowBuf = make([]float64, m)
+	}
 	for j := lo; j < hi; j++ {
-		row := p.CS[j]
+		row := p.CSRow(j, rowBuf)
 		z := p.ClientZones[j]
 		for i := 0; i < m; i++ {
 			if row[i] > p.D {

@@ -31,9 +31,12 @@ import (
 var ErrDirectorClosed = errors.New("director: closed")
 
 const (
-	// dirSnapshotVersion tags the directorSnapshot schema; recovery rejects
-	// snapshots from a future schema rather than misreading them.
-	dirSnapshotVersion = 1
+	// dirSnapshotVersion tags the directorSnapshot schema; recovery reads
+	// versions 1..dirSnapshotVersion and rejects snapshots from a future
+	// schema rather than misreading them. v2 added the provider field
+	// (delay-model snapshots, DESIGN.md §13); v1 snapshots are dense and
+	// load unchanged.
+	dirSnapshotVersion = 2
 	// dirKeepSnapshots is how many snapshot generations Checkpoint retains
 	// (the fresh one plus one fallback with its log tail intact).
 	dirKeepSnapshots = 2
@@ -67,7 +70,12 @@ type directorSnapshot struct {
 	ServerNodes     []int           `json:"server_nodes"`
 	Clients         []dirClientJSON `json:"clients"`
 	Problem         *core.Problem   `json:"problem"`
-	Planner         *repair.State   `json:"planner"`
+	// Provider carries the delay provider's typed state when the director
+	// runs a non-dense delay model (core.Problem.Delays is excluded from
+	// JSON); recovery reattaches it to Problem before rebuilding the
+	// planner. Nil for dense directors and all v1 snapshots.
+	Provider *core.ProviderState `json:"provider,omitempty"`
+	Planner  *repair.State       `json:"planner"`
 }
 
 // dirDurable is a director's write-ahead journal state; all fields are
@@ -192,6 +200,10 @@ func (d *Director) snapshotPayloadLocked(lsn uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	var prov *core.ProviderState
+	if live.Delays != nil {
+		prov = live.Delays.State()
+	}
 	return json.Marshal(directorSnapshot{
 		Version:         dirSnapshotVersion,
 		LSN:             lsn,
@@ -205,6 +217,7 @@ func (d *Director) snapshotPayloadLocked(lsn uint64) ([]byte, error) {
 		ServerNodes:     append([]int(nil), d.cfg.ServerNodes...),
 		Clients:         clients,
 		Problem:         live,
+		Provider:        prov,
 		Planner:         st,
 	})
 }
@@ -332,8 +345,8 @@ func recoverDirector(cfg Config) (*Director, error) {
 			lastErr = fmt.Errorf("snapshot %d: %w", lsns[x], err)
 			continue
 		}
-		if cand.Version != dirSnapshotVersion {
-			lastErr = fmt.Errorf("snapshot %d has version %d, this build reads %d", lsns[x], cand.Version, dirSnapshotVersion)
+		if cand.Version < 1 || cand.Version > dirSnapshotVersion {
+			lastErr = fmt.Errorf("snapshot %d has version %d, this build reads 1..%d", lsns[x], cand.Version, dirSnapshotVersion)
 			continue
 		}
 		if cand.LSN != lsns[x] {
@@ -359,6 +372,20 @@ func recoverDirector(cfg Config) (*Director, error) {
 	}
 	if snap.Problem == nil || snap.Planner == nil {
 		return nil, fmt.Errorf("director: snapshot in %s misses problem or planner state", dir)
+	}
+	// The delay model travels with the stored state: Problem.Delays is
+	// excluded from JSON, so reattach the provider from its typed state.
+	// Like the rest of the deployment, the stored model supersedes the
+	// caller's DelayModel.
+	cfg.DelayModel = "dense"
+	if snap.Provider != nil {
+		dp, err := core.NewProviderFromState(snap.Provider)
+		if err != nil {
+			return nil, fmt.Errorf("director: snapshot in %s: %w", dir, err)
+		}
+		snap.Problem.CS = nil
+		snap.Problem.Delays = dp
+		cfg.DelayModel = snap.Provider.Kind
 	}
 	if len(snap.ServerNodes) != len(snap.Problem.ServerCaps) {
 		return nil, fmt.Errorf("director: snapshot has %d server nodes for %d capacities", len(snap.ServerNodes), len(snap.Problem.ServerCaps))

@@ -56,6 +56,17 @@ type Config struct {
 	// Algorithm names the two-phase algorithm run on Reassign
 	// (default "GreZ-GreC").
 	Algorithm string
+	// DelayModel selects the client↔server delay representation backing the
+	// planner's problem: "dense" (or empty, the default) keeps the raw CS
+	// matrix, "coord" binds a core.CoordProvider (coordinates plus exact
+	// measurement overrides), "shared" binds a core.SharedRowProvider,
+	// which deduplicates identical delay rows — clients joining at the same
+	// topology node share one physical row, the memory diet for large
+	// populations on modest topologies. Assignments are bit-identical
+	// across models: the director always feeds full oracle-derived rows, so
+	// every model resolves the same delays (DESIGN.md §13). On recovery the
+	// stored model supersedes this field, like the rest of the deployment.
+	DelayModel string
 	// Seed drives the algorithm's randomised choices.
 	Seed uint64
 	// DriftPQoS, when > 0, arms the repair planner's quality guard: a full
@@ -123,6 +134,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("director: DriftUtilSpread = %v, want >= 0", c.DriftUtilSpread)
 	case c.SnapshotEvery < 0:
 		return fmt.Errorf("director: SnapshotEvery = %v, want >= 0", c.SnapshotEvery)
+	}
+	switch c.DelayModel {
+	case "", "dense", "coord", "shared":
+	default:
+		return fmt.Errorf("director: DelayModel = %q, want dense, coord or shared", c.DelayModel)
 	}
 	for i, n := range c.ServerNodes {
 		if n < 0 || n >= c.Delays.N() {
@@ -253,6 +269,10 @@ func (d *Director) planner() *repair.Planner { return d.binding.Planner() }
 
 // emptyProblem snapshots the deployment's static side (servers, capacities,
 // inter-server delays, the bound) with zero clients — the planner's seed.
+// Config.DelayModel selects the delay representation: every join streams a
+// full oracle-derived row, which providers store exactly (coord keeps it as
+// overrides, shared dedupes identical rows), so the model never changes an
+// assignment.
 func (d *Director) emptyProblem() *core.Problem {
 	m := len(d.cfg.ServerNodes)
 	p := &core.Problem{
@@ -260,7 +280,6 @@ func (d *Director) emptyProblem() *core.Problem {
 		ClientZones: []int{},
 		NumZones:    d.cfg.Zones,
 		ClientRT:    []float64{},
-		CS:          [][]float64{},
 		SS:          make([][]float64, m),
 		D:           d.cfg.DelayBoundMs,
 	}
@@ -269,6 +288,14 @@ func (d *Director) emptyProblem() *core.Problem {
 		for l := 0; l < m; l++ {
 			p.SS[i][l] = d.serverServerRTT(i, l)
 		}
+	}
+	switch d.cfg.DelayModel {
+	case "coord":
+		p.Delays = core.NewCoordProviderFromSS(p.SS, 0)
+	case "shared":
+		p.Delays = core.NewSharedRowProvider(m)
+	default:
+		p.CS = [][]float64{}
 	}
 	return p
 }
@@ -528,7 +555,7 @@ func (d *Director) problemLocked() *core.Problem {
 		p.CS[j] = make([]float64, m)
 		if h, err := d.binding.Handle(id); err == nil {
 			if idx, err := pl.Index(h); err == nil {
-				copy(p.CS[j], live.CS[idx])
+				live.CopyCSRow(idx, p.CS[j])
 				continue
 			}
 		}

@@ -80,9 +80,9 @@ func (m Model) PerturbProblem(rng *xrand.RNG, truth *core.Problem) (*core.Proble
 		cs[j], csFlat = csFlat[:srv], csFlat[srv:]
 		for i := 0; i < srv; i++ {
 			if m.PerturbCS {
-				cs[j][i] = m.estimate(rng, truth.CS[j][i])
+				cs[j][i] = m.estimate(rng, truth.CSAt(j, i))
 			} else {
-				cs[j][i] = truth.CS[j][i]
+				cs[j][i] = truth.CSAt(j, i)
 			}
 		}
 	}
@@ -100,5 +100,5 @@ func (m Model) PerturbProblem(rng *xrand.RNG, truth *core.Problem) (*core.Proble
 			ss[i][l], ss[l][i] = d, d
 		}
 	}
-	return truth.WithDelays(cs, ss), nil
+	return truth.WithDelaysOwned(cs, ss), nil
 }

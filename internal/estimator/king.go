@@ -55,7 +55,9 @@ func (k StructuredKing) EstimateProblem(rng *xrand.RNG, w *dve.World) (*core.Pro
 			cs[j][i] = jitter.estimate(rng, proxy)
 		}
 	}
-	return truth.WithDelays(cs, truth.SS), nil
+	// cs is freshly built and truth.SS is never mutated downstream, so the
+	// zero-copy variant is safe here and avoids duplicating the matrices.
+	return truth.WithDelaysOwned(cs, truth.SS), nil
 }
 
 // assignResolvers picks each node's name-server proxy: a deterministic

@@ -168,7 +168,7 @@ func SolveRAP(p *core.Problem, zoneServer []int, opt SolverOptions) (*RAPResult,
 	var late []int
 	for j, z := range p.ClientZones {
 		t := zoneServer[z]
-		if p.CS[j][t] <= p.D {
+		if p.CSAt(j, t) <= p.D {
 			contact[j] = t
 		} else {
 			contact[j] = -1

@@ -525,6 +525,6 @@ func (b *IDBinding) CopyDelays(id string, dst []float64) error {
 	if len(dst) != p.NumServers() {
 		return fmt.Errorf("repair: delay buffer has %d entries, want %d", len(dst), p.NumServers())
 	}
-	copy(dst, p.CS[j])
+	p.CopyCSRow(j, dst)
 	return nil
 }

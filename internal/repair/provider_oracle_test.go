@@ -1,0 +1,193 @@
+package repair
+
+import (
+	"fmt"
+	"testing"
+
+	"dvecap/internal/core"
+	"dvecap/internal/xrand"
+)
+
+// providerBacked rebuilds p behind a delay provider of the given kind with
+// full measured coverage (see core's provider_oracle_test.go): the
+// precondition under which every provider is bit-identical to the dense
+// oracle.
+func providerBacked(p *core.Problem, kind string) *core.Problem {
+	q := p.Clone()
+	var dp core.DelayProvider
+	switch kind {
+	case core.ProviderDense:
+		dp = core.NewDenseProvider(q.CS, q.NumServers())
+	case core.ProviderCoord:
+		cp := core.NewCoordProviderFromSS(q.SS, 0)
+		for _, row := range q.CS {
+			cp.AppendClient(row)
+		}
+		dp = cp
+	case core.ProviderSharedRow:
+		sp := core.NewSharedRowProvider(q.NumServers())
+		for _, row := range q.CS {
+			sp.AppendClient(row)
+		}
+		dp = sp
+	default:
+		panic("unknown provider kind " + kind)
+	}
+	q.CS = nil
+	q.Delays = dp
+	return q
+}
+
+// plannerStep applies one random churn/topology/solve event to pl. Errors
+// are returned, not fatal: some ops legitimately reject (draining the last
+// server), and the oracle test asserts BOTH lanes reject identically.
+func plannerStep(pl *Planner, rng *xrand.RNG, live *[]int) error {
+	p := pl.Problem()
+	m := p.NumServers()
+	switch rng.IntN(9) {
+	case 0:
+		h, err := pl.Join(rng.IntN(p.NumZones), rng.Uniform(0.05, 0.5), randRow(rng, m))
+		if err != nil {
+			return err
+		}
+		*live = append(*live, h)
+	case 1:
+		if len(*live) > 1 {
+			i := rng.IntN(len(*live))
+			if err := pl.Leave((*live)[i]); err != nil {
+				return err
+			}
+			(*live)[i] = (*live)[len(*live)-1]
+			*live = (*live)[:len(*live)-1]
+		}
+	case 2:
+		if len(*live) > 0 {
+			return pl.Move((*live)[rng.IntN(len(*live))], rng.IntN(p.NumZones))
+		}
+	case 3:
+		if len(*live) > 0 {
+			return pl.UpdateDelays((*live)[rng.IntN(len(*live))], randRow(rng, m))
+		}
+	case 4: // grow capacity: fresh server, fully measured column
+		ss := make([]float64, m)
+		for i := range ss {
+			ss[i] = rng.Uniform(5, 200)
+		}
+		col := make([]float64, pl.NumClients())
+		for j := range col {
+			col[j] = rng.Uniform(0, 500)
+		}
+		_, err := pl.AddServer(rng.Uniform(100, 300), ss, col)
+		return err
+	case 5:
+		if m > 1 {
+			return pl.DrainServer(rng.IntN(m))
+		}
+	case 6:
+		return pl.UncordonServer(rng.IntN(m))
+	case 7:
+		_, err := pl.AddZone(-1)
+		return err
+	default:
+		return pl.FullSolve()
+	}
+	return nil
+}
+
+// samePlannerState asserts the provider-backed planner's full observable
+// state — problem dimensions, every delay, the maintained assignment,
+// quality figures AND the repair counters — is bit-identical to the dense
+// oracle planner's.
+func samePlannerState(t *testing.T, label string, plD, plP *Planner) {
+	t.Helper()
+	pd, pp := plD.Problem(), plP.Problem()
+	if pd.NumServers() != pp.NumServers() || pd.NumClients() != pp.NumClients() || pd.NumZones != pp.NumZones {
+		t.Fatalf("%s: dims diverged: oracle %dx%d/%d, provider %dx%d/%d", label,
+			pd.NumClients(), pd.NumServers(), pd.NumZones, pp.NumClients(), pp.NumServers(), pp.NumZones)
+	}
+	for j := 0; j < pd.NumClients(); j++ {
+		for i := 0; i < pd.NumServers(); i++ {
+			if d, p := pd.CSAt(j, i), pp.CSAt(j, i); d != p {
+				t.Fatalf("%s: CS[%d][%d] = %v via provider, oracle %v", label, j, i, p, d)
+			}
+		}
+	}
+	ad, ap := plD.Assignment(), plP.Assignment()
+	for z := range ad.ZoneServer {
+		if ad.ZoneServer[z] != ap.ZoneServer[z] {
+			t.Fatalf("%s: zone %d hosted on %d via provider, oracle %d", label, z, ap.ZoneServer[z], ad.ZoneServer[z])
+		}
+	}
+	for j := range ad.ClientContact {
+		if ad.ClientContact[j] != ap.ClientContact[j] {
+			t.Fatalf("%s: client %d contact %d via provider, oracle %d", label, j, ap.ClientContact[j], ad.ClientContact[j])
+		}
+	}
+	for i := 0; i < pd.NumServers(); i++ {
+		if plD.Draining(i) != plP.Draining(i) {
+			t.Fatalf("%s: server %d draining=%v via provider, oracle %v", label, i, plP.Draining(i), plD.Draining(i))
+		}
+	}
+	if plD.PQoS() != plP.PQoS() || plD.WithQoS() != plP.WithQoS() || plD.Utilization() != plP.Utilization() {
+		t.Fatalf("%s: quality diverged: provider pQoS=%v/with=%d/util=%v, oracle %v/%d/%v", label,
+			plP.PQoS(), plP.WithQoS(), plP.Utilization(), plD.PQoS(), plD.WithQoS(), plD.Utilization())
+	}
+	if plD.Stats() != plP.Stats() {
+		t.Fatalf("%s: repair counters diverged:\nprovider %+v\noracle   %+v", label, plP.Stats(), plD.Stats())
+	}
+}
+
+// TestPlannerProviderMatchesDenseOracle drives identical churn + topology +
+// full-solve op-streams through a dense-matrix planner (the oracle) and a
+// provider-backed planner, at workers 1 and 4, asserting bit-identical
+// assignments, delays, quality figures and repair counters after every
+// event — the repair-subsystem lane of the dense-oracle equivalence suite.
+func TestPlannerProviderMatchesDenseOracle(t *testing.T) {
+	kinds := []string{core.ProviderDense, core.ProviderCoord, core.ProviderSharedRow}
+	for _, kind := range kinds {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", kind, workers), func(t *testing.T) {
+				for trial := 0; trial < 5; trial++ {
+					seed := uint64(8800 + trial)
+					const events = 45
+					cfg := testConfig()
+					cfg.Opt.Workers = workers
+					if trial%2 == 0 {
+						cfg.DriftPQoS = 0.05 // drift-triggered solves must fire identically
+					}
+
+					rngD := xrand.New(seed)
+					pd := randProblem(rngD.Split(), events)
+					plD, err := New(cfg, pd, rngD.Split())
+					if err != nil {
+						t.Fatalf("trial %d: oracle: %v", trial, err)
+					}
+					rngP := xrand.New(seed)
+					pp := providerBacked(randProblem(rngP.Split(), events), kind)
+					plP, err := New(cfg, pp, rngP.Split())
+					if err != nil {
+						t.Fatalf("trial %d: provider: %v", trial, err)
+					}
+					samePlannerState(t, fmt.Sprintf("trial %d seed state", trial), plD, plP)
+
+					liveD := make([]int, pd.NumClients())
+					liveP := make([]int, pd.NumClients())
+					for h := range liveD {
+						liveD[h], liveP[h] = h, h
+					}
+					for step := 0; step < events; step++ {
+						errD := plannerStep(plD, rngD, &liveD)
+						errP := plannerStep(plP, rngP, &liveP)
+						if (errD == nil) != (errP == nil) {
+							t.Fatalf("trial %d step %d: oracle err %v, provider err %v", trial, step, errD, errP)
+						}
+						if errD != nil && errD.Error() != errP.Error() {
+							t.Fatalf("trial %d step %d: rejections differ: oracle %q, provider %q", trial, step, errD, errP)
+						}
+						samePlannerState(t, fmt.Sprintf("trial %d step %d", trial, step), plD, plP)
+					}
+				}
+			})
+		}
+	}
+}

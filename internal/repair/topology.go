@@ -97,10 +97,13 @@ func (pl *Planner) availableServers() int {
 // row ss (one entry per existing server, in server order) and per-client
 // delay column csCol (csCol[j] is client j's measured RTT to the new
 // server, in the planner's dense client order — callers without
-// measurements supply a far-out-of-bound sentinel and stream real values
-// in later via UpdateServerDelayColumn). The new server starts empty and
-// immediately participates in every subsequent placement decision. Returns
-// the new dense server index. O(clients + servers + zones).
+// measurements supply NaN for unmeasured entries: dense problems resolve
+// NaN to the far-out-of-bound sentinel, sparse delay providers fall back
+// to their model's prediction; stream real values in later via
+// UpdateServerDelayColumn). A nil csCol marks every client unmeasured.
+// The new server starts empty and immediately participates in every
+// subsequent placement decision. Returns the new dense server index.
+// O(clients + servers + zones).
 func (pl *Planner) AddServer(capacity float64, ss, csCol []float64) (int, error) {
 	p := pl.prob
 	if capacity <= 0 || math.IsNaN(capacity) {
@@ -114,12 +117,12 @@ func (pl *Planner) AddServer(capacity float64, ss, csCol []float64) (int, error)
 			return 0, fmt.Errorf("repair: inter-server delay to server %d is %v ms, want >= 0", i, d)
 		}
 	}
-	if len(csCol) != p.NumClients() {
+	if csCol != nil && len(csCol) != p.NumClients() {
 		return 0, fmt.Errorf("repair: client delay column has %d entries, want %d", len(csCol), p.NumClients())
 	}
 	for j, d := range csCol {
-		if d < 0 || math.IsNaN(d) {
-			return 0, fmt.Errorf("repair: client %d delay %v ms, want >= 0", j, d)
+		if d < 0 {
+			return 0, fmt.Errorf("repair: client %d delay %v ms, want >= 0 (NaN marks unmeasured)", j, d)
 		}
 	}
 	start := pl.teleStart()

@@ -23,6 +23,32 @@ const (
 	ErrorOnOverflow
 )
 
+// DelayModel selects how a solved or opened cluster stores client↔server
+// delays — the dominant memory cost at scale (a dense matrix is
+// clients × servers × 8 bytes; one million clients against one hundred
+// servers is ~800 MB before the solver runs).
+type DelayModel int
+
+const (
+	// DenseDelays stores the full client × server delay matrix — exact and
+	// the default. Memory is O(clients × servers).
+	DenseDelays DelayModel = iota
+	// CoordDelays stores Vivaldi-style network coordinates per client and
+	// server plus a sparse per-client list of measured overrides. Unmeasured
+	// pairs read the coordinate-space prediction; measured pairs are exact.
+	// Memory is O(clients × dim + measurements) — the million-client diet.
+	// Clients may join with a coordinate (ClientSpec.Coord) and partial
+	// RTTs, or with full rows (then every entry is stored as an override
+	// and results are bit-identical to DenseDelays).
+	CoordDelays
+	// SharedRowDelays deduplicates identical delay rows across clients with
+	// copy-on-write divergence — the landmark/cluster-shared-measurement
+	// model, where clients behind the same vantage share one row. Exact:
+	// results are always bit-identical to DenseDelays. Memory is
+	// O(distinct rows × servers).
+	SharedRowDelays
+)
+
 // Option configures a Solve or Open call (and, where noted, NewScenario).
 // Options follow the functional-options style: pass any number, later ones
 // win. Inapplicable options are ignored — e.g. WithDriftGuard does nothing
@@ -51,6 +77,8 @@ type config struct {
 	// observability (Open only): metrics registry and trace-log sink.
 	tele   *telemetry.Registry
 	traceW io.Writer
+	// delayModel selects the delay storage backend (WithDelayProvider).
+	delayModel DelayModel
 	// rng lets the Scenario adapters thread their own stream through the
 	// engine, preserving bit-identical results with the legacy paths.
 	rng *xrand.RNG
@@ -169,6 +197,18 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // Solve ignores this option.
 func WithTraceLog(w io.Writer) Option {
 	return func(c *config) { c.traceW = w }
+}
+
+// WithDelayProvider selects the delay storage backend for Solve and Open
+// (default DenseDelays, the full matrix). CoordDelays and SharedRowDelays
+// trade the dense matrix for compressed representations so million-client
+// clusters open in bounded memory — see the DelayModel constants for the
+// exactness guarantees of each. The model is a property of the run, not
+// the builder: the same Cluster may be solved under different models.
+// Durable sessions snapshot the provider's state, so recovery restores the
+// same model (and the same bits) the session was opened with.
+func WithDelayProvider(m DelayModel) Option {
+	return func(c *config) { c.delayModel = m }
 }
 
 // WithEstimationError solves against delays perturbed by a multiplicative

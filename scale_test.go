@@ -1,0 +1,332 @@
+package dvecap
+
+// Memory-budget regression tests for the delay-provider diet (DESIGN.md
+// §13). The always-on test proves the CoordDelays build of a
+// coordinate-native cluster never materializes anything close to the dense
+// matrix; the env-gated test opens a million-client cluster, asserts the
+// whole process stays under a declared RSS/heap budget — a budget the
+// dense representation cannot meet — drives churn through the open session
+// to sample per-event repair latency, and emits BENCH_scale.json.
+//
+// Run the full-scale variant with:
+//
+//	DVECAP_SCALE_TEST=1 go test . -run TestScaleMillionClients -v -timeout 30m
+//
+// DVECAP_SCALE_CLIENTS overrides the population (default 1_000_000; the
+// budgets below are declared for that size and scale linearly).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dvecap/internal/xrand"
+)
+
+// coordDim mirrors the core coordinate provider's default dimensionality.
+const coordDim = 5
+
+// buildCoordCluster assembles an m-server / zones-zone / k-client cluster
+// whose clients join coordinate-natively: a network coordinate each, no
+// dense rows, and a sparse measured override for one nearby server on
+// every eighth client — the million-client join path of DESIGN.md §13.
+func buildCoordCluster(tb testing.TB, rng *xrand.RNG, m, zones, k int) *Cluster {
+	tb.Helper()
+	c := NewCluster(250)
+
+	// Plane-embedded servers; the coordinate provider fits its own
+	// embedding from this SS matrix.
+	sx := make([]float64, m)
+	sy := make([]float64, m)
+	for i := range sx {
+		sx[i], sy[i] = rng.Uniform(0, 200), rng.Uniform(0, 200)
+	}
+	// Capacity provisioned at ~1.3x the expected aggregate requirement.
+	capPer := 1.3 * float64(k) * 0.1 / float64(m)
+	for i := 0; i < m; i++ {
+		if err := c.AddServer(fmt.Sprintf("s%d", i), ServerSpec{CapacityMbps: capPer}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ss := make([][]float64, m)
+	for i := range ss {
+		ss[i] = make([]float64, m)
+		for l := 0; l < m; l++ {
+			if l != i {
+				dx, dy := sx[i]-sx[l], sy[i]-sy[l]
+				ss[i][l] = 0.5 * math.Hypot(dx, dy) // discounted inter-server mesh
+			}
+		}
+	}
+	if err := c.SetServerRTTs(ss); err != nil {
+		tb.Fatal(err)
+	}
+	for z := 0; z < zones; z++ {
+		if err := c.AddZone(fmt.Sprintf("z%d", z)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	coord := make([]float64, coordDim)
+	for j := 0; j < k; j++ {
+		for d := range coord {
+			coord[d] = rng.Uniform(0, 80)
+		}
+		spec := ClientSpec{
+			Zone:          fmt.Sprintf("z%d", rng.IntN(zones)),
+			BandwidthMbps: rng.Uniform(0.05, 0.15),
+			Coord:         append([]float64(nil), coord...),
+		}
+		if j%8 == 0 { // sparse measured candidate set
+			spec.RTTs = map[string]float64{fmt.Sprintf("s%d", rng.IntN(m)): rng.Uniform(5, 60)}
+		}
+		if err := c.AddClient(fmt.Sprintf("c%07d", j), spec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestCoordDelayModelMemoryDiet is the always-on (tier-1) budget check: a
+// coordinate-native 20k-client cluster opened under CoordDelays must hold
+// its delays in well under a quarter of what the dense matrix would take,
+// and the session must stay fully operable (join/move/leave with plain
+// measured rows).
+func TestCoordDelayModelMemoryDiet(t *testing.T) {
+	const m, zones, k = 64, 200, 20000
+	rng := xrand.New(9090)
+	c := buildCoordCluster(t, rng, m, zones, k)
+	s, err := c.Open("GreZ-VirC", WithSeed(3), WithDelayProvider(CoordDelays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := s.planner().Problem().Delays
+	if dp == nil {
+		t.Fatal("CoordDelays session is not provider-backed")
+	}
+	dense := int64(k) * int64(m) * 8
+	if got := int64(dp.MemoryBytes()); got <= 0 || got*4 > dense {
+		t.Fatalf("coord provider holds %d bytes for %d clients x %d servers; dense is %d — want at least 4x diet", got, k, m, dense)
+	}
+	// The open session keeps working with ordinary measured-row churn.
+	row := make([]float64, m)
+	for i := range row {
+		row[i] = rng.Uniform(5, 200)
+	}
+	if err := s.Join("late", ClientSpec{Zone: "z0", BandwidthMbps: 0.1, RTTRow: row}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move("late", "z1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave("late"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumClients(); got != k {
+		t.Fatalf("population %d after churn round, want %d", got, k)
+	}
+	if q := s.PQoS(); q < 0 || q > 1 {
+		t.Fatalf("pQoS %v out of range", q)
+	}
+}
+
+// Declared budgets for the gated million-client open (scaled linearly when
+// DVECAP_SCALE_CLIENTS overrides the population). The dense matrix alone
+// at 1M x 50 is 400 MB per copy and the open path holds two copies (the
+// builder's problem and the planner's clone), so a dense regression
+// cannot fit the heap budget; the coordinate diet measures ~0.4 GB total
+// process heap including the ID binding and evaluator state.
+const (
+	scaleHeapBudgetBytes = int64(700) << 20  // runtime.ReadMemStats HeapAlloc after GC
+	scaleRSSBudgetBytes  = int64(1600) << 20 // /proc/self/status VmRSS (GC headroom included)
+)
+
+func readRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0 // non-linux: RSS assertion is skipped
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			kb, err := strconv.ParseInt(f[1], 10, 64)
+			if err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+// TestScaleMillionClients opens a 1M-client coordinate-native cluster under
+// CoordDelays, asserts process heap and RSS stay under the declared
+// budgets, samples per-event repair latency over a churn storm, and writes
+// BENCH_scale.json. Gated behind DVECAP_SCALE_TEST=1 (it allocates
+// hundreds of MB and runs for minutes — the CI bench-smoke job runs it).
+func TestScaleMillionClients(t *testing.T) {
+	if os.Getenv("DVECAP_SCALE_TEST") == "" {
+		t.Skip("set DVECAP_SCALE_TEST=1 to run the million-client scale test")
+	}
+	k := 1_000_000
+	if v := os.Getenv("DVECAP_SCALE_CLIENTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100_000 {
+			t.Fatalf("DVECAP_SCALE_CLIENTS=%q, want an integer >= 100000", v)
+		}
+		k = n
+	}
+	const m, zones = 50, 2000
+	scale := float64(k) / 1e6
+	heapBudget := int64(float64(scaleHeapBudgetBytes) * scale)
+	rssBudget := int64(float64(scaleRSSBudgetBytes) * scale)
+
+	rng := xrand.New(4242)
+	t0 := time.Now()
+	var s *ClusterSession
+	{
+		// The builder is dropped before measuring: the session snapshots the
+		// cluster, and a real deployment releases the builder after Open.
+		c := buildCoordCluster(t, rng, m, zones, k)
+		buildSecs := time.Since(t0).Seconds()
+		t.Logf("built %d-client coordinate-native cluster in %.1fs", k, buildSecs)
+		t0 = time.Now()
+		var err error
+		s, err = c.Open("GreZ-VirC", WithSeed(3), WithDelayProvider(CoordDelays), WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	openSecs := time.Since(t0).Seconds()
+	t.Logf("opened session in %.1fs, pQoS %.4f", openSecs, s.PQoS())
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heap := int64(ms.HeapAlloc)
+	rss := readRSSBytes()
+	prov := int64(s.planner().Problem().Delays.MemoryBytes())
+	denseEq := int64(k) * int64(m) * 8 * 2 // two live copies on the dense path
+	t.Logf("heap %d MB (budget %d), rss %d MB (budget %d), provider %d MB vs dense-equivalent %d MB",
+		heap>>20, heapBudget>>20, rss>>20, rssBudget>>20, prov>>20, denseEq>>20)
+	if heap > heapBudget {
+		t.Errorf("heap after open: %d bytes exceeds the declared budget %d — the memory diet regressed", heap, heapBudget)
+	}
+	if rss > 0 && rss > rssBudget {
+		t.Errorf("RSS after open: %d bytes exceeds the declared budget %d — the memory diet regressed", rss, rssBudget)
+	}
+	if prov*4 > int64(k)*int64(m)*8 {
+		t.Errorf("provider holds %d bytes; dense matrix is %d — want at least 4x diet", prov, int64(k)*int64(m)*8)
+	}
+
+	// Churn storm: sampled per-event repair latency at full population.
+	const events = 400
+	lat := make([]time.Duration, 0, events)
+	live := []string{}
+	row := make([]float64, m)
+	for e := 0; e < events; e++ {
+		r := rng.Float64()
+		start := time.Now()
+		switch {
+		case r < 0.4 || len(live) == 0:
+			id := fmt.Sprintf("n%06d", e)
+			for i := range row {
+				row[i] = rng.Uniform(5, 250)
+			}
+			if err := s.Join(id, ClientSpec{Zone: fmt.Sprintf("z%d", rng.IntN(zones)), BandwidthMbps: 0.1, RTTRow: row}); err != nil {
+				t.Fatalf("event %d join: %v", e, err)
+			}
+			live = append(live, id)
+		case r < 0.6:
+			x := rng.IntN(len(live))
+			if err := s.Leave(live[x]); err != nil {
+				t.Fatalf("event %d leave: %v", e, err)
+			}
+			live[x] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case r < 0.8:
+			if err := s.Move(live[rng.IntN(len(live))], fmt.Sprintf("z%d", rng.IntN(zones))); err != nil {
+				t.Fatalf("event %d move: %v", e, err)
+			}
+		default:
+			for i := range row {
+				row[i] = rng.Uniform(5, 250)
+			}
+			if err := s.UpdateDelayRow(live[rng.IntN(len(live))], row); err != nil {
+				t.Fatalf("event %d delays: %v", e, err)
+			}
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 { return lat[int(p*float64(len(lat)-1))].Nanoseconds() }
+	t.Logf("repair latency over %d events at %d clients: p50 %v p95 %v p99 %v max %v",
+		events, k, lat[len(lat)/2], time.Duration(pct(0.95)), time.Duration(pct(0.99)), lat[len(lat)-1])
+
+	report := map[string]any{
+		"description": "Million-client memory diet (DESIGN.md §13): a coordinate-native cluster — every client joins with a 5-dim network coordinate, one in eight carries one measured RTT override, no dense rows anywhere — is opened under WithDelayProvider(CoordDelays) with GreZ-VirC, then a 400-event churn storm (40% full-row joins, 20% leaves, 20% moves, 20% delay-row refreshes) samples per-event repair latency at full population. Budgets are asserted by TestScaleMillionClients (scale_test.go) and fail CI on regression; the dense path cannot meet them (the matrix alone is clients x servers x 8 bytes per copy, and the open path holds two copies).",
+		"date":        time.Now().Format("2006-01-02"),
+		"go":          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		"cpu":         cpuModel(),
+		"scale": map[string]any{
+			"clients":     k,
+			"servers":     m,
+			"zones":       zones,
+			"delay_model": "coord",
+			"algorithm":   "GreZ-VirC",
+		},
+		"memory": map[string]any{
+			"heap_alloc_bytes_after_open": heap,
+			"rss_bytes_after_open":        rss,
+			"provider_bytes":              prov,
+			"dense_matrix_bytes_one_copy": int64(k) * int64(m) * 8,
+			"dense_equivalent_bytes":      denseEq,
+			"heap_budget_bytes":           heapBudget,
+			"rss_budget_bytes":            rssBudget,
+		},
+		"timings": map[string]any{
+			"open_seconds": openSecs,
+			"repair_event_latency_ns": map[string]any{
+				"events": events,
+				"p50":    pct(0.50),
+				"p95":    pct(0.95),
+				"p99":    pct(0.99),
+				"max":    lat[len(lat)-1].Nanoseconds(),
+			},
+		},
+		"summary": fmt.Sprintf("Open on %d clients x %d servers under CoordDelays: %d MB heap / %d MB RSS against budgets of %d / %d MB — the dense representation needs %d MB for its matrices alone. Per-event repair latency at full population: p50 %s, p99 %s over %d churn events. pQoS after open: %.4f.",
+			k, m, heap>>20, rss>>20, heapBudget>>20, rssBudget>>20, denseEq>>20,
+			time.Duration(pct(0.50)), time.Duration(pct(0.99)), events, s.PQoS()),
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_scale.json")
+}
