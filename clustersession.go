@@ -322,6 +322,21 @@ func (s *ClusterSession) MoveBatch(ids []string, zones []string) (err error) {
 // server participates in every subsequent placement decision immediately.
 func (s *ClusterSession) AddServer(id string, spec ServerSpec) (err error) {
 	defer s.span("server_add", "server", id)(&err)
+	return s.addServer(id, spec, false)
+}
+
+// AddSpareServer is AddServer for a warm spare: the server joins the
+// topology with its delays and capacity registered but arrives cordoned —
+// it hosts no zones and serves no contacts, and its capacity stays out of
+// the utilization denominator — until UncordonServer admits it. This is
+// the warm-pool registration verb for an autoscaling control plane:
+// admission later is O(affected), never a full re-solve.
+func (s *ClusterSession) AddSpareServer(id string, spec ServerSpec) (err error) {
+	defer s.span("server_add_spare", "server", id)(&err)
+	return s.addServer(id, spec, true)
+}
+
+func (s *ClusterSession) addServer(id string, spec ServerSpec, spare bool) error {
 	if id == "" {
 		return fmt.Errorf("dvecap: empty server ID")
 	}
@@ -354,7 +369,7 @@ func (s *ClusterSession) AddServer(id string, spec ServerSpec) (err error) {
 	}
 	// Journaled form: the resolved dense inter-server row (current server
 	// order) — replay rebuilds the map against the same order.
-	if err := s.journal(&repair.Event{Op: repair.OpAddServer, Server: id, Capacity: spec.CapacityMbps, Row: ss, ClientRTTs: spec.ClientRTTs}); err != nil {
+	if err := s.journal(&repair.Event{Op: repair.OpAddServer, Server: id, Capacity: spec.CapacityMbps, Row: ss, ClientRTTs: spec.ClientRTTs, Spare: spare}); err != nil {
 		return err
 	}
 	// Clients absent from ClientRTTs: dense sessions pin the unmeasured
@@ -364,7 +379,11 @@ func (s *ClusterSession) AddServer(id string, spec ServerSpec) (err error) {
 	if s.planner().Problem().Delays != nil {
 		fill = math.NaN()
 	}
-	if err := s.binding.AddServer(id, spec.CapacityMbps, ss, spec.ClientRTTs, fill); err != nil {
+	add := s.binding.AddServer
+	if spare {
+		add = s.binding.AddSpareServer
+	}
+	if err := add(id, spec.CapacityMbps, ss, spec.ClientRTTs, fill); err != nil {
 		return err
 	}
 	s.rowBuf = append(s.rowBuf, 0)

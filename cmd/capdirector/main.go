@@ -32,6 +32,25 @@
 //	curl -s -X POST localhost:8080/v1/zones                # grow the virtual world
 //	curl -s -X DELETE localhost:8080/v1/zones/7            # retire an empty zone (renumbers)
 //
+// With -autoscale the director closes the provisioning loop itself
+// (DESIGN.md §14): a hysteresis reconciler observes utilization and pQoS
+// every -autoscale-every, admits a warm spare (uncordon, O(affected)
+// flow-back) after -autoscale-high-window consecutive ticks above
+// -autoscale-util-high — or below -autoscale-pqos-floor — and drains the
+// least-loaded server back into the pool after -autoscale-low-window
+// ticks below -autoscale-util-low. -autoscale-spares seeds the warm pool
+// at startup; cooldowns, -autoscale-min/-max and the drain guard bound
+// how fast and how far the fleet moves. Inspect and steer it over HTTP:
+//
+//	capdirector -addr :8080 -autoscale -autoscale-spares 4 -autoscale-every 15s
+//	curl -s localhost:8080/v1/autoscale                    # policy, streaks, decision log
+//	curl -s -X POST localhost:8080/v1/autoscale/pause      # observe only, fire nothing
+//	curl -s -X POST localhost:8080/v1/autoscale/resume
+//	curl -s -X POST localhost:8080/v1/autoscale/tick       # one reconcile cycle, now
+//	curl -s -X POST localhost:8080/v1/autoscale/config -d '{"UtilHigh":0.9,"UtilLow":0.4}'
+//	curl -s -X POST localhost:8080/v1/servers -d '{"node":31,"capacity_mbps":500,"spare":true}'
+//	curl -s localhost:8080/metrics | grep dvecap_autoscale
+//
 // GET /v1/stats reports, besides the paper's quality measures (pqos,
 // utilization, with_qos), the repair subsystem's counters:
 //
@@ -86,6 +105,7 @@ import (
 	"syscall"
 	"time"
 
+	"dvecap/internal/autoscale"
 	"dvecap/internal/director"
 	"dvecap/internal/topology"
 	"dvecap/internal/xrand"
@@ -112,6 +132,20 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 10000, "with -data-dir, checkpoint automatically every N journaled events (0 = only POST /v1/checkpoint)")
 		debugAddr = flag.String("debug-addr", "", "second listener serving /metrics and net/http/pprof under /debug/pprof/ (keep it off the public network; empty = disabled)")
 		traceLog  = flag.String("trace-log", "", "append one JSON trace event per API request to this file (empty = disabled)")
+
+		autoEnable   = flag.Bool("autoscale", false, "run the autoscaling reconciler: scale up from the warm-spare pool on sustained high water, drain back on sustained low water (DESIGN.md §14)")
+		autoEvery    = flag.Duration("autoscale-every", 15*time.Second, "reconcile interval (streaks and cooldowns count these ticks)")
+		autoSpares   = flag.Int("autoscale-spares", 0, "register this many warm spares at startup (cordoned, capacity out of the utilization denominator); skipped when -data-dir recovered an existing deployment")
+		autoHigh     = flag.Float64("autoscale-util-high", 0.85, "scale-up watermark: utilization at or above this is high water")
+		autoLow      = flag.Float64("autoscale-util-low", 0.50, "scale-down watermark: utilization at or below this is low water")
+		autoPQoS     = flag.Float64("autoscale-pqos-floor", 0, "quality trigger: pQoS below this counts as high water even at modest utilization (0 = disabled)")
+		autoHighWin  = flag.Int("autoscale-high-window", 3, "consecutive high-water ticks before a scale-up fires")
+		autoLowWin   = flag.Int("autoscale-low-window", 6, "consecutive low-water ticks before a scale-down fires")
+		autoUpCool   = flag.Int("autoscale-up-cooldown", 2, "minimum ticks between scale-ups (-1 = none)")
+		autoDownCool = flag.Int("autoscale-down-cooldown", 6, "minimum ticks between scale-downs (-1 = none)")
+		autoMin      = flag.Int("autoscale-min", 1, "floor on the active (non-drained) server count")
+		autoMax      = flag.Int("autoscale-max", 0, "cap on the active server count (0 = bounded only by the spare pool)")
+		autoRetire   = flag.Int("autoscale-retire-after", 0, "retire a reconciler-drained server after this many further ticks (0 = keep drained servers warm forever)")
 	)
 	flag.Parse()
 
@@ -222,6 +256,39 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *autoEnable {
+		// Warm-spare pool: extra machines registered cordoned at fresh
+		// topology nodes, each at the fleet's mean capacity. Skipped when a
+		// durable restart recovered a deployment — the stored topology
+		// (including any spares) supersedes the flags.
+		if *autoSpares > 0 && len(d.Servers()) == *servers {
+			spareNodes := rng.SampleWithout(g.N(), *autoSpares)
+			for _, node := range spareNodes {
+				if _, err := d.AddSpareServer(node, *capacity/float64(*servers)); err != nil {
+					log.Fatalf("capdirector: spare registration: %v", err)
+				}
+			}
+			fmt.Printf("capdirector: %d warm spares registered (%.0f Mbps each, cordoned)\n",
+				*autoSpares, *capacity/float64(*servers))
+		}
+		if err := d.EnableAutoscale(autoscale.Config{
+			UtilHigh:          *autoHigh,
+			UtilLow:           *autoLow,
+			PQoSFloor:         *autoPQoS,
+			HighWindowTicks:   *autoHighWin,
+			LowWindowTicks:    *autoLowWin,
+			UpCooldownTicks:   *autoUpCool,
+			DownCooldownTicks: *autoDownCool,
+			MinActive:         *autoMin,
+			MaxActive:         *autoMax,
+			RetireAfterTicks:  *autoRetire,
+		}); err != nil {
+			log.Fatalf("capdirector: %v", err)
+		}
+		go d.Autoscale().RunLoop(ctx, *autoEvery)
+		fmt.Printf("capdirector: autoscaling every %s (high %.2f / low %.2f, windows %d/%d, cooldowns %d/%d)\n",
+			*autoEvery, *autoHigh, *autoLow, *autoHighWin, *autoLowWin, *autoUpCool, *autoDownCool)
+	}
 	if *reassign > 0 {
 		go d.RunReassignLoop(ctx, *reassign, func(res director.ReassignResult) {
 			log.Printf("reassign: %d clients, pQoS %.3f, R %.3f, %d contacts moved; totals: %d zone handoffs, %d full solves",

@@ -12,6 +12,7 @@
 //	capsim -exp table4
 //	capsim -exp ablation
 //	capsim -exp repair -reps 5 -metrics-log ticks.prom
+//	capsim -exp autoscale -reps 20 -autoscale-json BENCH_autoscale.json
 //	capsim -exp runtime -lp
 //	capsim -exp all -reps 20
 //
@@ -19,6 +20,13 @@
 // re-solves (DESIGN.md §7); with -metrics-log it also streams one
 // Prometheus-text snapshot of the repair planner's telemetry per simulated
 // tick (DESIGN.md §12) — a scrape series over virtual time.
+//
+// -exp autoscale runs the capacity control loop (DESIGN.md §14) on a
+// diurnal + flash-crowd arrival trace: a static fleet, the clairvoyant
+// oracle provisioner and the hysteresis reconciler on identical worlds
+// and churn seeds — server-hours, time-averaged pQoS and topology-event
+// rate per mode; -autoscale-json records the comparison as
+// BENCH_autoscale.json.
 //
 // Every run is deterministic in -seed. -topology usbackbone swaps the
 // BRITE-style hierarchical topology for the embedded US backbone.
@@ -36,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|repair|runtime|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|repair|autoscale|runtime|all")
 		seed     = flag.Uint64("seed", 2006, "base random seed")
 		reps     = flag.Int("reps", 50, "replications per data point (paper: 50)")
 		topo     = flag.String("topology", "hier", "topology substrate: hier|usbackbone")
@@ -44,6 +52,7 @@ func main() {
 		lpReps   = flag.Int("lpreps", 0, "replications for the exact baseline (0 = min(reps,10))")
 		deadline = flag.Duration("lpdeadline", 60*time.Second, "per-solve deadline for the exact baseline")
 		metrics  = flag.String("metrics-log", "", "with -exp repair: stream one Prometheus snapshot per simulated tick of the first replication's repair driver to this file")
+		autoJSON = flag.String("autoscale-json", "", "with -exp autoscale: also write the comparison as a BENCH_autoscale.json document to this file")
 	)
 	flag.Parse()
 
@@ -95,6 +104,17 @@ func main() {
 			out, err = experiments.FlowCheck(setup, experiments.FlowCheckOptions{})
 		case "repair":
 			out, err = experiments.Repair(setup, repairOpts)
+		case "autoscale":
+			var autoOpts experiments.AutoscaleOptions
+			if *autoJSON != "" {
+				af, aerr := os.Create(*autoJSON)
+				if aerr != nil {
+					return aerr
+				}
+				defer af.Close()
+				autoOpts.JSONOut = af
+			}
+			out, err = experiments.Autoscale(setup, autoOpts)
 		case "runtime":
 			out, err = experiments.Runtime(setup, experiments.RuntimeOptions{IncludeLP: *lp, LPDeadline: *deadline})
 		default:

@@ -60,6 +60,15 @@
 // an equivalently built static cluster, at every worker count; see
 // examples/rollingdeploy and BENCH_topology.json.
 //
+// AddSpareServer registers a WARM SPARE: the same add path, but the
+// server arrives cordoned — delays measured, capacity recorded yet out
+// of the utilization denominator, zero load — as pool inventory for an
+// autoscaling control loop (DESIGN.md §14) or an operator's later
+// UncordonServer, which admits it in O(affected). The director pairs
+// these verbs with a hysteresis reconciler (EnableAutoscale; capdirector
+// -autoscale) that scales up from the pool on sustained high
+// water or pQoS erosion and drains back on sustained low water.
+//
 // # Million-client memory diet
 //
 // The dense client×server delay matrix is the dominant memory cost at

@@ -548,7 +548,13 @@ func (s *ClusterSession) applyEvent(e *repair.Event) error {
 				rtts[sid] = e.Row[i]
 			}
 		}
-		_ = s.AddServer(e.Server, ServerSpec{
+		// e.Spare routes the replay through the warm-spare registration, so
+		// a recovered pool server is still cordoned.
+		add := s.AddServer
+		if e.Spare {
+			add = s.AddSpareServer
+		}
+		_ = add(e.Server, ServerSpec{
 			CapacityMbps: e.Capacity,
 			RTTs:         rtts,
 			ClientRTTs:   e.ClientRTTs,

@@ -1,0 +1,179 @@
+package director
+
+// Autoscaling control plane (DESIGN.md §14): the director hosts an
+// autoscale.Reconciler whose actuator drives the live-topology verbs —
+// scale-up admits the lowest-index warm spare via UncordonServer (the
+// planner's flow-back scan pulls load onto it immediately, O(affected)),
+// scale-down drains the least-loaded active server back into the pool,
+// and retirement removes a long-drained tail server. Every verb runs
+// through the journaled mutators, so an autoscaled trajectory recovers
+// bit-identically like any other.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dvecap/internal/autoscale"
+)
+
+// dirActuator adapts the director to autoscale.Actuator. Targets are
+// "s<i>" dense server indices; every choice is a deterministic function
+// of planner state (lowest index, least-loaded with lowest-index ties).
+type dirActuator struct{ d *Director }
+
+func (a dirActuator) Observe() autoscale.Observation {
+	d := a.d
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pl := d.planner()
+	st := pl.Stats()
+	active, spares := 0, 0
+	for i := range d.cfg.ServerNodes {
+		if pl.Draining(i) {
+			spares++
+		} else {
+			active++
+		}
+	}
+	return autoscale.Observation{
+		Clients:       d.binding.Len(),
+		Utilization:   pl.Utilization(),
+		UtilSpread:    st.LastUtilSpread,
+		PQoS:          pl.PQoS(),
+		DriftPQoS:     st.LastDriftPQoS,
+		ActiveServers: active,
+		SpareServers:  spares,
+	}
+}
+
+// ScaleUp admits the lowest-index drained server.
+func (a dirActuator) ScaleUp() (string, error) {
+	d := a.d
+	d.mu.RLock()
+	victim := -1
+	for i := range d.cfg.ServerNodes {
+		if d.planner().Draining(i) {
+			victim = i
+			break
+		}
+	}
+	d.mu.RUnlock()
+	if victim < 0 {
+		return "", fmt.Errorf("director: scale-up with no drained server")
+	}
+	if _, err := d.UncordonServer(victim); err != nil {
+		return "", err
+	}
+	return "s" + strconv.Itoa(victim), nil
+}
+
+// ScaleDown drains the least-loaded active server, ties to the lowest
+// index.
+func (a dirActuator) ScaleDown() (string, error) {
+	d := a.d
+	d.mu.RLock()
+	victim, best := -1, 0.0
+	for i := range d.cfg.ServerNodes {
+		if d.planner().Draining(i) {
+			continue
+		}
+		if l := d.planner().ServerLoad(i); victim < 0 || l < best {
+			victim, best = i, l
+		}
+	}
+	d.mu.RUnlock()
+	if victim < 0 {
+		return "", fmt.Errorf("director: scale-down with no active server")
+	}
+	if _, err := d.DrainServer(victim); err != nil {
+		return "", err
+	}
+	return "s" + strconv.Itoa(victim), nil
+}
+
+// Retire removes a long-drained server — but only the fleet's TAIL
+// index. RemoveServer renumbers (the last server takes the vacated
+// index), which would silently re-point every higher "s<i>" target the
+// reconciler still tracks; removing the tail moves nothing. A non-tail
+// target stays in the warm pool instead (ErrRetireUnsupported).
+func (a dirActuator) Retire(target string) error {
+	d := a.d
+	i, err := strconv.Atoi(strings.TrimPrefix(target, "s"))
+	if err != nil {
+		return fmt.Errorf("director: retire target %q: %w", target, err)
+	}
+	d.mu.RLock()
+	tail := i == len(d.cfg.ServerNodes)-1
+	draining := i >= 0 && i < len(d.cfg.ServerNodes) && d.planner().Draining(i)
+	d.mu.RUnlock()
+	if !tail || !draining {
+		return autoscale.ErrRetireUnsupported
+	}
+	return d.RemoveServer(i)
+}
+
+// EnableAutoscale attaches an autoscaling reconciler to the director.
+// The reconciler shares the director's telemetry registry (the
+// dvecap_autoscale_* series) and drives the journaled topology verbs;
+// call it once, then run Autoscale().RunLoop (or tick it by hand through
+// POST /v1/autoscale/tick). Fails if already enabled.
+func (d *Director) EnableAutoscale(cfg autoscale.Config) error {
+	d.mu.Lock()
+	if d.autoRec != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("director: autoscaling already enabled")
+	}
+	d.mu.Unlock()
+	// New observes the fleet once to seed gauges — through dirActuator,
+	// which takes d.mu itself, so the director lock must be free here.
+	rec, err := autoscale.New(cfg, dirActuator{d}, d.tele)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.autoRec != nil {
+		return fmt.Errorf("director: autoscaling already enabled")
+	}
+	d.autoRec = rec
+	return nil
+}
+
+// Autoscale returns the reconciler, or nil when autoscaling is not
+// enabled.
+func (d *Director) Autoscale() *autoscale.Reconciler {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.autoRec
+}
+
+// AutoscaleStatus is the GET /v1/autoscale view: the live policy, pause
+// state, hysteresis position and the fired-decision log.
+type AutoscaleStatus struct {
+	Enabled    bool                 `json:"enabled"`
+	Paused     bool                 `json:"paused"`
+	Ticks      int                  `json:"ticks"`
+	HighStreak int                  `json:"high_streak"`
+	LowStreak  int                  `json:"low_streak"`
+	Config     autoscale.Config     `json:"config"`
+	Decisions  []autoscale.Decision `json:"decisions"`
+}
+
+// AutoscaleStatus snapshots the reconciler (zero value when disabled).
+func (d *Director) AutoscaleStatus() AutoscaleStatus {
+	rec := d.Autoscale()
+	if rec == nil {
+		return AutoscaleStatus{}
+	}
+	hi, lo := rec.Streaks()
+	return AutoscaleStatus{
+		Enabled:    true,
+		Paused:     rec.Paused(),
+		Ticks:      rec.Ticks(),
+		HighStreak: hi,
+		LowStreak:  lo,
+		Config:     rec.Config(),
+		Decisions:  rec.Decisions(),
+	}
+}

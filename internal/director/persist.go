@@ -518,7 +518,11 @@ func (d *Director) applyEvent(e *repair.Event) error {
 	case repair.OpDDelays:
 		_, _ = d.UpdateDelays(e.ID, e.Row)
 	case repair.OpDAddServer:
-		_, _ = d.AddServer(e.Node, e.Capacity)
+		if e.Spare {
+			_, _ = d.AddSpareServer(e.Node, e.Capacity)
+		} else {
+			_, _ = d.AddServer(e.Node, e.Capacity)
+		}
 	case repair.OpDRemoveServer:
 		_ = d.RemoveServer(e.ServerIdx)
 	case repair.OpDDrain:

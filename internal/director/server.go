@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"dvecap/internal/autoscale"
 )
 
 // API error body.
@@ -23,10 +25,15 @@ type apiError struct {
 //	POST   /v1/clients/{id}/move    {"zone"} → ClientInfo
 //	POST   /v1/clients/{id}/delays  {"rtts_ms": [...]} → ClientInfo
 //	GET    /v1/servers              → []ServerInfo
-//	POST   /v1/servers              {"node", "capacity_mbps"} → ServerInfo
+//	POST   /v1/servers              {"node", "capacity_mbps", "spare"?} → ServerInfo
 //	DELETE /v1/servers/{i}          → 204 (must be empty; renumbers)
 //	POST   /v1/servers/{i}/drain    → ServerInfo (evacuate + cordon)
 //	POST   /v1/servers/{i}/uncordon → ServerInfo (restore capacity)
+//	GET    /v1/autoscale            → AutoscaleStatus (policy, streaks, decision log)
+//	POST   /v1/autoscale/config     autoscale.Config → AutoscaleStatus (override watermarks)
+//	POST   /v1/autoscale/pause      → AutoscaleStatus (observe only, fire nothing)
+//	POST   /v1/autoscale/resume     → AutoscaleStatus
+//	POST   /v1/autoscale/tick       → autoscale.Decision (one reconcile cycle, now)
 //	GET    /v1/zones                → []ZoneInfo
 //	POST   /v1/zones                → ZoneInfo (new empty zone)
 //	DELETE /v1/zones/{z}            → 204 (must be empty; renumbers)
@@ -151,12 +158,19 @@ func Handler(d *Director) http.Handler {
 			var req struct {
 				Node         int     `json:"node"`
 				CapacityMbps float64 `json:"capacity_mbps"`
+				// Spare registers a warm spare: cordoned on arrival, pool
+				// inventory for the autoscaler (or an explicit uncordon).
+				Spare bool `json:"spare"`
 			}
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 				return
 			}
-			info, err := d.AddServer(req.Node, req.CapacityMbps)
+			add := d.AddServer
+			if req.Spare {
+				add = d.AddSpareServer
+			}
+			info, err := add(req.Node, req.CapacityMbps)
 			if err != nil {
 				writeErr(w, http.StatusBadRequest, err.Error())
 				return
@@ -207,6 +221,56 @@ func Handler(d *Director) http.Handler {
 				return
 			}
 			writeJSON(w, http.StatusOK, info)
+		default:
+			writeErr(w, http.StatusNotFound, "unknown route")
+		}
+	})
+	mux.HandleFunc("/v1/autoscale", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		// Status answers even when disabled (enabled=false), so operators
+		// can probe whether the control plane is armed at all.
+		writeJSON(w, http.StatusOK, d.AutoscaleStatus())
+	})
+	mux.HandleFunc("/v1/autoscale/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		rec := d.Autoscale()
+		if rec == nil {
+			writeErr(w, http.StatusConflict, "autoscaling not enabled (start the director with -autoscale)")
+			return
+		}
+		switch strings.TrimPrefix(r.URL.Path, "/v1/autoscale/") {
+		case "config":
+			var cfg autoscale.Config
+			if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			if err := rec.SetConfig(cfg); err != nil {
+				writeErr(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, d.AutoscaleStatus())
+		case "pause":
+			rec.SetPaused(true)
+			writeJSON(w, http.StatusOK, d.AutoscaleStatus())
+		case "resume":
+			rec.SetPaused(false)
+			writeJSON(w, http.StatusOK, d.AutoscaleStatus())
+		case "tick":
+			// One reconcile cycle on demand: the deterministic form of the
+			// run loop, for operators mid-incident and end-to-end tests.
+			dec, err := rec.Tick()
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, dec)
 		default:
 			writeErr(w, http.StatusNotFound, "unknown route")
 		}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dvecap/internal/autoscale"
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
 	"dvecap/internal/topology"
@@ -175,6 +176,9 @@ type Director struct {
 	rng     *xrand.RNG
 	seq     uint64
 	dur     *dirDurable // write-ahead journal state; nil when not durable
+	// autoRec is the autoscaling reconciler (EnableAutoscale); nil until
+	// enabled. It owns its own lock — only the pointer is guarded by mu.
+	autoRec *autoscale.Reconciler
 
 	// recovering is true while New replays the journal; the HTTP handler
 	// sheds traffic (503 + Retry-After) until it clears.

@@ -100,6 +100,19 @@ func (d *Director) Zones() []ZoneInfo {
 // decisions immediately. Returns the new server's info (its index is the
 // current server count).
 func (d *Director) AddServer(node int, capacityMbps float64) (ServerInfo, error) {
+	return d.addServer(node, capacityMbps, false)
+}
+
+// AddSpareServer registers a warm spare at a topology node: delays are
+// derived and capacity recorded like AddServer, but the server arrives
+// cordoned — no zones, no contacts, capacity out of the utilization
+// denominator — as pool inventory for the autoscaler (or an operator's
+// UncordonServer) to admit later in O(affected).
+func (d *Director) AddSpareServer(node int, capacityMbps float64) (ServerInfo, error) {
+	return d.addServer(node, capacityMbps, true)
+}
+
+func (d *Director) addServer(node int, capacityMbps float64, spare bool) (ServerInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if node < 0 || node >= d.cfg.Delays.N() {
@@ -108,9 +121,9 @@ func (d *Director) AddServer(node int, capacityMbps float64) (ServerInfo, error)
 	if capacityMbps <= 0 {
 		return ServerInfo{}, fmt.Errorf("director: capacity %v, want > 0", capacityMbps)
 	}
-	// Only the node and capacity are journaled: the delay rows are
-	// oracle-derived, and replay re-derives them identically.
-	if err := d.journalLocked(&repair.Event{Op: repair.OpDAddServer, Node: node, Capacity: capacityMbps}); err != nil {
+	// Only the node, capacity and spare flag are journaled: the delay rows
+	// are oracle-derived, and replay re-derives them identically.
+	if err := d.journalLocked(&repair.Event{Op: repair.OpDAddServer, Node: node, Capacity: capacityMbps, Spare: spare}); err != nil {
 		return ServerInfo{}, err
 	}
 	m := len(d.cfg.ServerNodes)
@@ -127,7 +140,11 @@ func (d *Director) AddServer(node int, capacityMbps float64) (ServerInfo, error)
 		}
 		col[j] = d.cfg.Delays.RTT(d.clients[id].node, node)
 	}
-	i, err := pl.AddServer(capacityMbps, ss, col)
+	add := pl.AddServer
+	if spare {
+		add = pl.AddSpareServer
+	}
+	i, err := add(capacityMbps, ss, col)
 	if err != nil {
 		return ServerInfo{}, err
 	}

@@ -95,6 +95,12 @@ type Event struct {
 	Node int  `json:"node,omitempty"`
 	Auto bool `json:"auto,omitempty"`
 
+	// Spare marks an add-server event as a warm-spare registration: the
+	// server arrives cordoned, holding nothing, until a scale-up admits
+	// it. Absent on older journals, which decodes to false — a plain add —
+	// so pre-autoscale logs replay unchanged.
+	Spare bool `json:"spare,omitempty"`
+
 	// FullSolves is OpEpoch's payload.
 	FullSolves int `json:"full_solves,omitempty"`
 }

@@ -258,6 +258,17 @@ func (b *IDBinding) ZoneNames() []string { return b.zoneIDs }
 // unmeasured server unattractive until UpdateServerDelays supplies real
 // values). See Planner.AddServer for the capacity and ss semantics.
 func (b *IDBinding) AddServer(id string, capacity float64, ss []float64, clientRTTs map[string]float64, defaultRTT float64) error {
+	return b.addServer(id, capacity, ss, clientRTTs, defaultRTT, false)
+}
+
+// AddSpareServer is AddServer for a warm spare: the server joins the
+// topology cordoned — no zones, no contacts — as pool inventory for an
+// autoscaler to admit later (Planner.AddSpareServer).
+func (b *IDBinding) AddSpareServer(id string, capacity float64, ss []float64, clientRTTs map[string]float64, defaultRTT float64) error {
+	return b.addServer(id, capacity, ss, clientRTTs, defaultRTT, true)
+}
+
+func (b *IDBinding) addServer(id string, capacity float64, ss []float64, clientRTTs map[string]float64, defaultRTT float64, spare bool) error {
 	if _, dup := b.serverIdx[id]; dup {
 		return fmt.Errorf("%w %q", ErrDuplicateServer, id)
 	}
@@ -280,7 +291,11 @@ func (b *IDBinding) AddServer(id string, capacity float64, ss []float64, clientR
 		}
 		col[j] = d
 	}
-	i, err := b.pl.AddServer(capacity, ss, col)
+	add := b.pl.AddServer
+	if spare {
+		add = b.pl.AddSpareServer
+	}
+	i, err := add(capacity, ss, col)
 	if err != nil {
 		return err
 	}

@@ -67,11 +67,12 @@ type Stats struct {
 	DelayUpdates int `json:"delay_updates"`
 	// Topology events (topology.go): servers added, drained and removed,
 	// zones added and retired on the live planner.
-	ServerAdds    int `json:"server_adds"`
-	ServerDrains  int `json:"server_drains"`
-	ServerRemoves int `json:"server_removes"`
-	ZoneAdds      int `json:"zone_adds"`
-	ZoneRetires   int `json:"zone_retires"`
+	ServerAdds      int `json:"server_adds"`
+	ServerDrains    int `json:"server_drains"`
+	ServerUncordons int `json:"server_uncordons"`
+	ServerRemoves   int `json:"server_removes"`
+	ZoneAdds        int `json:"zone_adds"`
+	ZoneRetires     int `json:"zone_retires"`
 	// Events is the total event count: client churn (the four client
 	// counters above; a JoinBatch counts one event per admitted client)
 	// plus topology events.

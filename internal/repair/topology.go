@@ -105,6 +105,13 @@ func (pl *Planner) availableServers() int {
 // subsequent placement decision. Returns the new dense server index.
 // O(clients + servers + zones).
 func (pl *Planner) AddServer(capacity float64, ss, csCol []float64) (int, error) {
+	return pl.addServer(capacity, ss, csCol, false)
+}
+
+// addServer is AddServer with an optional arrival cordon. The cordon is
+// set BEFORE the post-event guard runs, so a guard-triggered full solve
+// can never place zones on a spare that is about to be flagged drained.
+func (pl *Planner) addServer(capacity float64, ss, csCol []float64, cordoned bool) (int, error) {
 	p := pl.prob
 	if capacity <= 0 || math.IsNaN(capacity) {
 		return 0, fmt.Errorf("repair: server capacity %v, want > 0", capacity)
@@ -127,7 +134,10 @@ func (pl *Planner) AddServer(capacity float64, ss, csCol []float64) (int, error)
 	}
 	start := pl.teleStart()
 	i := pl.ev.AddServer(capacity, ss, csCol)
-	pl.drained = append(pl.drained, false)
+	pl.drained = append(pl.drained, cordoned)
+	if cordoned {
+		pl.ev.SetCordon(i, true)
+	}
 	pl.stats.ServerAdds++
 	pl.afterEvent()
 	pl.teleEvent(evServerAdd, 1, start)
@@ -245,9 +255,11 @@ func (pl *Planner) DrainServer(i int) error {
 }
 
 // UncordonServer returns a drained server to service — the tail end of a
-// rolling deploy. Zones and contacts flow back through the ordinary
-// repair passes as later events touch them. A no-op when the server is
-// not draining.
+// rolling deploy, or an autoscale scale-up admitting a warm spare. The
+// cordon is lifted and a seeded flow-back scan runs immediately (see
+// flowBack), so the returned capacity attracts load now instead of
+// sitting empty until the next full re-solve or drift-guard trip — the
+// uncordon dead-zone. A no-op when the server is not draining.
 func (pl *Planner) UncordonServer(i int) error {
 	if err := pl.checkServer(i); err != nil {
 		return err
@@ -258,9 +270,47 @@ func (pl *Planner) UncordonServer(i int) error {
 	start := pl.teleStart()
 	pl.drained[i] = false
 	pl.ev.SetCordon(i, false)
+	pl.flowBack()
+	pl.stats.ServerUncordons++
 	pl.afterEvent()
 	pl.teleEvent(evServerUncordon, 1, start)
 	return nil
+}
+
+// flowBack is the post-uncordon bounded rebalance: one seeded repair scan
+// over every zone in ascending order (each zone takes at most its single
+// best improving rehosting, which can now target the returned server),
+// then one greedy contact pass over the clients still out of delay bound
+// (whose best forwarding hop may now be the returned server). Zones move
+// only when the move improves the objective, so flow-back onto the
+// returned server happens exactly when it helps — a warm spare whose
+// delay column is still unmeasured attracts nothing until measurements
+// stream in. Deterministic for every worker count; O(zones +
+// out-of-bound clients), never a full re-solve.
+func (pl *Planner) flowBack() {
+	for z := 0; z < pl.prob.NumZones; z++ {
+		pl.repairZones(z)
+	}
+	for j := 0; j < pl.ev.NumClients(); j++ {
+		if pl.ev.ClientDelay(j) <= pl.prob.D {
+			continue
+		}
+		if pl.ev.GreedyContact(j) {
+			pl.stats.ContactSwitches++
+		}
+	}
+}
+
+// AddSpareServer registers a warm spare: the server joins the topology
+// exactly like AddServer — capacity, inter-server row, per-client delay
+// column (nil/NaN marks unmeasured) — but arrives CORDONED, so no
+// placement path lands anything on it and its capacity stays out of the
+// Utilization denominator. Admission from the pool is UncordonServer
+// (O(affected) flow-back, no measure-the-world step); a spare that never
+// gets used is removable directly since it holds nothing. Returns the new
+// dense server index.
+func (pl *Planner) AddSpareServer(capacity float64, ss, csCol []float64) (int, error) {
+	return pl.addServer(capacity, ss, csCol, true)
 }
 
 // AddZone appends an empty zone and returns its index. host picks the

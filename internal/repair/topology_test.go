@@ -471,6 +471,134 @@ func TestUncordonRestoresCapacity(t *testing.T) {
 	}
 }
 
+// flowBackProblem builds an instance where server 0 is the only server
+// that can serve any client in bound (10 ms direct vs 150 ms, D = 100 ms),
+// so draining server 0 collapses pQoS to zero and the post-uncordon
+// flow-back scan must restore it — the regression shape for the uncordon
+// dead-zone (before the flow-back, the returned server stayed empty until
+// a full re-solve or a drift-guard trip).
+func flowBackProblem() *core.Problem {
+	const m, n, perZone = 3, 6, 10
+	k := n * perZone
+	p := &core.Problem{
+		ServerCaps:  []float64{100, 100, 100},
+		NumZones:    n,
+		ClientZones: make([]int, k),
+		ClientRT:    make([]float64, k),
+		CS:          make([][]float64, k),
+		SS:          make([][]float64, m),
+		D:           100,
+	}
+	for i := 0; i < m; i++ {
+		p.SS[i] = []float64{50, 50, 50}
+		p.SS[i][i] = 0
+	}
+	for j := 0; j < k; j++ {
+		p.ClientZones[j] = j % n
+		p.ClientRT[j] = 1
+		p.CS[j] = []float64{10, 150, 150}
+	}
+	return p
+}
+
+// TestUncordonFlowBack is the satellite contract for the uncordon
+// dead-zone fix: immediately after UncordonServer — with NO full re-solve
+// and no further churn — the returned server holds load again and pQoS is
+// back at its pre-drain level, bit-identically for every worker count.
+func TestUncordonFlowBack(t *testing.T) {
+	var base *core.Assignment
+	for _, workers := range []int{1, 4} {
+		cfg := testConfig()
+		cfg.Opt.Workers = workers
+		pl, err := New(cfg, flowBackProblem(), xrand.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := pl.PQoS()
+		if before != 1 {
+			t.Fatalf("workers %d: pre-drain pQoS = %v, want 1 (test instance broken)", workers, before)
+		}
+		if err := pl.DrainServer(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := pl.PQoS(); got != 0 {
+			t.Fatalf("workers %d: pQoS during drain = %v, want 0 (no other server is in bound)", workers, got)
+		}
+		solves := pl.Stats().FullSolves
+		if err := pl.UncordonServer(0); err != nil {
+			t.Fatal(err)
+		}
+		st := pl.Stats()
+		if st.FullSolves != solves {
+			t.Fatalf("workers %d: uncordon ran a full re-solve (the flow-back must be O(affected))", workers)
+		}
+		if st.ServerUncordons != 1 {
+			t.Fatalf("workers %d: ServerUncordons = %d, want 1", workers, st.ServerUncordons)
+		}
+		if serverEmpty(pl, 0) {
+			t.Fatalf("workers %d: no load flowed back to the uncordoned server", workers)
+		}
+		if got := pl.PQoS(); got != before {
+			t.Fatalf("workers %d: post-uncordon pQoS = %v, want %v restored by flow-back", workers, got, before)
+		}
+		checkTopoPlanner(t, pl)
+		a := pl.Assignment()
+		if base == nil {
+			base = a
+		} else if !reflect.DeepEqual(base, a) {
+			t.Fatalf("flow-back result differs between worker counts")
+		}
+	}
+}
+
+// TestAddSpareServerStaysWarm covers the warm-spare pool lifecycle: a
+// spare arrives cordoned (no placement path touches it, its capacity
+// stays out of the Utilization denominator, full solves leave it empty)
+// and one UncordonServer admits it — after which it attracts load with no
+// full re-solve.
+func TestAddSpareServerStaysWarm(t *testing.T) {
+	pl := newTopoPlanner(t, 321, 0)
+	utilBefore := pl.Utilization()
+	ss := make([]float64, pl.NumServers())
+	for i := range ss {
+		ss[i] = 20
+	}
+	col := make([]float64, pl.NumClients())
+	for j := range col {
+		col[j] = 5 // very attractive — once admitted
+	}
+	i, err := pl.AddSpareServer(1000, ss, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Draining(i) {
+		t.Fatal("spare not cordoned on arrival")
+	}
+	if !serverEmpty(pl, i) {
+		t.Fatal("spare attracted load while pooled")
+	}
+	if got := pl.Utilization(); !close64(got, utilBefore) {
+		t.Fatalf("pooled spare entered the Utilization denominator: %v, want %v", got, utilBefore)
+	}
+	if err := pl.FullSolve(); err != nil {
+		t.Fatal(err)
+	}
+	if !serverEmpty(pl, i) {
+		t.Fatal("full solve placed load on a pooled spare")
+	}
+	solves := pl.Stats().FullSolves
+	if err := pl.UncordonServer(i); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stats().FullSolves != solves {
+		t.Fatal("admitting a spare ran a full re-solve")
+	}
+	if serverEmpty(pl, i) {
+		t.Fatal("admitted spare attracted nothing (flow-back missed it)")
+	}
+	checkTopoPlanner(t, pl)
+}
+
 // TestFullSolveHonoursDrain is the regression pin for full re-solves
 // during an in-flight drain: the drift guard (or a fallback cadence) may
 // re-run the whole two-phase algorithm while a server is drained, and the

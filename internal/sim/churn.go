@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dvecap/internal/autoscale"
 	"dvecap/internal/core"
 	"dvecap/internal/dve"
 	"dvecap/internal/repair"
@@ -14,7 +15,18 @@ import (
 // ChurnConfig parameterises the churn driver's stochastic processes.
 type ChurnConfig struct {
 	// JoinRate is the Poisson client arrival rate, clients/second.
+	// Exclusive with Arrivals.
 	JoinRate float64
+	// Arrivals, when set, replaces the constant JoinRate with a
+	// time-varying trace — diurnal tide plus flash crowds (autoscale.go).
+	// JoinRate must be 0.
+	Arrivals *ArrivalTrace
+	// Autoscale, when set, arms the capacity control loop: the last
+	// SpareServers world servers start drained as a warm pool and a
+	// reconciler (or the clairvoyant oracle) drives drain/uncordon on the
+	// planner every EverySec. Requires Repair mode; exclusive with the
+	// rolling-deploy schedule (both own the drained set).
+	Autoscale *AutoscaleConfig
 	// MeanSessionSec is the mean client session length; each client leaves
 	// at total rate population/MeanSessionSec.
 	MeanSessionSec float64
@@ -118,6 +130,25 @@ func (c ChurnConfig) Validate() error {
 				c.DrainDowntimeSec, c.RollingDeployEverySec)
 		}
 	}
+	if c.Arrivals != nil {
+		if c.JoinRate != 0 {
+			return fmt.Errorf("sim: JoinRate = %v with an arrival trace, want 0 (the trace owns the arrival process)", c.JoinRate)
+		}
+		if err := c.Arrivals.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Autoscale != nil {
+		switch {
+		case !c.Repair:
+			return fmt.Errorf("sim: Autoscale requires Repair mode (scaling runs through the planner's topology events)")
+		case c.RollingDeployEverySec > 0:
+			return fmt.Errorf("sim: Autoscale and RollingDeployEverySec are exclusive (both own the drained server set)")
+		}
+		if err := c.Autoscale.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -167,6 +198,17 @@ type Driver struct {
 	deployNext int
 	deployDown int
 
+	// Autoscale state: the hysteresis reconciler (nil in oracle mode or
+	// without autoscaling), the thinning envelope rate for the arrival
+	// trace, the active-fleet time integral behind ServerHours, and the
+	// oracle's verb count.
+	autoRec     *autoscale.Reconciler
+	arrivalMax  float64
+	activeCount int
+	serverSecs  float64
+	lastActiveT float64
+	oracleMoves int
+
 	// Reused buffers: the problem snapshot (its k×m delay matrix dominates
 	// per-cycle allocation), the algorithms' scratch workspace, and the
 	// evaluation metrics. Rebuilt in place every reassignment and sample.
@@ -186,9 +228,30 @@ func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Optio
 	}
 	d := &Driver{eng: eng, world: world, algo: algo, opt: opt, cfg: cfg, rng: rng, ws: core.NewWorkspace(), deployDown: -1}
 	d.opt.Scratch = d.ws
+	d.activeCount = world.Cfg.Servers
+	spares := 0
+	if cfg.Autoscale != nil {
+		spares = cfg.Autoscale.SpareServers
+		if spares >= world.Cfg.Servers {
+			return nil, fmt.Errorf("sim: SpareServers = %d with only %d world servers (at least one must start active)", spares, world.Cfg.Servers)
+		}
+		// The initial solve must leave the pool empty: the spares — the
+		// LAST SpareServers world servers — are cordoned for it, then
+		// formally drained through the planner below (pure flag work, since
+		// nothing was placed on them).
+		mask := make([]bool, world.Cfg.Servers)
+		for i := world.Cfg.Servers - spares; i < world.Cfg.Servers; i++ {
+			mask[i] = true
+		}
+		d.opt.Cordoned = mask
+	}
 	if err := d.reassign("initial"); err != nil {
 		return nil, err
 	}
+	// The cordon mask was for the initial solve only — the planner tracks
+	// drains itself from here (a stale mask would pin the spares out of
+	// every future full solve even after admission).
+	d.opt.Cordoned = nil
 	if cfg.Repair {
 		// The initial full solve just ran on d.prob; the planner adopts it
 		// and takes over per-event re-optimisation from here. The planner's
@@ -211,12 +274,31 @@ func NewDriver(eng *Engine, world *dve.World, algo core.TwoPhase, opt core.Optio
 			d.zoneFrozenUntil = make([]float64, world.Cfg.Zones)
 		}
 	}
+	if cfg.Autoscale != nil {
+		for i := world.Cfg.Servers - spares; i < world.Cfg.Servers; i++ {
+			if err := d.planner.DrainServer(i); err != nil {
+				return nil, fmt.Errorf("sim: pooling spare %d: %w", i, err)
+			}
+		}
+		d.activeCount -= spares
+		if !cfg.Autoscale.Oracle {
+			rec, err := autoscale.New(cfg.Autoscale.Policy, driverActuator{d}, cfg.Telemetry)
+			if err != nil {
+				return nil, err
+			}
+			d.autoRec = rec
+		}
+	}
 	return d, nil
 }
 
 // Start schedules the recurring processes on the engine.
 func (d *Driver) Start() {
-	if d.cfg.JoinRate > 0 {
+	switch {
+	case d.cfg.Arrivals != nil:
+		d.arrivalMax = d.cfg.Arrivals.MaxRate()
+		d.eng.Schedule(d.rng.Exp(d.arrivalMax), d.joinTraceEvent)
+	case d.cfg.JoinRate > 0:
 		d.eng.Schedule(d.rng.Exp(d.cfg.JoinRate), d.joinEvent)
 	}
 	d.scheduleLeave()
@@ -227,6 +309,9 @@ func (d *Driver) Start() {
 	}
 	if d.cfg.RollingDeployEverySec > 0 {
 		d.eng.Schedule(d.cfg.RollingDeployEverySec, d.deployEvent)
+	}
+	if d.cfg.Autoscale != nil {
+		d.eng.Schedule(d.cfg.Autoscale.EverySec, d.autoscaleEvent)
 	}
 }
 
@@ -318,6 +403,15 @@ func (d *Driver) TotalZoneHandoffs() int {
 }
 
 func (d *Driver) joinEvent() {
+	d.admitJoin()
+	if d.cfg.JoinRate > 0 {
+		d.eng.Schedule(d.rng.Exp(d.cfg.JoinRate), d.joinEvent)
+	}
+}
+
+// admitJoin admits one client — shared by the constant-rate and
+// trace-driven arrival processes.
+func (d *Driver) admitJoin() {
 	idx := d.world.Join(d.rng, 1)
 	if d.planner != nil {
 		if err := d.binding.Join(idx); err != nil {
@@ -332,9 +426,6 @@ func (d *Driver) joinEvent() {
 		for _, j := range idx {
 			d.contact = append(d.contact, d.zoneServer[d.world.ClientZones[j]])
 		}
-	}
-	if d.cfg.JoinRate > 0 {
-		d.eng.Schedule(d.rng.Exp(d.cfg.JoinRate), d.joinEvent)
 	}
 }
 

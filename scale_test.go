@@ -11,9 +11,12 @@ package dvecap
 // Run the full-scale variant with:
 //
 //	DVECAP_SCALE_TEST=1 go test . -run TestScaleMillionClients -v -timeout 30m
+//	DVECAP_SCALE_TEST=1 DVECAP_SCALE_CLIENTS=5000000 go test . -run TestScaleMillionClients -v -timeout 60m
 //
 // DVECAP_SCALE_CLIENTS overrides the population (default 1_000_000; the
-// budgets below are declared for that size and scale linearly).
+// budgets below are declared for that size and scale linearly). Each
+// population writes its own leg into BENCH_scale.json, so running 1M then
+// 5M records the scaling curve in one document.
 
 import (
 	"encoding/json"
@@ -286,11 +289,7 @@ func TestScaleMillionClients(t *testing.T) {
 	t.Logf("repair latency over %d events at %d clients: p50 %v p95 %v p99 %v max %v",
 		events, k, lat[len(lat)/2], time.Duration(pct(0.95)), time.Duration(pct(0.99)), lat[len(lat)-1])
 
-	report := map[string]any{
-		"description": "Million-client memory diet (DESIGN.md §13): a coordinate-native cluster — every client joins with a 5-dim network coordinate, one in eight carries one measured RTT override, no dense rows anywhere — is opened under WithDelayProvider(CoordDelays) with GreZ-VirC, then a 400-event churn storm (40% full-row joins, 20% leaves, 20% moves, 20% delay-row refreshes) samples per-event repair latency at full population. Budgets are asserted by TestScaleMillionClients (scale_test.go) and fail CI on regression; the dense path cannot meet them (the matrix alone is clients x servers x 8 bytes per copy, and the open path holds two copies).",
-		"date":        time.Now().Format("2006-01-02"),
-		"go":          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		"cpu":         cpuModel(),
+	leg := map[string]any{
 		"scale": map[string]any{
 			"clients":     k,
 			"servers":     m,
@@ -321,6 +320,26 @@ func TestScaleMillionClients(t *testing.T) {
 			k, m, heap>>20, rss>>20, heapBudget>>20, rssBudget>>20, denseEq>>20,
 			time.Duration(pct(0.50)), time.Duration(pct(0.99)), events, s.PQoS()),
 	}
+	// One leg per population: a 5M run extends the document the 1M run
+	// wrote rather than replacing it, so BENCH_scale.json accumulates the
+	// scaling curve (budgets scale linearly in DVECAP_SCALE_CLIENTS).
+	legs := map[string]any{}
+	if old, rerr := os.ReadFile("BENCH_scale.json"); rerr == nil {
+		var prev map[string]any
+		if json.Unmarshal(old, &prev) == nil {
+			if pl, ok := prev["legs"].(map[string]any); ok {
+				legs = pl
+			}
+		}
+	}
+	legs[strconv.Itoa(k)] = leg
+	report := map[string]any{
+		"description": "Memory diet at scale (DESIGN.md §13): a coordinate-native cluster — every client joins with a 5-dim network coordinate, one in eight carries one measured RTT override, no dense rows anywhere — is opened under WithDelayProvider(CoordDelays) with GreZ-VirC, then a 400-event churn storm (40% full-row joins, 20% leaves, 20% moves, 20% delay-row refreshes) samples per-event repair latency at full population. One leg per population (DVECAP_SCALE_CLIENTS; budgets scale linearly). Budgets are asserted by TestScaleMillionClients (scale_test.go) and fail CI on regression; the dense path cannot meet them (the matrix alone is clients x servers x 8 bytes per copy, and the open path holds two copies).",
+		"date":        time.Now().Format("2006-01-02"),
+		"go":          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		"cpu":         cpuModel(),
+		"legs":        legs,
+	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -328,5 +347,5 @@ func TestScaleMillionClients(t *testing.T) {
 	if err := os.WriteFile("BENCH_scale.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Log("wrote BENCH_scale.json")
+	t.Logf("wrote BENCH_scale.json (%d-client leg)", k)
 }
