@@ -2,9 +2,11 @@ package dvecap
 
 import (
 	"fmt"
+	"math"
 
 	"dvecap/internal/core"
 	"dvecap/internal/estimator"
+	"dvecap/internal/interact"
 	"dvecap/internal/repair"
 	"dvecap/telemetry"
 )
@@ -108,6 +110,14 @@ type Cluster struct {
 	zoneIDs []string
 	zoneIdx map[string]int
 
+	// adj holds builder-registered interaction edges, keyed by the
+	// canonical (lower, higher) dense zone-index pair; trafficW is the
+	// builder-level traffic weight (SetTrafficWeight). Both feed the
+	// traffic term of DESIGN.md §15; the Solve/Open options
+	// WithZoneAdjacency and WithTrafficWeight layer over them per run.
+	adj      map[[2]int]float64
+	trafficW float64
+
 	clientIDs []string
 	clientIdx map[string]int
 	clients   []ClientSpec
@@ -197,6 +207,67 @@ func (c *Cluster) AddClient(id string, spec ClientSpec) error {
 	c.clientIdx[id] = len(c.clientIDs)
 	c.clientIDs = append(c.clientIDs, id)
 	c.clients = append(c.clients, spec)
+	c.dirty = true
+	return nil
+}
+
+// SetZoneAdjacency registers the interaction edge (zone1, zone2) with the
+// given weight — the observed (or modelled) cross-zone interaction rate in
+// Mbps. Both zones must already exist; a weight of 0 removes the edge.
+// Edges shape placement only when the cluster is solved or opened with
+// WithTrafficWeight(λ > 0): each edge hosted across two servers then adds
+// λ × weight to the objective (DESIGN.md §15).
+func (c *Cluster) SetZoneAdjacency(zone1, zone2 string, weightMbps float64) error {
+	a, err := c.zoneIndex(zone1)
+	if err != nil {
+		return err
+	}
+	b, err := c.zoneIndex(zone2)
+	if err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("dvecap: self-adjacency on zone %q", zone1)
+	}
+	if !(weightMbps >= 0) || math.IsInf(weightMbps, 1) { // rejects NaN too
+		return fmt.Errorf("dvecap: adjacency (%q,%q) weight %v, want finite >= 0", zone1, zone2, weightMbps)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if c.pre != nil {
+		// Problem-wrapped clusters edit the problem's graph directly.
+		if c.pre.Adjacency == nil {
+			c.pre.Adjacency = interact.New(c.pre.NumZones)
+		}
+		if _, err := c.pre.Adjacency.Set(a, b, weightMbps); err != nil {
+			return fmt.Errorf("dvecap: adjacency (%q,%q): %w", zone1, zone2, err)
+		}
+		return nil
+	}
+	if c.adj == nil {
+		c.adj = map[[2]int]float64{}
+	}
+	if weightMbps == 0 {
+		delete(c.adj, [2]int{a, b})
+	} else {
+		c.adj[[2]int{a, b}] = weightMbps
+	}
+	c.dirty = true
+	return nil
+}
+
+// SetTrafficWeight sets the builder-level traffic weight λ ≥ 0 (default 0,
+// term off). The WithTrafficWeight option overrides it per Solve/Open.
+func (c *Cluster) SetTrafficWeight(w float64) error {
+	if !(w >= 0) || math.IsInf(w, 1) { // rejects NaN too
+		return fmt.Errorf("dvecap: traffic weight %v, want finite >= 0", w)
+	}
+	if c.pre != nil {
+		c.pre.TrafficWeight = w
+		return nil
+	}
+	c.trafficW = w
 	c.dirty = true
 	return nil
 }
@@ -412,11 +483,63 @@ func (c *Cluster) problemFor(model DelayModel) (*core.Problem, error) {
 			p.CS[j] = append([]float64(nil), row...)
 		}
 	}
+	if len(c.adj) > 0 {
+		g := interact.New(p.NumZones)
+		for key, w := range c.adj {
+			if _, err := g.Set(key[0], key[1], w); err != nil {
+				return nil, fmt.Errorf("dvecap: adjacency (%q,%q): %w", c.zoneIDs[key[0]], c.zoneIDs[key[1]], err)
+			}
+		}
+		p.Adjacency = g
+	}
+	p.TrafficWeight = c.trafficW
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("dvecap: invalid cluster: %w", err)
 	}
 	c.built, c.builtModel, c.dirty = p, model, false
 	return p, nil
+}
+
+// problemTrafficFor is problemFor plus the run-scoped traffic options:
+// WithTrafficWeight overrides the builder's weight and WithZoneAdjacency
+// edges overlay the builder's graph, on a shallow copy so the builder's
+// cached problem stays untouched.
+func (c *Cluster) problemTrafficFor(cfg config) (*core.Problem, error) {
+	p, err := c.problemFor(cfg.delayModel)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.trafficSet && len(cfg.adjEdges) == 0 {
+		return p, nil
+	}
+	q := *p
+	if cfg.trafficSet {
+		if !(cfg.trafficW >= 0) || math.IsInf(cfg.trafficW, 1) { // rejects NaN too
+			return nil, fmt.Errorf("dvecap: traffic weight %v, want finite >= 0", cfg.trafficW)
+		}
+		q.TrafficWeight = cfg.trafficW
+	}
+	if len(cfg.adjEdges) > 0 {
+		g := p.Adjacency.Clone()
+		if g == nil {
+			g = interact.New(q.NumZones)
+		}
+		for _, e := range cfg.adjEdges {
+			a, err := c.zoneIndex(e.a)
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.zoneIndex(e.b)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := g.Set(a, b, e.w); err != nil {
+				return nil, fmt.Errorf("dvecap: adjacency (%q,%q): %w", e.a, e.b, err)
+			}
+		}
+		q.Adjacency = g
+	}
+	return &q, nil
 }
 
 // resolveSparseRTTs turns a partial RTTs map into sorted-by-resolution
@@ -483,7 +606,7 @@ func (c *Cluster) Solve(algorithm string, opts ...Option) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
 	}
-	truth, err := c.problemFor(cfg.delayModel)
+	truth, err := c.problemTrafficFor(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +660,7 @@ func (c *Cluster) openSession(algorithm string, cfg config) (*ClusterSession, er
 	if !ok {
 		return nil, fmt.Errorf("dvecap: unknown algorithm %q (have %v)", algorithm, Algorithms())
 	}
-	p, err := c.problemFor(cfg.delayModel)
+	p, err := c.problemTrafficFor(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"dvecap/internal/core"
+	"dvecap/internal/interact"
 )
 
 // clusterJSON is the interchange form of a Cluster spec: the contract
@@ -17,6 +18,19 @@ type clusterJSON struct {
 	ServerRTTsMs [][]float64  `json:"server_rtts_ms,omitempty"`
 	Zones        []string     `json:"zones"`
 	Clients      []clientJSON `json:"clients"`
+	// ZoneAdjacency lists the interaction graph's edges (canonical order:
+	// lower zone index first, ascending) and TrafficWeight the traffic
+	// term's weight λ (DESIGN.md §15). Both absent on clusters without the
+	// traffic term — pre-traffic specs load unchanged.
+	ZoneAdjacency []adjacencyJSON `json:"zone_adjacency,omitempty"`
+	TrafficWeight float64         `json:"traffic_weight,omitempty"`
+}
+
+// adjacencyJSON is one interaction edge of the cluster spec, zone-ID keyed.
+type adjacencyJSON struct {
+	Zone1      string  `json:"zone1"`
+	Zone2      string  `json:"zone2"`
+	WeightMbps float64 `json:"weight_mbps"`
 }
 
 type serverJSON struct {
@@ -90,6 +104,16 @@ func clusterFromJSON(cj *clusterJSON) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	for _, e := range cj.ZoneAdjacency {
+		if err := c.SetZoneAdjacency(e.Zone1, e.Zone2, e.WeightMbps); err != nil {
+			return nil, err
+		}
+	}
+	if cj.TrafficWeight != 0 {
+		if err := c.SetTrafficWeight(cj.TrafficWeight); err != nil {
+			return nil, err
+		}
+	}
 	// Surface spec-level problems (missing RTT pairs, uncovered servers)
 	// at load time rather than first solve.
 	if _, err := c.problem(); err != nil {
@@ -140,12 +164,30 @@ func (c *Cluster) WriteClusterJSON(w io.Writer) error {
 			RTTRowMs:      row,
 		}
 	}
+	cj.ZoneAdjacency = adjacencyFromGraph(p.Adjacency, c.zoneIDs)
+	cj.TrafficWeight = p.TrafficWeight
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(cj); err != nil {
 		return fmt.Errorf("dvecap: encoding cluster spec: %w", err)
 	}
 	return nil
+}
+
+// adjacencyFromGraph renders an interaction graph's canonical edge list in
+// zone-ID form — shared by WriteClusterJSON and the durable snapshot
+// writer. Nil for a nil graph (or one with no edges), so pre-traffic specs
+// and snapshots are byte-identical to what earlier builds wrote.
+func adjacencyFromGraph(g *interact.Graph, zoneIDs []string) []adjacencyJSON {
+	if g == nil || g.NumEdges() == 0 {
+		return nil
+	}
+	edges := g.Edges()
+	out := make([]adjacencyJSON, len(edges))
+	for x, e := range edges {
+		out[x] = adjacencyJSON{Zone1: zoneIDs[e.A], Zone2: zoneIDs[e.B], WeightMbps: e.W}
+	}
+	return out
 }
 
 // NewClusterFromProblemJSON wraps an anonymous problem JSON — the format

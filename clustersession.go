@@ -3,6 +3,7 @@ package dvecap
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dvecap/internal/core"
 	"dvecap/internal/repair"
@@ -102,6 +103,11 @@ type ZoneSpec struct {
 	// Empty auto-places on the least-loaded available server; later churn
 	// rehosts the zone freely either way.
 	Host string
+	// Adjacency optionally seeds the new zone's interaction edges: existing
+	// zone ID → edge weight (Mbps, finite > 0). Each entry is applied as a
+	// SetZoneAdjacency right after the zone is added, in ascending zone-ID
+	// order. The whole spec is validated before anything is applied.
+	Adjacency map[string]float64
 }
 
 // ServerStatus is one row of the session's server inventory.
@@ -440,19 +446,114 @@ func (s *ClusterSession) UncordonServer(id string) (err error) {
 }
 
 // AddZone grows the virtual world by one (empty) zone, hosted per spec.
+// spec.Adjacency seeds the zone's interaction edges to existing zones.
 func (s *ClusterSession) AddZone(id string, spec ZoneSpec) (err error) {
 	defer s.span("zone_add", "zone", id)(&err)
 	if id == "" {
 		return fmt.Errorf("dvecap: empty zone ID")
 	}
+	// Validate the adjacency seed before journaling anything, so a bad spec
+	// leaves neither the zone nor a partial edge set behind.
+	neighbors := make([]string, 0, len(spec.Adjacency))
+	for zid, w := range spec.Adjacency {
+		if _, err := s.zone(zid); err != nil {
+			return err
+		}
+		if !(w > 0) || math.IsInf(w, 1) { // rejects NaN too
+			return fmt.Errorf("dvecap: zone %q adjacency to %q weight %v, want finite > 0", id, zid, w)
+		}
+		neighbors = append(neighbors, zid)
+	}
+	sort.Strings(neighbors)
 	if err := s.journal(&repair.Event{Op: repair.OpAddZone, Zone: id, Host: spec.Host}); err != nil {
 		return err
 	}
 	if err := s.binding.AddZone(id, spec.Host); err != nil {
 		return err
 	}
+	if err := s.afterApply(); err != nil {
+		return err
+	}
+	// Each seed edge journals and applies as its own SetZoneAdjacency, in
+	// sorted order — replay re-derives the identical sequence from the log.
+	for _, zid := range neighbors {
+		if err := s.SetZoneAdjacency(id, zid, spec.Adjacency[zid]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetZoneAdjacency installs (or, with weight 0, removes) the interaction
+// edge between two zones: the observed or modelled cross-zone interaction
+// rate in Mbps, the input of the traffic term (DESIGN.md §15). Bookkeeping,
+// not a churn event — no repair pass runs; the edge reshapes the objective
+// that later repair scans (and full solves via Resolve) optimise. With the
+// session's traffic weight at 0 the edge only feeds the traffic telemetry.
+func (s *ClusterSession) SetZoneAdjacency(zone1, zone2 string, weightMbps float64) (err error) {
+	defer s.span("adjacency_set", "zone", zone1, "zone2", zone2)(&err)
+	z1, z2, err := s.adjacencyPair(zone1, zone2, weightMbps, true)
+	if err != nil {
+		return err
+	}
+	if err := s.journal(&repair.Event{Op: repair.OpSetAdjacency, Zone: zone1, Zone2: zone2, Weight: weightMbps}); err != nil {
+		return err
+	}
+	if err := s.planner().SetAdjacency(z1, z2, weightMbps); err != nil {
+		return err
+	}
 	return s.afterApply()
 }
+
+// AddAdjacencyWeight accumulates deltaMbps > 0 onto the interaction edge
+// between two zones — the feedback verb mobility-driven workloads call as
+// avatar crossings are observed, creating the edge at deltaMbps when it
+// did not exist. Same bookkeeping-only semantics as SetZoneAdjacency.
+func (s *ClusterSession) AddAdjacencyWeight(zone1, zone2 string, deltaMbps float64) (err error) {
+	defer s.span("adjacency_add", "zone", zone1, "zone2", zone2)(&err)
+	z1, z2, err := s.adjacencyPair(zone1, zone2, deltaMbps, false)
+	if err != nil {
+		return err
+	}
+	if err := s.journal(&repair.Event{Op: repair.OpAddAdjacency, Zone: zone1, Zone2: zone2, Weight: deltaMbps}); err != nil {
+		return err
+	}
+	if err := s.planner().AddAdjacency(z1, z2, deltaMbps); err != nil {
+		return err
+	}
+	return s.afterApply()
+}
+
+// adjacencyPair resolves and validates one adjacency edge's endpoints and
+// weight (zeroOK admits the edge-removing weight 0 of the set form).
+func (s *ClusterSession) adjacencyPair(zone1, zone2 string, w float64, zeroOK bool) (int, int, error) {
+	z1, err := s.zone(zone1)
+	if err != nil {
+		return 0, 0, err
+	}
+	z2, err := s.zone(zone2)
+	if err != nil {
+		return 0, 0, err
+	}
+	if z1 == z2 {
+		return 0, 0, fmt.Errorf("dvecap: self-adjacency on zone %q", zone1)
+	}
+	ok := w > 0 || (zeroOK && w == 0)
+	if !ok || math.IsInf(w, 1) {
+		return 0, 0, fmt.Errorf("dvecap: adjacency (%q,%q) weight %v out of range", zone1, zone2, w)
+	}
+	return z1, z2, nil
+}
+
+// TrafficCut returns the summed weight of interaction edges whose endpoint
+// zones are currently hosted on different servers — the session's estimate
+// of cross-server broadcast traffic in Mbps. 0 without adjacency edges.
+func (s *ClusterSession) TrafficCut() float64 { return s.planner().TrafficCut() }
+
+// TrafficCost returns the weighted traffic term (traffic weight × cut) as
+// it enters the optimisation objective; 0 when the session was opened
+// without WithTrafficWeight.
+func (s *ClusterSession) TrafficCost() float64 { return s.planner().TrafficCost() }
 
 // RetireZone removes an empty zone from the virtual world
 // (ErrZoneNotEmpty while clients remain — Move or Leave them first).

@@ -126,6 +126,7 @@ func main() {
 		reassign  = flag.Duration("reassign-every", 0, "re-execute the algorithm periodically (0 = only on POST /v1/reassign)")
 		drift     = flag.Float64("drift", 0, "arm the repair planner's quality guard: full re-solve when pQoS decays this far below the last full solve (0 = disabled)")
 		driftSprd = flag.Float64("drift-spread", 0, "arm the load-imbalance guard: full re-solve when the max-min per-server utilization spread grows this far above the last full solve's baseline (0 = disabled)")
+		trafficW  = flag.Float64("traffic-weight", 0, "weight of the inter-server traffic term in the repair objective; activates once adjacency edges are installed via POST /v1/adjacency (0 = delay-only, the paper's objective)")
 		workers   = flag.Int("workers", 0, "goroutines for the sharded assignment scans (0/1 = sequential, -1 = all CPUs); results are identical for every setting")
 		delayProv = flag.String("delay-provider", "dense", "delay representation: dense (raw matrix), coord (coordinates + exact overrides) or shared (deduplicated rows — clients at the same node share one row); assignments are bit-identical across models")
 		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead journal + snapshots, recovered on restart (empty = in-memory only)")
@@ -200,6 +201,7 @@ func main() {
 		Seed:            *seed,
 		DriftPQoS:       *drift,
 		DriftUtilSpread: *driftSprd,
+		TrafficWeight:   *trafficW,
 		Workers:         *workers,
 		DataDir:         *dataDir,
 		SnapshotEvery:   *snapEvery,
@@ -222,6 +224,9 @@ func main() {
 	}
 	if *driftSprd > 0 {
 		fmt.Printf("capdirector: imbalance guard armed at %.3f utilization spread\n", *driftSprd)
+	}
+	if *trafficW > 0 {
+		fmt.Printf("capdirector: traffic term armed at weight %.3f (feed edges via POST /v1/adjacency)\n", *trafficW)
 	}
 	if *delayProv != "dense" && *delayProv != "" {
 		fmt.Printf("capdirector: %s delay provider\n", *delayProv)

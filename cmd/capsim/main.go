@@ -13,6 +13,7 @@
 //	capsim -exp ablation
 //	capsim -exp repair -reps 5 -metrics-log ticks.prom
 //	capsim -exp autoscale -reps 20 -autoscale-json BENCH_autoscale.json
+//	capsim -exp traffic -reps 10 -traffic-json BENCH_traffic.json
 //	capsim -exp runtime -lp
 //	capsim -exp all -reps 20
 //
@@ -27,6 +28,16 @@
 // and churn seeds — server-hours, time-averaged pQoS and topology-event
 // rate per mode; -autoscale-json records the comparison as
 // BENCH_autoscale.json.
+//
+// -exp traffic runs the inter-server traffic comparison (DESIGN.md §15):
+// a mobility-driven workload — avatars on a zone grid with hotspot
+// attraction and correlated group movement — feeds observed zone
+// crossings into the repair planner as churn plus interaction-graph
+// weights, and delay-only (the paper's objective) is compared against
+// traffic-aware assignment on identical seeds: measured cross-server
+// broadcast + handoff traffic, pQoS and zone handoffs per arm;
+// -traffic-json records the comparison as BENCH_traffic.json, and
+// -traffic-weight overrides the traffic arm's λ.
 //
 // Every run is deterministic in -seed. -topology usbackbone swaps the
 // BRITE-style hierarchical topology for the embedded US backbone.
@@ -44,7 +55,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|repair|autoscale|runtime|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|table3|table4|ablation|baselines|repair|autoscale|traffic|runtime|all")
 		seed     = flag.Uint64("seed", 2006, "base random seed")
 		reps     = flag.Int("reps", 50, "replications per data point (paper: 50)")
 		topo     = flag.String("topology", "hier", "topology substrate: hier|usbackbone")
@@ -53,6 +64,8 @@ func main() {
 		deadline = flag.Duration("lpdeadline", 60*time.Second, "per-solve deadline for the exact baseline")
 		metrics  = flag.String("metrics-log", "", "with -exp repair: stream one Prometheus snapshot per simulated tick of the first replication's repair driver to this file")
 		autoJSON = flag.String("autoscale-json", "", "with -exp autoscale: also write the comparison as a BENCH_autoscale.json document to this file")
+		trafJSON = flag.String("traffic-json", "", "with -exp traffic: also write the comparison as a BENCH_traffic.json document to this file")
+		trafW    = flag.Float64("traffic-weight", 0, "with -exp traffic: override the traffic-aware arm's λ (0 = the experiment default)")
 	)
 	flag.Parse()
 
@@ -115,6 +128,17 @@ func main() {
 				autoOpts.JSONOut = af
 			}
 			out, err = experiments.Autoscale(setup, autoOpts)
+		case "traffic":
+			trafOpts := experiments.TrafficOptions{Weight: *trafW}
+			if *trafJSON != "" {
+				tf, terr := os.Create(*trafJSON)
+				if terr != nil {
+					return terr
+				}
+				defer tf.Close()
+				trafOpts.JSONOut = tf
+			}
+			out, err = experiments.Traffic(setup, trafOpts)
 		case "runtime":
 			out, err = experiments.Runtime(setup, experiments.RuntimeOptions{IncludeLP: *lp, LPDeadline: *deadline})
 		default:

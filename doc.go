@@ -69,6 +69,23 @@
 // -autoscale) that scales up from the pool on sustained high
 // water or pQoS erosion and drains back on sustained low water.
 //
+// # Traffic-aware placement
+//
+// Interaction between zones hosted on different servers becomes
+// server-to-server broadcast plus a connection handoff per crossing
+// avatar. The optional traffic term (DESIGN.md §15) prices it inside
+// the same lexicographic objective: register an interaction graph
+// (Cluster.SetZoneAdjacency, WithZoneAdjacency, or live through
+// ClusterSession.SetZoneAdjacency / AddAdjacencyWeight as zone
+// crossings are observed) and a weight λ (SetTrafficWeight,
+// WithTrafficWeight); quality becomes RAP cost + λ·cut, where cut is
+// the summed weight of interaction edges hosted apart. pQoS keeps
+// absolute priority, λ = 0 is bit-identical to the delay-only solver,
+// and TrafficCut/TrafficCost read the estimate back on any session. On
+// mobility-driven workloads the traffic-aware solver carries ~31% less
+// measured cross-server traffic at equal pQoS (BENCH_traffic.json;
+// capsim -exp traffic).
+//
 // # Million-client memory diet
 //
 // The dense client×server delay matrix is the dominant memory cost at

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dvecap/internal/core"
+	"dvecap/internal/interact"
 	"dvecap/internal/repair"
 	"dvecap/internal/wal"
 	"dvecap/telemetry"
@@ -187,6 +188,8 @@ func (s *ClusterSession) snapshotPayload(lsn uint64) ([]byte, error) {
 			cj.Clients[j].RTTRowMs = p.CS[j]
 		}
 	}
+	cj.ZoneAdjacency = adjacencyFromGraph(p.Adjacency, cj.Zones)
+	cj.TrafficWeight = p.TrafficWeight
 	// Provider-backed sessions serialise the provider's own state instead
 	// of per-client dense rows: smaller, and — crucially — recovery
 	// restores the provider's INTERNALS (coordinates, override lists, row
@@ -495,10 +498,37 @@ func problemFromProviderSnapshot(cj *clusterJSON, st *core.ProviderState) (*core
 		p.ClientZones[j] = z
 		p.ClientRT[j] = cl.BandwidthMbps
 	}
+	if err := attachAdjacencyJSON(p, cj.ZoneAdjacency, zoneIdx); err != nil {
+		return nil, err
+	}
+	p.TrafficWeight = cj.TrafficWeight
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// attachAdjacencyJSON rebuilds a snapshot's interaction graph onto p.
+func attachAdjacencyJSON(p *core.Problem, edges []adjacencyJSON, zoneIdx map[string]int) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	g := interact.New(p.NumZones)
+	for _, e := range edges {
+		a, ok := zoneIdx[e.Zone1]
+		if !ok {
+			return fmt.Errorf("adjacency: unknown zone %q", e.Zone1)
+		}
+		b, ok := zoneIdx[e.Zone2]
+		if !ok {
+			return fmt.Errorf("adjacency: unknown zone %q", e.Zone2)
+		}
+		if _, err := g.Set(a, b, e.WeightMbps); err != nil {
+			return fmt.Errorf("adjacency (%q,%q): %w", e.Zone1, e.Zone2, err)
+		}
+	}
+	p.Adjacency = g
+	return nil
 }
 
 // applyEvent replays one journaled event through the live mutator it was
@@ -566,7 +596,13 @@ func (s *ClusterSession) applyEvent(e *repair.Event) error {
 	case repair.OpUncordon:
 		_ = s.UncordonServer(e.Server)
 	case repair.OpAddZone:
+		// Adjacency seeds are NOT re-attached here: the live AddZone journals
+		// each seed edge as its own set_adj event, which replays next.
 		_ = s.AddZone(e.Zone, ZoneSpec{Host: e.Host})
+	case repair.OpSetAdjacency:
+		_ = s.SetZoneAdjacency(e.Zone, e.Zone2, e.Weight)
+	case repair.OpAddAdjacency:
+		_ = s.AddAdjacencyWeight(e.Zone, e.Zone2, e.Weight)
 	case repair.OpRetireZone:
 		_ = s.RetireZone(e.Zone)
 	case repair.OpResolve:

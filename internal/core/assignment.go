@@ -200,6 +200,19 @@ func RAPCost(p *Problem, a *Assignment) float64 {
 	return cost
 }
 
+// TrafficCut returns the cross-server cut weight of the problem's
+// interaction graph under a's zone hosting: the summed weight of adjacency
+// edges whose endpoint zones are hosted apart. 0 without a graph.
+// Canonical summation order (interact.Graph.CutWeight), so it is a pure
+// function of (graph, hosting) — the oracle the evaluator's incremental
+// accumulator is tested against.
+func TrafficCut(p *Problem, a *Assignment) float64 {
+	if p.Adjacency == nil {
+		return 0
+	}
+	return p.Adjacency.CutWeight(a.ZoneServer)
+}
+
 // almostLE reports a <= b within a relative-absolute tolerance; used by
 // capacity checks throughout the greedy algorithms so float accumulation
 // never spuriously rejects a fitting item.

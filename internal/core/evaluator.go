@@ -44,6 +44,15 @@ type Evaluator struct {
 	rapCost   float64
 	totalLoad float64
 
+	// Traffic term (DESIGN.md §15). trafficOn caches p.TrafficOn() at
+	// Reset (re-derived when adjacency CRUD flips it); trafficCut is the
+	// unweighted cross-server cut weight of the adjacency graph,
+	// maintained incrementally like rapCost — ApplyZoneMove walks the
+	// moved zone's neighbor row in O(degree), every other mutation is
+	// traffic-neutral. The score exposes TrafficWeight × trafficCut.
+	trafficOn  bool
+	trafficCut float64
+
 	// Candidate-delta cache and scan parallelism (movecache.go). workers
 	// ≤ 1 scans sequentially; results are identical for every setting.
 	cache   moveCache
@@ -135,9 +144,15 @@ func (ev *Evaluator) Reset(p *Problem, a *Assignment) {
 		ev.totalLoad += l
 	}
 
+	ev.trafficOn = p.TrafficOn()
+	ev.trafficCut = 0
+	if ev.trafficOn {
+		ev.trafficCut = p.Adjacency.CutWeight(ev.zoneServer)
+	}
+
 	// Rebinding invalidates every cached zone-move delta; the cache is
 	// sized here so mutation-side invalidation stays O(1).
-	ev.cache.ensure(n, m)
+	ev.cache.ensure(n, m, ev.trafficOn)
 	ev.cache.invalidateAll()
 }
 
@@ -201,7 +216,11 @@ func (ev *Evaluator) Assignment() *Assignment {
 
 // score returns the current lexicographic objective.
 func (ev *Evaluator) score() score {
-	return score{withQoS: ev.withQoS, rapCost: ev.rapCost, load: ev.totalLoad}
+	s := score{withQoS: ev.withQoS, rapCost: ev.rapCost, load: ev.totalLoad}
+	if ev.trafficOn {
+		s.traffic = ev.p.TrafficWeight * ev.trafficCut
+	}
+	return s
 }
 
 // zoneMoveScore returns the objective the solution would have after
@@ -221,6 +240,12 @@ func (ev *Evaluator) ApplyZoneMove(z, s int) {
 	old := ev.zoneServer[z]
 	if s == old {
 		return
+	}
+	if ev.trafficOn {
+		// O(degree): edges to zones on the old host become cut, edges to
+		// zones on the destination become internal; every neighbor's cached
+		// delta row saw z's host change (evaluator_traffic.go).
+		ev.applyTrafficMove(z, old, s)
 	}
 	ev.loads[old] -= ev.zoneRT[z]
 	ev.loads[s] += ev.zoneRT[z]

@@ -304,7 +304,7 @@ func (ev *Evaluator) GreedyContact(j int) bool {
 // identical arithmetic and accept identical moves.
 func (ev *Evaluator) ImproveZone(z int) bool {
 	p := ev.p
-	ev.cache.ensure(p.NumZones, p.NumServers())
+	ev.cache.ensure(p.NumZones, p.NumServers(), ev.trafficOn)
 	cur := ev.score()
 	var best int
 	if !ev.cache.dirty[z] {
@@ -323,7 +323,7 @@ func (ev *Evaluator) ImproveZone(z int) bool {
 			}
 			cs := cur.plus(ev.zoneMoveDelta(z, s))
 			if cs.withQoS < cur.withQoS ||
-				(cs.withQoS == cur.withQoS && (almostEq(cs.rapCost, cur.rapCost) || cs.rapCost >= cur.rapCost)) {
+				(cs.withQoS == cur.withQoS && (almostEq(cs.quality(), cur.quality()) || cs.quality() >= cur.quality())) {
 				continue // no quality gain — not worth a handoff
 			}
 			if cs.betterThan(bestScore) {

@@ -28,6 +28,11 @@ type EvaluatorState struct {
 	RAPCost   float64   `json:"rap_cost"`
 	// Cordoned marks drained servers (evaluator_topo.go).
 	Cordoned []bool `json:"cordoned,omitempty"`
+	// TrafficCut is the incrementally maintained cross-server cut weight
+	// of the traffic term (evaluator_traffic.go), captured verbatim for
+	// the same reason as RAPCost. Absent (0) on pre-traffic snapshots,
+	// which never carry an adjacency graph.
+	TrafficCut float64 `json:"traffic_cut,omitempty"`
 }
 
 // ExportState deep-copies the evaluator's history-dependent state.
@@ -39,6 +44,7 @@ func (ev *Evaluator) ExportState() *EvaluatorState {
 		TotalLoad:   ev.totalLoad,
 		RAPCost:     ev.rapCost,
 		Cordoned:    append([]bool(nil), ev.cordoned...),
+		TrafficCut:  ev.trafficCut,
 	}
 	for z, members := range ev.zoneMembers {
 		st.ZoneMembers[z] = append([]int(nil), members...)
@@ -98,6 +104,9 @@ func (ev *Evaluator) RestoreState(st *EvaluatorState) error {
 	copy(ev.zoneRT, st.ZoneRT)
 	ev.totalLoad = st.TotalLoad
 	ev.rapCost = st.RAPCost
+	if ev.trafficOn {
+		ev.trafficCut = st.TrafficCut
+	}
 	if st.Cordoned != nil {
 		copy(ev.cordoned, st.Cordoned)
 	}

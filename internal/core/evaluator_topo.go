@@ -52,7 +52,7 @@ func (ev *Evaluator) AddServer(capacity float64, ss, csCol []float64) int {
 	ev.loads = append(ev.loads, 0)
 	ev.cordoned = append(ev.cordoned, false)
 	// Server-dimension change: the cache stride shifts, every row rebuilds.
-	ev.cache.ensure(p.NumZones, m+1)
+	ev.cache.ensure(p.NumZones, m+1, ev.trafficOn)
 	ev.cache.invalidateAll()
 	return m
 }
@@ -103,7 +103,7 @@ func (ev *Evaluator) RemoveServer(i int) int {
 			p.CS[j] = p.CS[j][:l]
 		}
 	}
-	ev.cache.ensure(p.NumZones, l)
+	ev.cache.ensure(p.NumZones, l, ev.trafficOn)
 	ev.cache.invalidateAll()
 	return moved
 }
@@ -115,6 +115,12 @@ func (ev *Evaluator) AddZone(host int) int {
 	p := ev.p
 	z := p.NumZones
 	p.NumZones++
+	if p.Adjacency != nil {
+		// Keep the interaction graph's zone dimension in lockstep; the new
+		// zone starts edge-free, so existing cached rows and the cut are
+		// untouched.
+		p.Adjacency.AddZone()
+	}
 	ev.zoneServer = append(ev.zoneServer, host)
 	ev.zoneRT = append(ev.zoneRT, 0)
 	if cap(ev.zoneMembers) > z {
@@ -134,6 +140,22 @@ func (ev *Evaluator) AddZone(host int) int {
 func (ev *Evaluator) RemoveZone(z int) int {
 	p := ev.p
 	l := p.NumZones - 1
+	if g := p.Adjacency; g != nil {
+		// Retire z's interaction edges before the renumbering: cut edges
+		// stop contributing to the incremental cut, and every neighbor's
+		// cached row loses an edge. The graph then swap-removes in lockstep
+		// (the relabeled zone keeps its host, so its neighbors' rows stay
+		// exact — shrinkZones relocates the row and dirty bit below).
+		nbr, wt := g.Row(z)
+		hz := ev.zoneServer[z]
+		for i, y := range nbr {
+			if ev.trafficOn && ev.zoneServer[y] != hz {
+				ev.trafficCut -= wt[i]
+			}
+			ev.touchZone(int(y))
+		}
+		g.RemoveZoneSwap(z)
+	}
 	moved := -1
 	if z != l {
 		ev.zoneServer[z] = ev.zoneServer[l]

@@ -55,22 +55,35 @@ type moveCache struct {
 	dLoad []float64 // total-load delta per candidate
 	dirty []bool    // per zone: row must be recomputed before use
 
+	// Traffic term (DESIGN.md §15): dTraffic holds the weighted traffic
+	// delta per candidate, allocated and maintained only while the term is
+	// on (traffic) — problems without adjacency pay neither the memory nor
+	// the row fills.
+	traffic  bool
+	dTraffic []float64
+
 	// Per-scan reduction state: each zone's best destination and candidate
 	// score, written by the owning worker, folded by the reducer.
 	bestSrv  []int
 	bestCand []score
 }
 
-// ensure sizes the cache for an (n zones × m servers) problem. Dimension
-// changes invalidate everything; matching dimensions keep cached rows.
-func (c *moveCache) ensure(n, m int) {
-	if c.servers == m && len(c.dirty) == n {
+// ensure sizes the cache for an (n zones × m servers) problem with or
+// without the traffic term. Dimension changes — and the traffic term
+// switching on, which every cached row would otherwise lack — invalidate
+// everything; matching shapes keep cached rows.
+func (c *moveCache) ensure(n, m int, traffic bool) {
+	if c.servers == m && len(c.dirty) == n && c.traffic == traffic {
 		return
 	}
 	c.servers = m
+	c.traffic = traffic
 	c.dQoS = grow(c.dQoS, n*m)
 	c.dRap = grow(c.dRap, n*m)
 	c.dLoad = grow(c.dLoad, n*m)
+	if traffic {
+		c.dTraffic = grow(c.dTraffic, n*m)
+	}
 	c.dirty = grow(c.dirty, n)
 	c.bestSrv = grow(c.bestSrv, n)
 	c.bestCand = grow(c.bestCand, n)
@@ -96,6 +109,9 @@ func (c *moveCache) growZones(n int) {
 	c.dQoS = growCopy(c.dQoS, n*m)
 	c.dRap = growCopy(c.dRap, n*m)
 	c.dLoad = growCopy(c.dLoad, n*m)
+	if c.traffic {
+		c.dTraffic = growCopy(c.dTraffic, n*m)
+	}
 	old := len(c.dirty)
 	c.dirty = growCopy(c.dirty, n)
 	for z := old; z < n; z++ {
@@ -119,11 +135,17 @@ func (c *moveCache) shrinkZones(z, l int) {
 		copy(c.dQoS[z*m:(z+1)*m], c.dQoS[l*m:(l+1)*m])
 		copy(c.dRap[z*m:(z+1)*m], c.dRap[l*m:(l+1)*m])
 		copy(c.dLoad[z*m:(z+1)*m], c.dLoad[l*m:(l+1)*m])
+		if c.traffic {
+			copy(c.dTraffic[z*m:(z+1)*m], c.dTraffic[l*m:(l+1)*m])
+		}
 		c.dirty[z] = c.dirty[l]
 	}
 	c.dQoS = c.dQoS[:l*m]
 	c.dRap = c.dRap[:l*m]
 	c.dLoad = c.dLoad[:l*m]
+	if c.traffic {
+		c.dTraffic = c.dTraffic[:l*m]
+	}
 	c.dirty = c.dirty[:l]
 	c.bestSrv = c.bestSrv[:l]
 	c.bestCand = c.bestCand[:l]
@@ -172,11 +194,14 @@ func (ev *Evaluator) SetWorkers(n int) {
 // s as pure sums over the zone's clients, reading only zone-local state —
 // never the global score and never server loads. This purity is what makes
 // the delta cacheable: it stays exact until a mutation touches the zone.
-func (ev *Evaluator) zoneMoveDelta(z, s int) (dQoS int32, dRap, dLoad float64) {
+func (ev *Evaluator) zoneMoveDelta(z, s int) (dQoS int32, dRap, dLoad, dTraffic float64) {
 	p := ev.p
 	old := ev.zoneServer[z]
 	if s == old {
-		return 0, 0, 0
+		return 0, 0, 0, 0
+	}
+	if ev.trafficOn {
+		dTraffic = ev.trafficMoveDelta(z, old, s)
 	}
 	for _, j := range ev.zoneMembers[z] {
 		c := ev.contact[j]
@@ -203,14 +228,20 @@ func (ev *Evaluator) zoneMoveDelta(z, s int) (dQoS int32, dRap, dLoad float64) {
 			dRap += nd - p.D
 		}
 	}
-	return dQoS, dRap, dLoad
+	return dQoS, dRap, dLoad, dTraffic
 }
 
 // plus applies a pure delta to a score. Every candidate comparison in the
 // search goes through this one addition per component, so cached and
-// freshly computed candidates are bit-identical.
-func (s score) plus(dQoS int32, dRap, dLoad float64) score {
-	return score{withQoS: s.withQoS + int(dQoS), rapCost: s.rapCost + dRap, load: s.load + dLoad}
+// freshly computed candidates are bit-identical. With the traffic term off
+// both traffic operands are exactly 0.0 and the sum stays 0.0.
+func (s score) plus(dQoS int32, dRap, dLoad, dTraffic float64) score {
+	return score{
+		withQoS: s.withQoS + int(dQoS),
+		rapCost: s.rapCost + dRap,
+		traffic: s.traffic + dTraffic,
+		load:    s.load + dLoad,
+	}
 }
 
 // refreshRow recomputes zone z's cached delta row and clears its dirty
@@ -234,6 +265,9 @@ func (ev *Evaluator) refreshRow(z int, scratch []float64) {
 	dLoad := ev.cache.dLoad[row : row+m]
 	for s := range dQoS {
 		dQoS[s], dRap[s], dLoad[s] = 0, 0, 0
+	}
+	if ev.trafficOn {
+		ev.refreshTrafficRow(z, old, ev.cache.dTraffic[row:row+m])
 	}
 	for _, j := range ev.zoneMembers[z] {
 		c := ev.contact[j]
@@ -390,9 +424,13 @@ func (ev *Evaluator) bestInRow(z int, base score, qualityOnly bool) (int, score)
 		if !almostLE(ev.loads[s]+rt, p.ServerCaps[s]) {
 			continue
 		}
-		cand := base.plus(ev.cache.dQoS[row+s], ev.cache.dRap[row+s], ev.cache.dLoad[row+s])
+		var dt float64
+		if ev.trafficOn {
+			dt = ev.cache.dTraffic[row+s]
+		}
+		cand := base.plus(ev.cache.dQoS[row+s], ev.cache.dRap[row+s], ev.cache.dLoad[row+s], dt)
 		if qualityOnly && (cand.withQoS < base.withQoS ||
-			(cand.withQoS == base.withQoS && (almostEq(cand.rapCost, base.rapCost) || cand.rapCost >= base.rapCost))) {
+			(cand.withQoS == base.withQoS && (almostEq(cand.quality(), base.quality()) || cand.quality() >= base.quality()))) {
 			continue // no quality gain — not worth a handoff
 		}
 		if cand.betterThan(best) {
@@ -407,7 +445,7 @@ func (ev *Evaluator) bestInRow(z int, base score, qualityOnly bool) (int, score)
 // configured workers when more than one is set.
 func (ev *Evaluator) bestZoneMove() bool {
 	n := ev.p.NumZones
-	ev.cache.ensure(n, ev.p.NumServers())
+	ev.cache.ensure(n, ev.p.NumServers(), ev.trafficOn)
 	defer ev.scanEnd(ev.scanStart(n))
 	base := ev.score()
 	workers := ev.workers

@@ -16,6 +16,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"dvecap/internal/interact"
 )
 
 // Problem is a snapshot of a client assignment instance.
@@ -50,6 +52,24 @@ type Problem struct {
 	SS [][]float64
 	// D is the DVE delay bound in milliseconds.
 	D float64
+	// Adjacency, when non-nil, is the weighted zone-interaction graph: for
+	// each edge (z1, z2) with weight w the solution pays w of cross-server
+	// traffic whenever the zones are hosted apart (DESIGN.md §15). The
+	// traffic term is active only when TrafficWeight > 0 AND Adjacency is
+	// set; otherwise the solver is bit-identical to a problem without
+	// either. Mutating evaluators own the graph exclusively, like CS.
+	// Excluded from JSON: the graph serialises through its typed State.
+	Adjacency *interact.Graph `json:"-"`
+	// TrafficWeight is the λ ≥ 0 scaling the traffic term against the RAP
+	// cost in the search objective (both in the second lexicographic
+	// level). 0 — the default — disables the term entirely.
+	TrafficWeight float64
+}
+
+// TrafficOn reports whether the traffic term participates in the
+// objective: an adjacency graph is bound and its weight is positive.
+func (p *Problem) TrafficOn() bool {
+	return p.Adjacency != nil && p.TrafficWeight > 0
 }
 
 // NumServers returns the number of servers.
@@ -141,6 +161,12 @@ func (p *Problem) Validate() error {
 			}
 		}
 	}
+	if p.Adjacency != nil && p.Adjacency.NumZones() != p.NumZones {
+		return fmt.Errorf("core: adjacency graph covers %d zones, problem has %d", p.Adjacency.NumZones(), p.NumZones)
+	}
+	if p.TrafficWeight < 0 || math.IsNaN(p.TrafficWeight) {
+		return fmt.Errorf("core: traffic weight %v, want ≥ 0", p.TrafficWeight)
+	}
 	if len(p.SS) != m {
 		return fmt.Errorf("core: %d servers but %d SS rows", m, len(p.SS))
 	}
@@ -169,6 +195,9 @@ func (p *Problem) Clone() *Problem {
 		ClientRT:    append([]float64(nil), p.ClientRT...),
 		SS:          make([][]float64, len(p.SS)),
 		D:           p.D,
+
+		Adjacency:     p.Adjacency.Clone(),
+		TrafficWeight: p.TrafficWeight,
 	}
 	// CS stays nil for provider-backed problems (Validate rejects a problem
 	// carrying both representations).
@@ -212,6 +241,9 @@ func (p *Problem) ClonePadded(slack int) *Problem {
 		CS:          make([][]float64, len(p.CS)),
 		SS:          make([][]float64, len(p.SS)),
 		D:           p.D,
+
+		Adjacency:     p.Adjacency.Clone(),
+		TrafficWeight: p.TrafficWeight,
 	}
 	for i := range p.SS {
 		q.SS[i] = append([]float64(nil), p.SS[i]...)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"dvecap/internal/interact"
 )
 
 // problemJSON is the interchange form of a Problem. Field names are stable;
@@ -17,6 +19,11 @@ type problemJSON struct {
 	CS          [][]float64 `json:"client_server_rtt_ms"`
 	SS          [][]float64 `json:"server_server_rtt_ms"`
 	D           float64     `json:"delay_bound_ms"`
+	// ZoneAdjacency is the interaction graph's canonical edge list (a < b,
+	// sorted) and TrafficWeight its objective weight (DESIGN.md §15); both
+	// absent for problems without the traffic term.
+	ZoneAdjacency []interact.Edge `json:"zone_adjacency,omitempty"`
+	TrafficWeight float64         `json:"traffic_weight,omitempty"`
 }
 
 // WriteJSON serialises the problem. Provider-backed problems are
@@ -33,9 +40,7 @@ func (p *Problem) WriteJSON(w io.Writer) error {
 			cs[j] = p.Delays.Row(j, flat[j*m:(j+1)*m])
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(problemJSON{
+	pj := problemJSON{
 		ServerCaps:  p.ServerCaps,
 		ClientZones: p.ClientZones,
 		NumZones:    p.NumZones,
@@ -43,7 +48,15 @@ func (p *Problem) WriteJSON(w io.Writer) error {
 		CS:          cs,
 		SS:          p.SS,
 		D:           p.D,
-	})
+
+		TrafficWeight: p.TrafficWeight,
+	}
+	if p.Adjacency != nil {
+		pj.ZoneAdjacency = p.Adjacency.Edges()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pj)
 }
 
 // ReadProblemJSON deserialises and validates a problem.
@@ -60,6 +73,15 @@ func ReadProblemJSON(r io.Reader) (*Problem, error) {
 		CS:          pj.CS,
 		SS:          pj.SS,
 		D:           pj.D,
+
+		TrafficWeight: pj.TrafficWeight,
+	}
+	if len(pj.ZoneAdjacency) > 0 {
+		g, err := interact.FromState(&interact.State{NumZones: pj.NumZones, Edges: pj.ZoneAdjacency})
+		if err != nil {
+			return nil, fmt.Errorf("core: invalid zone adjacency: %w", err)
+		}
+		p.Adjacency = g
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid problem: %w", err)

@@ -122,6 +122,33 @@ func (c *Client) RetireZone(z int) error {
 	return c.do(http.MethodDelete, fmt.Sprintf("/v1/zones/%d", z), nil, nil)
 }
 
+// Adjacency lists the zone-interaction graph's edges in canonical order.
+func (c *Client) Adjacency() ([]AdjacencyInfo, error) {
+	var out []AdjacencyInfo
+	err := c.do(http.MethodGet, "/v1/adjacency", nil, &out)
+	return out, err
+}
+
+// SetAdjacency installs (or, with weight 0, removes) an interaction edge
+// at an absolute weight.
+func (c *Client) SetAdjacency(zone1, zone2 int, weightMbps float64) (AdjacencyInfo, error) {
+	var out AdjacencyInfo
+	err := c.do(http.MethodPost, "/v1/adjacency", map[string]interface{}{
+		"zone1": zone1, "zone2": zone2, "weight_mbps": weightMbps,
+	}, &out)
+	return out, err
+}
+
+// AddAdjacencyWeight accumulates an observed crossing's weight onto an
+// interaction edge.
+func (c *Client) AddAdjacencyWeight(zone1, zone2 int, deltaMbps float64) (AdjacencyInfo, error) {
+	var out AdjacencyInfo
+	err := c.do(http.MethodPost, "/v1/adjacency/add", map[string]interface{}{
+		"zone1": zone1, "zone2": zone2, "delta_mbps": deltaMbps,
+	}, &out)
+	return out, err
+}
+
 // Reassign triggers a full re-execution of the assignment algorithm.
 func (c *Client) Reassign() (ReassignResult, error) {
 	var out ReassignResult

@@ -514,6 +514,15 @@ func TestHTTPStatusCodes(t *testing.T) {
 		{"delete unknown zone", http.MethodDelete, "/v1/zones/99", "", http.StatusNotFound},
 		{"delete populated zone", http.MethodDelete, "/v1/zones/2", "", http.StatusConflict},
 		{"delete zone wrong method", http.MethodGet, "/v1/zones/2", "", http.StatusMethodNotAllowed},
+		{"adjacency list ok", http.MethodGet, "/v1/adjacency", "", http.StatusOK},
+		{"adjacency wrong method", http.MethodDelete, "/v1/adjacency", "", http.StatusMethodNotAllowed},
+		{"adjacency malformed json", http.MethodPost, "/v1/adjacency", "{", http.StatusBadRequest},
+		{"adjacency unknown zone", http.MethodPost, "/v1/adjacency", `{"zone1":0,"zone2":99,"weight_mbps":1}`, http.StatusNotFound},
+		{"adjacency self edge", http.MethodPost, "/v1/adjacency", `{"zone1":3,"zone2":3,"weight_mbps":1}`, http.StatusBadRequest},
+		{"adjacency negative weight", http.MethodPost, "/v1/adjacency", `{"zone1":0,"zone2":1,"weight_mbps":-1}`, http.StatusBadRequest},
+		{"adjacency add wrong method", http.MethodGet, "/v1/adjacency/add", "", http.StatusMethodNotAllowed},
+		{"adjacency add zero delta", http.MethodPost, "/v1/adjacency/add", `{"zone1":0,"zone2":1,"delta_mbps":0}`, http.StatusBadRequest},
+		{"adjacency add unknown zone", http.MethodPost, "/v1/adjacency/add", `{"zone1":-1,"zone2":1,"delta_mbps":1}`, http.StatusNotFound},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -800,5 +809,94 @@ func TestTopologyChurnRaceStress(t *testing.T) {
 	wg.Wait()
 	if st := d.Stats(); st.Servers != 4 || st.Zones != 8 {
 		t.Fatalf("topology did not return to 4 servers / 8 zones: %+v", st)
+	}
+}
+
+// TestHTTPAdjacencyRoundTrip drives the interaction-graph CRUD through
+// the Go binding: set installs at an absolute weight, add accumulates,
+// set-to-zero removes, the listing stays canonical, and the traffic
+// estimate surfaces in GET /v1/stats.
+func TestHTTPAdjacencyRoundTrip(t *testing.T) {
+	d := testDirector(t)
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	api := NewClient(srv.URL)
+
+	if edges, err := api.Adjacency(); err != nil || len(edges) != 0 {
+		t.Fatalf("fresh director lists %v (%v), want no edges", edges, err)
+	}
+	// Arguments arrive unordered; the edge must come back canonical.
+	info, err := api.SetAdjacency(5, 2, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Zone1 != 2 || info.Zone2 != 5 || info.WeightMbps != 3.5 {
+		t.Fatalf("set returned %+v, want {2 5 3.5}", info)
+	}
+	if info, err = api.AddAdjacencyWeight(2, 5, 1.5); err != nil || info.WeightMbps != 5 {
+		t.Fatalf("add returned %+v (%v), want weight 5", info, err)
+	}
+	if _, err = api.SetAdjacency(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := api.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []AdjacencyInfo{{0, 1, 2}, {2, 5, 5}}
+	if len(edges) != len(want) || edges[0] != want[0] || edges[1] != want[1] {
+		t.Fatalf("adjacency = %v, want %v", edges, want)
+	}
+
+	st, err := api.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AdjacencyEdges != 2 || st.AdjacencyEdits != 3 {
+		t.Fatalf("stats report %d edges / %d edits, want 2 / 3", st.AdjacencyEdges, st.AdjacencyEdits)
+	}
+	// testDirector runs delay-only (weight 0): the cut weight is still
+	// observable, the objective term is not.
+	if st.TrafficWeight != 0 || st.TrafficCost != 0 {
+		t.Fatalf("delay-only director reports weight %v cost %v, want 0/0", st.TrafficWeight, st.TrafficCost)
+	}
+	if st.TrafficCutMbps < 0 || st.TrafficCutMbps > 7 {
+		t.Fatalf("cut weight %v outside [0, total weight 7]", st.TrafficCutMbps)
+	}
+
+	// Set-to-zero removes.
+	if info, err = api.SetAdjacency(1, 0, 0); err != nil || info.WeightMbps != 0 {
+		t.Fatalf("remove returned %+v (%v), want weight 0", info, err)
+	}
+	if edges, err = api.Adjacency(); err != nil || len(edges) != 1 {
+		t.Fatalf("after removal adjacency = %v (%v), want one edge", edges, err)
+	}
+}
+
+// TestAdjacencyExportsWithProblem asserts GET /v1/problem carries the
+// interaction graph and traffic weight, so offline analysis prices the
+// snapshot exactly as the live planner does.
+func TestAdjacencyExportsWithProblem(t *testing.T) {
+	d := testDirector(t)
+	if _, err := d.Join("a", 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SetAdjacency(2, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	p := d.ProblemSnapshot()
+	if p.Adjacency == nil || p.Adjacency.NumEdges() != 1 || p.Adjacency.Weight(2, 3) != 4 {
+		t.Fatalf("problem snapshot lost the adjacency graph: %+v", p.Adjacency)
+	}
+	var buf strings.Builder
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.ReadProblemJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Adjacency == nil || rt.Adjacency.Weight(2, 3) != 4 {
+		t.Fatalf("adjacency did not round-trip through problem JSON")
 	}
 }

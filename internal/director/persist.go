@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dvecap/internal/core"
+	"dvecap/internal/interact"
 	"dvecap/internal/repair"
 	"dvecap/internal/wal"
 	"dvecap/internal/xrand"
@@ -75,7 +76,13 @@ type directorSnapshot struct {
 	// JSON); recovery reattaches it to Problem before rebuilding the
 	// planner. Nil for dense directors and all v1 snapshots.
 	Provider *core.ProviderState `json:"provider,omitempty"`
-	Planner  *repair.State       `json:"planner"`
+	// Adjacency carries the zone-interaction graph's typed state
+	// (core.Problem.Adjacency is likewise excluded from JSON); recovery
+	// reattaches it before rebuilding the planner, so the maintained
+	// traffic cut resumes bit-identical. Nil while no edge is installed —
+	// which keeps pre-traffic snapshots byte-identical.
+	Adjacency *interact.State `json:"adjacency,omitempty"`
+	Planner   *repair.State   `json:"planner"`
 }
 
 // dirDurable is a director's write-ahead journal state; all fields are
@@ -204,6 +211,10 @@ func (d *Director) snapshotPayloadLocked(lsn uint64) ([]byte, error) {
 	if live.Delays != nil {
 		prov = live.Delays.State()
 	}
+	var adj *interact.State
+	if g := live.Adjacency; g != nil && g.NumEdges() > 0 {
+		adj = g.State()
+	}
 	return json.Marshal(directorSnapshot{
 		Version:         dirSnapshotVersion,
 		LSN:             lsn,
@@ -218,6 +229,7 @@ func (d *Director) snapshotPayloadLocked(lsn uint64) ([]byte, error) {
 		Clients:         clients,
 		Problem:         live,
 		Provider:        prov,
+		Adjacency:       adj,
 		Planner:         st,
 	})
 }
@@ -387,6 +399,20 @@ func recoverDirector(cfg Config) (*Director, error) {
 		snap.Problem.Delays = dp
 		cfg.DelayModel = snap.Provider.Kind
 	}
+	// The interaction graph travels the same way: excluded from the
+	// problem's JSON, reattached from its typed state. Stored traffic
+	// configuration supersedes the caller's, like the rest of the problem.
+	if snap.Adjacency != nil {
+		g, err := interact.FromState(snap.Adjacency)
+		if err != nil {
+			return nil, fmt.Errorf("director: snapshot in %s: %w", dir, err)
+		}
+		if g.NumZones() != snap.Problem.NumZones {
+			return nil, fmt.Errorf("director: snapshot adjacency covers %d zones for a %d-zone problem", g.NumZones(), snap.Problem.NumZones)
+		}
+		snap.Problem.Adjacency = g
+	}
+	cfg.TrafficWeight = snap.Problem.TrafficWeight
 	if len(snap.ServerNodes) != len(snap.Problem.ServerCaps) {
 		return nil, fmt.Errorf("director: snapshot has %d server nodes for %d capacities", len(snap.ServerNodes), len(snap.Problem.ServerCaps))
 	}
@@ -533,6 +559,10 @@ func (d *Director) applyEvent(e *repair.Event) error {
 		_, _ = d.AddZone()
 	case repair.OpDRetireZone:
 		_ = d.RetireZone(e.ZoneIdx)
+	case repair.OpDSetAdjacency:
+		_, _ = d.SetAdjacency(e.ZoneIdx, e.ZoneIdx2, e.Weight)
+	case repair.OpDAddAdjacency:
+		_, _ = d.AddAdjacencyWeight(e.ZoneIdx, e.ZoneIdx2, e.Weight)
 	case repair.OpResolve:
 		_, _ = d.Reassign()
 	case repair.OpEpoch:

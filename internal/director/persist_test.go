@@ -44,7 +44,10 @@ func durDirConfig(dm *topology.DelayMatrix, workers int) Config {
 		Seed:            1,
 		DriftPQoS:       0.05,
 		DriftUtilSpread: 0.3,
-		Workers:         workers,
+		// Traffic term armed: adjacency edits and the maintained cut must
+		// survive the crash boundary bit-identically too.
+		TrafficWeight: 0.5,
+		Workers:       workers,
 	}
 }
 
@@ -92,7 +95,7 @@ func (c *dirChurn) run(t *testing.T, d *Director, events int) {
 			if _, err := d.Move(c.live[x], zone); err != nil {
 				t.Fatalf("event %d move %s: %v", e, c.live[x], err)
 			}
-		case r < 0.72:
+		case r < 0.66:
 			x := c.rng.IntN(len(c.live))
 			row := make([]float64, len(d.Servers()))
 			for i := range row {
@@ -100,6 +103,27 @@ func (c *dirChurn) run(t *testing.T, d *Director, events int) {
 			}
 			if _, err := d.UpdateDelays(c.live[x], row); err != nil {
 				t.Fatalf("event %d delays %s: %v", e, c.live[x], err)
+			}
+		case r < 0.72:
+			// Interaction-graph churn: absolute sets (sometimes removals)
+			// and observed-crossing accumulation.
+			if z := d.Stats().Zones; z > 1 {
+				z1, z2 := c.rng.IntN(z), c.rng.IntN(z)
+				w := c.rng.Uniform(0.5, 4)
+				switch {
+				case z1 == z2:
+					// Self-edge draw: skipped (would be rejected pre-journal).
+				case c.rng.Float64() < 0.15:
+					_, _ = d.SetAdjacency(z1, z2, 0)
+				case c.rng.Float64() < 0.5:
+					if _, err := d.SetAdjacency(z1, z2, w); err != nil {
+						t.Fatalf("event %d set adjacency (%d,%d): %v", e, z1, z2, err)
+					}
+				default:
+					if _, err := d.AddAdjacencyWeight(z1, z2, w); err != nil {
+						t.Fatalf("event %d add adjacency (%d,%d): %v", e, z1, z2, err)
+					}
+				}
 			}
 		case r < 0.78:
 			if _, err := d.Reassign(); err != nil {
@@ -170,14 +194,15 @@ func dirStateJSON(t *testing.T, d *Director) string {
 		infos[x] = info
 	}
 	blob, err := json.Marshal(struct {
-		Planner interface{}
-		Clients []ClientInfo
-		Servers []ServerInfo
-		Zones   []ZoneInfo
-		Stats   Stats
-		Seq     uint64
-		Nodes   []int
-	}{st, infos, d.Servers(), d.Zones(), d.Stats(), d.seq, d.cfg.ServerNodes})
+		Planner   interface{}
+		Clients   []ClientInfo
+		Servers   []ServerInfo
+		Zones     []ZoneInfo
+		Adjacency []AdjacencyInfo
+		Stats     Stats
+		Seq       uint64
+		Nodes     []int
+	}{st, infos, d.Servers(), d.Zones(), d.Adjacency(), d.Stats(), d.seq, d.cfg.ServerNodes})
 	if err != nil {
 		t.Fatal(err)
 	}

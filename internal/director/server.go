@@ -37,6 +37,9 @@ type apiError struct {
 //	GET    /v1/zones                → []ZoneInfo
 //	POST   /v1/zones                → ZoneInfo (new empty zone)
 //	DELETE /v1/zones/{z}            → 204 (must be empty; renumbers)
+//	GET    /v1/adjacency            → []AdjacencyInfo (interaction edges, canonical order)
+//	POST   /v1/adjacency            {"zone1", "zone2", "weight_mbps"} → AdjacencyInfo (absolute; 0 removes)
+//	POST   /v1/adjacency/add        {"zone1", "zone2", "delta_mbps"} → AdjacencyInfo (accumulate a crossing)
 //	POST   /v1/reassign             → ReassignResult
 //	POST   /v1/checkpoint           → CheckpointResult (snapshot + log truncation)
 //	GET    /v1/stats                → Stats
@@ -305,6 +308,51 @@ func Handler(d *Director) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/adjacency", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, d.Adjacency())
+		case http.MethodPost:
+			var req struct {
+				Zone1      int     `json:"zone1"`
+				Zone2      int     `json:"zone2"`
+				WeightMbps float64 `json:"weight_mbps"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			info, err := d.SetAdjacency(req.Zone1, req.Zone2, req.WeightMbps)
+			if err != nil {
+				writeTopoErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+		}
+	})
+	mux.HandleFunc("/v1/adjacency/add", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Zone1     int     `json:"zone1"`
+			Zone2     int     `json:"zone2"`
+			DeltaMbps float64 `json:"delta_mbps"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		info, err := d.AddAdjacencyWeight(req.Zone1, req.Zone2, req.DeltaMbps)
+		if err != nil {
+			writeTopoErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("/v1/clients/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/clients/")

@@ -16,6 +16,7 @@ package director
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +76,14 @@ type Config struct {
 	// this far below the last full solve's level. 0 leaves full solves to
 	// Reassign calls and the reassign loop.
 	DriftPQoS float64
+	// TrafficWeight is the λ ≥ 0 weighting the inter-server traffic term
+	// against delay cost in the repair objective (DESIGN.md §15). The term
+	// activates once λ > 0 AND at least one adjacency edge is installed
+	// (POST /v1/adjacency); at 0 — the default — assignments are
+	// bit-identical to a director without the term, though the cut weight
+	// remains observable in Stats. On recovery the stored deployment's
+	// weight supersedes this field, like the rest of the problem.
+	TrafficWeight float64
 	// DriftUtilSpread, when > 0, arms the load-imbalance guard: a full
 	// re-solve fires once the max−min per-server utilization spread (over
 	// non-drained servers) grows more than this far above the last full
@@ -133,6 +142,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("director: DriftPQoS = %v, want >= 0", c.DriftPQoS)
 	case c.DriftUtilSpread < 0:
 		return fmt.Errorf("director: DriftUtilSpread = %v, want >= 0", c.DriftUtilSpread)
+	case c.TrafficWeight < 0 || math.IsNaN(c.TrafficWeight) || math.IsInf(c.TrafficWeight, 1):
+		return fmt.Errorf("director: TrafficWeight = %v, want finite >= 0", c.TrafficWeight)
 	case c.SnapshotEvery < 0:
 		return fmt.Errorf("director: SnapshotEvery = %v, want >= 0", c.SnapshotEvery)
 	}
@@ -286,6 +297,9 @@ func (d *Director) emptyProblem() *core.Problem {
 		ClientRT:    []float64{},
 		SS:          make([][]float64, m),
 		D:           d.cfg.DelayBoundMs,
+		// The traffic weight rides the problem from birth; the term itself
+		// stays dormant until the first adjacency edge arrives.
+		TrafficWeight: d.cfg.TrafficWeight,
 	}
 	for i := 0; i < m; i++ {
 		p.SS[i] = make([]float64, m)
@@ -546,6 +560,12 @@ func (d *Director) problemLocked() *core.Problem {
 		CS:          make([][]float64, k),
 		SS:          make([][]float64, m),
 		D:           d.cfg.DelayBoundMs,
+		// The traffic objective exports with the problem, so offline
+		// analysis prices the snapshot exactly as the live planner does.
+		TrafficWeight: live.TrafficWeight,
+	}
+	if g := live.Adjacency; g != nil && g.NumEdges() > 0 {
+		p.Adjacency = g.Clone()
 	}
 	pop := make([]int, d.cfg.Zones)
 	for _, id := range order {
@@ -605,6 +625,21 @@ type Stats struct {
 	ContactSwitches int     `json:"contact_switches"`
 	LastDriftPQoS   float64 `json:"last_drift_pqos"`
 	LastUtilSpread  float64 `json:"util_spread"`
+	// Traffic-term observability (DESIGN.md §15). AdjacencyEdges counts the
+	// interaction graph's live edges and AdjacencyEdits the cumulative edge
+	// updates applied; TrafficCrossEdges/TrafficCutMbps are how many of
+	// those edges (and how much summed weight) currently straddle two
+	// servers — the director's estimate of cross-server broadcast traffic.
+	// TrafficCost is weight × cut as it enters the repair objective (0
+	// while the term is off) and TrafficWeight the configured λ. Zero
+	// fields are absent from the JSON, so a pre-traffic director's stats
+	// payload is unchanged.
+	AdjacencyEdges    int     `json:"adjacency_edges,omitempty"`
+	AdjacencyEdits    int     `json:"adjacency_edits,omitempty"`
+	TrafficCrossEdges int     `json:"traffic_cross_edges,omitempty"`
+	TrafficCutMbps    float64 `json:"traffic_cut_mbps,omitempty"`
+	TrafficCost       float64 `json:"traffic_cost,omitempty"`
+	TrafficWeight     float64 `json:"traffic_weight,omitempty"`
 	// LastSolveError surfaces a failed drift-guard full solve (empty when
 	// the last one succeeded).
 	LastSolveError string `json:"last_solve_error,omitempty"`
@@ -637,6 +672,11 @@ func (d *Director) statsLocked() Stats {
 	s.LastDriftPQoS = st.LastDriftPQoS
 	s.LastUtilSpread = st.LastUtilSpread
 	s.LastSolveError = st.LastSolveError
+	s.AdjacencyEdits = st.AdjacencyEdits
+	s.TrafficCrossEdges, s.AdjacencyEdges = d.planner().CrossEdges()
+	s.TrafficCutMbps = d.planner().TrafficCut()
+	s.TrafficCost = d.planner().TrafficCost()
+	s.TrafficWeight = d.planner().Problem().TrafficWeight
 	if s.Clients == 0 {
 		return s
 	}

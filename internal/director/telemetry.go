@@ -23,7 +23,7 @@ func routePattern(path string) string {
 	switch path {
 	case "/v1/healthz", "/v1/readyz", "/v1/stats", "/v1/problem",
 		"/v1/checkpoint", "/v1/reassign", "/v1/clients", "/v1/servers",
-		"/v1/zones", "/metrics":
+		"/v1/zones", "/v1/adjacency", "/v1/adjacency/add", "/metrics":
 		return path
 	}
 	switch {

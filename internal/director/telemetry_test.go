@@ -26,6 +26,8 @@ func TestRoutePattern(t *testing.T) {
 		"/v1/servers/3/uncordon":   "/v1/servers/{i}/uncordon",
 		"/v1/zones/7":              "/v1/zones/{z}",
 		"/v1/zones/7/extra":        "other",
+		"/v1/adjacency":            "/v1/adjacency",
+		"/v1/adjacency/add":        "/v1/adjacency/add",
 		"/favicon.ico":             "other",
 		"/v1/servers/../../passwd": "other",
 	}
@@ -48,15 +50,16 @@ func telemetryDirector(t *testing.T) (*Director, *telemetry.Registry) {
 	}
 	reg := telemetry.NewRegistry()
 	d, err := New(Config{
-		ServerNodes:  []int{0, 10, 20, 30},
-		ServerCaps:   []float64{50, 50, 50, 50},
-		Zones:        8,
-		Delays:       dm,
-		DelayBoundMs: 250,
-		FrameRate:    25,
-		MessageBytes: 100,
-		Seed:         1,
-		Telemetry:    reg,
+		ServerNodes:   []int{0, 10, 20, 30},
+		ServerCaps:    []float64{50, 50, 50, 50},
+		Zones:         8,
+		Delays:        dm,
+		DelayBoundMs:  250,
+		FrameRate:     25,
+		MessageBytes:  100,
+		Seed:          1,
+		TrafficWeight: 1,
+		Telemetry:     reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +78,17 @@ func TestMetricsEndpoint(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		if _, err := http.Post(srv.URL+"/v1/clients", "application/json",
 			strings.NewReader(`{"node": 3, "zone": 1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two interaction edges through the API, so the traffic series carry
+	// real values at scrape time.
+	for _, body := range []string{
+		`{"zone1": 0, "zone2": 1, "weight_mbps": 2.5}`,
+		`{"zone1": 1, "zone2": 2, "weight_mbps": 1.5}`,
+	} {
+		if _, err := http.Post(srv.URL+"/v1/adjacency", "application/json",
+			strings.NewReader(body)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -109,6 +123,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if cl, err := pm.Sample("dvecap_clients", nil); err != nil || cl.Value != 5 {
 		t.Errorf("dvecap_clients = %v (%v), want 5", cl.Value, err)
+	}
+	if ae, err := pm.Sample("dvecap_traffic_adjacency_edits_total", nil); err != nil || ae.Value != 2 {
+		t.Errorf("dvecap_traffic_adjacency_edits_total = %v (%v), want 2", ae.Value, err)
+	}
+	if cw, err := pm.Sample("dvecap_traffic_cut_weight", nil); err != nil || cw.Value < 0 {
+		t.Errorf("dvecap_traffic_cut_weight = %v (%v), want >= 0", cw.Value, err)
+	}
+	if tc, err := pm.Sample("dvecap_traffic_cost", nil); err != nil || tc.Value < 0 {
+		t.Errorf("dvecap_traffic_cost = %v (%v), want >= 0", tc.Value, err)
+	}
+	if ce, err := pm.Sample("dvecap_traffic_cross_edges", nil); err != nil || ce.Value < 0 || ce.Value > 2 {
+		t.Errorf("dvecap_traffic_cross_edges = %v (%v), want in [0,2]", ce.Value, err)
+	}
+	if aposts, err := pm.Sample("dvecap_http_requests_total",
+		map[string]string{"route": "/v1/adjacency", "method": "POST", "code": "200"}); err != nil || aposts.Value != 2 {
+		t.Errorf("http_requests{/v1/adjacency,POST,200} = %v (%v), want 2", aposts.Value, err)
 	}
 	if posts, err := pm.Sample("dvecap_http_requests_total",
 		map[string]string{"route": "/v1/clients", "method": "POST", "code": "201"}); err != nil || posts.Value != 5 {

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
+
+	"dvecap/internal/dve"
 )
 
 // smokeSetup keeps replication counts small so the full suite stays fast;
@@ -461,5 +465,110 @@ func TestRepairSmoke(t *testing.T) {
 	}
 	if !strings.Contains(res.String(), "Repair") {
 		t.Fatal("rendering broken")
+	}
+}
+
+// TestTrafficSmoke is the traffic objective's acceptance bar (DESIGN.md
+// §15): on the mobility-driven workload, traffic-aware assignment must
+// remove at least 25% of the measured cross-server traffic while holding
+// time-averaged pQoS within 0.01 of the delay-only baseline.
+func TestTrafficSmoke(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 2
+	res, err := Traffic(s, TrafficOptions{HorizonSec: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := res.Reduction(); red < 0.25 {
+		t.Fatalf("traffic-aware removed only %.1f%% of cross-server traffic, want >= 25%%\n%s",
+			100*red, res)
+	}
+	if d := res.PQoSDelta(); d < -0.01 {
+		t.Fatalf("traffic-aware pQoS trails delay-only by %.4f, want within 0.01\n%s", -d, res)
+	}
+	if res.DelayOnly.BroadcastMbps.Mean() <= 0 {
+		t.Fatal("delay-only arm measured no broadcast traffic: the crossing feedback path is dead")
+	}
+	// The delay-only arm's cut is still observable (TrafficCut reports the
+	// canonical cut with the term off), and most of a 20-server fleet's
+	// random hosting is cross-server.
+	if f := res.DelayOnly.CrossHandoffFrac.Mean(); f < 0.5 {
+		t.Fatalf("delay-only cross-handoff fraction %.2f, want > 0.5", f)
+	}
+	out := res.String()
+	if !strings.Contains(out, "delay-only") || !strings.Contains(out, "traffic-aware") {
+		t.Fatalf("rendering broken:\n%s", out)
+	}
+}
+
+// TestTrafficJSONShape checks the BENCH_traffic.json document.
+func TestTrafficJSONShape(t *testing.T) {
+	s := smokeSetup()
+	s.Reps = 1
+	var buf bytes.Buffer
+	res, err := Traffic(s, TrafficOptions{
+		HorizonSec: 120,
+		Scenario:   "8s-16z-200c-200cp",
+		JSONOut:    &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Description  string             `json:"description"`
+		HorizonSec   float64            `json:"horizon_sec"`
+		Weight       float64            `json:"traffic_weight"`
+		Reduction    float64            `json:"cross_traffic_reduction"`
+		PQoSDelta    float64            `json:"pqos_delta"`
+		DelayOnly    map[string]float64 `json:"delay_only"`
+		TrafficAware map[string]float64 `json:"traffic_aware"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("BENCH_traffic.json does not parse: %v", err)
+	}
+	if doc.HorizonSec != 120 || doc.Weight != 2 {
+		t.Fatalf("doc header %v/%v", doc.HorizonSec, doc.Weight)
+	}
+	if doc.Reduction != res.Reduction() || doc.PQoSDelta != res.PQoSDelta() {
+		t.Fatal("doc summary diverges from the result")
+	}
+	for _, m := range []map[string]float64{doc.DelayOnly, doc.TrafficAware} {
+		for _, k := range []string{"cross_server_traffic_mbps", "broadcast_mbps", "cross_handoff_frac", "time_avg_pqos", "zone_handoffs_per_run"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("doc missing %q", k)
+			}
+		}
+	}
+}
+
+// TestTrafficTraceDeterministicAcrossWorkers replays one arm's full
+// mobility trace at workers 1 and 4 and compares the per-tick digest —
+// zone populations, interaction edge weights and zone hosting folded over
+// every tick — plus the final measurements. Bit-identical or bust: the
+// evaluator's sharded scans must not change a single decision.
+func TestTrafficTraceDeterministicAcrossWorkers(t *testing.T) {
+	setup := smokeSetup().withDefaults()
+	opt := TrafficOptions{HorizonSec: 180, Scenario: "8s-16z-200c-200cp"}.withDefaults()
+	cfg, err := dve.ParseScenario(dve.DefaultConfig(), opt.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{0, opt.Weight} {
+		var got [2]trafficArm
+		for i, workers := range []int{1, 4} {
+			o := opt
+			o.Workers = workers
+			arm, err := runTrafficArm(setup, o, cfg, lambda, 11, 22, 33)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i] = arm
+		}
+		if got[0] != got[1] {
+			t.Fatalf("λ=%g trace diverges across workers:\n  w1: %+v\n  w4: %+v", lambda, got[0], got[1])
+		}
+		if got[0].digest == fnvOffset {
+			t.Fatalf("λ=%g digest never folded a tick", lambda)
+		}
 	}
 }

@@ -36,6 +36,11 @@ const (
 	OpUncordon     EventOp = "uncordon"
 	OpAddZone      EventOp = "add_zone"
 	OpRetireZone   EventOp = "retire_zone"
+	// Interaction-graph edge updates (DESIGN.md §15): set installs (or,
+	// with weight 0, removes) the edge, add accumulates observed-crossing
+	// weight onto it.
+	OpSetAdjacency EventOp = "set_adj"
+	OpAddAdjacency EventOp = "add_adj"
 	// OpResolve records an explicit full re-solve request (Resolve, POST
 	// /v1/reassign) — a real event replay must re-run.
 	OpResolve EventOp = "resolve"
@@ -56,6 +61,8 @@ const (
 	OpDUncordon     EventOp = "duncordon"
 	OpDAddZone      EventOp = "dadd_zone"
 	OpDRetireZone   EventOp = "dretire_zone"
+	OpDSetAdjacency EventOp = "dset_adj"
+	OpDAddAdjacency EventOp = "dadd_adj"
 )
 
 // Event is the canonical journal record. Exactly the fields an op needs
@@ -69,9 +76,12 @@ type Event struct {
 	IDs []string `json:"ids,omitempty"`
 
 	// Zone addressing by ID (session surface) or index (director surface).
+	// Zone2/ZoneIdx2 name the second endpoint of an adjacency-edge event.
 	Zone     string   `json:"zone,omitempty"`
+	Zone2    string   `json:"zone2,omitempty"`
 	Zones    []string `json:"zones,omitempty"`
 	ZoneIdx  int      `json:"zone_idx,omitempty"`
+	ZoneIdx2 int      `json:"zone_idx2,omitempty"`
 	ZoneIdxs []int    `json:"zone_idxs,omitempty"`
 
 	// Server addressing.
@@ -88,6 +98,9 @@ type Event struct {
 	RTTs       map[string]float64 `json:"rtts,omitempty"`
 	ClientRTTs map[string]float64 `json:"client_rtts,omitempty"`
 	Capacity   float64            `json:"capacity,omitempty"`
+	// Weight is the adjacency-edge payload: the absolute weight of a set
+	// event (0 removes the edge) or the increment of an add event.
+	Weight float64 `json:"weight,omitempty"`
 
 	// Director extras: the serving node of a join, and whether the
 	// director auto-issued the client ID (so replay re-advances the ID

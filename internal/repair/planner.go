@@ -83,6 +83,9 @@ type Stats struct {
 	// ZoneHandoffs counts zone rehostings: localized repair moves plus
 	// zones whose server changed across a full re-solve.
 	ZoneHandoffs int `json:"zone_handoffs"`
+	// AdjacencyEdits counts interaction-graph edge updates (SetAdjacency
+	// and AddAdjacency) applied to the live planner.
+	AdjacencyEdits int `json:"adjacency_edits,omitempty"`
 	// ContactSwitches counts contact re-placements made by the repair path
 	// (full solves re-derive all contacts and are not counted here).
 	ContactSwitches int `json:"contact_switches"`
@@ -479,6 +482,69 @@ func (pl *Planner) fullSolve(trigger string) error {
 	pl.teleFullSolve(trigger, start)
 	pl.syncTele()
 	return nil
+}
+
+// SetAdjacency installs (or, with weight 0, removes) the interaction edge
+// (a, b) in the planner's zone-adjacency graph — the traffic term's input
+// (DESIGN.md §15). Pure bookkeeping, not a churn event: no repair pass
+// runs and the drift guard is not consulted. Optimization pressure comes
+// from the traffic-aware repair scans that later churn triggers (and from
+// Optimize); edits only reshape the objective those scans see.
+func (pl *Planner) SetAdjacency(a, b int, w float64) error {
+	if err := pl.ev.SetZoneAdjacency(a, b, w); err != nil {
+		return err
+	}
+	pl.stats.AdjacencyEdits++
+	pl.syncTele()
+	return nil
+}
+
+// AddAdjacency accumulates dw > 0 onto interaction edge (a, b) — the
+// observed-crossing feedback path of mobility-driven workloads. Same
+// bookkeeping-only semantics as SetAdjacency.
+func (pl *Planner) AddAdjacency(a, b int, dw float64) error {
+	if err := pl.ev.AddZoneAdjacency(a, b, dw); err != nil {
+		return err
+	}
+	pl.stats.AdjacencyEdits++
+	pl.syncTele()
+	return nil
+}
+
+// TrafficCut returns the maintained solution's cross-server cut weight —
+// the summed weight of interaction edges whose endpoint zones are hosted
+// apart. 0 without an adjacency graph.
+func (pl *Planner) TrafficCut() float64 { return pl.ev.TrafficCut() }
+
+// TrafficCost returns the weighted traffic term (TrafficWeight ×
+// TrafficCut) as it enters the search objective; 0 when the term is off.
+func (pl *Planner) TrafficCost() float64 { return pl.ev.TrafficCost() }
+
+// CrossEdges returns how many interaction edges are currently cut, and the
+// total edge count. O(edges).
+func (pl *Planner) CrossEdges() (cut, total int) { return pl.ev.CrossEdges() }
+
+// Optimize runs up to rounds local-search passes over the live solution —
+// zone rehostings plus contact re-placement, under the full objective
+// including the traffic term — and returns the number of zones rehosted.
+// Unlike FullSolve it starts from the incumbent (no re-solve, no baseline
+// re-anchor) and is traffic-aware, so periodic callers use it to
+// consolidate interacting zones as observed adjacency weights accumulate.
+func (pl *Planner) Optimize(rounds int) int {
+	if rounds <= 0 {
+		return 0
+	}
+	before := pl.ZoneServers()
+	pl.ev.LocalSearch(rounds)
+	moved := 0
+	for z, s := range before {
+		if pl.ev.ZoneHost(z) != s {
+			moved++
+		}
+	}
+	pl.stats.ZoneHandoffs += moved
+	pl.syncTele()
+	return moved
 }
 
 // Contact returns the client's current contact server.

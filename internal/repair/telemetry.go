@@ -65,6 +65,13 @@ type plTele struct {
 	prevHandoffs, prevSwitches  int
 	pqos, drift, util, spread   *telemetry.Gauge
 	clients, servers, zoneGauge *telemetry.Gauge
+
+	// Traffic-term series (DESIGN.md §15): cumulative adjacency-edit
+	// counter plus live gauges for the cross-server cut weight, the
+	// weighted objective term and the cut edge count.
+	adjEdits                          *telemetry.Counter
+	prevAdjEdits                      int
+	trafficCut, trafficCost, cutEdges *telemetry.Gauge
 }
 
 // SetTelemetry attaches (nil detaches) a metrics registry to the planner
@@ -84,7 +91,8 @@ func (pl *Planner) SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	t := plTele{on: true, reg: reg,
-		prevHandoffs: pl.stats.ZoneHandoffs, prevSwitches: pl.stats.ContactSwitches}
+		prevHandoffs: pl.stats.ZoneHandoffs, prevSwitches: pl.stats.ContactSwitches,
+		prevAdjEdits: pl.stats.AdjacencyEdits}
 	for k := eventKind(0); k < numEventKinds; k++ {
 		t.events[k] = reg.Counter("dvecap_repair_events_total",
 			"Churn and topology events handled by the repair planner.", "type", eventNames[counterKind[k]])
@@ -108,6 +116,14 @@ func (pl *Planner) SetTelemetry(reg *telemetry.Registry) {
 	t.drift = reg.Gauge("dvecap_pqos_drift", "pQoS decay below the last full solve's baseline.")
 	t.util = reg.Gauge("dvecap_utilization", "Total load over total available capacity.")
 	t.spread = reg.Gauge("dvecap_utilization_spread", "Max-min per-server utilization over the available fleet.")
+	t.adjEdits = reg.Counter("dvecap_traffic_adjacency_edits_total",
+		"Interaction-graph edge updates applied to the live planner.")
+	t.trafficCut = reg.Gauge("dvecap_traffic_cut_weight",
+		"Summed weight of interaction edges whose endpoint zones are hosted apart (Mbps).")
+	t.trafficCost = reg.Gauge("dvecap_traffic_cost",
+		"Weighted traffic objective term: traffic weight x cut weight.")
+	t.cutEdges = reg.Gauge("dvecap_traffic_cross_edges",
+		"Count of interaction edges currently hosted across two servers.")
 	t.clients = reg.Gauge("dvecap_clients", "Current client population.")
 	t.servers = reg.Gauge("dvecap_servers", "Current server count (including draining).")
 	t.zoneGauge = reg.Gauge("dvecap_zones", "Current zone count.")
@@ -162,6 +178,14 @@ func (pl *Planner) syncTele() {
 		t.switches.Add(uint64(d))
 		t.prevSwitches = pl.stats.ContactSwitches
 	}
+	if d := pl.stats.AdjacencyEdits - t.prevAdjEdits; d > 0 {
+		t.adjEdits.Add(uint64(d))
+		t.prevAdjEdits = pl.stats.AdjacencyEdits
+	}
+	t.trafficCut.Set(pl.ev.TrafficCut())
+	t.trafficCost.Set(pl.ev.TrafficCost())
+	cut, _ := pl.ev.CrossEdges()
+	t.cutEdges.Set(float64(cut))
 }
 
 // teleFullSolve records one completed full solve under its trigger.

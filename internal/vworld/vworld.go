@@ -110,7 +110,16 @@ type World struct {
 
 	hotZones []int
 	hotBias  float64
-	rng      *xrand.RNG
+
+	// Correlated group movement: group[i] is avatar i's group (-1 when
+	// ungrouped); anchorX/anchorY track each group's rally point — the
+	// destination its leader (the group's lowest avatar index) last chose.
+	group     []int
+	anchorX   []float64
+	anchorY   []float64
+	groupBias float64
+
+	rng *xrand.RNG
 }
 
 // Config parameterises NewWorld.
@@ -123,6 +132,15 @@ type Config struct {
 	// with probability HotBias a destination is drawn inside a hot zone.
 	HotZones []int
 	HotBias  float64 // in [0,1)
+	// Groups partitions avatars round-robin into this many movement groups
+	// (guilds, raid parties): each group's leader walks plain (hot-biased)
+	// random waypoint, and with probability GroupBias a member draws its
+	// next waypoint within one zone-size box of the leader's current
+	// destination instead of uniformly. Correlated movement concentrates
+	// zone crossings onto repeatable zone pairs — exactly the interaction
+	// locality a traffic-aware assignment can exploit. 0 disables grouping.
+	Groups    int
+	GroupBias float64 // in [0,1)
 }
 
 // NewWorld places avatars uniformly (or hot-biased) and assigns speeds
@@ -139,21 +157,43 @@ func NewWorld(rng *xrand.RNG, m *Map, cfg Config) (*World, error) {
 		return nil, fmt.Errorf("vworld: HotBias = %v, want [0,1)", cfg.HotBias)
 	case cfg.HotBias > 0 && len(cfg.HotZones) == 0:
 		return nil, fmt.Errorf("vworld: HotBias set with no hot zones")
+	case cfg.Groups < 0:
+		return nil, fmt.Errorf("vworld: %d groups, want >= 0", cfg.Groups)
+	case cfg.GroupBias < 0 || cfg.GroupBias >= 1:
+		return nil, fmt.Errorf("vworld: GroupBias = %v, want [0,1)", cfg.GroupBias)
+	case cfg.GroupBias > 0 && cfg.Groups == 0:
+		return nil, fmt.Errorf("vworld: GroupBias set with no groups")
 	}
 	w := &World{Map: m, PauseMeanSec: cfg.PauseMeanSec, rng: rng}
 	w.hotZones = cfg.HotZones
 	w.hotBias = cfg.HotBias
+	w.groupBias = cfg.GroupBias
+	if cfg.Groups > 0 {
+		w.anchorX = make([]float64, cfg.Groups)
+		w.anchorY = make([]float64, cfg.Groups)
+	}
 	for i := 0; i < cfg.Avatars; i++ {
-		x, y := w.drawPoint()
+		// Round-robin grouping makes avatar g the leader of group g: it is
+		// created (and draws its first destination, seeding the anchor)
+		// before any member of its group.
+		if cfg.Groups > 0 {
+			w.group = append(w.group, i%cfg.Groups)
+		} else {
+			w.group = append(w.group, -1)
+		}
+		x, y := w.drawDest(i)
 		a := Avatar{
 			X: x, Y: y,
 			Speed: rng.Uniform(cfg.MinSpeed, cfg.MaxSpeed),
 		}
-		a.destX, a.destY = w.drawPoint()
+		a.destX, a.destY = w.drawDest(i)
 		w.Avatars = append(w.Avatars, a)
 	}
 	return w, nil
 }
+
+// GroupOf returns avatar i's movement group, or -1 when ungrouped.
+func (w *World) GroupOf(i int) int { return w.group[i] }
 
 // drawPoint samples a position, hot-biased when configured.
 func (w *World) drawPoint() (float64, float64) {
@@ -167,23 +207,75 @@ func (w *World) drawPoint() (float64, float64) {
 	return w.rng.Uniform(0, w.Map.Width), w.rng.Uniform(0, w.Map.Height)
 }
 
+// drawDest samples avatar i's next destination. Group members follow
+// their leader's rally point with probability GroupBias; a leader's own
+// draw (plain hot-biased random waypoint) becomes the group's new anchor.
+func (w *World) drawDest(i int) (float64, float64) {
+	g := w.group[i]
+	if g >= 0 && g != i && w.groupBias > 0 && w.rng.Bool(w.groupBias) {
+		// Follower: uniform within one zone-size box around the anchor,
+		// clamped to the world — close enough to interact, loose enough
+		// that members still cross zone borders around the rally point.
+		zw := w.Map.Width / float64(w.Map.Cols)
+		zh := w.Map.Height / float64(w.Map.Rows)
+		return clamp(w.anchorX[g]+w.rng.Uniform(-zw, zw), 0, w.Map.Width),
+			clamp(w.anchorY[g]+w.rng.Uniform(-zh, zh), 0, w.Map.Height)
+	}
+	x, y := w.drawPoint()
+	if g >= 0 && g == i {
+		w.anchorX[g], w.anchorY[g] = x, y
+	}
+	return x, y
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Crossing is one avatar's zone-border crossing during a step: the
+// zone-change event the assignment layer consumes, and — aggregated over
+// time — the observed interaction weight between the two zones.
+type Crossing struct {
+	Avatar   int // index into Avatars
+	From, To int // zone IDs (From != To)
+}
+
 // Step advances the world by dt seconds and returns the indexes of avatars
 // whose zone changed during the step — exactly the "clients move to
 // another zone" events the assignment layer reacts to.
 func (w *World) Step(dt float64) []int {
+	cs := w.StepCrossings(dt)
 	var moved []int
-	for i := range w.Avatars {
-		a := &w.Avatars[i]
-		before := w.Map.ZoneAt(a.X, a.Y)
-		w.stepAvatar(a, dt)
-		if w.Map.ZoneAt(a.X, a.Y) != before {
-			moved = append(moved, i)
-		}
+	for _, c := range cs {
+		moved = append(moved, c.Avatar)
 	}
 	return moved
 }
 
-func (w *World) stepAvatar(a *Avatar, dt float64) {
+// StepCrossings advances the world by dt seconds and returns each zone
+// crossing with its endpoints, so callers can both relocate the client
+// (To) and accumulate the observed (From,To) interaction edge.
+func (w *World) StepCrossings(dt float64) []Crossing {
+	var out []Crossing
+	for i := range w.Avatars {
+		a := &w.Avatars[i]
+		before := w.Map.ZoneAt(a.X, a.Y)
+		w.stepAvatar(i, dt)
+		if after := w.Map.ZoneAt(a.X, a.Y); after != before {
+			out = append(out, Crossing{Avatar: i, From: before, To: after})
+		}
+	}
+	return out
+}
+
+func (w *World) stepAvatar(i int, dt float64) {
+	a := &w.Avatars[i]
 	remaining := dt
 	for remaining > 0 {
 		if a.pauseSec > 0 {
@@ -210,7 +302,7 @@ func (w *World) stepAvatar(a *Avatar, dt float64) {
 		if w.PauseMeanSec > 0 {
 			a.pauseSec = w.rng.Exp(1 / w.PauseMeanSec)
 		}
-		a.destX, a.destY = w.drawPoint()
+		a.destX, a.destY = w.drawDest(i)
 	}
 }
 

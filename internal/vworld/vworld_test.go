@@ -125,6 +125,9 @@ func TestNewWorldValidates(t *testing.T) {
 		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, PauseMeanSec: -1},
 		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, HotBias: 0.5},
 		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, HotBias: 1.0, HotZones: []int{0}},
+		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, Groups: -1},
+		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, GroupBias: 0.5},
+		{Avatars: 1, MinSpeed: 1, MaxSpeed: 2, Groups: 2, GroupBias: 1.0},
 	}
 	for i, c := range bad {
 		if _, err := NewWorld(xrand.New(1), m, c); err == nil {
@@ -242,6 +245,113 @@ func TestWorldDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("avatar %d zone differs across identical runs", i)
+		}
+	}
+}
+
+// groupDispersion returns the mean distance of avatars to their group
+// centroid (all avatars form one group when w has none).
+func groupDispersion(w *World, groups int) float64 {
+	if groups < 1 {
+		groups = 1
+	}
+	cx := make([]float64, groups)
+	cy := make([]float64, groups)
+	n := make([]int, groups)
+	gof := func(i int) int {
+		if g := w.GroupOf(i); g >= 0 {
+			return g
+		}
+		return 0
+	}
+	for i, a := range w.Avatars {
+		g := gof(i)
+		cx[g] += a.X
+		cy[g] += a.Y
+		n[g]++
+	}
+	sum, k := 0.0, 0
+	for i, a := range w.Avatars {
+		g := gof(i)
+		dx, dy := a.X-cx[g]/float64(n[g]), a.Y-cy[g]/float64(n[g])
+		sum += math.Sqrt(dx*dx + dy*dy)
+		k++
+	}
+	return sum / float64(k)
+}
+
+func TestGroupMovementCorrelates(t *testing.T) {
+	m := testMap(t)
+	run := func(cfg Config) float64 {
+		w, err := NewWorld(xrand.New(11), m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			w.Step(1.0)
+		}
+		return groupDispersion(w, cfg.Groups)
+	}
+	grouped := defaultCfg(400)
+	grouped.Groups = 8
+	grouped.GroupBias = 0.95
+	loose := defaultCfg(400)
+	dg, dl := run(grouped), run(loose)
+	// Followers rally within one zone-size box of their leader's waypoint;
+	// members mid-excursion or chasing a relocated anchor keep the cluster
+	// loose, but within-group dispersion must still sit well below the
+	// uniform baseline.
+	if dg >= 0.75*dl {
+		t.Fatalf("grouped dispersion %.1f not below 75%% of ungrouped %.1f", dg, dl)
+	}
+	// Groups are assigned round-robin and leaders are the first members.
+	for i := 0; i < 16; i++ {
+		w, _ := NewWorld(xrand.New(1), m, grouped)
+		if got := w.GroupOf(i); got != i%8 {
+			t.Fatalf("GroupOf(%d) = %d, want %d", i, got, i%8)
+		}
+	}
+}
+
+func TestStepCrossingsMatchesStep(t *testing.T) {
+	m := testMap(t)
+	cfg := defaultCfg(250)
+	cfg.Groups = 5
+	cfg.GroupBias = 0.7
+	wa, _ := NewWorld(xrand.New(6), m, cfg)
+	wb, _ := NewWorld(xrand.New(6), m, cfg)
+	total := 0
+	for step := 0; step < 60; step++ {
+		beforeZones := wa.ZoneVector()
+		cs := wa.StepCrossings(1.0)
+		moved := wb.Step(1.0)
+		if len(cs) != len(moved) {
+			t.Fatalf("step %d: %d crossings vs %d moved", step, len(cs), len(moved))
+		}
+		for k, c := range cs {
+			if c.Avatar != moved[k] {
+				t.Fatalf("step %d: crossing %d is avatar %d, Step reports %d", step, k, c.Avatar, moved[k])
+			}
+			if c.From == c.To {
+				t.Fatalf("step %d: degenerate crossing %+v", step, c)
+			}
+			if c.From != beforeZones[c.Avatar] {
+				t.Fatalf("step %d: crossing From = %d, avatar was in %d", step, c.From, beforeZones[c.Avatar])
+			}
+			if got := wa.ZoneOf(c.Avatar); got != c.To {
+				t.Fatalf("step %d: crossing To = %d, avatar now in %d", step, c.To, got)
+			}
+		}
+		total += len(cs)
+	}
+	if total == 0 {
+		t.Fatal("no crossings in 60 seconds of grouped movement")
+	}
+	// Both worlds consumed identical randomness: same final state.
+	za, zb := wa.ZoneVector(), wb.ZoneVector()
+	for i := range za {
+		if za[i] != zb[i] {
+			t.Fatalf("avatar %d diverged between Step and StepCrossings", i)
 		}
 	}
 }

@@ -79,6 +79,11 @@ type config struct {
 	traceW io.Writer
 	// delayModel selects the delay storage backend (WithDelayProvider).
 	delayModel DelayModel
+	// traffic term (WithTrafficWeight, WithZoneAdjacency): the objective
+	// weight and run-scoped interaction edges layered over the builder's.
+	trafficW   float64
+	trafficSet bool
+	adjEdges   []adjEdge
 	// rng lets the Scenario adapters thread their own stream through the
 	// engine, preserving bit-identical results with the legacy paths.
 	rng *xrand.RNG
@@ -209,6 +214,35 @@ func WithTraceLog(w io.Writer) Option {
 // same model (and the same bits) the session was opened with.
 func WithDelayProvider(m DelayModel) Option {
 	return func(c *config) { c.delayModel = m }
+}
+
+// adjEdge is one WithZoneAdjacency edge, resolved against the cluster's
+// zone IDs at Solve/Open time.
+type adjEdge struct {
+	a, b string
+	w    float64
+}
+
+// WithTrafficWeight sets the inter-server traffic weight λ ≥ 0 for this
+// Solve or Open call, overriding the builder's SetTrafficWeight. With
+// λ > 0 and an interaction graph present, every adjacency edge whose
+// endpoint zones are hosted on different servers adds λ × weight to the
+// optimisation objective, so the search trades delay slack for hosting
+// interacting zones together (DESIGN.md §15). 0 — the default everywhere —
+// disables the term: results are bit-identical to a build without it.
+func WithTrafficWeight(w float64) Option {
+	return func(c *config) { c.trafficW = w; c.trafficSet = true }
+}
+
+// WithZoneAdjacency overlays one interaction edge (zone1, zone2, observed
+// cross-zone interaction rate in Mbps) for this Solve or Open call, on top
+// of any edges registered on the builder via SetZoneAdjacency. Pass the
+// option once per edge; a weight of 0 removes the builder's edge. The
+// zones must exist by solve time. The edge only influences placement under
+// WithTrafficWeight(λ > 0); sessions additionally update edges live
+// (ClusterSession.SetZoneAdjacency) as crossings are observed.
+func WithZoneAdjacency(zone1, zone2 string, weightMbps float64) Option {
+	return func(c *config) { c.adjEdges = append(c.adjEdges, adjEdge{zone1, zone2, weightMbps}) }
 }
 
 // WithEstimationError solves against delays perturbed by a multiplicative

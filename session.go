@@ -58,6 +58,10 @@ type SessionStats struct {
 	// ZoneHandoffs counts zone rehostings; ContactSwitches counts contact
 	// re-placements made by the repair path.
 	ZoneHandoffs, ContactSwitches int
+	// AdjacencyEdits counts interaction-graph edge updates applied
+	// (SetZoneAdjacency, AddAdjacencyWeight and ZoneSpec.Adjacency seeds;
+	// always 0 for world-backed sessions).
+	AdjacencyEdits int
 	// LastDriftPQoS is the current pQoS decay below the last full solve;
 	// LastUtilSpread the current max−min per-server utilization spread over
 	// non-drained servers.
@@ -85,6 +89,7 @@ func sessionStatsFrom(st repair.Stats) SessionStats {
 		ImbalanceSolves: st.ImbalanceSolves,
 		ZoneHandoffs:    st.ZoneHandoffs,
 		ContactSwitches: st.ContactSwitches,
+		AdjacencyEdits:  st.AdjacencyEdits,
 		LastDriftPQoS:   st.LastDriftPQoS,
 		LastUtilSpread:  st.LastUtilSpread,
 		LastSolveError:  st.LastSolveError,
